@@ -1,0 +1,30 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test test-all bench bench-full suite examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:            ## fast test suite (excludes slow-marked tests)
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+test-all:        ## everything, including slow deep-model tests
+	$(PYTHON) -m pytest tests/ -q
+
+bench:           ## default benchmark subset (one network per family)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+bench-full:      ## all eight paper networks (long)
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+suite:           ## regenerate every table/figure as JSON artifacts
+	$(PYTHON) -m repro suite --output results/
+
+examples:        ## run every example script
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Section VI-A: analytic-method cost vs dynamic-search cost.
+
+The paper's cost claim: profiling takes minutes, the sigma binary
+search a bounded number of accuracy evaluations, and "changing the user
+constraints only requires re-running the last optimization step" —
+whereas dynamic search re-tests the full network at every tweak.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import make_context, run_cost_comparison
+
+from conftest import bench_config
+
+
+def test_cost_comparison(benchmark):
+    context = make_context(bench_config("alexnet"))
+
+    def run():
+        return run_cost_comparison(context=context, accuracy_drop=0.05)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Sec. VI-A: cost comparison (alexnet) ===")
+    print(
+        f"analytic: profile {result.analytic_profile_seconds:.2f}s + "
+        f"sigma search {result.analytic_search_seconds:.2f}s "
+        f"({result.analytic_accuracy_evaluations} accuracy evals) + "
+        f"optimize {result.analytic_optimize_seconds:.3f}s"
+    )
+    print(
+        f"search:   {result.search_seconds:.2f}s, "
+        f"{result.search_accuracy_evaluations} accuracy evals"
+    )
+    print(
+        f"re-optimize for a new objective: {result.reoptimize_seconds:.3f}s"
+    )
+    print(f"evaluation ratio (search / analytic): {result.evaluation_ratio:.1f}x")
+
+    assert result.evaluation_ratio > 1.0
+    # Re-running the last step must be orders cheaper than starting over.
+    assert result.reoptimize_seconds < 0.5 * result.analytic_total_seconds

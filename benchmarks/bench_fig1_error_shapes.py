@@ -1,0 +1,40 @@
+"""Figure 1 / Fig. 3-right: error-distribution shapes.
+
+Uniform rounding error injected at a layer's input must become
+near-Gaussian at the network output (the paper's Fig. 3 histogram has
+std 0.99 and mean 7e-5 against a perfect N(0,1)).  This benchmark
+measures the moments at each probe point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import make_context, run_fig1
+from repro.pipeline import format_table
+
+from conftest import bench_config
+
+
+def test_fig1_error_shapes(benchmark):
+    context = make_context(bench_config("alexnet"))
+
+    def run():
+        return run_fig1(context=context, delta=1.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "probe": s.where,
+            "mean": s.mean,
+            "std": s.std,
+            "excess_kurtosis": s.excess_kurtosis,
+        }
+        for s in result.shapes
+    ]
+    print(f"\n=== Fig. 1: error shapes (inject at {result.injected_layer}) ===")
+    print(format_table(rows, float_format="{:.4g}"))
+    print("uniform kurtosis = -1.2; Gaussian = 0")
+    inp = result.shape("layer_input")
+    out = result.shape("network_output")
+    assert inp.excess_kurtosis < -0.8          # uniform at the input
+    assert abs(out.excess_kurtosis) < 1.0      # near-Gaussian at layer L
+    assert abs(out.mean) < 0.2 * out.std       # centred, like the paper's

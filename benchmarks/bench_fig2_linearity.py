@@ -1,0 +1,53 @@
+"""Figure 2: cross-layer linearity of Delta_XK vs sigma_{Y_K->L}.
+
+The paper validates Eq. 5 on VGG-19 and GoogleNet with per-layer linear
+regressions whose predictions are "mostly with a < 5% error ... in the
+worst case about 10%".  This benchmark regenerates the per-layer
+(sigma, Delta) series and fit-quality summary for the same two network
+families (their replicas).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import make_context, run_fig2
+from repro.pipeline import format_table
+
+from conftest import FULL, bench_config
+
+MODELS = ["vgg19", "googlenet"] if FULL else ["vgg19"]
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_fig2_linearity(benchmark, model):
+    context = make_context(bench_config(model))
+
+    def run():
+        return run_fig2(context=context)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Fig. 2: linearity on {model} ===")
+    print(format_table(result.summary_rows(), float_format="{:.4g}"))
+    print(
+        f"median max-rel-err {result.median_relative_error:.1%}  "
+        f"worst {result.worst_relative_error:.1%} "
+        f"(paper: <5% typical, ~10% worst)"
+    )
+
+    # Persist the raw (sigma, Delta) series for plotting.
+    from pathlib import Path
+
+    from repro.experiments import export_csv
+
+    rows = [
+        {"layer": s.layer, "sigma": sig, "delta": d}
+        for s in result.series
+        for sig, d in zip(s.sigmas, s.deltas)
+    ]
+    export_csv(rows, Path(__file__).parent / "results" / f"fig2_{model}.csv")
+
+    assert result.median_relative_error < 0.30
+    for series in result.series:
+        assert series.lam > 0
+        assert series.r_squared > 0.8

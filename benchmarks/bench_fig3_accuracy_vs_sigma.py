@@ -1,0 +1,53 @@
+"""Figure 3: accuracy vs sigma_YL for both schemes, with corner bars.
+
+Regenerates the left plot of the paper's Fig. 3 on the AlexNet replica:
+the *equal_scheme* and *gaussian_approx* series must track each other,
+and the xi corner-case error bars must stay small while accuracy loss
+is small ("the variation is tolerable when the accuracy loss is below
+5%").
+"""
+
+from __future__ import annotations
+
+from repro.experiments import make_context, run_fig3
+from repro.pipeline import format_table
+
+from conftest import FULL, bench_config
+
+
+def test_fig3_accuracy_vs_sigma(benchmark):
+    context = make_context(bench_config("alexnet"))
+    sigmas = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+
+    def run():
+        return run_fig3(context=context, sigmas=sigmas, with_corners=FULL)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Fig. 3: accuracy vs sigma_YL (alexnet) ===")
+    print(format_table(result.rows(), float_format="{:.3f}"))
+
+    from pathlib import Path
+
+    from repro.experiments import export_csv
+
+    export_csv(
+        result.rows(), Path(__file__).parent / "results" / "fig3_alexnet.csv"
+    )
+    print(
+        f"final-layer error: mean={result.error_mean:.2g} "
+        f"std={result.error_std:.3f} excess_kurtosis="
+        f"{result.error_excess_kurtosis:.3f} (paper: ~N(0,1) shape)"
+    )
+    print(f"sigma at 1% drop: {result.target_sigma:.3f}")
+
+    # The two schemes must track each other (Fig. 3's premise).
+    for p in result.points:
+        assert p.scheme_gap < 0.30, f"schemes diverged at sigma={p.sigma}"
+    # Accuracy must be monotone non-increasing overall.
+    accs = [p.gaussian_approx_accuracy for p in result.points]
+    assert accs[0] > accs[-1]
+    # Corner-case error bars small in the small-loss regime (FULL mode).
+    if FULL:
+        first = result.points[0]
+        spread = first.corner_max_accuracy - first.corner_min_accuracy
+        assert spread < 0.15

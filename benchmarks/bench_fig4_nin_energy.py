@@ -1,0 +1,68 @@
+"""Figure 4: NiN per-layer bitwidth / MAC-energy trade-off.
+
+Regenerates the paper's Fig. 4 on the NiN replica: the energy optimizer
+must *raise* the bitwidth of low-energy layers so it can *lower* the
+power-hungry ones, producing a net MAC-energy saving (paper: 22.8%)
+at the cost of some bandwidth (paper: 5.6% worse than baseline).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import make_context, run_fig4
+from repro.pipeline import format_table
+
+from conftest import bench_config
+
+
+def test_fig4_nin_energy(benchmark):
+    config = bench_config("nin")
+    make_context(config)  # warm the shared context cache
+
+    def run():
+        return run_fig4(config=config, accuracy_drop=0.05)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Fig. 4: NiN per-layer energy optimization ===")
+    print(format_table(result.rows, float_format="{:.0f}"))
+
+    from repro.pipeline import grouped_bar_chart
+
+    print("\nper-layer bitwidths (terminal edition of Fig. 4):")
+    print(
+        grouped_bar_chart(
+            {
+                str(r["layer"]): {
+                    "baseline": float(r["baseline_bits"]),
+                    "optimized": float(r["optimized_bits"]),
+                }
+                for r in result.rows
+            }
+        )
+    )
+    print(
+        f"MAC energy: {result.baseline_energy_pj:.3g} -> "
+        f"{result.optimized_energy_pj:.3g} pJ "
+        f"({result.energy_save_percent:+.1f}%; paper: 22.8%)"
+    )
+    print(
+        f"bandwidth change: {result.bandwidth_change_percent:+.1f}% "
+        "(paper: +5.6%, i.e. worse)"
+    )
+    print(f"raised: {result.raised_layers}")
+    print(f"lowered: {result.lowered_layers}")
+
+    # The trade's direction must match the paper:
+    assert result.energy_save_percent > 0, "energy optimization must save"
+    assert result.raised_layers, "some cheap layers should gain bits"
+    assert result.lowered_layers, "some hungry layers should lose bits"
+    # Lowered layers must be the high-energy ones on average.
+    energies = {
+        str(r["layer"]): float(r["baseline_energy_pj"]) for r in result.rows
+    }
+    mean_lowered = sum(energies[l] for l in result.lowered_layers) / len(
+        result.lowered_layers
+    )
+    mean_raised = sum(energies[l] for l in result.raised_layers) / len(
+        result.raised_layers
+    )
+    assert mean_lowered > mean_raised

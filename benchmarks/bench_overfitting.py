@@ -1,0 +1,63 @@
+"""Search-overfitting demonstration (paper Sec. I criticism).
+
+"This approach will likely over-fit the precision result to the testing
+data set."  The greedy joint search accepts any reduction that passes
+on its search set; evaluated on held-out data, its allocation can
+violate the accuracy constraint, while the analytic allocation keeps
+a safety margin.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import greedy_coordinate_search
+from repro.experiments import make_context
+from repro.models import top1_accuracy
+
+from conftest import bench_config
+
+
+def test_search_overfits_its_test_set(benchmark):
+    context = make_context(bench_config("nin"))
+    optimizer = context.optimizer
+    stats = optimizer.ordered_stats()
+    search_set = context.test.subset(96)
+    base_acc = top1_accuracy(context.network, search_set)
+    holdout = context.train.subset(192)
+
+    def run():
+        return greedy_coordinate_search(
+            context.network,
+            search_set,
+            stats,
+            base_acc,
+            0.05,
+            holdout=holdout,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = optimizer.optimize("input", accuracy_drop=0.05)
+    analytic_holdout = top1_accuracy(
+        context.network, holdout, taps=analytic.result.allocation.taps()
+    )
+    holdout_base = top1_accuracy(context.network, holdout)
+    print("\n=== Overfitting: greedy search vs analytic (nin) ===")
+    print(
+        f"greedy:   search-set acc {result.search_accuracy:.3f} "
+        f"(target {base_acc * 0.95:.3f}), "
+        f"holdout acc {result.holdout_accuracy:.3f} "
+        f"(holdout target {holdout_base * 0.95:.3f})"
+    )
+    print(
+        f"analytic: holdout acc {analytic_holdout:.3f}, "
+        f"{result.evaluations} vs "
+        f"{analytic.sigma_result.num_evaluations} accuracy evaluations"
+    )
+    greedy_margin = result.holdout_accuracy - holdout_base * 0.95
+    analytic_margin = analytic_holdout - holdout_base * 0.95
+    print(
+        f"holdout margin: greedy {greedy_margin:+.3f}, "
+        f"analytic {analytic_margin:+.3f}"
+    )
+    # The analytic method must generalize at least as safely.
+    assert analytic_margin >= greedy_margin - 0.01
+    assert analytic_margin >= -0.005

@@ -1,0 +1,61 @@
+"""Substrate micro-benchmarks: inference and profiling throughput.
+
+Not a paper table — these keep the numpy engine honest (regressions in
+forward-pass or partial-replay speed would silently inflate every other
+benchmark) and quantify the speedup partial re-execution provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import uniform_noise_tap
+from repro.experiments import make_context
+
+from conftest import bench_config
+
+
+@pytest.fixture(scope="module")
+def context():
+    return make_context(bench_config("alexnet"))
+
+
+@pytest.fixture(scope="module")
+def batch(context):
+    return context.test.images[:32]
+
+
+def test_forward_pass_throughput(benchmark, context, batch):
+    """Full forward pass, batch of 32."""
+    result = benchmark(lambda: context.network.forward(batch))
+    assert result.shape[0] == 32
+
+
+def test_run_all_throughput(benchmark, context, batch):
+    """Forward pass keeping every activation (profiling mode)."""
+    cache = benchmark(lambda: context.network.run_all(batch))
+    assert cache.batch_size == 32
+
+
+def test_partial_replay_faster_than_full(benchmark, context, batch):
+    """forward_from at the last analyzed layer must beat a full pass."""
+    network = context.network
+    cache = network.run_all(batch)
+    last = network.analyzed_layer_names[-1]
+    rng = np.random.default_rng(0)
+    tap = uniform_noise_tap(0.1, rng)
+
+    result = benchmark(lambda: network.forward_from(cache, last, tap))
+    assert result.shape[0] == 32
+
+
+def test_quantized_forward_overhead(benchmark, context, batch):
+    """Forward pass with fixed-point taps on every analyzed layer."""
+    from repro.quant import BitwidthAllocation
+
+    stats = context.optimizer.ordered_stats()
+    allocation = BitwidthAllocation.uniform(stats, 8)
+    taps = allocation.taps(context.network)
+    result = benchmark(lambda: context.network.forward(batch, taps=taps))
+    assert result.shape[0] == 32

@@ -1,0 +1,81 @@
+"""Table III: effective bitwidths and savings across the model zoo.
+
+Regenerates the paper's headline table: for each network and accuracy
+constraint (1%, 5% relative top-1 drop), the searched weight bitwidth
+``W``, the baseline effective bitwidths, both optimized allocations'
+effective bitwidths, the bandwidth saving, and the MAC energy saving.
+
+By default a four-network subset runs (one per structural family:
+plain / NiN / fire / depthwise); ``REPRO_BENCH_FULL=1`` runs all eight
+paper networks including ResNet-152.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import average_savings, run_table3_row
+from repro.pipeline import format_table
+
+from conftest import bench_config, bench_models
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("model", bench_models())
+@pytest.mark.parametrize("drop", [0.01, 0.05])
+def test_table3_row(benchmark, model, drop):
+    def run():
+        return run_table3_row(
+            model, drop, config=bench_config(model), baseline="uniform"
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    print(f"\n=== Table III row: {model} @ {drop:.0%} drop ===")
+    print(format_table([row.as_dict()]))
+
+    # Accuracy criterion must never be violated (paper Sec. VI).
+    target = row.baseline_accuracy * (1 - drop)
+    assert row.opt_input_accuracy >= target
+    assert row.opt_mac_accuracy >= target
+    # Optimized-for-MAC must beat optimized-for-input on the MAC view
+    # (up to 1-bit discretization slack).
+    assert row.opt_mac_effective_mac <= row.opt_input_effective_mac + 1.0
+    # Layer count must match the paper's column.
+    from repro.models import PAPER_LAYER_COUNTS
+
+    assert row.num_layers == PAPER_LAYER_COUNTS[model]
+
+
+def test_table3_summary(benchmark):
+    """The paper's Average row, over whichever rows ran."""
+
+    def summarize():
+        if not _ROWS:
+            pytest.skip("no rows collected")
+        return {
+            drop: average_savings([r for r in _ROWS if r.accuracy_drop == drop])
+            for drop in sorted({r.accuracy_drop for r in _ROWS})
+        }
+
+    summary = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print("\n=== Table III: full table ===")
+    print(format_table([r.as_dict() for r in _ROWS]))
+
+    from pathlib import Path
+
+    from repro.experiments import export_csv
+
+    export_csv(
+        [r.as_dict() for r in _ROWS],
+        Path(__file__).parent / "results" / "table3.csv",
+    )
+    for drop, averages in summary.items():
+        print(
+            f"Average @ {drop:.0%}: BW save "
+            f"{averages['bw_save_percent']:.1f}% "
+            f"(paper: {12.3 if drop == 0.01 else 8.8}%), energy save "
+            f"{averages['energy_save_percent']:.1f}% "
+            f"(paper: {23.8 if drop == 0.01 else 17.8}%)"
+        )

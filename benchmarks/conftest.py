@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+synthetic substrate and prints the same rows/series the paper reports
+(run with ``-s`` to see them).  Sizes are chosen so the default suite
+finishes in minutes; set ``REPRO_BENCH_FULL=1`` to run every network
+(including ResNet-152) at larger profiling sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Networks benchmarked by default (one of each structural family);
+#: the full set matches the paper's Table III.
+DEFAULT_MODELS = ["alexnet", "nin", "squeezenet", "mobilenet"]
+FULL_MODELS = [
+    "alexnet",
+    "nin",
+    "googlenet",
+    "vgg19",
+    "resnet50",
+    "resnet152",
+    "squeezenet",
+    "mobilenet",
+]
+
+
+def bench_models():
+    return FULL_MODELS if FULL else DEFAULT_MODELS
+
+
+def bench_config(model: str) -> ExperimentConfig:
+    """Per-model experiment sizes for benchmarking."""
+    if FULL:
+        return ExperimentConfig(
+            model=model,
+            train_count=512,
+            test_count=384,
+            profile_images=32,
+            profile_points=10,
+        )
+    return ExperimentConfig(
+        model=model,
+        train_count=384,
+        test_count=256,
+        profile_images=24,
+        profile_points=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def models():
+    return bench_models()

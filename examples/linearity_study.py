@@ -1,0 +1,79 @@
+"""Reproduce the paper's core measurement: the Eq. 5 linear relationship.
+
+For every analyzed layer of a chosen network, inject uniform errors at
+~10 boundaries Delta, measure the induced final-layer error std, and
+fit Delta = lambda * sigma + theta.  Prints the per-layer constants and
+fit quality (the paper's Fig. 2 shows VGG-19 and GoogleNet; any zoo
+model name works here).
+
+Run:  python examples/linearity_study.py [model]
+"""
+
+import sys
+
+from repro.analysis import ErrorProfiler
+from repro.config import ProfileSettings
+from repro.models import pretrained_model
+from repro.pipeline import format_table
+
+
+def main(model: str = "vgg19") -> None:
+    network, train, test, info = pretrained_model(model)
+    print(
+        f"{model} replica: {len(network.analyzed_layer_names)} analyzed "
+        f"layers, test accuracy {info['test_accuracy']:.3f}"
+    )
+
+    profiler = ErrorProfiler(
+        network,
+        test.images,
+        ProfileSettings(num_images=32, num_delta_points=10),
+    )
+    report = profiler.profile()
+    print(
+        f"profiled {report.num_images} images in "
+        f"{report.elapsed_seconds:.1f}s"
+    )
+
+    rows = [
+        {
+            "layer": p.name,
+            "lambda": p.lam,
+            "theta": p.theta,
+            "R^2": p.r_squared,
+            "max_rel_err": p.max_relative_error,
+        }
+        for p in report
+    ]
+    print(format_table(rows, float_format="{:.4g}"))
+    worst = report.worst_fit()
+    print(
+        f"\nworst fit: {worst.name} at {worst.max_relative_error:.1%} "
+        "(paper: < 5% typical, ~10% worst case)"
+    )
+    print("\nsample (sigma -> Delta) points for the first layer:")
+    first = next(iter(report))
+    for sigma, delta in zip(first.sigmas[:5], first.deltas[:5]):
+        predicted = first.delta_for_sigma(sigma)
+        print(
+            f"  sigma={sigma:9.5f}  Delta={delta:9.4f}  "
+            f"fit={predicted:9.4f}"
+        )
+
+    # Fig. 2, terminal edition: a few layers' (sigma, Delta) series.
+    from repro.pipeline import scatter_plot
+
+    profiles = list(report)
+    picks = profiles[:: max(1, len(profiles) // 4)][:4]
+    print("\nFig. 2 (terminal): Delta_XK vs sigma_{Y_K->L}")
+    print(
+        scatter_plot(
+            {p.name: (p.sigmas, p.deltas) for p in picks},
+            x_label="sigma_{Y_K->L}",
+            y_label="Delta_XK",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "vgg19")

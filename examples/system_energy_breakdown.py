@@ -1,0 +1,89 @@
+"""Scenario: system-level energy — MACs are not the whole story.
+
+The paper's Table III accounts for MAC energy; a deployed accelerator
+also pays to move activations and weights.  This example uses the
+extended hardware models to break down per-image energy (MAC + SRAM/
+DRAM activation traffic + weight streaming) for three allocations of
+SqueezeNet, and shows the Loom-style speedup when per-layer weight
+bitwidths (Sec. V-E extension) are exploited too.
+
+Run:  python examples/system_energy_breakdown.py
+"""
+
+from repro import PrecisionOptimizer
+from repro.baselines import smallest_uniform_bitwidth
+from repro.config import ProfileSettings
+from repro.hardware import LoomAccelerator, system_energy
+from repro.models import pretrained_model
+from repro.pipeline import format_table
+from repro.weights import search_per_layer_weight_bits
+
+
+def main() -> None:
+    network, train, test, info = pretrained_model("squeezenet")
+    print(f"SqueezeNet replica: test accuracy {info['test_accuracy']:.3f}")
+    optimizer = PrecisionOptimizer(
+        network,
+        test,
+        profile_settings=ProfileSettings(num_images=24, num_delta_points=8),
+    )
+    drop = 0.05
+    stats = optimizer.stats()
+    names = optimizer.layer_names
+    parameter_counts = {
+        name: network[name].num_parameters() for name in names
+    }
+
+    out_input = optimizer.optimize("input", accuracy_drop=drop)
+    out_mac = optimizer.optimize("mac", accuracy_drop=drop)
+    uniform = smallest_uniform_bitwidth(
+        network, test, optimizer.ordered_stats(),
+        optimizer.baseline_accuracy(), drop,
+    )
+
+    weight_bits = search_per_layer_weight_bits(
+        network,
+        test,
+        optimizer.baseline_accuracy(),
+        drop,
+        input_taps=out_mac.result.allocation.taps(network),
+    )
+    print(
+        f"per-layer weight search: "
+        f"{min(weight_bits.bits.values())}..{max(weight_bits.bits.values())} "
+        f"bits over {len(weight_bits.bits)} layers "
+        f"({weight_bits.evaluations} accuracy evaluations)"
+    )
+
+    rows = []
+    for label, allocation in [
+        ("uniform", uniform.allocation),
+        ("opt_input", out_input.result.allocation),
+        ("opt_mac", out_mac.result.allocation),
+    ]:
+        breakdown = system_energy(
+            stats, allocation, weight_bits.bits, parameter_counts
+        )
+        rows.append(
+            {
+                "allocation": label,
+                "mac_uJ": breakdown.mac_pj / 1e6,
+                "act_traffic_uJ": breakdown.activation_pj / 1e6,
+                "weight_traffic_uJ": breakdown.weight_pj / 1e6,
+                "total_uJ": breakdown.total_pj / 1e6,
+            }
+        )
+    print("\nPer-image energy breakdown:")
+    print(format_table(rows, float_format="{:.4f}"))
+
+    loom = LoomAccelerator()
+    for label, allocation in [
+        ("uniform", uniform.allocation),
+        ("opt_mac", out_mac.result.allocation),
+    ]:
+        speedup = loom.speedup(stats, allocation, weight_bits.bits)
+        print(f"Loom speedup vs 16x16 engine ({label}): {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

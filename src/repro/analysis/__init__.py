@@ -1,0 +1,89 @@
+"""Core analysis: error injection, lambda/theta profiling, sigma search.
+
+This package implements the paper's primary contribution — the
+measurable cross-layer linear relationship between injected input error
+boundaries and final-layer error std (Eq. 5), its composition across
+layers (Eq. 6/7), and the accuracy-constrained search for the output
+error budget (Sec. V-C).
+"""
+
+from .bootstrap import BootstrapFit, BootstrapInterval, bootstrap_profile
+from .budget import (
+    BudgetVerification,
+    LayerBudgetCheck,
+    verify_error_budget,
+)
+from .injection import (
+    injected_output_error,
+    multi_layer_uniform_taps,
+    output_error_std,
+    perturb_logits,
+    uniform_noise_tap,
+)
+from .profiler import ErrorProfiler, LayerErrorProfile, ProfileReport
+from .propagation import (
+    avg_pool_output_std,
+    delta_from_std,
+    dot_product_output_std,
+    lambda_for_weights,
+    motivating_example_split,
+    normality_statistics,
+    relu_alpha,
+    uniform_std,
+)
+from .regression import LinearFit, fit_line
+from .robustness import (
+    RobustnessPoint,
+    corner_xi_vectors,
+    xi_robustness_study,
+)
+from .second_order import (
+    SecondOrderResult,
+    cross_term_sweep,
+    simulate_dot_product_errors,
+)
+from .sigma_search import (
+    Scheme1Evaluator,
+    Scheme2Evaluator,
+    SigmaSearchResult,
+    deltas_for_sigma,
+    find_sigma,
+)
+
+__all__ = [
+    "BootstrapFit",
+    "BootstrapInterval",
+    "BudgetVerification",
+    "ErrorProfiler",
+    "LayerBudgetCheck",
+    "LayerErrorProfile",
+    "LinearFit",
+    "ProfileReport",
+    "RobustnessPoint",
+    "Scheme1Evaluator",
+    "Scheme2Evaluator",
+    "SecondOrderResult",
+    "SigmaSearchResult",
+    "avg_pool_output_std",
+    "bootstrap_profile",
+    "corner_xi_vectors",
+    "cross_term_sweep",
+    "delta_from_std",
+    "deltas_for_sigma",
+    "dot_product_output_std",
+    "find_sigma",
+    "fit_line",
+    "injected_output_error",
+    "lambda_for_weights",
+    "motivating_example_split",
+    "multi_layer_uniform_taps",
+    "normality_statistics",
+    "output_error_std",
+    "perturb_logits",
+    "relu_alpha",
+    "simulate_dot_product_errors",
+    "uniform_noise_tap",
+    "uniform_std",
+    "verify_error_budget",
+    "xi_robustness_study",
+]

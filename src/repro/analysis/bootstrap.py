@@ -1,0 +1,99 @@
+"""Bootstrap confidence intervals for the Eq. 5 regression constants.
+
+The paper reports point estimates of lambda_K / theta_K; when profiling
+budgets are small (few images, few delta points), knowing how tight
+those estimates are tells the user whether to profile more (Sec. V-A's
+"50-200 images will produce stable regression results" made measurable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProfilingError
+from .profiler import LayerErrorProfile
+from .regression import fit_line
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A two-sided percentile confidence interval."""
+
+    low: float
+    high: float
+    point: float
+
+    @property
+    def width(self) -> float:
+        """Absolute width of the interval."""
+        return self.high - self.low
+
+    @property
+    def relative_width(self) -> float:
+        """Interval width relative to the point estimate's magnitude."""
+        if self.point == 0:
+            return float("inf")
+        return self.width / abs(self.point)
+
+    def contains(self, value: float) -> bool:
+        """Whether the interval covers ``value``."""
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class BootstrapFit:
+    """Bootstrap summary of one layer's lambda/theta fit."""
+
+    layer: str
+    lam: BootstrapInterval
+    theta: BootstrapInterval
+    num_resamples: int
+
+
+def bootstrap_profile(
+    profile: LayerErrorProfile,
+    num_resamples: int = 200,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapFit:
+    """Percentile-bootstrap CIs for a profiled layer's lambda and theta.
+
+    Resamples the (sigma, Delta) measurement pairs with replacement and
+    refits; degenerate resamples (all-identical x) are redrawn.
+    """
+    if not 0 < confidence < 1:
+        raise ProfilingError("confidence must be in (0, 1)")
+    sigmas = np.asarray(profile.sigmas)
+    deltas = np.asarray(profile.deltas)
+    count = sigmas.size
+    if count < 3:
+        raise ProfilingError("need at least 3 measurement pairs to bootstrap")
+    rng = np.random.default_rng(seed)
+    slopes = np.empty(num_resamples)
+    intercepts = np.empty(num_resamples)
+    for i in range(num_resamples):
+        while True:
+            idx = rng.integers(0, count, size=count)
+            if np.unique(sigmas[idx]).size >= 2:
+                break
+        fit = fit_line(sigmas[idx], deltas[idx])
+        slopes[i] = fit.slope
+        intercepts[i] = fit.intercept
+    tail = (1.0 - confidence) / 2.0
+    lo_q, hi_q = 100.0 * tail, 100.0 * (1.0 - tail)
+    return BootstrapFit(
+        layer=profile.name,
+        lam=BootstrapInterval(
+            low=float(np.percentile(slopes, lo_q)),
+            high=float(np.percentile(slopes, hi_q)),
+            point=profile.lam,
+        ),
+        theta=BootstrapInterval(
+            low=float(np.percentile(intercepts, lo_q)),
+            high=float(np.percentile(intercepts, hi_q)),
+            point=profile.theta,
+        ),
+        num_resamples=num_resamples,
+    )

@@ -1,0 +1,139 @@
+"""Post-hoc verification of an allocation's error budget (Eq. 6/7).
+
+Given a finished bitwidth allocation, this module measures what the
+paper's model only *predicts*: the actual per-layer contributions
+``sigma_{Y_K->L}`` under true fixed-point rounding, and the actual
+joint output-error std.  Comparing them against the budget
+(``sigma * sqrt(xi_K)`` per layer, ``sigma`` jointly) quantifies how
+much headroom the ceil() discretization and the uniform-noise model
+left — the repo's "trust but verify" for the analytical machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ProfilingError
+from ..nn.graph import Network
+from ..quant.allocation import BitwidthAllocation
+
+
+@dataclass
+class LayerBudgetCheck:
+    """One layer's predicted vs measured output-error contribution."""
+
+    name: str
+    budget_sigma: float
+    measured_sigma: float
+
+    @property
+    def utilization(self) -> float:
+        """measured / budget — < 1 means headroom (conservatism)."""
+        if self.budget_sigma == 0:
+            return 0.0
+        return self.measured_sigma / self.budget_sigma
+
+
+@dataclass
+class BudgetVerification:
+    """Full Eq. 6 audit of an allocation."""
+
+    layers: List[LayerBudgetCheck]
+    joint_budget_sigma: float
+    joint_measured_sigma: float
+    rss_of_layers: float
+
+    @property
+    def joint_utilization(self) -> float:
+        """Joint measured sigma relative to the budget (< 1 = headroom)."""
+        if self.joint_budget_sigma == 0:
+            return 0.0
+        return self.joint_measured_sigma / self.joint_budget_sigma
+
+    @property
+    def additivity_error(self) -> float:
+        """Relative gap between the joint measurement and the
+        root-sum-square of per-layer measurements (Eq. 6's assumption)."""
+        if self.rss_of_layers == 0:
+            return 0.0
+        return abs(
+            self.joint_measured_sigma - self.rss_of_layers
+        ) / self.rss_of_layers
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-layer audit rows for table rendering."""
+        return [
+            {
+                "layer": c.name,
+                "budget_sigma": c.budget_sigma,
+                "measured_sigma": c.measured_sigma,
+                "utilization": c.utilization,
+            }
+            for c in self.layers
+        ]
+
+
+def verify_error_budget(
+    network: Network,
+    images: np.ndarray,
+    allocation: BitwidthAllocation,
+    sigma: float,
+    xi: Optional[Mapping[str, float]] = None,
+    batch_size: int = 32,
+) -> BudgetVerification:
+    """Measure true quantization-induced output errors per layer & jointly.
+
+    Per layer: quantize only that layer's input (its assigned format),
+    measure the output-error std against the exact pass.  Jointly:
+    quantize every layer at once.  All measurements reuse one activation
+    cache per batch via partial replay.
+    """
+    if sigma <= 0:
+        raise ProfilingError("sigma must be positive")
+    names = allocation.names
+    if xi is None:
+        xi = {name: 1.0 / len(names) for name in names}
+    taps = allocation.taps(network)
+
+    layer_sq = {name: 0.0 for name in names}
+    layer_count = {name: 0 for name in names}
+    joint_sq = 0.0
+    joint_count = 0
+    images = np.asarray(images, dtype=np.float64)
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        cache = network.run_all(batch)
+        reference = cache[network.output_name]
+        for name in names:
+            perturbed = network.forward_from(cache, name, taps[name])
+            err = perturbed - reference
+            layer_sq[name] += float((err * err).sum())
+            layer_count[name] += err.size
+        joint = network.forward(batch, taps=taps)
+        err = joint - reference
+        joint_sq += float((err * err).sum())
+        joint_count += err.size
+
+    layers = []
+    rss = 0.0
+    for name in names:
+        measured = float(
+            np.sqrt(layer_sq[name] / max(layer_count[name], 1))
+        )
+        rss += measured**2
+        layers.append(
+            LayerBudgetCheck(
+                name=name,
+                budget_sigma=sigma * float(np.sqrt(xi[name])),
+                measured_sigma=measured,
+            )
+        )
+    return BudgetVerification(
+        layers=layers,
+        joint_budget_sigma=sigma,
+        joint_measured_sigma=float(np.sqrt(joint_sq / max(joint_count, 1))),
+        rss_of_layers=float(np.sqrt(rss)),
+    )

@@ -1,0 +1,102 @@
+"""Noise injection primitives (paper Sec. V-A, V-C).
+
+Two kinds of injected error drive the whole method:
+
+* **Uniform input noise** ``U[-Delta, Delta]`` added to a layer's input
+  models the rounding error of a fixed-point format with boundary
+  ``Delta``.  Exact zeros are preserved by default, because fixed point
+  represents zero exactly ("Zero values at X_K are always accurately
+  represented ... and hence not included", Fig. 1 caption).
+* **Gaussian output noise** ``N(0, sigma^2)`` added to the final layer's
+  logits — the paper's fast Scheme 2, justified because the accumulated
+  output error is almost normal (Fig. 3 right histogram).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..nn.graph import Network, Tap
+
+
+def uniform_noise_tap(
+    delta: float,
+    rng: np.random.Generator,
+    preserve_zeros: bool = True,
+) -> Tap:
+    """Tap adding fresh ``U[-delta, delta]`` noise on every call."""
+
+    def tap(x: np.ndarray) -> np.ndarray:
+        noise = rng.uniform(-delta, delta, size=x.shape)
+        if preserve_zeros:
+            noise = np.where(x == 0.0, 0.0, noise)
+        return x + noise
+
+    return tap
+
+
+def multi_layer_uniform_taps(
+    deltas: Dict[str, float],
+    rng: np.random.Generator,
+    preserve_zeros: bool = True,
+) -> Dict[str, Tap]:
+    """Independent uniform-noise taps for several layers (Scheme 1)."""
+    return {
+        name: uniform_noise_tap(delta, rng, preserve_zeros)
+        for name, delta in deltas.items()
+    }
+
+
+def perturb_logits(
+    logits: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Scheme 2: add ``N(0, sigma^2)`` to the final-layer output."""
+    if sigma <= 0:
+        return logits
+    return logits + rng.normal(0.0, sigma, size=logits.shape)
+
+
+def injected_output_error(
+    network: Network,
+    cache,
+    layer_name: str,
+    delta: float,
+    rng: np.random.Generator,
+    preserve_zeros: bool = True,
+) -> np.ndarray:
+    """Error at layer L caused by injecting at one layer (delta_{Y_K->L}).
+
+    Runs a partial forward pass from ``layer_name`` with uniform noise
+    on its input and returns the change in the network output.
+    """
+    tap = uniform_noise_tap(delta, rng, preserve_zeros)
+    perturbed = network.forward_from(cache, layer_name, tap)
+    return perturbed - cache[network.output_name]
+
+
+def output_error_std(
+    network: Network,
+    images: np.ndarray,
+    deltas: Dict[str, float],
+    rng: np.random.Generator,
+    batch_size: int = 64,
+    preserve_zeros: bool = True,
+) -> float:
+    """sigma_YL when injecting at several layers simultaneously (Eq. 6).
+
+    Used to validate the variance-additivity assumption: the measured
+    value should match ``sqrt(sum_K sigma_{Y_K->L}^2)``.
+    """
+    total_sq = 0.0
+    count = 0
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        clean = network.forward(batch)
+        taps = multi_layer_uniform_taps(deltas, rng, preserve_zeros)
+        noisy = network.forward(batch, taps=taps)
+        err = noisy - clean
+        total_sq += float((err * err).sum())
+        count += err.size
+    return float(np.sqrt(total_sq / max(count, 1)))

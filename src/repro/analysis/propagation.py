@@ -1,0 +1,112 @@
+"""Single-layer error-propagation models (paper Sec. II and III).
+
+These functions state the analytical building blocks the cross-layer
+relationship rests on, so tests and benches can verify each one against
+direct simulation:
+
+* Eq. 3/4 — a dot product turns i.i.d. uniform input errors with std
+  ``sigma_x`` into an output error with std ``sqrt(sum w_i^2) * sigma_x``.
+* Sec. III-C — ReLU scales error std by a measurable ``alpha < 1``;
+  max pooling preserves it; N-element average pooling is a dot product
+  with weights ``1/N``.
+* Sec. II-A — the uniform boundary relates to std by
+  ``Delta = sigma * sqrt(12) / 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def uniform_std(delta: float) -> float:
+    """Std of ``U[-delta, delta]``: ``2*delta/sqrt(12)``."""
+    if delta < 0:
+        raise ReproError("delta must be non-negative")
+    return 2.0 * delta / math.sqrt(12.0)
+
+
+def delta_from_std(sigma: float) -> float:
+    """Boundary of the uniform distribution with the given std (Sec. IV)."""
+    if sigma < 0:
+        raise ReproError("sigma must be non-negative")
+    return sigma * math.sqrt(12.0) / 2.0
+
+
+def dot_product_output_std(weights: np.ndarray, sigma_x: float) -> float:
+    """Eq. 4: ``sigma_y = sqrt(sum w_i^2) * sigma_x``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    return float(np.sqrt((weights**2).sum()) * sigma_x)
+
+
+def lambda_for_weights(weights: np.ndarray) -> float:
+    """Eq. 4's proportionality constant in the ``sigma_x ~ lambda*sigma_y``
+    direction: ``1 / sqrt(sum w_i^2)``."""
+    norm = float(np.sqrt((np.asarray(weights) ** 2).sum()))
+    if norm == 0:
+        raise ReproError("all-zero weights give an unbounded lambda")
+    return 1.0 / norm
+
+
+def relu_alpha(x: np.ndarray) -> float:
+    """Measured ReLU error-scaling: fraction of positions passed through.
+
+    With small input errors, ReLU passes the error where ``x > 0`` and
+    zeroes it elsewhere, so ``sigma_out = alpha * sigma_in`` with
+    ``alpha = sqrt(P(x > 0))``.
+    """
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ReproError("cannot estimate alpha from an empty tensor")
+    return float(np.sqrt(np.mean(x > 0)))
+
+
+def avg_pool_output_std(sigma_x: float, filter_size: int) -> float:
+    """Average pooling as a 1/N dot product: ``sigma_y = sigma_x/sqrt(N)``."""
+    if filter_size < 1:
+        raise ReproError("filter_size must be >= 1")
+    return sigma_x / math.sqrt(filter_size)
+
+
+def motivating_example_split(
+    delta_y: float, weights: np.ndarray, inputs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sec. II's equal-split solution for ``y = sum w_i x_i``.
+
+    Divides the output error budget into ``2*N`` equal portions and
+    returns (delta_w, delta_x) with ``delta_w_i = delta_y/(2N * x_i)``
+    and ``delta_x_i = delta_y/(2N * w_i)`` (the paper shows N = 2, four
+    portions).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if weights.shape != inputs.shape or weights.ndim != 1:
+        raise ReproError("weights and inputs must be matching 1-D arrays")
+    if np.any(weights == 0) or np.any(inputs == 0):
+        raise ReproError("equal split requires non-zero weights and inputs")
+    portions = 2 * weights.size
+    delta_w = delta_y / (portions * inputs)
+    delta_x = delta_y / (portions * weights)
+    return delta_w, delta_x
+
+
+def normality_statistics(errors: np.ndarray) -> Tuple[float, float, float]:
+    """(mean, std, excess kurtosis) of an error sample.
+
+    Fig. 3 (right) shows the final-layer error is near-Gaussian; excess
+    kurtosis near 0 is the quantitative check used in tests.
+    """
+    errors = np.asarray(errors, dtype=np.float64).ravel()
+    if errors.size < 4:
+        raise ReproError("need at least 4 samples")
+    mean = float(errors.mean())
+    std = float(errors.std())
+    if std == 0:
+        return mean, std, 0.0
+    centered = (errors - mean) / std
+    kurtosis = float((centered**4).mean() - 3.0)
+    return mean, std, kurtosis

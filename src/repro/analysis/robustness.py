@@ -1,0 +1,102 @@
+"""xi-sensitivity study (paper Sec. V-C and Fig. 3's error bars).
+
+Different error-share vectors ``xi`` with the same total ``sigma_YL``
+may yield slightly different accuracies.  The paper bounds the effect
+by testing corner cases: one layer takes ``xi_K = 0.8`` and the rest
+share the remaining 0.2 equally, for every choice of the heavy layer,
+and reports the worst deviation from the equal scheme as an error bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import SearchError
+from ..nn.graph import Network
+from .injection import multi_layer_uniform_taps
+from .profiler import LayerErrorProfile
+from .sigma_search import deltas_for_sigma
+
+
+def corner_xi_vectors(
+    layer_names: List[str], heavy_share: float = 0.8
+) -> List[Dict[str, float]]:
+    """All corner cases: layer j heavy, others share the rest equally."""
+    if not 0 < heavy_share < 1:
+        raise SearchError("heavy_share must be in (0, 1)")
+    count = len(layer_names)
+    if count < 2:
+        raise SearchError("corner cases need at least two layers")
+    rest = (1.0 - heavy_share) / (count - 1)
+    vectors = []
+    for heavy in layer_names:
+        vectors.append(
+            {name: (heavy_share if name == heavy else rest) for name in layer_names}
+        )
+    return vectors
+
+
+@dataclass
+class RobustnessPoint:
+    """Accuracy spread at one sigma_YL (a Fig. 3 point + error bar)."""
+
+    sigma: float
+    equal_scheme_accuracy: float
+    min_accuracy: float
+    max_accuracy: float
+
+    @property
+    def max_deviation(self) -> float:
+        """Worst |corner - equal| accuracy difference (error-bar height)."""
+        return max(
+            abs(self.min_accuracy - self.equal_scheme_accuracy),
+            abs(self.max_accuracy - self.equal_scheme_accuracy),
+        )
+
+
+def xi_robustness_study(
+    network: Network,
+    dataset: Dataset,
+    profiles: Mapping[str, LayerErrorProfile],
+    sigmas: List[float],
+    heavy_share: float = 0.8,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> List[RobustnessPoint]:
+    """Measure accuracy under equal and corner xi's for each sigma."""
+
+    def accuracy_with_xi(sigma: float, xi: Mapping[str, float], salt: int) -> float:
+        deltas = deltas_for_sigma(profiles, sigma, xi=xi)
+        rng = np.random.default_rng((seed, salt))
+        correct = 0
+        total = 0
+        for images, labels in dataset.batches(batch_size):
+            taps = multi_layer_uniform_taps(deltas, rng)
+            logits = network.forward(images, taps=taps)
+            pred = np.argmax(logits.reshape(logits.shape[0], -1), axis=1)
+            correct += int((pred == labels).sum())
+            total += labels.size
+        return correct / max(total, 1)
+
+    names = list(profiles)
+    corners = corner_xi_vectors(names, heavy_share)
+    points = []
+    for sigma in sigmas:
+        equal_acc = accuracy_with_xi(sigma, {n: 1.0 / len(names) for n in names}, 0)
+        corner_accs = [
+            accuracy_with_xi(sigma, xi, index + 1)
+            for index, xi in enumerate(corners)
+        ]
+        points.append(
+            RobustnessPoint(
+                sigma=sigma,
+                equal_scheme_accuracy=equal_acc,
+                min_accuracy=min(corner_accs),
+                max_accuracy=max(corner_accs),
+            )
+        )
+    return points

@@ -1,0 +1,122 @@
+"""Second-order error terms: when does dropping delta_w * delta_x bite?
+
+The paper's Eq. 2 linearizes Eq. 1 by discarding the cross terms
+``delta_w_i * delta_x_i``, assuming ``w >> delta_w`` and ``x >> delta_x``.
+That is exact when weights stay in floating point, and an approximation
+once weights are quantized too (Sec. V-E).  This module measures the
+approximation directly: for a dot product with *both* operands
+quantized, it compares the simulated output error std against the
+first-order prediction
+
+``sigma_y^2 ≈ sum_i (w_i^2 sigma_x^2 + x_rms^2 sigma_w^2)``
+
+and reports the relative contribution of the neglected cross term.  The
+result justifies the paper's separation of input and weight bitwidth
+decisions down to surprisingly coarse formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class SecondOrderResult:
+    """Measured vs first-order-predicted output error for one setup."""
+
+    weight_bits_std: float
+    input_bits_std: float
+    predicted_std: float
+    measured_std: float
+    cross_term_std: float
+
+    @property
+    def prediction_error(self) -> float:
+        """Relative gap between first-order prediction and simulation."""
+        if self.measured_std == 0:
+            return 0.0
+        return abs(self.measured_std - self.predicted_std) / self.measured_std
+
+    @property
+    def cross_term_share(self) -> float:
+        """Fraction of measured error variance from the cross term."""
+        if self.measured_std == 0:
+            return 0.0
+        return (self.cross_term_std / self.measured_std) ** 2
+
+
+def simulate_dot_product_errors(
+    fan_in: int,
+    sigma_w: float,
+    sigma_x: float,
+    num_trials: int = 20_000,
+    weight_scale: float = 1.0,
+    input_scale: float = 1.0,
+    seed: int = 0,
+) -> SecondOrderResult:
+    """Monte-Carlo the full Eq. 1 for one dot product.
+
+    Weights are fixed (drawn once); inputs are drawn per trial; both
+    receive independent uniform errors with the given stds.  Returns
+    the measured total output error std, the first-order prediction,
+    and the isolated cross-term std.
+    """
+    if fan_in < 1:
+        raise ReproError("fan_in must be >= 1")
+    if sigma_w < 0 or sigma_x < 0:
+        raise ReproError("error stds must be non-negative")
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(0.0, weight_scale, size=fan_in)
+    inputs = rng.normal(0.0, input_scale, size=(num_trials, fan_in))
+    half_w = sigma_w * np.sqrt(3.0)
+    half_x = sigma_x * np.sqrt(3.0)
+    delta_w = rng.uniform(-half_w, half_w, size=(num_trials, fan_in))
+    delta_x = rng.uniform(-half_x, half_x, size=(num_trials, fan_in))
+
+    # Full Eq. 1 error: x*dw + w*dx + dw*dx, summed over the fan-in.
+    linear_w = (inputs * delta_w).sum(axis=1)
+    linear_x = (weights[None, :] * delta_x).sum(axis=1)
+    cross = (delta_w * delta_x).sum(axis=1)
+    measured = linear_w + linear_x + cross
+
+    predicted_var = (
+        float((weights**2).sum()) * sigma_x**2
+        + float((inputs**2).mean(axis=0).sum()) * sigma_w**2
+    )
+    return SecondOrderResult(
+        weight_bits_std=sigma_w,
+        input_bits_std=sigma_x,
+        predicted_std=float(np.sqrt(predicted_var)),
+        measured_std=float(measured.std()),
+        cross_term_std=float(cross.std()),
+    )
+
+
+def cross_term_sweep(
+    fan_in: int = 128,
+    relative_errors=(0.01, 0.05, 0.1, 0.25, 0.5),
+    seed: int = 0,
+):
+    """Sweep operand error sizes; return one result per setting.
+
+    ``relative_errors`` are the error stds relative to the operand
+    scales (both operands get the same relative error, the worst case
+    for the cross term).
+    """
+    results = []
+    for index, rel in enumerate(relative_errors):
+        results.append(
+            simulate_dot_product_errors(
+                fan_in,
+                sigma_w=rel,
+                sigma_x=rel,
+                weight_scale=1.0,
+                input_scale=1.0,
+                seed=seed + index,
+            )
+        )
+    return results

@@ -1,0 +1,211 @@
+"""Relating classification accuracy to output error (paper Sec. V-C).
+
+Given a user accuracy constraint ("at most 1% relative top-1 drop"),
+the method needs the largest tolerable output-error std ``sigma_YL``.
+Because accuracy degrades monotonically as ``sigma_YL`` grows, a
+doubling phase followed by a binary search on real numbers (tolerance
+0.01, after [Williams'76]) finds it with a handful of accuracy tests.
+
+Two accuracy tests are supported, exactly as in the paper:
+
+* **Scheme 1** (``equal_scheme``): distribute the error equally
+  (``xi_K = 1/L``), compute each ``Delta_XK`` by Eq. 7, inject uniform
+  noise at every analyzed layer, and measure top-1 accuracy.
+* **Scheme 2** (``gaussian_approx``): inject ``N(0, sigma^2)`` directly
+  into the final layer's logits — cheap because clean logits can be
+  cached once per dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import SearchSettings
+from ..data import Dataset
+from ..errors import SearchError
+from ..nn.graph import Network
+from .injection import multi_layer_uniform_taps, perturb_logits
+from .profiler import LayerErrorProfile
+
+#: Floor for per-layer deltas predicted by Eq. 7 (a negative prediction
+#: means "effectively exact"; zero noise, arbitrarily many bits).
+MIN_DELTA = 1e-12
+
+
+def deltas_for_sigma(
+    profiles: Mapping[str, LayerErrorProfile],
+    sigma: float,
+    xi: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Eq. 7: ``Delta_XK = lambda_K * (sigma * sqrt(xi_K)) + theta_K``.
+
+    ``xi`` defaults to the equal scheme ``xi_K = 1/L``.
+    """
+    names = list(profiles)
+    if xi is None:
+        share = 1.0 / len(names)
+        xi = {name: share for name in names}
+    deltas: Dict[str, float] = {}
+    for name in names:
+        profile = profiles[name]
+        predicted = profile.delta_for_sigma(sigma * np.sqrt(xi[name]))
+        deltas[name] = max(predicted, MIN_DELTA)
+    return deltas
+
+
+class Scheme1Evaluator:
+    """Accuracy under equal-scheme uniform injection at every layer."""
+
+    def __init__(
+        self,
+        network: Network,
+        dataset: Dataset,
+        profiles: Mapping[str, LayerErrorProfile],
+        batch_size: int = 64,
+        num_trials: int = 1,
+        seed: int = 0,
+    ):
+        self.network = network
+        self.dataset = dataset
+        self.profiles = dict(profiles)
+        self.batch_size = batch_size
+        self.num_trials = num_trials
+        self.seed = seed
+
+    def accuracy(self, sigma: float) -> float:
+        deltas = deltas_for_sigma(self.profiles, sigma)
+        correct = 0
+        total = 0
+        for trial in range(self.num_trials):
+            rng = np.random.default_rng((self.seed, trial, 1))
+            for images, labels in self.dataset.batches(self.batch_size):
+                taps = multi_layer_uniform_taps(deltas, rng)
+                logits = self.network.forward(images, taps=taps)
+                pred = np.argmax(logits.reshape(logits.shape[0], -1), axis=1)
+                correct += int((pred == labels).sum())
+                total += labels.size
+        return correct / max(total, 1)
+
+
+class Scheme2Evaluator:
+    """Accuracy under Gaussian noise on cached clean logits (fast)."""
+
+    def __init__(
+        self,
+        network: Network,
+        dataset: Dataset,
+        batch_size: int = 64,
+        num_trials: int = 3,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.num_trials = num_trials
+        self.seed = seed
+        logits = []
+        for images, __ in dataset.batches(batch_size):
+            out = network.forward(images)
+            logits.append(out.reshape(out.shape[0], -1))
+        self._logits = np.concatenate(logits, axis=0)
+
+    def accuracy(self, sigma: float) -> float:
+        labels = self.dataset.labels
+        correct = 0
+        total = 0
+        for trial in range(self.num_trials):
+            rng = np.random.default_rng((self.seed, trial, 2))
+            noisy = perturb_logits(self._logits, sigma, rng)
+            pred = np.argmax(noisy, axis=1)
+            correct += int((pred == labels).sum())
+            total += labels.size
+        return correct / max(total, 1)
+
+
+@dataclass
+class SigmaSearchResult:
+    """Outcome of the binary search for the tolerable sigma_YL."""
+
+    sigma: float
+    baseline_accuracy: float
+    target_accuracy: float
+    achieved_accuracy: float
+    evaluations: List[Tuple[float, float]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def num_evaluations(self) -> int:
+        """Accuracy tests the search consumed (its cost metric)."""
+        return len(self.evaluations)
+
+
+def find_sigma(
+    accuracy_fn: Callable[[float], float],
+    baseline_accuracy: float,
+    max_relative_drop: float,
+    settings: Optional[SearchSettings] = None,
+) -> SigmaSearchResult:
+    """Largest sigma_YL whose accuracy stays within the allowed drop.
+
+    Implements the paper's procedure: start from an initial upper-bound
+    guess, double until the constraint is violated, then binary search
+    until the bracket is tighter than the tolerance; the passing lower
+    bound is returned.
+    """
+    settings = settings or SearchSettings()
+    if not 0 <= max_relative_drop < 1:
+        raise SearchError(
+            f"max_relative_drop must be in [0, 1); got {max_relative_drop}"
+        )
+    start_time = time.perf_counter()
+    target = baseline_accuracy * (1.0 - max_relative_drop)
+    evaluations: List[Tuple[float, float]] = []
+
+    def passes(sigma: float) -> bool:
+        acc = accuracy_fn(sigma)
+        evaluations.append((sigma, acc))
+        return acc >= target
+
+    upper = settings.initial_upper
+    lower = 0.0
+    doublings = 0
+    while passes(upper):
+        lower = upper
+        upper *= 2.0
+        doublings += 1
+        if doublings >= settings.max_doublings:
+            # Accuracy never violated: the network tolerates any sigma
+            # we can reach; return the last passing value.
+            return SigmaSearchResult(
+                sigma=lower,
+                baseline_accuracy=baseline_accuracy,
+                target_accuracy=target,
+                achieved_accuracy=evaluations[-1][1],
+                evaluations=evaluations,
+                elapsed_seconds=time.perf_counter() - start_time,
+            )
+    while upper - lower > settings.tolerance:
+        mid = 0.5 * (lower + upper)
+        if passes(mid):
+            lower = mid
+        else:
+            upper = mid
+    achieved = next(
+        (acc for s, acc in reversed(evaluations) if s == lower),
+        baseline_accuracy,
+    )
+    # The search cannot resolve budgets below its tolerance; when even
+    # the first probe fails (constraint inside measurement noise), the
+    # tolerance itself is returned as the smallest meaningful budget —
+    # the resulting Deltas are tiny, i.e. near-lossless formats.
+    sigma = max(lower, settings.tolerance)
+    return SigmaSearchResult(
+        sigma=sigma,
+        baseline_accuracy=baseline_accuracy,
+        target_accuracy=target,
+        achieved_accuracy=achieved,
+        evaluations=evaluations,
+        elapsed_seconds=time.perf_counter() - start_time,
+    )

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against: uniform and dynamic search.
+
+The equal-scheme analytical baseline lives in
+:func:`repro.optimize.allocate_equal_scheme`.
+"""
+
+from .greedy import GreedySearchResult, greedy_coordinate_search
+from .stripes import SearchBaselineResult, stripes_search
+from .uniform import UniformBaselineResult, smallest_uniform_bitwidth
+
+__all__ = [
+    "GreedySearchResult",
+    "SearchBaselineResult",
+    "UniformBaselineResult",
+    "greedy_coordinate_search",
+    "smallest_uniform_bitwidth",
+    "stripes_search",
+]

@@ -1,0 +1,72 @@
+"""Uniform-bitwidth baseline.
+
+Table III: "Otherwise, we used the smallest possible uniform bitwidth
+for all layers as the baseline."  This module finds that baseline by
+descending from a wide word and testing true quantized accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import MAX_BITWIDTH
+from ..data import Dataset
+from ..errors import SearchError
+from ..models.evaluate import top1_accuracy
+from ..nn.graph import Network
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+
+
+@dataclass
+class UniformBaselineResult:
+    """The smallest accuracy-preserving uniform allocation."""
+
+    allocation: BitwidthAllocation
+    bitwidth: int
+    accuracy: float
+    evaluations: int
+
+
+def smallest_uniform_bitwidth(
+    network: Network,
+    dataset: Dataset,
+    stats: List[LayerStats],
+    baseline_accuracy: float,
+    max_relative_drop: float,
+    start_bits: int = 16,
+    min_bits: int = 2,
+    batch_size: int = 64,
+) -> UniformBaselineResult:
+    """Descend the uniform width until the accuracy constraint breaks.
+
+    Evaluates the *actual quantized network* (fixed-point taps on every
+    analyzed layer), so the result is a true dynamic-search baseline.
+    """
+    if start_bits > MAX_BITWIDTH:
+        raise SearchError(f"start_bits must be <= {MAX_BITWIDTH}")
+    target = baseline_accuracy * (1.0 - max_relative_drop)
+    best: Optional[UniformBaselineResult] = None
+    evaluations = 0
+    for bits in range(start_bits, min_bits - 1, -1):
+        allocation = BitwidthAllocation.uniform(stats, bits)
+        accuracy = top1_accuracy(
+            network, dataset, taps=allocation.taps(network), batch_size=batch_size
+        )
+        evaluations += 1
+        if accuracy >= target:
+            best = UniformBaselineResult(
+                allocation=allocation,
+                bitwidth=bits,
+                accuracy=accuracy,
+                evaluations=evaluations,
+            )
+        else:
+            break
+    if best is None:
+        raise SearchError(
+            f"even {start_bits} uniform bits violate the accuracy target "
+            f"{target:.3f}; raise start_bits"
+        )
+    return best

@@ -1,0 +1,305 @@
+"""Command-line interface: the repo as a precision-optimization tool.
+
+The paper's artifact (MUPOD) was "an open source precision optimization
+framework ... integrated into Caffe"; this CLI is the equivalent entry
+point for the substrate replica.  Subcommands:
+
+``zoo``       list the model zoo and analyzed-layer counts
+``profile``   measure lambda/theta for every analyzed layer (Sec. V-A)
+``optimize``  full pipeline for one objective + accuracy constraint
+``table2``    regenerate Table II (AlexNet, two objectives)
+``table3``    regenerate Table III rows for chosen networks
+``fig2``      linearity measurement (Fig. 2)
+``fig3``      accuracy vs sigma under both schemes (Fig. 3)
+``fig4``      NiN per-layer energy anatomy (Fig. 4)
+``cost``      analytic vs search cost comparison (Sec. VI-A)
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentConfig,
+    make_context,
+    run_cost_comparison,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_suite,
+    run_table2,
+    run_table3,
+)
+from .models import MODEL_NAMES, PAPER_LAYER_COUNTS, build_model
+from .pipeline import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="alexnet", help="zoo model name")
+    parser.add_argument("--seed", type=int, default=20190325)
+    parser.add_argument("--train-count", type=int, default=384)
+    parser.add_argument("--test-count", type=int, default=256)
+    parser.add_argument("--profile-images", type=int, default=24)
+    parser.add_argument("--profile-points", type=int, default=8)
+    parser.add_argument(
+        "--scheme",
+        choices=["scheme1", "scheme2"],
+        default="scheme1",
+        help="accuracy test for the sigma search (Sec. V-C)",
+    )
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        model=args.model,
+        train_count=args.train_count,
+        test_count=args.test_count,
+        profile_images=args.profile_images,
+        profile_points=args.profile_points,
+        scheme=args.scheme,
+        seed=args.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+def cmd_zoo(args: argparse.Namespace) -> int:
+    rows = []
+    for name in MODEL_NAMES:
+        network = build_model(name)
+        rows.append(
+            {
+                "model": name,
+                "analyzed_layers": len(network.analyzed_layer_names),
+                "paper_layers": PAPER_LAYER_COUNTS[name],
+                "total_layers": len(network),
+                "parameters": network.num_parameters(),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    context = make_context(_config(args))
+    report = context.optimizer.profile()
+    rows = [
+        {
+            "layer": p.name,
+            "lambda": p.lam,
+            "theta": p.theta,
+            "R^2": p.r_squared,
+            "max_rel_err": p.max_relative_error,
+        }
+        for p in report
+    ]
+    print(format_table(rows, float_format="{:.4g}"))
+    print(
+        f"profiled {report.num_images} images in "
+        f"{report.elapsed_seconds:.1f}s; worst fit "
+        f"{report.worst_fit().max_relative_error:.1%}"
+    )
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    context = make_context(_config(args))
+    outcome = context.optimizer.optimize(
+        args.objective,
+        accuracy_drop=args.drop,
+        search_weights=args.weights,
+    )
+    rows = [
+        {
+            "layer": name,
+            "bits": bits,
+            "xi": round(outcome.result.xi[name], 4),
+        }
+        for name, bits in outcome.bitwidths.items()
+    ]
+    print(format_table(rows))
+    print(
+        f"sigma_YL={outcome.sigma_result.sigma:.4f}  "
+        f"baseline acc {outcome.baseline_accuracy:.3f}  "
+        f"quantized acc {outcome.validated_accuracy:.3f}  "
+        f"constraint {'met' if outcome.meets_constraint else 'VIOLATED'}"
+    )
+    if outcome.weight_search is not None:
+        print(f"weight bitwidth (Sec. V-E search): {outcome.weight_search.bits}")
+    if args.output:
+        from .quant import save_allocation
+
+        provenance = {
+            "model": args.model,
+            "objective": args.objective,
+            "accuracy_drop": args.drop,
+            "sigma": outcome.result.sigma,
+            "baseline_accuracy": outcome.baseline_accuracy,
+            "validated_accuracy": outcome.validated_accuracy,
+        }
+        path = save_allocation(
+            outcome.result.allocation, args.output, provenance=provenance
+        )
+        print(f"allocation written to {path}")
+    return 0 if outcome.meets_constraint else 1
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    result = run_table2(_config(args), accuracy_drop=args.drop)
+    print(format_table(result.rows()))
+    print(
+        f"input-bit saving {result.input_saving_percent:+.1f}%  "
+        f"MAC-bit saving {result.mac_saving_percent:+.1f}%  "
+        f"sigma={result.sigma:.3f}"
+    )
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    models = args.models.split(",") if args.models else MODEL_NAMES[:4]
+    drops = [float(d) for d in args.drops.split(",")]
+    rows = run_table3(
+        models, drops, config=_config(args), baseline=args.baseline
+    )
+    print(format_table([r.as_dict() for r in rows]))
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    result = run_fig2(_config(args))
+    print(format_table(result.summary_rows(), float_format="{:.4g}"))
+    print(
+        f"median max-rel-err {result.median_relative_error:.1%}, "
+        f"worst {result.worst_relative_error:.1%}"
+    )
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    result = run_fig3(_config(args))
+    print(format_table(result.rows(), float_format="{:.3f}"))
+    print(
+        f"output error: std={result.error_std:.3f} "
+        f"excess_kurtosis={result.error_excess_kurtosis:.3f}"
+    )
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    result = run_fig4(_config(args), accuracy_drop=args.drop)
+    print(format_table(result.rows, float_format="{:.0f}"))
+    print(
+        f"energy saving {result.energy_save_percent:+.1f}%  "
+        f"bandwidth change {result.bandwidth_change_percent:+.1f}%"
+    )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    only = args.only.split(",") if args.only else None
+    results = run_suite(
+        _config(args),
+        table3_models=args.models.split(",") if args.models else ("alexnet",),
+        only=only,
+        output_dir=args.output or None,
+        verbose=True,
+    )
+    timings = results["_timings"]
+    total = sum(timings.values())
+    print(f"suite finished: {len(timings)} experiments in {total:.1f}s")
+    if args.output:
+        print(f"artifacts in {args.output}")
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    result = run_cost_comparison(_config(args), accuracy_drop=args.drop)
+    print(
+        f"analytic: {result.analytic_total_seconds:.1f}s, "
+        f"{result.analytic_accuracy_evaluations} accuracy evals\n"
+        f"search:   {result.search_seconds:.1f}s, "
+        f"{result.search_accuracy_evaluations} accuracy evals\n"
+        f"ratio: {result.evaluation_ratio:.1f}x"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("zoo", help="list the model zoo")
+    p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser("profile", help="measure lambda/theta (Sec. V-A)")
+    _add_common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("optimize", help="full pipeline for one objective")
+    _add_common(p)
+    p.add_argument("--objective", choices=["input", "mac"], default="input")
+    p.add_argument("--drop", type=float, default=0.01)
+    p.add_argument(
+        "--weights", action="store_true", help="also search weight bitwidth"
+    )
+    p.add_argument(
+        "--output", default="", help="write the allocation JSON to this path"
+    )
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("table2", help="regenerate Table II")
+    _add_common(p)
+    p.add_argument("--drop", type=float, default=0.01)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("table3", help="regenerate Table III rows")
+    _add_common(p)
+    p.add_argument("--models", default="", help="comma-separated zoo names")
+    p.add_argument("--drops", default="0.01,0.05")
+    p.add_argument("--baseline", choices=["uniform", "search"], default="uniform")
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("fig2", help="linearity measurement (Fig. 2)")
+    _add_common(p)
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("fig3", help="accuracy vs sigma (Fig. 3)")
+    _add_common(p)
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("fig4", help="NiN energy anatomy (Fig. 4)")
+    _add_common(p)
+    p.add_argument("--drop", type=float, default=0.05)
+    p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("cost", help="analytic vs search cost (Sec. VI-A)")
+    _add_common(p)
+    p.add_argument("--drop", type=float, default=0.05)
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("suite", help="run the full evaluation suite")
+    _add_common(p)
+    p.add_argument("--only", default="", help="comma-separated experiments")
+    p.add_argument("--models", default="", help="models for the table3 part")
+    p.add_argument("--output", default="", help="export JSON artifacts here")
+    p.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

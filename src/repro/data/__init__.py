@@ -1,0 +1,5 @@
+"""Dataset substrate: synthetic ImageNet stand-in."""
+
+from .synthetic import Dataset, SyntheticImageNet
+
+__all__ = ["Dataset", "SyntheticImageNet"]

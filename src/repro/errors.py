@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A network graph is malformed (unknown input, duplicate name, cycle)."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent with a layer's expectations."""
+
+
+class QuantizationError(ReproError):
+    """A fixed-point format or bitwidth request is invalid."""
+
+
+class ProfilingError(ReproError):
+    """Error-injection profiling could not produce a usable regression."""
+
+
+class SearchError(ReproError):
+    """The sigma binary search could not bracket or converge."""
+
+
+class OptimizationError(ReproError):
+    """The constrained xi optimization failed to produce a feasible result."""
+
+
+class ModelError(ReproError):
+    """A model could not be constructed or pretrained."""

@@ -1,0 +1,89 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Benchmarks (``benchmarks/``) and examples (``examples/``) call these
+drivers; keeping them in the library makes every result reproducible
+from the public API.
+"""
+
+from .ablations import (
+    AdditivityResult,
+    ChannelwiseResult,
+    ClippingResult,
+    NegativeFractionResult,
+    SchemeAgreementResult,
+    StabilityResult,
+    XiAblationResult,
+    run_additivity_check,
+    run_budget_audit,
+    run_channelwise_ablation,
+    run_clipping_ablation,
+    run_negative_fraction_ablation,
+    run_profile_stability,
+    run_scheme_agreement,
+    run_xi_ablation,
+)
+from .common import (
+    ExperimentConfig,
+    ExperimentContext,
+    clear_context_cache,
+    make_context,
+)
+from .cost import CostComparison, run_cost_comparison
+from .export import export_csv, export_json, load_json
+from .fig1 import ErrorShape, Fig1Result, run_fig1
+from .suite import SUITE_EXPERIMENTS, run_suite
+from .sweeps import DropSweepPoint, DropSweepResult, run_drop_sweep
+from .fig2 import Fig2Result, LinearitySeries, run_fig2
+from .fig3 import Fig3Point, Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Row, average_savings, run_table3, run_table3_row
+
+__all__ = [
+    "AdditivityResult",
+    "ChannelwiseResult",
+    "ClippingResult",
+    "CostComparison",
+    "DropSweepPoint",
+    "DropSweepResult",
+    "ErrorShape",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Point",
+    "Fig3Result",
+    "Fig4Result",
+    "LinearitySeries",
+    "NegativeFractionResult",
+    "SUITE_EXPERIMENTS",
+    "SchemeAgreementResult",
+    "StabilityResult",
+    "Table2Result",
+    "Table3Row",
+    "XiAblationResult",
+    "average_savings",
+    "clear_context_cache",
+    "export_csv",
+    "export_json",
+    "load_json",
+    "make_context",
+    "run_additivity_check",
+    "run_budget_audit",
+    "run_channelwise_ablation",
+    "run_clipping_ablation",
+    "run_cost_comparison",
+    "run_drop_sweep",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_negative_fraction_ablation",
+    "run_profile_stability",
+    "run_scheme_agreement",
+    "run_suite",
+    "run_table2",
+    "run_table3",
+    "run_table3_row",
+    "run_xi_ablation",
+]

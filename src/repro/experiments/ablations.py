@@ -1,0 +1,427 @@
+"""Ablation drivers for the design decisions DESIGN.md calls out.
+
+1. xi optimization vs the equal scheme (the paper's headline mechanism).
+2. Scheme 1 vs Scheme 2 sigma-search agreement (Fig. 3's premise).
+3. Profiling sample-size stability (paper: "50-200 images produce
+   stable regression results"; ~20 delta points suffice).
+4. Negative-fraction-bit (integer-bit dropping) on/off.
+5. Variance additivity (Eq. 6): joint-injection sigma vs the
+   root-sum-square of per-layer sigmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis import (
+    ErrorProfiler,
+    Scheme1Evaluator,
+    Scheme2Evaluator,
+    deltas_for_sigma,
+    find_sigma,
+    output_error_std,
+)
+from ..config import ProfileSettings
+from ..optimize import (
+    allocate_equal_scheme,
+    allocate_optimized,
+    resolve_objective,
+)
+from ..quant.allocation import BitwidthAllocation
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+# ----------------------------------------------------------------------
+# 1. xi optimization vs equal scheme
+# ----------------------------------------------------------------------
+@dataclass
+class XiAblationResult:
+    model: str
+    objective: str
+    equal_cost_bits: float
+    optimized_cost_bits: float
+
+    @property
+    def improvement_percent(self) -> float:
+        return (
+            100.0
+            * (self.equal_cost_bits - self.optimized_cost_bits)
+            / self.equal_cost_bits
+        )
+
+
+def run_xi_ablation(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "mac",
+    accuracy_drop: float = 0.05,
+    context: Optional[ExperimentContext] = None,
+) -> XiAblationResult:
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    stats = optimizer.stats()
+    sigma = optimizer.sigma_for_drop(accuracy_drop).sigma
+    profiles = optimizer.profile().profiles
+    names = optimizer.layer_names
+    rho = resolve_objective(objective, stats).rho
+    equal = allocate_equal_scheme(profiles, stats, sigma, ordered_names=names)
+    optimized = allocate_optimized(
+        objective, profiles, stats, sigma, ordered_names=names
+    )
+    return XiAblationResult(
+        model=context.config.model,
+        objective=objective,
+        equal_cost_bits=equal.allocation.weighted_bits(rho),
+        optimized_cost_bits=optimized.allocation.weighted_bits(rho),
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Scheme 1 vs Scheme 2 agreement
+# ----------------------------------------------------------------------
+@dataclass
+class SchemeAgreementResult:
+    model: str
+    sigma_scheme1: float
+    sigma_scheme2: float
+
+    @property
+    def relative_gap(self) -> float:
+        denom = max(self.sigma_scheme1, self.sigma_scheme2)
+        if denom == 0:
+            return 0.0
+        return abs(self.sigma_scheme1 - self.sigma_scheme2) / denom
+
+
+def run_scheme_agreement(
+    config: Optional[ExperimentConfig] = None,
+    accuracy_drop: float = 0.05,
+    context: Optional[ExperimentContext] = None,
+) -> SchemeAgreementResult:
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    base = optimizer.baseline_accuracy()
+    profiles = optimizer.profile().profiles
+    s1 = Scheme1Evaluator(
+        context.network, context.test, profiles, seed=context.config.seed
+    )
+    s2 = Scheme2Evaluator(
+        context.network, context.test, seed=context.config.seed
+    )
+    settings = context.config.search_settings()
+    r1 = find_sigma(s1.accuracy, base, accuracy_drop, settings)
+    r2 = find_sigma(s2.accuracy, base, accuracy_drop, settings)
+    return SchemeAgreementResult(
+        model=context.config.model,
+        sigma_scheme1=r1.sigma,
+        sigma_scheme2=r2.sigma,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Profiling sample-size stability
+# ----------------------------------------------------------------------
+@dataclass
+class StabilityPoint:
+    num_images: int
+    num_points: int
+    lam_by_layer: Dict[str, float]
+
+
+@dataclass
+class StabilityResult:
+    model: str
+    points: List[StabilityPoint]
+
+    def lam_spread(self, layer: str) -> float:
+        """Relative spread of lambda across settings (small = stable)."""
+        values = np.array([p.lam_by_layer[layer] for p in self.points])
+        return float((values.max() - values.min()) / values.mean())
+
+    @property
+    def worst_spread(self) -> float:
+        layers = self.points[0].lam_by_layer
+        return max(self.lam_spread(layer) for layer in layers)
+
+
+def run_profile_stability(
+    config: Optional[ExperimentConfig] = None,
+    image_counts: tuple = (16, 32, 64),
+    point_counts: tuple = (8, 12),
+    context: Optional[ExperimentContext] = None,
+) -> StabilityResult:
+    context = context or make_context(config)
+    points = []
+    for num_images in image_counts:
+        for num_points in point_counts:
+            settings = ProfileSettings(
+                num_images=num_images,
+                num_delta_points=num_points,
+                seed=context.config.seed,
+            )
+            profiler = ErrorProfiler(
+                context.network, context.test.images, settings
+            )
+            report = profiler.profile()
+            points.append(
+                StabilityPoint(
+                    num_images=num_images,
+                    num_points=num_points,
+                    lam_by_layer={p.name: p.lam for p in report},
+                )
+            )
+    return StabilityResult(model=context.config.model, points=points)
+
+
+# ----------------------------------------------------------------------
+# 4. Negative fraction bits on/off
+# ----------------------------------------------------------------------
+@dataclass
+class NegativeFractionResult:
+    model: str
+    cost_with_dropping: float
+    cost_without_dropping: float
+
+    @property
+    def saving_percent(self) -> float:
+        if self.cost_without_dropping == 0:
+            return 0.0
+        return (
+            100.0
+            * (self.cost_without_dropping - self.cost_with_dropping)
+            / self.cost_without_dropping
+        )
+
+
+def run_negative_fraction_ablation(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "input",
+    accuracy_drop: float = 0.05,
+    context: Optional[ExperimentContext] = None,
+) -> NegativeFractionResult:
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    stats = optimizer.stats()
+    names = optimizer.layer_names
+    sigma = optimizer.sigma_for_drop(accuracy_drop).sigma
+    result = allocate_optimized(
+        objective, optimizer.profile().profiles, stats, sigma,
+        ordered_names=names,
+    )
+    rho = resolve_objective(objective, stats).rho
+    ordered = [stats[name] for name in names]
+    with_drop = BitwidthAllocation.from_deltas(
+        ordered, result.deltas, allow_negative_fraction=True
+    )
+    without_drop = BitwidthAllocation.from_deltas(
+        ordered, result.deltas, allow_negative_fraction=False
+    )
+    return NegativeFractionResult(
+        model=context.config.model,
+        cost_with_dropping=with_drop.weighted_bits(rho),
+        cost_without_dropping=without_drop.weighted_bits(rho),
+    )
+
+
+# ----------------------------------------------------------------------
+# 5. Variance additivity (Eq. 6)
+# ----------------------------------------------------------------------
+@dataclass
+class AdditivityResult:
+    model: str
+    sigma_target: float
+    sigma_predicted_rss: float
+    sigma_measured: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.sigma_predicted_rss == 0:
+            return 0.0
+        return abs(
+            self.sigma_measured - self.sigma_predicted_rss
+        ) / self.sigma_predicted_rss
+
+
+def run_additivity_check(
+    config: Optional[ExperimentConfig] = None,
+    sigma: float = 0.5,
+    num_images: int = 64,
+    context: Optional[ExperimentContext] = None,
+) -> AdditivityResult:
+    """Inject at all layers jointly; compare measured sigma_YL to Eq. 6.
+
+    With the equal scheme each layer contributes sigma^2/L, so the
+    root-sum-square prediction is simply ``sigma``.
+    """
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    profiles = optimizer.profile().profiles
+    deltas = deltas_for_sigma(profiles, sigma)
+    rng = np.random.default_rng(context.config.seed)
+    measured = output_error_std(
+        context.network,
+        context.test.images[:num_images],
+        deltas,
+        rng,
+    )
+    return AdditivityResult(
+        model=context.config.model,
+        sigma_target=sigma,
+        sigma_predicted_rss=sigma,
+        sigma_measured=measured,
+    )
+
+
+# ----------------------------------------------------------------------
+# 6. Channelwise integer-width refinement (finer-granularity extension)
+# ----------------------------------------------------------------------
+@dataclass
+class ChannelwiseResult:
+    model: str
+    layerwise_effective_bits: float
+    channelwise_effective_bits: float
+    layerwise_accuracy: float
+    channelwise_accuracy: float
+
+    @property
+    def saving_percent(self) -> float:
+        return (
+            100.0
+            * (self.layerwise_effective_bits - self.channelwise_effective_bits)
+            / self.layerwise_effective_bits
+        )
+
+
+def run_channelwise_ablation(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "input",
+    accuracy_drop: float = 0.05,
+    context: Optional[ExperimentContext] = None,
+) -> ChannelwiseResult:
+    """Per-channel integer widths on top of the per-layer allocation."""
+    from ..models.evaluate import top1_accuracy
+    from ..quant import (
+        channelwise_effective_bits,
+        channelwise_refinement,
+        channelwise_taps,
+        measure_channel_ranges,
+    )
+
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    outcome = optimizer.optimize(objective, accuracy_drop=accuracy_drop)
+    allocation = outcome.result.allocation
+    stats = optimizer.stats()
+    rho = {name: float(stats[name].num_inputs) for name in allocation.names}
+    spatial = [
+        name
+        for name in allocation.names
+        if len(context.network[name].input_shapes[0]) == 3
+    ]
+    ranges = measure_channel_ranges(
+        context.network, context.test.images[:64], spatial
+    )
+    refined = channelwise_refinement(allocation, ranges)
+    chan_acc = top1_accuracy(
+        context.network,
+        context.test,
+        taps=channelwise_taps(allocation, refined, context.network),
+    )
+    return ChannelwiseResult(
+        model=context.config.model,
+        layerwise_effective_bits=allocation.effective_bitwidth(rho),
+        channelwise_effective_bits=channelwise_effective_bits(
+            allocation, refined, stats
+        ),
+        layerwise_accuracy=outcome.validated_accuracy,
+        channelwise_accuracy=chan_acc,
+    )
+
+
+# ----------------------------------------------------------------------
+# 7. Percentile clipping (saturating integer ranges)
+# ----------------------------------------------------------------------
+@dataclass
+class ClippingResult:
+    model: str
+    percentile: float
+    unclipped_effective_bits: float
+    clipped_effective_bits: float
+    unclipped_accuracy: float
+    clipped_accuracy: float
+
+    @property
+    def saving_percent(self) -> float:
+        return (
+            100.0
+            * (self.unclipped_effective_bits - self.clipped_effective_bits)
+            / self.unclipped_effective_bits
+        )
+
+
+def run_clipping_ablation(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "input",
+    accuracy_drop: float = 0.05,
+    percentile: float = 99.5,
+    context: Optional[ExperimentContext] = None,
+) -> ClippingResult:
+    """Percentile-clipped integer widths on top of the allocation."""
+    from ..models.evaluate import top1_accuracy
+    from ..quant import clip_allocation, measure_percentile_ranges
+
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    outcome = optimizer.optimize(objective, accuracy_drop=accuracy_drop)
+    allocation = outcome.result.allocation
+    stats = optimizer.stats()
+    rho = {name: float(stats[name].num_inputs) for name in allocation.names}
+    ranges = measure_percentile_ranges(
+        context.network,
+        context.test.images[:64],
+        allocation.names,
+        percentile=percentile,
+    )
+    clipped = clip_allocation(allocation, ranges, percentile=percentile)
+    clipped_acc = top1_accuracy(
+        context.network, context.test, taps=clipped.taps(context.network)
+    )
+    return ClippingResult(
+        model=context.config.model,
+        percentile=percentile,
+        unclipped_effective_bits=allocation.effective_bitwidth(rho),
+        clipped_effective_bits=clipped.allocation.effective_bitwidth(rho),
+        unclipped_accuracy=outcome.validated_accuracy,
+        clipped_accuracy=clipped_acc,
+    )
+
+
+# ----------------------------------------------------------------------
+# 8. Error-budget audit (Eq. 6/7 with true quantization)
+# ----------------------------------------------------------------------
+def run_budget_audit(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "input",
+    accuracy_drop: float = 0.05,
+    num_images: int = 48,
+    context: Optional[ExperimentContext] = None,
+):
+    """Audit an optimized allocation's error budget on true rounding.
+
+    Returns a :class:`repro.analysis.BudgetVerification`: per-layer
+    measured vs budgeted output-error contributions and the joint check.
+    """
+    from ..analysis import verify_error_budget
+
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    outcome = optimizer.optimize(objective, accuracy_drop=accuracy_drop)
+    return verify_error_budget(
+        context.network,
+        context.test.images[:num_images],
+        outcome.result.allocation,
+        sigma=outcome.result.sigma,
+        xi=outcome.result.xi,
+    )

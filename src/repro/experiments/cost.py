@@ -1,0 +1,105 @@
+"""Section VI-A driver: analytic-method cost vs dynamic-search cost.
+
+"Our method transformed the time-consuming searching method in previous
+works into two simpler tasks: (1) profiling ... (2) binary search for
+sigma_YL. ... Changing the user constraints only requires re-running
+the last optimization step."
+
+The driver measures wall time and the number of full-network accuracy
+evaluations consumed by (a) the analytic pipeline and (b) the
+Stripes-style search, on the same network and constraint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines import stripes_search
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class CostComparison:
+    model: str
+    analytic_profile_seconds: float
+    analytic_search_seconds: float
+    analytic_optimize_seconds: float
+    analytic_accuracy_evaluations: int
+    search_seconds: float
+    search_accuracy_evaluations: int
+    reoptimize_seconds: float
+
+    @property
+    def analytic_total_seconds(self) -> float:
+        return (
+            self.analytic_profile_seconds
+            + self.analytic_search_seconds
+            + self.analytic_optimize_seconds
+        )
+
+    @property
+    def evaluation_ratio(self) -> float:
+        """Search evaluations per analytic evaluation (>= 1 expected)."""
+        return self.search_accuracy_evaluations / max(
+            self.analytic_accuracy_evaluations, 1
+        )
+
+
+def run_cost_comparison(
+    config: Optional[ExperimentConfig] = None,
+    accuracy_drop: float = 0.01,
+    context: Optional[ExperimentContext] = None,
+) -> CostComparison:
+    """Time both approaches on one network.
+
+    A fresh :class:`~repro.pipeline.PrecisionOptimizer` is built so the
+    timings reflect real work even when the shared context has already
+    profiled the network for another experiment.
+    """
+    from ..pipeline import PrecisionOptimizer
+
+    context = context or make_context(config)
+    optimizer = PrecisionOptimizer(
+        context.network,
+        context.test,
+        profile_settings=context.config.profile_settings(),
+        search_settings=context.config.search_settings(),
+    )
+
+    t0 = time.perf_counter()
+    optimizer.profile()
+    t_profile = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sigma_result = optimizer.sigma_for_drop(accuracy_drop)
+    t_sigma = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    optimizer.optimize("input", accuracy_drop=accuracy_drop, validate=False)
+    t_optimize = time.perf_counter() - t0
+
+    # "Changing the user constraints only requires re-running the last
+    # optimization step": re-optimizing for a different objective.
+    t0 = time.perf_counter()
+    optimizer.optimize("mac", accuracy_drop=accuracy_drop, validate=False)
+    t_reoptimize = time.perf_counter() - t0
+
+    search = stripes_search(
+        context.network,
+        context.test,
+        optimizer.ordered_stats(),
+        optimizer.baseline_accuracy(),
+        accuracy_drop,
+    )
+    return CostComparison(
+        model=context.config.model,
+        analytic_profile_seconds=t_profile,
+        analytic_search_seconds=t_sigma,
+        analytic_optimize_seconds=t_optimize,
+        analytic_accuracy_evaluations=sigma_result.num_evaluations,
+        search_seconds=search.elapsed_seconds,
+        search_accuracy_evaluations=search.evaluations,
+        reoptimize_seconds=t_reoptimize,
+    )

@@ -1,0 +1,75 @@
+"""Export experiment results to JSON / CSV artifacts.
+
+Benchmarks print their tables; this module additionally persists them
+so downstream analysis (plotting, regression tracking across runs) can
+consume the numbers without re-running multi-minute experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy / dataclass values to JSON-native ones."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def export_json(result: Any, path: PathLike) -> Path:
+    """Write any experiment result (dataclass/dict/list) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_jsonable(result), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Read back a previously exported result (as plain dicts/lists)."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no exported result at {path}")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def export_csv(
+    rows: Sequence[Mapping[str, Any]],
+    path: PathLike,
+    columns: Sequence[str] = (),
+) -> Path:
+    """Write a list of dict rows as CSV (columns default to first row)."""
+    if not rows:
+        raise ReproError("cannot export an empty table")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(columns) if columns else list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _jsonable(row.get(k, "")) for k in fieldnames})
+    return path

@@ -1,0 +1,96 @@
+"""Figure 1 / Section III driver: error-shape validation.
+
+Fig. 1 illustrates the statistical backbone of the method: uniform
+rounding error injected at a layer's input becomes an approximately
+*Gaussian* error at that layer's output (dot products average many
+independent terms), and stays near-Gaussian all the way to layer L.
+This driver measures those shapes so tests and benches can check them
+quantitatively (uniform excess kurtosis is -1.2; Gaussian is 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis import normality_statistics, uniform_noise_tap
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class ErrorShape:
+    """Moments of an error distribution at one probe point."""
+
+    where: str
+    mean: float
+    std: float
+    excess_kurtosis: float
+
+
+@dataclass
+class Fig1Result:
+    model: str
+    injected_layer: str
+    delta: float
+    shapes: List[ErrorShape]
+
+    def shape(self, where: str) -> ErrorShape:
+        for s in self.shapes:
+            if s.where == where:
+                return s
+        raise KeyError(where)
+
+
+def run_fig1(
+    config: Optional[ExperimentConfig] = None,
+    layer: Optional[str] = None,
+    delta: float = 1.0,
+    num_images: int = 64,
+    context: Optional[ExperimentContext] = None,
+) -> Fig1Result:
+    """Inject at one layer; measure error shape at input, output, and L."""
+    context = context or make_context(config)
+    network = context.network
+    layer = layer or network.analyzed_layer_names[0]
+    images = context.test.images[:num_images]
+    cache = network.run_all(images)
+    rng = np.random.default_rng(context.config.seed)
+
+    # Error on the layer input is by construction uniform (the tap).
+    layer_input_name = network[layer].inputs[0]
+    clean_input = cache[layer_input_name]
+    tap = uniform_noise_tap(delta, rng)
+    noisy_input = tap(clean_input)
+    input_error = noisy_input - clean_input
+
+    # Error at the layer's own output: run just that layer.
+    layer_obj = network[layer]
+    other_inputs = [cache[n] for n in layer_obj.inputs]
+    clean_out = layer_obj.forward(other_inputs)
+    noisy_out = layer_obj.forward([noisy_input] + other_inputs[1:])
+    layer_output_error = noisy_out - clean_out
+
+    # Error at the network output (layer L).
+    perturbed = network.forward_from(
+        cache, layer, uniform_noise_tap(delta, rng)
+    )
+    final_error = perturbed - cache[network.output_name]
+
+    shapes = []
+    for where, err in [
+        ("layer_input", input_error[clean_input != 0]),
+        ("layer_output", layer_output_error),
+        ("network_output", final_error),
+    ]:
+        mean, std, kurtosis = normality_statistics(np.asarray(err))
+        shapes.append(
+            ErrorShape(where=where, mean=mean, std=std, excess_kurtosis=kurtosis)
+        )
+    return Fig1Result(
+        model=context.config.model,
+        injected_layer=layer,
+        delta=delta,
+        shapes=shapes,
+    )

@@ -1,0 +1,81 @@
+"""Figure 2 driver: cross-layer linearity validation.
+
+For each analyzed layer of a network, collect the (sigma_{Y_K->L},
+Delta_XK) measurement pairs and the fitted line, and report the
+prediction quality — the paper's claim is "< 5% error mostly, about 10%
+in the worst case".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class LinearitySeries:
+    """One layer's line in Fig. 2."""
+
+    layer: str
+    sigmas: np.ndarray
+    deltas: np.ndarray
+    lam: float
+    theta: float
+    r_squared: float
+    max_relative_error: float
+
+
+@dataclass
+class Fig2Result:
+    """All series for one network."""
+
+    model: str
+    series: List[LinearitySeries]
+
+    @property
+    def worst_relative_error(self) -> float:
+        return max(s.max_relative_error for s in self.series)
+
+    @property
+    def median_relative_error(self) -> float:
+        return float(
+            np.median([s.max_relative_error for s in self.series])
+        )
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "layer": s.layer,
+                "lambda": s.lam,
+                "theta": s.theta,
+                "R^2": s.r_squared,
+                "max_rel_err": s.max_relative_error,
+            }
+            for s in self.series
+        ]
+
+
+def run_fig2(
+    config: Optional[ExperimentConfig] = None,
+    context: Optional[ExperimentContext] = None,
+) -> Fig2Result:
+    """Measure the linear relationship for every analyzed layer."""
+    context = context or make_context(config)
+    report = context.optimizer.profile()
+    series = [
+        LinearitySeries(
+            layer=p.name,
+            sigmas=p.sigmas,
+            deltas=p.deltas,
+            lam=p.lam,
+            theta=p.theta,
+            r_squared=p.r_squared,
+            max_relative_error=p.max_relative_error,
+        )
+        for p in report
+    ]
+    return Fig2Result(model=context.config.model, series=series)

@@ -1,0 +1,130 @@
+"""Figure 3 driver: accuracy vs sigma_YL under both schemes.
+
+Left plot: top-1 accuracy as a function of the output error budget for
+*equal_scheme* (Scheme 1: uniform injection at every layer with
+xi = 1/L) and *gaussian_approx* (Scheme 2: N(0, sigma^2) on the
+logits), with error bars from the xi corner-case study.  Right plot:
+the final-layer error histogram against a perfect Gaussian — here
+summarized by (mean, std, excess kurtosis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis import (
+    Scheme1Evaluator,
+    Scheme2Evaluator,
+    deltas_for_sigma,
+    multi_layer_uniform_taps,
+    normality_statistics,
+    xi_robustness_study,
+)
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class Fig3Point:
+    """One x-position of the left plot."""
+
+    sigma: float
+    equal_scheme_accuracy: float
+    gaussian_approx_accuracy: float
+    corner_min_accuracy: Optional[float] = None
+    corner_max_accuracy: Optional[float] = None
+
+    @property
+    def scheme_gap(self) -> float:
+        return abs(
+            self.equal_scheme_accuracy - self.gaussian_approx_accuracy
+        )
+
+
+@dataclass
+class Fig3Result:
+    model: str
+    points: List[Fig3Point]
+    error_mean: float
+    error_std: float
+    error_excess_kurtosis: float
+    target_sigma: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "sigma": p.sigma,
+                "equal_scheme": p.equal_scheme_accuracy,
+                "gaussian_approx": p.gaussian_approx_accuracy,
+                "corner_min": p.corner_min_accuracy,
+                "corner_max": p.corner_max_accuracy,
+            }
+            for p in self.points
+        ]
+
+
+def run_fig3(
+    config: Optional[ExperimentConfig] = None,
+    sigmas: Optional[List[float]] = None,
+    with_corners: bool = True,
+    histogram_sigma: float = 1.0,
+    context: Optional[ExperimentContext] = None,
+) -> Fig3Result:
+    """Measure both scheme curves (and corner error bars) on one model."""
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    profiles = optimizer.profile().profiles
+    if sigmas is None:
+        sigmas = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+
+    scheme1 = Scheme1Evaluator(
+        context.network, context.test, profiles, seed=context.config.seed
+    )
+    scheme2 = Scheme2Evaluator(
+        context.network, context.test, seed=context.config.seed
+    )
+    corner_points = {}
+    if with_corners:
+        corners = xi_robustness_study(
+            context.network,
+            context.test,
+            profiles,
+            sigmas,
+            seed=context.config.seed,
+        )
+        corner_points = {p.sigma: p for p in corners}
+
+    points = []
+    for sigma in sigmas:
+        corner = corner_points.get(sigma)
+        points.append(
+            Fig3Point(
+                sigma=sigma,
+                equal_scheme_accuracy=scheme1.accuracy(sigma),
+                gaussian_approx_accuracy=scheme2.accuracy(sigma),
+                corner_min_accuracy=corner.min_accuracy if corner else None,
+                corner_max_accuracy=corner.max_accuracy if corner else None,
+            )
+        )
+
+    # Right-hand histogram: actual final-layer error under equal-scheme
+    # injection at a representative sigma, summarized by moments.
+    rng = np.random.default_rng(context.config.seed)
+    deltas = deltas_for_sigma(profiles, histogram_sigma)
+    taps = multi_layer_uniform_taps(deltas, rng)
+    images = context.test.images[:128]
+    clean = context.network.forward(images)
+    noisy = context.network.forward(images, taps=taps)
+    mean, std, kurtosis = normality_statistics(noisy - clean)
+
+    sigma_result = optimizer.sigma_for_drop(0.01)
+    return Fig3Result(
+        model=context.config.model,
+        points=points,
+        error_mean=mean,
+        error_std=std,
+        error_excess_kurtosis=kurtosis,
+        target_sigma=sigma_result.sigma,
+    )

@@ -1,0 +1,92 @@
+"""Figure 4 driver: NiN per-layer bitwidth / energy trade.
+
+The paper's Fig. 4 shows, for NiN's 12 layers, the baseline and
+energy-optimized bitwidths side by side with each layer's MAC energy:
+the optimizer *raises* the bitwidth of low-energy layers to *lower* the
+bitwidth of power-hungry ones, saving 22.8% total MAC energy while
+costing some bandwidth ("5.6% worse than the baseline").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..baselines import smallest_uniform_bitwidth
+from ..hardware import MacEnergyModel, per_layer_table, uniform_weight_bits
+from ..optimize import input_bandwidth_objective
+from .common import ExperimentConfig, make_context
+
+
+@dataclass
+class Fig4Result:
+    model: str
+    rows: List[Dict[str, object]]
+    baseline_energy_pj: float
+    optimized_energy_pj: float
+    energy_save_percent: float
+    baseline_input_bits: float
+    optimized_input_bits: float
+    bandwidth_change_percent: float
+    raised_layers: List[str]
+    lowered_layers: List[str]
+
+
+def run_fig4(
+    config: Optional[ExperimentConfig] = None,
+    accuracy_drop: float = 0.05,
+    weight_bits: int = 8,
+    energy_model: MacEnergyModel = MacEnergyModel(),
+) -> Fig4Result:
+    """Per-layer energy-optimization anatomy on the NiN replica."""
+    config = replace(config or ExperimentConfig(), model="nin")
+    context = make_context(config)
+    optimizer = context.optimizer
+    stats = optimizer.stats()
+    ordered = optimizer.ordered_stats()
+
+    base = smallest_uniform_bitwidth(
+        context.network,
+        context.test,
+        ordered,
+        optimizer.baseline_accuracy(),
+        accuracy_drop,
+    )
+    out_mac = optimizer.optimize("mac", accuracy_drop=accuracy_drop)
+    allocations = {
+        "baseline": base.allocation,
+        "optimized": out_mac.result.allocation,
+    }
+    wbits = uniform_weight_bits(base.allocation, weight_bits)
+    rows = per_layer_table(stats, allocations, wbits, model=energy_model)
+
+    base_energy = energy_model.network_energy_pj(stats, base.allocation, wbits)
+    opt_energy = energy_model.network_energy_pj(
+        stats, out_mac.result.allocation, wbits
+    )
+    rho_input = input_bandwidth_objective(stats).rho
+    base_bw = base.allocation.weighted_bits(rho_input)
+    opt_bw = out_mac.result.allocation.weighted_bits(rho_input)
+
+    raised = [
+        str(r["layer"])
+        for r in rows
+        if int(r["optimized_bits"]) > int(r["baseline_bits"])
+    ]
+    lowered = [
+        str(r["layer"])
+        for r in rows
+        if int(r["optimized_bits"]) < int(r["baseline_bits"])
+    ]
+    return Fig4Result(
+        model=config.model,
+        rows=rows,
+        baseline_energy_pj=base_energy,
+        optimized_energy_pj=opt_energy,
+        energy_save_percent=100.0 * (base_energy - opt_energy) / base_energy,
+        baseline_input_bits=base_bw,
+        optimized_input_bits=opt_bw,
+        bandwidth_change_percent=100.0 * (opt_bw - base_bw) / base_bw,
+        raised_layers=raised,
+        lowered_layers=lowered,
+    )

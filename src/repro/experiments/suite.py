@@ -1,0 +1,118 @@
+"""Run the whole evaluation as one suite and export the artifacts.
+
+``run_suite`` executes every experiment driver the repo has — all the
+paper's tables and figures plus the ablations — on one configuration,
+returning a dict of results and optionally exporting each as JSON into
+an output directory.  This is the one-command artifact regeneration the
+CLI exposes as ``repro suite``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .ablations import (
+    run_additivity_check,
+    run_budget_audit,
+    run_channelwise_ablation,
+    run_clipping_ablation,
+    run_negative_fraction_ablation,
+    run_profile_stability,
+    run_scheme_agreement,
+    run_xi_ablation,
+)
+from .common import ExperimentConfig, make_context
+from .cost import run_cost_comparison
+from .export import export_json
+from .fig1 import run_fig1
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .table2 import run_table2
+from .table3 import run_table3
+
+PathLike = Union[str, Path]
+
+#: Experiment names in execution order.
+SUITE_EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "table2",
+    "table3",
+    "fig4",
+    "cost",
+    "ablation_xi",
+    "ablation_scheme",
+    "ablation_stability",
+    "ablation_negative_f",
+    "ablation_additivity",
+    "ablation_channelwise",
+    "ablation_clipping",
+    "budget_audit",
+)
+
+
+def run_suite(
+    config: Optional[ExperimentConfig] = None,
+    table3_models: Sequence[str] = ("alexnet", "nin"),
+    accuracy_drops: Sequence[float] = (0.01, 0.05),
+    only: Optional[Sequence[str]] = None,
+    output_dir: Optional[PathLike] = None,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run (a subset of) the full evaluation suite.
+
+    ``only`` limits execution to the named experiments (see
+    :data:`SUITE_EXPERIMENTS`).  With ``output_dir`` set, each result is
+    exported as ``<output_dir>/<name>.json``.
+    """
+    config = config or ExperimentConfig()
+    selected = list(only) if only else list(SUITE_EXPERIMENTS)
+    unknown = set(selected) - set(SUITE_EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown suite experiments: {sorted(unknown)}")
+    context = make_context(config)
+
+    runners = {
+        "fig1": lambda: run_fig1(context=context),
+        "fig2": lambda: run_fig2(context=context),
+        "fig3": lambda: run_fig3(context=context, with_corners=False),
+        "table2": lambda: run_table2(context=context),
+        "table3": lambda: run_table3(
+            table3_models, accuracy_drops, config=config
+        ),
+        "fig4": lambda: run_fig4(config=config),
+        "cost": lambda: run_cost_comparison(context=context),
+        "ablation_xi": lambda: run_xi_ablation(context=context),
+        "ablation_scheme": lambda: run_scheme_agreement(context=context),
+        "ablation_stability": lambda: run_profile_stability(
+            context=context, image_counts=(12, 24), point_counts=(8,)
+        ),
+        "ablation_negative_f": lambda: run_negative_fraction_ablation(
+            context=context
+        ),
+        "ablation_additivity": lambda: run_additivity_check(context=context),
+        "ablation_channelwise": lambda: run_channelwise_ablation(
+            context=context
+        ),
+        "ablation_clipping": lambda: run_clipping_ablation(context=context),
+        "budget_audit": lambda: run_budget_audit(context=context),
+    }
+
+    results: Dict[str, Any] = {}
+    timings: Dict[str, float] = {}
+    for name in selected:
+        start = time.perf_counter()
+        results[name] = runners[name]()
+        timings[name] = time.perf_counter() - start
+        if verbose:  # pragma: no cover - console nicety
+            print(f"[suite] {name} done in {timings[name]:.1f}s")
+        if output_dir is not None:
+            export_json(results[name], Path(output_dir) / f"{name}.json")
+    results["_timings"] = timings
+    if output_dir is not None:
+        export_json(timings, Path(output_dir) / "_timings.json")
+    return results

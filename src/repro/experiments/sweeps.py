@@ -1,0 +1,90 @@
+"""Parameter sweeps: the trade curves the paper's tables sample.
+
+Table III samples two accuracy constraints (1%, 5%); the method's real
+product is the whole *bits-vs-accuracy curve* — how the effective
+bitwidth falls as the user relaxes the constraint.  ``run_drop_sweep``
+traces it, reusing the cached profiling so each extra point costs one
+sigma search + one optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..optimize import input_bandwidth_objective, mac_energy_objective
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class DropSweepPoint:
+    """One accuracy constraint on the trade curve."""
+
+    accuracy_drop: float
+    sigma: float
+    effective_input_bits: float
+    effective_mac_bits: float
+    validated_accuracy: float
+    target_accuracy: float
+    bitwidths: Dict[str, int]
+
+    @property
+    def meets_constraint(self) -> bool:
+        return self.validated_accuracy >= self.target_accuracy
+
+
+@dataclass
+class DropSweepResult:
+    model: str
+    objective: str
+    points: List[DropSweepPoint]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "drop": f"{p.accuracy_drop:.1%}",
+                "sigma": p.sigma,
+                "eff_input_bits": p.effective_input_bits,
+                "eff_mac_bits": p.effective_mac_bits,
+                "accuracy": p.validated_accuracy,
+            }
+            for p in self.points
+        ]
+
+    @property
+    def is_monotone(self) -> bool:
+        """Looser constraints must never need more (effective) bits."""
+        bits = [p.effective_input_bits for p in self.points]
+        return all(b1 >= b2 - 0.3 for b1, b2 in zip(bits, bits[1:]))
+
+
+def run_drop_sweep(
+    config: Optional[ExperimentConfig] = None,
+    objective: str = "input",
+    accuracy_drops: Sequence[float] = (0.005, 0.01, 0.02, 0.05, 0.10),
+    context: Optional[ExperimentContext] = None,
+) -> DropSweepResult:
+    """Trace the bits-vs-accuracy-drop curve for one network."""
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    stats = optimizer.stats()
+    rho_in = input_bandwidth_objective(stats).rho
+    rho_mac = mac_energy_objective(stats).rho
+    points = []
+    for drop in sorted(accuracy_drops):
+        outcome = optimizer.optimize(objective, accuracy_drop=drop)
+        allocation = outcome.result.allocation
+        points.append(
+            DropSweepPoint(
+                accuracy_drop=drop,
+                sigma=outcome.result.sigma,
+                effective_input_bits=allocation.effective_bitwidth(rho_in),
+                effective_mac_bits=allocation.effective_bitwidth(rho_mac),
+                validated_accuracy=outcome.validated_accuracy,
+                target_accuracy=outcome.sigma_result.target_accuracy,
+                bitwidths=outcome.bitwidths,
+            )
+        )
+    return DropSweepResult(
+        model=context.config.model, objective=objective, points=points
+    )

@@ -1,0 +1,119 @@
+"""Table II driver: AlexNet, two objectives, 1% accuracy drop.
+
+Reproduces every row of the paper's Table II on the substrate replica:
+per-layer ``#Input``, ``#MAC``, ``max|X_K|``, the search-based baseline
+bitwidths with their ``#Input_bits`` / ``#MAC_bits`` totals, and the
+two optimized rows (``Opt_for_#Input``, ``Opt_for_#MAC``) with the
+recomputed objective totals and percentage savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines import stripes_search
+from ..optimize import input_bandwidth_objective, mac_energy_objective
+from .common import ExperimentConfig, ExperimentContext, make_context
+
+
+@dataclass
+class Table2Result:
+    """All rows of Table II for one network."""
+
+    layer_names: List[str]
+    num_inputs: Dict[str, int]
+    num_macs: Dict[str, int]
+    max_abs: Dict[str, float]
+    integer_bits: Dict[str, int]
+    sigma: float
+    baseline_bits: Dict[str, int]
+    baseline_input_bits: float
+    baseline_mac_bits: float
+    opt_input_bits_per_layer: Dict[str, int]
+    opt_input_total_input_bits: float
+    opt_mac_bits_per_layer: Dict[str, int]
+    opt_mac_total_mac_bits: float
+    input_saving_percent: float
+    mac_saving_percent: float
+    opt_input_accuracy: Optional[float]
+    opt_mac_accuracy: Optional[float]
+    baseline_accuracy: float
+    xi_input: Dict[str, float]
+    xi_mac: Dict[str, float]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table II as printable rows (layers as columns)."""
+        names = self.layer_names
+
+        def row(label: str, values: Dict) -> Dict[str, object]:
+            out: Dict[str, object] = {"row": label}
+            for name in names:
+                out[name] = values[name]
+            return out
+
+        return [
+            row("#Input", self.num_inputs),
+            row("#MAC", self.num_macs),
+            row("max|X_K|", {n: round(self.max_abs[n], 1) for n in names}),
+            row("Baseline(search)", self.baseline_bits),
+            row("Opt_for_#Input", self.opt_input_bits_per_layer),
+            row("Opt_for_#MAC", self.opt_mac_bits_per_layer),
+        ]
+
+
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    accuracy_drop: float = 0.01,
+    context: Optional[ExperimentContext] = None,
+) -> Table2Result:
+    """Execute the Table II experiment end to end."""
+    context = context or make_context(config)
+    optimizer = context.optimizer
+    names = optimizer.layer_names
+    stats = optimizer.stats()
+    ordered = optimizer.ordered_stats()
+
+    baseline = stripes_search(
+        context.network,
+        context.test,
+        ordered,
+        optimizer.baseline_accuracy(),
+        accuracy_drop,
+    )
+    out_input = optimizer.optimize("input", accuracy_drop=accuracy_drop)
+    out_mac = optimizer.optimize("mac", accuracy_drop=accuracy_drop)
+
+    rho_input = input_bandwidth_objective(stats).rho
+    rho_mac = mac_energy_objective(stats).rho
+    baseline_input_bits = baseline.allocation.weighted_bits(rho_input)
+    baseline_mac_bits = baseline.allocation.weighted_bits(rho_mac)
+    opt_input_cost = out_input.result.allocation.weighted_bits(rho_input)
+    opt_mac_cost = out_mac.result.allocation.weighted_bits(rho_mac)
+
+    return Table2Result(
+        layer_names=names,
+        num_inputs={n: stats[n].num_inputs for n in names},
+        num_macs={n: stats[n].num_macs for n in names},
+        max_abs={n: stats[n].max_abs_input for n in names},
+        integer_bits={n: stats[n].integer_bits for n in names},
+        sigma=out_input.sigma_result.sigma,
+        baseline_bits=baseline.allocation.bitwidths(),
+        baseline_input_bits=baseline_input_bits,
+        baseline_mac_bits=baseline_mac_bits,
+        opt_input_bits_per_layer=out_input.bitwidths,
+        opt_input_total_input_bits=opt_input_cost,
+        opt_mac_bits_per_layer=out_mac.bitwidths,
+        opt_mac_total_mac_bits=opt_mac_cost,
+        input_saving_percent=100.0
+        * (baseline_input_bits - opt_input_cost)
+        / baseline_input_bits,
+        mac_saving_percent=100.0
+        * (baseline_mac_bits - opt_mac_cost)
+        / baseline_mac_bits,
+        opt_input_accuracy=out_input.validated_accuracy,
+        opt_mac_accuracy=out_mac.validated_accuracy,
+        baseline_accuracy=optimizer.baseline_accuracy(),
+        xi_input=out_input.result.xi,
+        xi_mac=out_mac.result.xi,
+    )

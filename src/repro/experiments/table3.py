@@ -1,0 +1,160 @@
+"""Table III driver: all eight networks, 1% and 5% drops, both objectives.
+
+For each network and accuracy constraint the driver reports the same
+columns as the paper's Table III:
+
+* ``W`` — searched uniform weight bitwidth (Sec. V-E),
+* baseline effective bitwidths (Input and MAC views),
+* ``Optimized Input`` effective bitwidths + ``BW save`` (%),
+* ``Optimized MAC`` effective bitwidths + ``Ener save`` (%),
+
+with the baseline chosen as in the paper: a dynamic-search assignment
+("search", Stripes-style) where affordable, otherwise the smallest
+accuracy-preserving uniform width ("uniform").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import smallest_uniform_bitwidth, stripes_search
+from ..errors import ReproError
+from ..hardware import MacEnergyModel, uniform_weight_bits
+from ..optimize import input_bandwidth_objective, mac_energy_objective
+from .common import ExperimentConfig, make_context
+
+
+@dataclass
+class Table3Row:
+    """One (network, accuracy-drop) row of Table III."""
+
+    model: str
+    num_layers: int
+    accuracy_drop: float
+    weight_bits: int
+    baseline_effective_input: float
+    baseline_effective_mac: float
+    opt_input_effective_input: float
+    opt_input_effective_mac: float
+    bw_save_percent: float
+    opt_mac_effective_input: float
+    opt_mac_effective_mac: float
+    energy_save_percent: float
+    baseline_accuracy: float
+    opt_input_accuracy: Optional[float]
+    opt_mac_accuracy: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "#layers": self.num_layers,
+            "drop": f"{self.accuracy_drop:.0%}",
+            "W": self.weight_bits,
+            "base_in": self.baseline_effective_input,
+            "base_mac": self.baseline_effective_mac,
+            "optIn_in": self.opt_input_effective_input,
+            "optIn_mac": self.opt_input_effective_mac,
+            "BW_save%": self.bw_save_percent,
+            "optMac_in": self.opt_mac_effective_input,
+            "optMac_mac": self.opt_mac_effective_mac,
+            "Ener_save%": self.energy_save_percent,
+        }
+
+
+def run_table3_row(
+    model: str,
+    accuracy_drop: float,
+    config: Optional[ExperimentConfig] = None,
+    baseline: str = "uniform",
+    energy_model: MacEnergyModel = MacEnergyModel(),
+) -> Table3Row:
+    """Compute one row (one network at one accuracy constraint)."""
+    if baseline not in ("uniform", "search"):
+        raise ReproError('baseline must be "uniform" or "search"')
+    config = replace(config or ExperimentConfig(), model=model)
+    context = make_context(config)
+    optimizer = context.optimizer
+    stats = optimizer.stats()
+    ordered = optimizer.ordered_stats()
+    base_acc = optimizer.baseline_accuracy()
+
+    if baseline == "search":
+        base = stripes_search(
+            context.network, context.test, ordered, base_acc, accuracy_drop
+        )
+        base_alloc = base.allocation
+    else:
+        base = smallest_uniform_bitwidth(
+            context.network, context.test, ordered, base_acc, accuracy_drop
+        )
+        base_alloc = base.allocation
+
+    out_input = optimizer.optimize(
+        "input", accuracy_drop=accuracy_drop, search_weights=True
+    )
+    out_mac = optimizer.optimize("mac", accuracy_drop=accuracy_drop)
+
+    rho_input = input_bandwidth_objective(stats).rho
+    rho_mac = mac_energy_objective(stats).rho
+
+    base_eff_in = base_alloc.effective_bitwidth(rho_input)
+    base_eff_mac = base_alloc.effective_bitwidth(rho_mac)
+    opt_in_eff_in = out_input.result.allocation.effective_bitwidth(rho_input)
+    opt_in_eff_mac = out_input.result.allocation.effective_bitwidth(rho_mac)
+    opt_mac_eff_in = out_mac.result.allocation.effective_bitwidth(rho_input)
+    opt_mac_eff_mac = out_mac.result.allocation.effective_bitwidth(rho_mac)
+
+    weight_bits = (
+        out_input.weight_search.bits if out_input.weight_search else 16
+    )
+    wbits = uniform_weight_bits(base_alloc, weight_bits)
+    base_energy = energy_model.network_energy_pj(stats, base_alloc, wbits)
+    opt_energy = energy_model.network_energy_pj(
+        stats, out_mac.result.allocation, wbits
+    )
+
+    return Table3Row(
+        model=model,
+        num_layers=len(optimizer.layer_names),
+        accuracy_drop=accuracy_drop,
+        weight_bits=weight_bits,
+        baseline_effective_input=base_eff_in,
+        baseline_effective_mac=base_eff_mac,
+        opt_input_effective_input=opt_in_eff_in,
+        opt_input_effective_mac=opt_in_eff_mac,
+        bw_save_percent=100.0 * (base_eff_in - opt_in_eff_in) / base_eff_in,
+        opt_mac_effective_input=opt_mac_eff_in,
+        opt_mac_effective_mac=opt_mac_eff_mac,
+        energy_save_percent=100.0 * (base_energy - opt_energy) / base_energy,
+        baseline_accuracy=base_acc,
+        opt_input_accuracy=out_input.validated_accuracy,
+        opt_mac_accuracy=out_mac.validated_accuracy,
+    )
+
+
+def run_table3(
+    models: Sequence[str],
+    accuracy_drops: Sequence[float] = (0.01, 0.05),
+    config: Optional[ExperimentConfig] = None,
+    baseline: str = "uniform",
+) -> List[Table3Row]:
+    """All rows of Table III for the requested networks."""
+    rows = []
+    for model in models:
+        for drop in accuracy_drops:
+            rows.append(
+                run_table3_row(model, drop, config=config, baseline=baseline)
+            )
+    return rows
+
+
+def average_savings(rows: Sequence[Table3Row]) -> Dict[str, float]:
+    """The paper's ``Average`` row (per accuracy level)."""
+    if not rows:
+        raise ReproError("no rows to average")
+    return {
+        "bw_save_percent": sum(r.bw_save_percent for r in rows) / len(rows),
+        "energy_save_percent": sum(r.energy_save_percent for r in rows)
+        / len(rows),
+    }

@@ -1,0 +1,31 @@
+"""Hardware cost models: MAC energy, bandwidth, bit-serial performance."""
+
+from .accelerator import BitSerialAccelerator
+from .bandwidth import (
+    bandwidth_saving_percent,
+    input_traffic_bits,
+    layer_traffic_bits,
+)
+from .energy import (
+    MacEnergyModel,
+    energy_saving_percent,
+    per_layer_table,
+    uniform_weight_bits,
+)
+from .loom import LoomAccelerator
+from .memory import MemoryEnergyModel, SystemEnergyBreakdown, system_energy
+
+__all__ = [
+    "BitSerialAccelerator",
+    "LoomAccelerator",
+    "MacEnergyModel",
+    "MemoryEnergyModel",
+    "SystemEnergyBreakdown",
+    "bandwidth_saving_percent",
+    "energy_saving_percent",
+    "input_traffic_bits",
+    "layer_traffic_bits",
+    "per_layer_table",
+    "system_energy",
+    "uniform_weight_bits",
+]

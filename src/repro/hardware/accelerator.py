@@ -1,0 +1,69 @@
+"""Bit-serial accelerator performance model (Stripes-style).
+
+Stripes [Judd et al., MICRO'16] processes activations bit-serially, so
+a layer's compute time is proportional to ``#MAC * input_bitwidth``
+(the weight width is the parallel dimension).  The paper exploits this:
+"The performance gain for Stripes' MAC unit can be derived directly
+from the table because their performance scales almost linearly with
+the saving in effective_bitwidth" (Sec. VI).
+
+This module turns a bitwidth allocation into cycle counts and speedups
+under that model, so benchmark harnesses can report performance the
+same way the paper derives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..errors import ReproError
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+
+
+@dataclass(frozen=True)
+class BitSerialAccelerator:
+    """A Stripes-like engine: ``lanes`` parallel serial MAC columns."""
+
+    lanes: int = 4096
+    baseline_bits: int = 16
+
+    def layer_cycles(
+        self, stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+    ) -> Dict[str, float]:
+        """Cycles per layer for one image: ``#MAC * bits / lanes``."""
+        if self.lanes < 1:
+            raise ReproError("accelerator needs at least one lane")
+        return {
+            alloc.name: stats[alloc.name].num_macs
+            * alloc.total_bits
+            / self.lanes
+            for alloc in allocation
+        }
+
+    def total_cycles(
+        self, stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+    ) -> float:
+        return sum(self.layer_cycles(stats, allocation).values())
+
+    def baseline_cycles(self, stats: Mapping[str, LayerStats]) -> float:
+        """Cycles of a fixed-width (16-bit) engine on the same network."""
+        return sum(
+            stat.num_macs * self.baseline_bits / self.lanes
+            for stat in stats.values()
+        )
+
+    def speedup(
+        self, stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+    ) -> float:
+        """Speedup over the fixed-width baseline (> 1 is faster)."""
+        cycles = self.total_cycles(stats, allocation)
+        if cycles <= 0:
+            raise ReproError("allocation produced non-positive cycle count")
+        # Restrict the baseline to the allocated layers for a fair ratio.
+        base = sum(
+            stats[name].num_macs * self.baseline_bits / self.lanes
+            for name in allocation.names
+        )
+        return base / cycles

@@ -1,0 +1,47 @@
+"""Memory-bandwidth model for activation traffic.
+
+The paper's first objective minimizes "the total bandwidth used for
+reading the input data" (Sec. V-D): every analyzed layer reads its
+input tensor once per image, at that layer's bitwidth.  Bandwidth cost
+is therefore exactly the ``#Input_bits`` row of Table II, and the
+``BW save`` column of Table III is the relative reduction in
+*effective* input bitwidth versus the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ReproError
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+
+
+def input_traffic_bits(
+    stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+) -> float:
+    """Total activation-read traffic for one image, in bits."""
+    return allocation.input_bits(stats)
+
+
+def layer_traffic_bits(
+    stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+) -> Dict[str, float]:
+    """Per-layer activation-read traffic (Table II ``#Input_bits`` row)."""
+    return {
+        alloc.name: float(stats[alloc.name].num_inputs * alloc.total_bits)
+        for alloc in allocation
+    }
+
+
+def bandwidth_saving_percent(
+    stats: Mapping[str, LayerStats],
+    baseline: BitwidthAllocation,
+    optimized: BitwidthAllocation,
+) -> float:
+    """``BW save`` (%): reduction of input traffic vs the baseline."""
+    base = input_traffic_bits(stats, baseline)
+    if base <= 0:
+        raise ReproError("baseline traffic must be positive")
+    opt = input_traffic_bits(stats, optimized)
+    return 100.0 * (base - opt) / base

@@ -1,0 +1,73 @@
+"""Loom-style accelerator model: weight AND activation bit-serial.
+
+Loom [2] "exploits weight and activation precisions": its compute time
+and energy scale with the *product* of per-layer activation and weight
+bitwidths, rather than activation bits alone as in Stripes.  This model
+lets the repo evaluate the combined benefit of the paper's activation
+allocation (Sec. V-D) and the weight bitwidth search (Sec. V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..errors import ReproError
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+
+
+@dataclass(frozen=True)
+class LoomAccelerator:
+    """A Loom-like engine: work per MAC ~ act_bits * weight_bits."""
+
+    lanes: int = 4096
+    baseline_bits: int = 16
+
+    def layer_cycles(
+        self,
+        stats: Mapping[str, LayerStats],
+        allocation: BitwidthAllocation,
+        weight_bits: Mapping[str, int],
+    ) -> Dict[str, float]:
+        """Cycles per layer: ``#MAC * act_bits * w_bits / lanes``."""
+        if self.lanes < 1:
+            raise ReproError("accelerator needs at least one lane")
+        cycles: Dict[str, float] = {}
+        for alloc in allocation:
+            w = weight_bits[alloc.name]
+            if w < 1:
+                raise ReproError(
+                    f"layer {alloc.name!r} has invalid weight width {w}"
+                )
+            cycles[alloc.name] = (
+                stats[alloc.name].num_macs * alloc.total_bits * w / self.lanes
+            )
+        return cycles
+
+    def total_cycles(
+        self,
+        stats: Mapping[str, LayerStats],
+        allocation: BitwidthAllocation,
+        weight_bits: Mapping[str, int],
+    ) -> float:
+        return sum(self.layer_cycles(stats, allocation, weight_bits).values())
+
+    def speedup(
+        self,
+        stats: Mapping[str, LayerStats],
+        allocation: BitwidthAllocation,
+        weight_bits: Mapping[str, int],
+    ) -> float:
+        """Speedup over a fixed 16x16-bit engine on the same layers."""
+        cycles = self.total_cycles(stats, allocation, weight_bits)
+        if cycles <= 0:
+            raise ReproError("allocation produced non-positive cycle count")
+        base = sum(
+            stats[name].num_macs
+            * self.baseline_bits
+            * self.baseline_bits
+            / self.lanes
+            for name in allocation.names
+        )
+        return base / cycles

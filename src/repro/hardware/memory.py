@@ -1,0 +1,108 @@
+"""Memory-hierarchy energy model: SRAM and DRAM transfer costs.
+
+The paper's Table III accounts for MAC energy only; a deployed edge
+accelerator also pays for moving activations and weights.  This model
+extends the accounting with per-bit transfer energies (defaults in the
+range published for 40-45 nm systems: DRAM access costs 2-3 orders of
+magnitude more per bit than a small SRAM), so the repo's examples can
+report system-level energy and show when bandwidth optimization beats
+MAC optimization end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..errors import ReproError
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+from .energy import MacEnergyModel
+
+
+@dataclass(frozen=True)
+class MemoryEnergyModel:
+    """Per-bit transfer energies, in picojoules.
+
+    Defaults follow the classic Horowitz ISSCC'14 numbers scaled to a
+    bit: ~0.16 pJ/bit for a 32 kB SRAM read (5 pJ/32 b word) and
+    ~20 pJ/bit for LPDDR DRAM (640 pJ/32 b word).
+    """
+
+    sram_pj_per_bit: float = 0.16
+    dram_pj_per_bit: float = 20.0
+    #: Fraction of activation traffic that spills to DRAM (the rest is
+    #: captured by the on-chip buffer).
+    dram_activation_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if min(self.sram_pj_per_bit, self.dram_pj_per_bit) < 0:
+            raise ReproError("transfer energies must be non-negative")
+        if not 0.0 <= self.dram_activation_fraction <= 1.0:
+            raise ReproError("dram_activation_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def activation_energy_pj(
+        self,
+        stats: Mapping[str, LayerStats],
+        allocation: BitwidthAllocation,
+    ) -> float:
+        """Energy to read every analyzed layer's input once per image."""
+        total_bits = allocation.input_bits(stats)
+        per_bit = (
+            self.dram_activation_fraction * self.dram_pj_per_bit
+            + (1.0 - self.dram_activation_fraction) * self.sram_pj_per_bit
+        )
+        return total_bits * per_bit
+
+    def weight_energy_pj(
+        self,
+        parameter_counts: Mapping[str, int],
+        weight_bits: Mapping[str, int],
+        from_dram: bool = False,
+    ) -> float:
+        """Energy to stream each layer's weights once per image."""
+        per_bit = self.dram_pj_per_bit if from_dram else self.sram_pj_per_bit
+        return float(
+            sum(
+                parameter_counts[name] * weight_bits[name] * per_bit
+                for name in parameter_counts
+            )
+        )
+
+
+@dataclass
+class SystemEnergyBreakdown:
+    """Per-image inference energy split by component, in pJ."""
+
+    mac_pj: float
+    activation_pj: float
+    weight_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.mac_pj + self.activation_pj + self.weight_pj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mac_pj": self.mac_pj,
+            "activation_pj": self.activation_pj,
+            "weight_pj": self.weight_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+def system_energy(
+    stats: Mapping[str, LayerStats],
+    allocation: BitwidthAllocation,
+    weight_bits: Mapping[str, int],
+    parameter_counts: Mapping[str, int],
+    mac_model: MacEnergyModel = MacEnergyModel(),
+    memory_model: MemoryEnergyModel = MemoryEnergyModel(),
+) -> SystemEnergyBreakdown:
+    """Full per-image energy: MACs + activation traffic + weight traffic."""
+    return SystemEnergyBreakdown(
+        mac_pj=mac_model.network_energy_pj(stats, allocation, weight_bits),
+        activation_pj=memory_model.activation_energy_pj(stats, allocation),
+        weight_pj=memory_model.weight_energy_pj(parameter_counts, weight_bits),
+    )

@@ -1,0 +1,34 @@
+"""Model zoo: scaled replicas of the paper's eight CNNs + a test model.
+
+Each replica preserves the original's layer topology and the paper's
+analyzed-layer count (Table III ``# layers`` column); see DESIGN.md for
+the substitution rationale.
+"""
+
+from .calibrate import lsuv_calibrate
+from .checkpoint import load_checkpoint, save_checkpoint
+from .evaluate import predict, relative_drop, top1_accuracy
+from .pretrain import fit_classifier_head, pretrain
+from .zoo import (
+    MODEL_NAMES,
+    PAPER_LAYER_COUNTS,
+    build_model,
+    cached_pretrained_model,
+    pretrained_model,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "PAPER_LAYER_COUNTS",
+    "build_model",
+    "cached_pretrained_model",
+    "fit_classifier_head",
+    "load_checkpoint",
+    "lsuv_calibrate",
+    "predict",
+    "pretrain",
+    "pretrained_model",
+    "relative_drop",
+    "save_checkpoint",
+    "top1_accuracy",
+]

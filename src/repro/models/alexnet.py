@@ -1,0 +1,36 @@
+"""AlexNet replica (5 analyzed conv layers, as in the paper's Table II).
+
+Scaled to the 32x32 synthetic substrate while preserving AlexNet's
+structure: five convolutions with grouped conv2/conv4/conv5, LRN after
+conv1/conv2, three max pools, and three fully connected layers.  Only
+the convolutions are analyzed layers, mirroring the paper's choice
+("Stripes ignored the fully connected layers, so we did the same for
+AlexNet, ...", Sec. VI).
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: Analyzed layers in paper order (Table II columns).
+ANALYZED = ["conv1", "conv2", "conv3", "conv4", "conv5"]
+
+
+def build_alexnet(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("alexnet", (3, 32, 32), seed=seed)
+    b.conv("conv1", 16, 5, padding=2)
+    b.lrn("lrn1")
+    b.max_pool("pool1", 2)
+    b.conv("conv2", 32, 5, padding=2, groups=2)
+    b.lrn("lrn2")
+    b.max_pool("pool2", 2)
+    b.conv("conv3", 48, 3, padding=1)
+    b.conv("conv4", 48, 3, padding=1, groups=2)
+    b.conv("conv5", 32, 3, padding=1, groups=2)
+    b.max_pool("pool5", 2)
+    b.flatten("flat")
+    b.dense("fc6", 128, relu=True)
+    b.dense("fc7", 128, relu=True)
+    b.dense("fc8", num_classes)
+    return b.build(analyzed_layers=ANALYZED)

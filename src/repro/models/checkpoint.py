@@ -1,0 +1,103 @@
+"""Model checkpointing: save and restore network parameters.
+
+The zoo's "pretraining" (LSUV calibration + ridge head fit) costs
+seconds to minutes per network; checkpoints make it pay once.  Only
+parameters are stored — the architecture is rebuilt from the registry,
+so a checkpoint is a ``.npz`` of named arrays plus a tiny manifest,
+robust to refactors of the layer classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import ModelError
+from ..nn.graph import Network
+from ..nn.layers import ChannelAffine, Conv2D, Dense
+
+PathLike = Union[str, Path]
+
+#: Bumped when the stored format changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def _parameter_arrays(network: Network) -> Dict[str, np.ndarray]:
+    """All learnable arrays, keyed ``<layer>/<tensor>``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for layer in network.layers:
+        if isinstance(layer, (Conv2D, Dense)):
+            arrays[f"{layer.name}/weight"] = layer.weight
+            if layer.bias is not None:
+                arrays[f"{layer.name}/bias"] = layer.bias
+        elif isinstance(layer, ChannelAffine):
+            arrays[f"{layer.name}/scale"] = layer.scale
+            arrays[f"{layer.name}/shift"] = layer.shift
+    return arrays
+
+
+def save_checkpoint(network: Network, path: PathLike) -> None:
+    """Write the network's parameters (and a manifest) to ``path``."""
+    path = Path(path)
+    arrays = _parameter_arrays(network)
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "network": network.name,
+        "input_shape": list(network.input_shape),
+        "num_layers": len(network),
+        "parameters": int(network.num_parameters()),
+    }
+    payload = dict(arrays)
+    payload["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(network: Network, path: PathLike) -> Dict[str, object]:
+    """Restore parameters into ``network`` in place; returns the manifest.
+
+    The network must have been built with the same architecture (layer
+    names and tensor shapes are checked).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"checkpoint {path} does not exist")
+    with np.load(path) as data:
+        if "__manifest__" not in data:
+            raise ModelError(f"{path} is not a repro checkpoint")
+        manifest = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise ModelError(
+                f"checkpoint version {manifest.get('version')} is not "
+                f"supported (expected {CHECKPOINT_VERSION})"
+            )
+        if manifest.get("network") != network.name:
+            raise ModelError(
+                f"checkpoint is for network {manifest.get('network')!r}, "
+                f"not {network.name!r}"
+            )
+        expected = _parameter_arrays(network)
+        stored = {k: data[k] for k in data.files if k != "__manifest__"}
+        if set(stored) != set(expected):
+            missing = sorted(set(expected) - set(stored))
+            extra = sorted(set(stored) - set(expected))
+            raise ModelError(
+                f"checkpoint does not match architecture "
+                f"(missing={missing[:3]}, extra={extra[:3]})"
+            )
+        for key, array in stored.items():
+            if array.shape != expected[key].shape:
+                raise ModelError(
+                    f"shape mismatch for {key}: checkpoint "
+                    f"{array.shape} vs network {expected[key].shape}"
+                )
+        for key, array in stored.items():
+            layer_name, tensor = key.split("/", 1)
+            layer = network[layer_name]
+            setattr(layer, tensor, array.astype(np.float64))
+    return manifest

@@ -1,0 +1,46 @@
+"""Classification evaluation helpers.
+
+Top-1 accuracy is the paper's quality metric; all constraints are stated
+as *relative* top-1 accuracy drops (1%, 5%) against the float baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn.graph import Network, Tap
+
+
+def predict(
+    network: Network,
+    images: np.ndarray,
+    taps: Optional[Mapping[str, Tap]] = None,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Predicted class per image (argmax of logits; softmax is monotone)."""
+    outputs = []
+    for start in range(0, images.shape[0], batch_size):
+        logits = network.forward(images[start : start + batch_size], taps=taps)
+        outputs.append(np.argmax(logits.reshape(logits.shape[0], -1), axis=1))
+    return np.concatenate(outputs)
+
+
+def top1_accuracy(
+    network: Network,
+    dataset: Dataset,
+    taps: Optional[Mapping[str, Tap]] = None,
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy on a dataset, optionally with taps (noise, quant)."""
+    predictions = predict(network, dataset.images, taps=taps, batch_size=batch_size)
+    return float(np.mean(predictions == dataset.labels))
+
+
+def relative_drop(baseline: float, observed: float) -> float:
+    """Relative top-1 accuracy drop, as used in Table III ("1% relative")."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - observed) / baseline

@@ -1,0 +1,76 @@
+"""GoogleNet (Inception v1) replica (57 analyzed conv layers).
+
+Three stem convolutions plus nine inception modules of six
+convolutions each (1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj)
+give the paper's 57 analyzed layers.  The fully connected classifier is
+not analyzed, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: (1x1, 3x3red, 3x3, 5x5red, 5x5, pool_proj) widths per module (scaled).
+_MODULES = [
+    ("3a", (12, 8, 16, 4, 8, 8)),
+    ("3b", (16, 12, 24, 6, 8, 8)),
+    ("4a", (16, 12, 24, 6, 8, 8)),
+    ("4b", (16, 12, 24, 6, 8, 8)),
+    ("4c", (16, 12, 28, 6, 12, 12)),
+    ("4d", (20, 14, 28, 6, 12, 12)),
+    ("4e", (24, 16, 32, 8, 12, 12)),
+    ("5a", (24, 16, 32, 8, 12, 12)),
+    ("5b", (28, 16, 36, 8, 16, 16)),
+]
+
+
+def _inception(
+    b: NetworkBuilder,
+    tag: str,
+    source: str,
+    widths: Tuple[int, int, int, int, int, int],
+    analyzed: list,
+) -> str:
+    w1, w3r, w3, w5r, w5, wp = widths
+    branch1 = b.conv(f"inc{tag}_1x1", w1, 1, padding=0, source=source)
+    b.conv(f"inc{tag}_3x3r", w3r, 1, padding=0, source=source)
+    branch3 = b.conv(f"inc{tag}_3x3", w3, 3, padding=1)
+    b.conv(f"inc{tag}_5x5r", w5r, 1, padding=0, source=source)
+    branch5 = b.conv(f"inc{tag}_5x5", w5, 5, padding=2)
+    b.max_pool(f"inc{tag}_pool", 3, stride=1, padding=1, source=source)
+    branchp = b.conv(f"inc{tag}_proj", wp, 1, padding=0)
+    analyzed += [
+        f"inc{tag}_1x1",
+        f"inc{tag}_3x3r",
+        f"inc{tag}_3x3",
+        f"inc{tag}_5x5r",
+        f"inc{tag}_5x5",
+        f"inc{tag}_proj",
+    ]
+    return b.concat(f"inc{tag}_out", [branch1, branch3, branch5, branchp])
+
+
+def build_googlenet(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("googlenet", (3, 32, 32), seed=seed)
+    analyzed = ["conv1", "conv2_reduce", "conv2"]
+    b.conv("conv1", 16, 5, stride=2, padding=2)
+    b.max_pool("pool1", 2)
+    b.lrn("lrn1")
+    b.conv("conv2_reduce", 12, 1, padding=0)
+    b.conv("conv2", 24, 3, padding=1)
+    b.lrn("lrn2")
+    current = b.current
+    current = _inception(b, "3a", current, _MODULES[0][1], analyzed)
+    current = _inception(b, "3b", current, _MODULES[1][1], analyzed)
+    current = b.max_pool("pool3", 2)
+    for tag, widths in _MODULES[2:7]:
+        current = _inception(b, tag, current, widths, analyzed)
+    current = b.max_pool("pool4", 2)
+    for tag, widths in _MODULES[7:]:
+        current = _inception(b, tag, current, widths, analyzed)
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    return b.build(analyzed_layers=analyzed)

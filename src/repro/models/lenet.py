@@ -1,0 +1,26 @@
+"""A small LeNet-style CNN used by the test-suite and quickstart.
+
+Not one of the paper's eight networks, but structurally identical to
+them (conv / pool / ReLU / dense chain), so every analysis code path is
+exercised at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+
+def build_lenet(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    """LeNet-style: 3 conv layers + dense head, all analyzed."""
+    b = NetworkBuilder("lenet", (3, 32, 32), seed=seed)
+    b.conv("conv1", 8, 5, padding=2)
+    b.max_pool("pool1", 2)
+    b.conv("conv2", 16, 5, padding=2)
+    b.max_pool("pool2", 2)
+    b.conv("conv3", 16, 3, padding=1)
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    return b.build(
+        analyzed_layers=["conv1", "conv2", "conv3", "fc"],
+    )

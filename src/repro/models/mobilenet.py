@@ -1,0 +1,53 @@
+"""MobileNet v1 replica (28 analyzed layers).
+
+One stem convolution, thirteen depthwise-separable blocks (depthwise
+3x3 + pointwise 1x1 = 26 convs) and the final fully connected layer
+give the paper's 28 analyzed layers.  Folded batch-norm affines follow
+each convolution, as in the deployed Caffe model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: (pointwise output channels, depthwise stride) for the 13 blocks (scaled).
+_BLOCKS = [
+    (24, 1),
+    (32, 2),
+    (32, 1),
+    (48, 1),
+    (48, 1),
+    (64, 2),
+    (64, 1),
+    (64, 1),
+    (64, 1),
+    (64, 1),
+    (64, 1),
+    (96, 1),
+    (96, 1),
+]
+
+
+def build_mobilenet(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("mobilenet", (3, 32, 32), seed=seed)
+    analyzed: List[str] = ["conv1"]
+    b.conv("conv1", 16, 3, stride=2, padding=1, relu=False)
+    b.batch_norm("conv1_bn")
+    b.relu("conv1_relu")
+    for index, (channels, stride) in enumerate(_BLOCKS, start=1):
+        dw = f"dw{index}"
+        pw = f"pw{index}"
+        b.depthwise_conv(dw, 3, stride=stride, padding=1, relu=False)
+        b.batch_norm(f"{dw}_bn")
+        b.relu(f"{dw}_relu")
+        b.conv(pw, channels, 1, padding=0, relu=False)
+        b.batch_norm(f"{pw}_bn")
+        b.relu(f"{pw}_relu")
+        analyzed += [dw, pw]
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    analyzed.append("fc")
+    return b.build(analyzed_layers=analyzed)

@@ -1,0 +1,43 @@
+"""Network-in-Network replica (12 analyzed conv layers; Fig. 4's subject).
+
+NiN stacks "mlpconv" blocks: one spatial convolution followed by two
+1x1 convolutions.  Four blocks of three convolutions give the paper's
+12 layers.  The classification head (global average pool + fitted
+dense) is not analyzed, matching the paper's convs-only treatment of
+NiN.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+
+def _mlpconv(
+    b: NetworkBuilder,
+    index: int,
+    channels: int,
+    kernel: int,
+) -> list:
+    names = []
+    names.append(b.conv(f"conv{3 * index + 1}", channels, kernel))
+    names.append(b.conv(f"conv{3 * index + 2}", channels, 1, padding=0))
+    names.append(b.conv(f"conv{3 * index + 3}", channels, 1, padding=0))
+    return names
+
+
+def build_nin(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("nin", (3, 32, 32), seed=seed)
+    analyzed = []
+    analyzed += _mlpconv(b, 0, 16, 5)
+    b.max_pool("pool1", 2)
+    analyzed += _mlpconv(b, 1, 24, 5)
+    b.max_pool("pool2", 2)
+    analyzed += _mlpconv(b, 2, 32, 3)
+    b.max_pool("pool3", 2)
+    analyzed += _mlpconv(b, 3, 32, 3)
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    # conv names carry the relu suffix from the builder; strip to conv names
+    conv_names = [name.replace("_relu", "") for name in analyzed]
+    return b.build(analyzed_layers=conv_names)

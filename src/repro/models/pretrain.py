@@ -1,0 +1,98 @@
+"""Synthetic "pretraining" of model-zoo networks.
+
+The paper uses Caffe Model Zoo weights; offline, we substitute random
+(He-initialized) convolutional feature extractors with a classifier
+head fitted by ridge regression on a synthetic dataset.  Random
+convolutional features are a classical strong baseline, and a fitted
+head gives the two properties the paper's method actually relies on:
+
+* clean top-1 accuracy is well above chance, and
+* accuracy degrades monotonically as output-layer numerical error grows
+  (Sec. V-C: "sigma_YL monotonically increases when accuracy decreases").
+
+The fitted layer must be the network's output layer (the paper's layer
+L, the logits before softmax).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import ModelError
+from ..nn.graph import Network
+from ..nn.layers import Dense
+from .evaluate import top1_accuracy
+
+
+def _collect_head_features(
+    network: Network, head_name: str, images: np.ndarray, batch_size: int
+) -> np.ndarray:
+    """Inputs reaching the head layer, via a recording tap."""
+    recorded = []
+
+    def tap(x: np.ndarray) -> np.ndarray:
+        recorded.append(x.reshape(x.shape[0], -1).copy())
+        return x
+
+    for start in range(0, images.shape[0], batch_size):
+        network.forward(images[start : start + batch_size], taps={head_name: tap})
+    return np.concatenate(recorded, axis=0)
+
+
+def fit_classifier_head(
+    network: Network,
+    train: Dataset,
+    ridge: float = 1e-3,
+    batch_size: int = 64,
+) -> None:
+    """Fit the output Dense layer by one-vs-all ridge regression.
+
+    Replaces the head's weight and bias in place.  Targets are +/-1
+    one-vs-all scores, so the logits land on an O(1) scale — which makes
+    the paper's sigma_YL values (0.1 .. a few) directly meaningful, as
+    in Fig. 3 where accuracy falls off over sigma_YL in [0, ~4].
+    """
+    head = network[network.output_name]
+    if not isinstance(head, Dense):
+        raise ModelError(
+            f"output layer {network.output_name!r} must be Dense to be fitted; "
+            f"got {type(head).__name__}"
+        )
+    if head.out_features != train.num_classes:
+        raise ModelError(
+            f"head produces {head.out_features} logits but dataset has "
+            f"{train.num_classes} classes"
+        )
+    features = _collect_head_features(
+        network, head.name, train.images, batch_size
+    )
+    count, dim = features.shape
+    targets = -np.ones((count, train.num_classes))
+    targets[np.arange(count), train.labels] = 1.0
+
+    # Normalize feature scale so the ridge strength is data-independent.
+    feature_scale = float(features.std()) or 1.0
+    scaled = features / feature_scale
+    augmented = np.concatenate([scaled, np.ones((count, 1))], axis=1)
+    gram = augmented.T @ augmented + ridge * count * np.eye(dim + 1)
+    solution = np.linalg.solve(gram, augmented.T @ targets)
+    head.weight = (solution[:dim].T / feature_scale).astype(np.float64)
+    head.bias = solution[dim].astype(np.float64)
+
+
+def pretrain(
+    network: Network,
+    train: Dataset,
+    test: Dataset,
+    ridge: float = 1e-3,
+    batch_size: int = 64,
+) -> Dict[str, float]:
+    """Fit the head and report train/test accuracy."""
+    fit_classifier_head(network, train, ridge=ridge, batch_size=batch_size)
+    return {
+        "train_accuracy": top1_accuracy(network, train, batch_size=batch_size),
+        "test_accuracy": top1_accuracy(network, test, batch_size=batch_size),
+    }

@@ -1,0 +1,93 @@
+"""ResNet-50 / ResNet-152 replicas (54 / 156 analyzed layers).
+
+Bottleneck residual blocks (1x1 reduce, 3x3, 1x1 expand) with
+projection shortcuts at each stage entry.  Counting convolutions plus
+the final fully connected layer reproduces the paper's layer counts:
+
+* ResNet-50:  1 + 3*(3+4+6+3) + 4 projections = 53 convs, + fc = 54
+* ResNet-152: 1 + 3*(3+8+36+3) + 4 projections = 155 convs, + fc = 156
+
+Without batch-norm training statistics, residual variance growth is
+controlled by a reduced He gain on each branch's final convolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: He gain on the last conv of each residual branch; keeps activation
+#: variance growth modest across up-to-36-block stages.
+_BRANCH_OUTPUT_GAIN = 0.35
+
+
+def _bottleneck(
+    b: NetworkBuilder,
+    tag: str,
+    source: str,
+    width: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+    analyzed: List[str],
+) -> str:
+    """One bottleneck block; returns the post-ReLU output name."""
+    b.conv(f"{tag}_a", width, 1, stride=stride, padding=0, source=source)
+    b.conv(f"{tag}_b", width, 3, padding=1)
+    branch = b.conv(
+        f"{tag}_c", out_channels, 1, padding=0, relu=False,
+        gain=_BRANCH_OUTPUT_GAIN,
+    )
+    analyzed += [f"{tag}_a", f"{tag}_b", f"{tag}_c"]
+    if project:
+        shortcut = b.conv(
+            f"{tag}_proj", out_channels, 1, stride=stride, padding=0,
+            relu=False, source=source,
+        )
+        analyzed.append(f"{tag}_proj")
+    else:
+        shortcut = source
+    b.add_residual(f"{tag}_add", [shortcut, branch])
+    return b.relu(f"{tag}_relu")
+
+
+def _build_resnet(
+    name: str,
+    blocks_per_stage: Sequence[int],
+    num_classes: int,
+    seed: int,
+) -> Network:
+    b = NetworkBuilder(name, (3, 32, 32), seed=seed)
+    analyzed: List[str] = ["conv1"]
+    current = b.conv("conv1", 16, 3, padding=1)
+    widths = [8, 12, 16, 24]
+    out_channels = [32, 48, 64, 96]
+    for stage, num_blocks in enumerate(blocks_per_stage, start=1):
+        for block in range(num_blocks):
+            tag = f"s{stage}b{block + 1}"
+            stride = 2 if (stage > 1 and block == 0) else 1
+            project = block == 0
+            current = _bottleneck(
+                b,
+                tag,
+                current,
+                widths[stage - 1],
+                out_channels[stage - 1],
+                stride,
+                project,
+                analyzed,
+            )
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    analyzed.append("fc")
+    return b.build(analyzed_layers=analyzed)
+
+
+def build_resnet50(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    return _build_resnet("resnet50", [3, 4, 6, 3], num_classes, seed)
+
+
+def build_resnet152(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    return _build_resnet("resnet152", [3, 8, 36, 3], num_classes, seed)

@@ -1,0 +1,46 @@
+"""SqueezeNet replica (26 analyzed conv layers).
+
+conv1, eight fire modules (squeeze 1x1, expand 1x1, expand 3x3 = 3
+convs each) and conv10 give the paper's 26 layers.  The fitted dense
+head after global pooling is not analyzed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: (squeeze, expand) widths per fire module (scaled from 16/64..64/256).
+_FIRE = [(8, 16), (8, 16), (12, 24), (12, 24), (16, 32), (16, 32), (16, 32), (20, 40)]
+
+
+def _fire(
+    b: NetworkBuilder, index: int, source: str, squeeze: int, expand: int,
+    analyzed: List[str],
+) -> str:
+    tag = f"fire{index}"
+    b.conv(f"{tag}_squeeze", squeeze, 1, padding=0, source=source)
+    squeezed = b.current
+    e1 = b.conv(f"{tag}_e1x1", expand, 1, padding=0, source=squeezed)
+    e3 = b.conv(f"{tag}_e3x3", expand, 3, padding=1, source=squeezed)
+    analyzed += [f"{tag}_squeeze", f"{tag}_e1x1", f"{tag}_e3x3"]
+    return b.concat(f"{tag}_out", [e1, e3])
+
+
+def build_squeezenet(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("squeezenet", (3, 32, 32), seed=seed)
+    analyzed: List[str] = ["conv1"]
+    b.conv("conv1", 24, 3, stride=2, padding=1)
+    current = b.max_pool("pool1", 2)
+    for index, (squeeze, expand) in enumerate(_FIRE[:4], start=2):
+        current = _fire(b, index, current, squeeze, expand, analyzed)
+    current = b.max_pool("pool5", 2)
+    for index, (squeeze, expand) in enumerate(_FIRE[4:], start=6):
+        current = _fire(b, index, current, squeeze, expand, analyzed)
+    b.conv("conv10", 48, 1, padding=0)
+    analyzed.append("conv10")
+    b.global_pool("gap")
+    b.dense("fc", num_classes)
+    return b.build(analyzed_layers=analyzed)

@@ -1,0 +1,31 @@
+"""VGG-19 replica (16 analyzed conv layers).
+
+VGG-19 has sixteen 3x3 convolutions in five blocks (2-2-4-4-4) plus
+three fully connected layers; as in the paper, only the convolutions
+are analyzed.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from ..nn import Network, NetworkBuilder
+
+#: Convolutions per block and channel widths (scaled from 64..512).
+_BLOCKS = [(2, 12), (2, 16), (4, 24), (4, 32), (4, 32)]
+
+
+def build_vgg19(num_classes: int = 16, seed: int = DEFAULT_SEED) -> Network:
+    b = NetworkBuilder("vgg19", (3, 32, 32), seed=seed)
+    analyzed = []
+    index = 0
+    for block, (convs, channels) in enumerate(_BLOCKS, start=1):
+        for __ in range(convs):
+            index += 1
+            analyzed.append(f"conv{index}")
+            b.conv(f"conv{index}", channels, 3, padding=1)
+        b.max_pool(f"pool{block}", 2)
+    b.flatten("flat")
+    b.dense("fc6", 128, relu=True)
+    b.dense("fc7", 128, relu=True)
+    b.dense("fc8", num_classes)
+    return b.build(analyzed_layers=analyzed)

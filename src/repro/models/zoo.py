@@ -1,0 +1,136 @@
+"""Model registry and pretrained-model factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import DEFAULT_SEED
+from ..data import Dataset, SyntheticImageNet
+from ..errors import ModelError
+from ..nn import Network
+from .alexnet import build_alexnet
+from .calibrate import lsuv_calibrate
+from .googlenet import build_googlenet
+from .lenet import build_lenet
+from .mobilenet import build_mobilenet
+from .nin import build_nin
+from .pretrain import pretrain
+from .resnet import build_resnet50, build_resnet152
+from .squeezenet import build_squeezenet
+from .vgg import build_vgg19
+
+_BUILDERS: Dict[str, Callable[..., Network]] = {
+    "lenet": build_lenet,
+    "alexnet": build_alexnet,
+    "nin": build_nin,
+    "googlenet": build_googlenet,
+    "vgg19": build_vgg19,
+    "resnet50": build_resnet50,
+    "resnet152": build_resnet152,
+    "squeezenet": build_squeezenet,
+    "mobilenet": build_mobilenet,
+}
+
+#: Names of the paper's eight evaluation networks, in Table III order.
+MODEL_NAMES = [
+    "alexnet",
+    "nin",
+    "googlenet",
+    "vgg19",
+    "resnet50",
+    "resnet152",
+    "squeezenet",
+    "mobilenet",
+]
+
+#: ``# layers`` column of Table III — analyzed-layer counts we must match.
+PAPER_LAYER_COUNTS = {
+    "alexnet": 5,
+    "nin": 12,
+    "googlenet": 57,
+    "vgg19": 16,
+    "resnet50": 54,
+    "resnet152": 156,
+    "squeezenet": 26,
+    "mobilenet": 28,
+}
+
+
+def build_model(
+    name: str, num_classes: int = 16, seed: int = DEFAULT_SEED
+) -> Network:
+    """Build an untrained (random-feature) replica by registry name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise ModelError(f"unknown model {name!r}; known models: {known}") from None
+    return builder(num_classes=num_classes, seed=seed)
+
+
+def pretrained_model(
+    name: str,
+    source: Optional[SyntheticImageNet] = None,
+    train_count: int = 512,
+    test_count: int = 256,
+    seed: int = DEFAULT_SEED,
+    calibration_std: float = 50.0,
+) -> Tuple[Network, Dataset, Dataset, Dict[str, float]]:
+    """Build a replica, fit its head, and return (net, train, test, info).
+
+    This is the offline equivalent of downloading a Caffe Model Zoo
+    checkpoint: a deterministic network with genuine (well above chance)
+    classification accuracy on the synthetic task, with activation
+    scales calibrated to a realistic dynamic range (see
+    :func:`~repro.models.calibrate.lsuv_calibrate`).
+    """
+    if source is None:
+        source = SyntheticImageNet(seed=seed)
+    network = build_model(name, num_classes=source.num_classes, seed=seed)
+    train, test = source.train_test(train_count, test_count)
+    calibration = train.images[: min(32, len(train))]
+    lsuv_calibrate(network, calibration, target_std=calibration_std)
+    info = pretrain(network, train, test)
+    return network, train, test, info
+
+
+def cached_pretrained_model(
+    name: str,
+    cache_dir,
+    source: Optional[SyntheticImageNet] = None,
+    train_count: int = 512,
+    test_count: int = 256,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[Network, Dataset, Dataset, Dict[str, float]]:
+    """Like :func:`pretrained_model`, but parameters persist on disk.
+
+    The first call pretrains and saves a checkpoint under ``cache_dir``;
+    subsequent calls with the same name/seed restore it, skipping the
+    calibration and head fit.
+    """
+    from pathlib import Path
+
+    from .checkpoint import load_checkpoint, save_checkpoint
+    from .evaluate import top1_accuracy
+
+    if source is None:
+        source = SyntheticImageNet(seed=seed)
+    path = Path(cache_dir) / f"{name}-seed{seed}.npz"
+    train, test = source.train_test(train_count, test_count)
+    if path.exists():
+        network = build_model(name, num_classes=source.num_classes, seed=seed)
+        load_checkpoint(network, path)
+        info = {
+            "train_accuracy": top1_accuracy(network, train),
+            "test_accuracy": top1_accuracy(network, test),
+        }
+        return network, train, test, info
+    network, train, test, info = pretrained_model(
+        name,
+        source=source,
+        train_count=train_count,
+        test_count=test_count,
+        seed=seed,
+    )
+    save_checkpoint(network, path)
+    return network, train, test, info

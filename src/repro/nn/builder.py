@@ -1,0 +1,250 @@
+"""Fluent builder for network graphs with randomized (He) weight init.
+
+Model definitions in :mod:`repro.models` use this builder so each
+architecture file reads like its Caffe prototxt: a sequence of conv /
+pool / concat / add statements.  Weights are drawn from a seeded
+generator, giving deterministic "untrained" feature extractors whose
+classifier heads are later fitted (see :mod:`repro.models.pretrain`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import INPUT, Network
+from .layer import Shape
+from .layers import (
+    Add,
+    AvgPool2D,
+    ChannelAffine,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    LRN,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+
+class NetworkBuilder:
+    """Build a :class:`~repro.nn.graph.Network` one layer at a time.
+
+    Every ``add``-style method returns the name of the layer it appended
+    (the post-activation name when ``relu=True``), and updates
+    :attr:`current`, the implicit source for the next layer.
+    """
+
+    def __init__(self, name: str, input_shape: Shape, seed: int = 0):
+        self.network = Network(name, input_shape)
+        self.rng = np.random.default_rng(seed)
+        self.current: str = INPUT
+
+    # ------------------------------------------------------------------
+    def _source(self, source: Optional[str]) -> str:
+        return self.current if source is None else source
+
+    def _he_conv_weight(
+        self, out_channels: int, in_channels: int, kernel: int, gain: float
+    ) -> np.ndarray:
+        fan_in = in_channels * kernel * kernel
+        std = gain * np.sqrt(2.0 / fan_in)
+        return self.rng.normal(
+            0.0, std, size=(out_channels, in_channels, kernel, kernel)
+        )
+
+    def _channels_of(self, producer: str) -> int:
+        if producer == INPUT:
+            shape = self.network.input_shape
+        else:
+            shape = self.network[producer].output_shape
+        if len(shape) == 3:
+            return shape[0]
+        return shape[0]
+
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        relu: bool = True,
+        source: Optional[str] = None,
+        gain: float = 1.0,
+        bias: bool = True,
+    ) -> str:
+        """Append a convolution (+ optional ReLU); returns the new head."""
+        src = self._source(source)
+        in_channels = self._channels_of(src)
+        if padding is None:
+            padding = kernel // 2
+        weight = self._he_conv_weight(
+            out_channels, in_channels // groups, kernel, gain
+        )
+        bias_arr = np.zeros(out_channels) if bias else None
+        self.network.add(
+            Conv2D(
+                name,
+                [src],
+                weight,
+                bias=bias_arr,
+                stride=stride,
+                padding=padding,
+                groups=groups,
+            )
+        )
+        self.current = name
+        if relu:
+            self.relu(f"{name}_relu", source=name)
+        return self.current
+
+    def depthwise_conv(
+        self,
+        name: str,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        relu: bool = True,
+        source: Optional[str] = None,
+        gain: float = 1.0,
+    ) -> str:
+        """Depthwise convolution: one kernel per input channel."""
+        src = self._source(source)
+        channels = self._channels_of(src)
+        return self.conv(
+            name,
+            channels,
+            kernel,
+            stride=stride,
+            padding=padding,
+            groups=channels,
+            relu=relu,
+            source=src,
+            gain=gain,
+        )
+
+    def dense(
+        self,
+        name: str,
+        out_features: int,
+        relu: bool = False,
+        source: Optional[str] = None,
+        gain: float = 1.0,
+    ) -> str:
+        src = self._source(source)
+        if src == INPUT:
+            in_features = int(np.prod(self.network.input_shape))
+        else:
+            in_features = int(np.prod(self.network[src].output_shape))
+        std = gain * np.sqrt(2.0 / in_features)
+        weight = self.rng.normal(0.0, std, size=(out_features, in_features))
+        self.network.add(Dense(name, [src], weight, bias=np.zeros(out_features)))
+        self.current = name
+        if relu:
+            self.relu(f"{name}_relu", source=name)
+        return self.current
+
+    def relu(self, name: str, source: Optional[str] = None) -> str:
+        self.network.add(ReLU(name, [self._source(source)]))
+        self.current = name
+        return name
+
+    def softmax(self, name: str, source: Optional[str] = None) -> str:
+        self.network.add(Softmax(name, [self._source(source)]))
+        self.current = name
+        return name
+
+    def max_pool(
+        self,
+        name: str,
+        kernel: int,
+        stride: int = 0,
+        padding: int = 0,
+        source: Optional[str] = None,
+    ) -> str:
+        self.network.add(
+            MaxPool2D(name, [self._source(source)], kernel, stride, padding)
+        )
+        self.current = name
+        return name
+
+    def avg_pool(
+        self,
+        name: str,
+        kernel: int,
+        stride: int = 0,
+        padding: int = 0,
+        source: Optional[str] = None,
+    ) -> str:
+        self.network.add(
+            AvgPool2D(name, [self._source(source)], kernel, stride, padding)
+        )
+        self.current = name
+        return name
+
+    def global_pool(self, name: str, source: Optional[str] = None) -> str:
+        self.network.add(GlobalAvgPool(name, [self._source(source)]))
+        self.current = name
+        return name
+
+    def lrn(
+        self,
+        name: str,
+        local_size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        source: Optional[str] = None,
+    ) -> str:
+        self.network.add(
+            LRN(name, [self._source(source)], local_size, alpha, beta)
+        )
+        self.current = name
+        return name
+
+    def batch_norm(self, name: str, source: Optional[str] = None) -> str:
+        """Folded batch norm with mild random scale jitter around 1."""
+        src = self._source(source)
+        channels = self._channels_of(src)
+        scale = 1.0 + 0.05 * self.rng.standard_normal(channels)
+        shift = 0.05 * self.rng.standard_normal(channels)
+        self.network.add(ChannelAffine(name, [src], scale, shift))
+        self.current = name
+        return name
+
+    def concat(self, name: str, sources: Sequence[str]) -> str:
+        self.network.add(Concat(name, list(sources)))
+        self.current = name
+        return name
+
+    def add_residual(self, name: str, sources: Sequence[str]) -> str:
+        self.network.add(Add(name, list(sources)))
+        self.current = name
+        return name
+
+    def flatten(self, name: str, source: Optional[str] = None) -> str:
+        self.network.add(Flatten(name, [self._source(source)]))
+        self.current = name
+        return name
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        output: Optional[str] = None,
+        analyzed_layers: Optional[Sequence[str]] = None,
+    ) -> Network:
+        """Finalize and return the network."""
+        if len(self.network) == 0:
+            raise GraphError("cannot build an empty network")
+        if output is not None:
+            self.network.set_output(output)
+        if analyzed_layers is not None:
+            self.network.set_analyzed_layers(analyzed_layers)
+        return self.network

@@ -1,0 +1,90 @@
+"""Base class for all network layers.
+
+A :class:`Layer` is a named node in a :class:`~repro.nn.graph.Network`
+DAG.  It consumes the outputs of the layers listed in ``inputs`` and
+produces a single output tensor.  Per-image shapes (without the batch
+axis) are inferred once, when the layer is added to a network, so that
+static statistics — input-element counts and MAC counts, the
+:math:`\\rho_K` coefficients of the paper's Eq. 8 — are available
+without running any data.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError, ShapeError
+
+Shape = Tuple[int, ...]
+
+
+class Layer(abc.ABC):
+    """A single computation node.
+
+    Subclasses set :attr:`analyzed` to ``True`` when the layer performs
+    the large dot products the paper analyzes (convolution and fully
+    connected layers, Sec. III).  Only analyzed layers receive injected
+    rounding errors and bitwidth assignments.
+    """
+
+    #: Marks layers whose inputs are quantized / error-injected.
+    analyzed: bool = False
+
+    def __init__(self, name: str, inputs: Sequence[str]):
+        if not name:
+            raise GraphError("layer name must be non-empty")
+        if not inputs:
+            raise GraphError(f"layer {name!r} must declare at least one input")
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.input_shapes: Optional[List[Shape]] = None
+        self.output_shape: Optional[Shape] = None
+
+    def bind(self, input_shapes: Sequence[Shape]) -> None:
+        """Attach per-image input shapes and infer the output shape."""
+        if len(input_shapes) != len(self.inputs):
+            raise ShapeError(
+                f"layer {self.name!r} declares {len(self.inputs)} inputs but "
+                f"received {len(input_shapes)} shapes"
+            )
+        self.input_shapes = [tuple(s) for s in input_shapes]
+        self.output_shape = self.infer_shape(self.input_shapes)
+
+    @abc.abstractmethod
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Compute the per-image output shape from the input shapes."""
+
+    @abc.abstractmethod
+    def forward(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Compute the batched output from batched input arrays."""
+
+    # ------------------------------------------------------------------
+    # Static statistics (per image), used as objective weights (Eq. 8).
+    # ------------------------------------------------------------------
+    def num_input_elements(self) -> int:
+        """Elements read from the primary input per image (``#Input``)."""
+        self._require_bound()
+        return int(np.prod(self.input_shapes[0]))
+
+    def num_macs(self) -> int:
+        """Multiply-accumulate operations per image (``#MAC``)."""
+        return 0
+
+    def num_parameters(self) -> int:
+        """Learned parameters stored by the layer."""
+        return 0
+
+    def _require_bound(self) -> None:
+        if self.input_shapes is None or self.output_shape is None:
+            raise ShapeError(
+                f"layer {self.name!r} has not been added to a network yet"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs!r}, "
+            f"output_shape={self.output_shape})"
+        )

@@ -1,0 +1,24 @@
+"""Layer implementations for the numpy inference engine."""
+
+from .activation import ReLU, Softmax
+from .conv import Conv2D
+from .dense import Dense
+from .merge import Add, Concat
+from .norm import ChannelAffine, LRN
+from .pool import AvgPool2D, GlobalAvgPool, MaxPool2D
+from .reshape import Flatten
+
+__all__ = [
+    "Add",
+    "AvgPool2D",
+    "ChannelAffine",
+    "Concat",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool",
+    "LRN",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+]

@@ -1,0 +1,65 @@
+"""Multi-input merge layers: residual Add and channel Concat.
+
+These are what make ResNet/GoogleNet graphs DAGs rather than chains.
+Neither performs a learned dot product, so neither is an analyzed
+layer; both pass rounding error through linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..layer import Layer, Shape
+
+
+class Add(Layer):
+    """Elementwise sum of two or more same-shaped inputs (ResNet shortcut)."""
+
+    def __init__(self, name: str, inputs: Sequence[str]):
+        super().__init__(name, inputs)
+        if len(self.inputs) < 2:
+            raise ShapeError(f"add {name!r} needs at least two inputs")
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        first = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape != first:
+                raise ShapeError(
+                    f"add {self.name!r}: mismatched input shapes "
+                    f"{first} vs {shape}"
+                )
+        return first
+
+    def forward(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        out = arrays[0].copy()
+        for arr in arrays[1:]:
+            out += arr
+        return out
+
+
+class Concat(Layer):
+    """Concatenation along the channel axis (inception / fire modules)."""
+
+    def __init__(self, name: str, inputs: Sequence[str]):
+        super().__init__(name, inputs)
+        if len(self.inputs) < 2:
+            raise ShapeError(f"concat {name!r} needs at least two inputs")
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        first = input_shapes[0]
+        if len(first) != 3:
+            raise ShapeError(f"concat {self.name!r} needs CHW inputs, got {first}")
+        total_channels = first[0]
+        for shape in input_shapes[1:]:
+            if len(shape) != 3 or shape[1:] != first[1:]:
+                raise ShapeError(
+                    f"concat {self.name!r}: spatial dims differ: {first} vs {shape}"
+                )
+            total_channels += shape[0]
+        return (total_channels,) + first[1:]
+
+    def forward(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(list(arrays), axis=1)

@@ -1,0 +1,21 @@
+"""Shape-changing layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..layer import Layer, Shape
+from ..tensor import flatten_spatial
+
+
+class Flatten(Layer):
+    """Flatten a CHW tensor to a feature vector."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return (int(np.prod(shape)),)
+
+    def forward(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        return flatten_spatial(arrays[0])

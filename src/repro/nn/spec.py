@@ -1,0 +1,253 @@
+"""Declarative network specifications (the prototxt of this repo).
+
+The paper's tool was integrated into Caffe, where architectures are
+data, not code.  :class:`NetworkSpec` provides the same workflow here:
+a network is a JSON-able list of layer specs, buildable into a live
+:class:`~repro.nn.graph.Network` with seeded weights — so users can
+define custom architectures, store them, and ship them to the
+optimizer without writing Python.
+
+Supported layer types and their parameters mirror
+:class:`~repro.nn.builder.NetworkBuilder`:
+
+``conv``      out_channels, kernel, stride=1, padding=None (same),
+              groups=1, relu=True
+``dense``     out_features, relu=False
+``max_pool``  kernel, stride=0 (=kernel), padding=0
+``avg_pool``  kernel, stride=0, padding=0
+``global_pool``
+``relu`` / ``softmax`` / ``flatten``
+``lrn``       local_size=5, alpha=1e-4, beta=0.75
+``batch_norm``
+``concat``    sources=[...]
+``add``       sources=[...]
+
+Every layer takes ``name`` and optional ``source`` (default: previous
+layer's output).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import GraphError
+from .builder import NetworkBuilder
+from .graph import Network
+
+PathLike = Union[str, Path]
+
+#: Bumped when the spec schema changes incompatibly.
+SPEC_VERSION = 1
+
+_SINGLE_SOURCE_TYPES = {
+    "conv",
+    "dense",
+    "max_pool",
+    "avg_pool",
+    "global_pool",
+    "relu",
+    "softmax",
+    "flatten",
+    "lrn",
+    "batch_norm",
+}
+_MULTI_SOURCE_TYPES = {"concat", "add"}
+LAYER_TYPES = _SINGLE_SOURCE_TYPES | _MULTI_SOURCE_TYPES
+
+
+@dataclass
+class LayerSpec:
+    """One declarative layer."""
+
+    type: str
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    source: Optional[str] = None
+    sources: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in LAYER_TYPES:
+            known = ", ".join(sorted(LAYER_TYPES))
+            raise GraphError(
+                f"unknown layer type {self.type!r}; known types: {known}"
+            )
+        if not self.name:
+            raise GraphError("layer spec needs a name")
+        if self.type in _MULTI_SOURCE_TYPES and not self.sources:
+            raise GraphError(f"{self.type} layer {self.name!r} needs sources")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"type": self.type, "name": self.name}
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.source is not None:
+            data["source"] = self.source
+        if self.sources is not None:
+            data["sources"] = list(self.sources)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LayerSpec":
+        try:
+            return cls(
+                type=data["type"],
+                name=data["name"],
+                params=dict(data.get("params", {})),
+                source=data.get("source"),
+                sources=(
+                    list(data["sources"]) if "sources" in data else None
+                ),
+            )
+        except KeyError as missing:
+            raise GraphError(f"layer spec missing field {missing}") from None
+
+
+@dataclass
+class NetworkSpec:
+    """A complete declarative network."""
+
+    name: str
+    input_shape: Tuple[int, ...]
+    layers: List[LayerSpec]
+    output: Optional[str] = None
+    analyzed_layers: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    def build(self, seed: int = 0) -> Network:
+        """Materialize the spec with seeded random weights."""
+        builder = NetworkBuilder(self.name, tuple(self.input_shape), seed=seed)
+        for layer in self.layers:
+            self._add(builder, layer)
+        return builder.build(
+            output=self.output, analyzed_layers=self.analyzed_layers
+        )
+
+    @staticmethod
+    def _add(builder: NetworkBuilder, layer: LayerSpec) -> None:
+        p = dict(layer.params)
+        kind = layer.type
+        if kind == "conv":
+            builder.conv(
+                layer.name,
+                p.pop("out_channels"),
+                p.pop("kernel"),
+                stride=p.pop("stride", 1),
+                padding=p.pop("padding", None),
+                groups=p.pop("groups", 1),
+                relu=p.pop("relu", True),
+                source=layer.source,
+            )
+        elif kind == "dense":
+            builder.dense(
+                layer.name,
+                p.pop("out_features"),
+                relu=p.pop("relu", False),
+                source=layer.source,
+            )
+        elif kind == "max_pool":
+            builder.max_pool(
+                layer.name,
+                p.pop("kernel"),
+                stride=p.pop("stride", 0),
+                padding=p.pop("padding", 0),
+                source=layer.source,
+            )
+        elif kind == "avg_pool":
+            builder.avg_pool(
+                layer.name,
+                p.pop("kernel"),
+                stride=p.pop("stride", 0),
+                padding=p.pop("padding", 0),
+                source=layer.source,
+            )
+        elif kind == "global_pool":
+            builder.global_pool(layer.name, source=layer.source)
+        elif kind == "relu":
+            builder.relu(layer.name, source=layer.source)
+        elif kind == "softmax":
+            builder.softmax(layer.name, source=layer.source)
+        elif kind == "flatten":
+            builder.flatten(layer.name, source=layer.source)
+        elif kind == "lrn":
+            builder.lrn(
+                layer.name,
+                local_size=p.pop("local_size", 5),
+                alpha=p.pop("alpha", 1e-4),
+                beta=p.pop("beta", 0.75),
+                source=layer.source,
+            )
+        elif kind == "batch_norm":
+            builder.batch_norm(layer.name, source=layer.source)
+        elif kind == "concat":
+            builder.concat(layer.name, layer.sources)
+        elif kind == "add":
+            builder.add_residual(layer.name, layer.sources)
+        if p:
+            raise GraphError(
+                f"layer {layer.name!r} ({kind}): unknown parameters "
+                f"{sorted(p)}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+        if self.output is not None:
+            data["output"] = self.output
+        if self.analyzed_layers is not None:
+            data["analyzed_layers"] = list(self.analyzed_layers)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NetworkSpec":
+        if data.get("spec_version") != SPEC_VERSION:
+            raise GraphError(
+                f"unsupported spec version {data.get('spec_version')!r}"
+            )
+        try:
+            return cls(
+                name=data["name"],
+                input_shape=tuple(data["input_shape"]),
+                layers=[LayerSpec.from_dict(d) for d in data["layers"]],
+                output=data.get("output"),
+                analyzed_layers=(
+                    list(data["analyzed_layers"])
+                    if "analyzed_layers" in data
+                    else None
+                ),
+            )
+        except KeyError as missing:
+            raise GraphError(f"spec missing field {missing}") from None
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "NetworkSpec":
+        path = Path(path)
+        if not path.exists():
+            raise GraphError(f"no network spec at {path}")
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def build_from_spec(
+    spec: Union[NetworkSpec, Dict[str, Any], PathLike], seed: int = 0
+) -> Network:
+    """Build a network from a spec object, dict, or JSON file path."""
+    if isinstance(spec, NetworkSpec):
+        return spec.build(seed=seed)
+    if isinstance(spec, dict):
+        return NetworkSpec.from_dict(spec).build(seed=seed)
+    return NetworkSpec.load(spec).build(seed=seed)

@@ -1,0 +1,100 @@
+"""Static and measured per-layer statistics.
+
+These statistics are the raw material of Table II: per analyzed layer,
+the number of input elements (``#Input``), the number of MAC operations
+(``#MAC``) and the measured dynamic range ``max|X_K|`` from which the
+signed integer bitwidth ``I = ceil(log2 max|X_K|) + 1`` is derived
+(paper Sec. II-A and V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .graph import Network
+
+
+@dataclass
+class LayerStats:
+    """Statistics for one analyzed layer."""
+
+    name: str
+    num_inputs: int
+    num_macs: int
+    max_abs_input: float = 0.0
+
+    @property
+    def integer_bits(self) -> int:
+        """Signed integer bitwidth that avoids overflow (paper Sec. II-A).
+
+        Must agree with :func:`repro.quant.integer_bits_for_range`
+        (duplicated here to keep ``nn`` free of ``quant`` imports; a
+        cross-consistency test enforces the agreement).
+        """
+        if self.max_abs_input <= 0:
+            return 1
+        exact = np.log2(self.max_abs_input)
+        ceiled = int(np.ceil(exact))
+        if abs(exact - round(exact)) < 1e-12:
+            # A value exactly at a power of two needs one more bit.
+            ceiled = int(round(exact)) + 1
+        return max(1, ceiled + 1)
+
+
+def static_stats(network: Network) -> Dict[str, LayerStats]:
+    """Collect #Input / #MAC for every analyzed layer (no data needed)."""
+    stats: Dict[str, LayerStats] = {}
+    for name in network.analyzed_layer_names:
+        layer = network[name]
+        stats[name] = LayerStats(
+            name=name,
+            num_inputs=layer.num_input_elements(),
+            num_macs=layer.num_macs(),
+        )
+    return stats
+
+
+def measure_ranges(
+    network: Network, images: np.ndarray, batch_size: int = 64
+) -> Dict[str, LayerStats]:
+    """Collect full stats including ``max|X_K|`` from a forward pass.
+
+    The paper measures integer bitwidths "by doing a forward pass through
+    all the layers, recording down the maximum absolute value of the
+    input values" (Sec. V-D).  A recording tap on each analyzed layer
+    does exactly that.
+    """
+    stats = static_stats(network)
+    maxima: Dict[str, float] = {name: 0.0 for name in stats}
+
+    def make_tap(name: str):
+        def tap(x: np.ndarray) -> np.ndarray:
+            maxima[name] = max(maxima[name], float(np.max(np.abs(x))))
+            return x
+
+        return tap
+
+    taps = {name: make_tap(name) for name in stats}
+    for start in range(0, images.shape[0], batch_size):
+        network.forward(images[start : start + batch_size], taps=taps)
+    for name, stat in stats.items():
+        stat.max_abs_input = maxima[name]
+    return stats
+
+
+def total_inputs(stats: Dict[str, LayerStats]) -> int:
+    """Total input elements across analyzed layers (Table II ``Total``)."""
+    return sum(s.num_inputs for s in stats.values())
+
+
+def total_macs(stats: Dict[str, LayerStats]) -> int:
+    """Total MAC operations across analyzed layers (Table II ``Total``)."""
+    return sum(s.num_macs for s in stats.values())
+
+
+def ordered_stats(network: Network, stats: Dict[str, LayerStats]) -> List[LayerStats]:
+    """Stats in analyzed-layer order (layer 1 ... L of the paper)."""
+    return [stats[name] for name in network.analyzed_layer_names]

@@ -1,0 +1,92 @@
+"""Low-level tensor helpers for the numpy inference engine.
+
+All activations are batched ``float64`` arrays in ``NCHW`` layout for
+spatial tensors and ``NF`` layout for flat tensors.  The helpers here
+implement the window extraction (``im2col``) that convolution and
+pooling layers are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def conv_output_hw(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Output spatial size of a conv/pool with square kernel and stride."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} padding {padding} does not fit "
+            f"input {height}x{width}"
+        )
+    return out_h, out_w
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW batch."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+
+
+def extract_windows(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Return sliding windows of an NCHW batch.
+
+    The result has shape ``(N, C, out_h, out_w, kernel, kernel)`` and is a
+    contiguous copy, so callers may reshape it freely.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW input, got shape {x.shape}")
+    x = pad_nchw(x, padding)
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, 0)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows)
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold an NCHW batch into dot-product columns.
+
+    Returns an array of shape ``(N, C * kernel * kernel, out_h * out_w)``
+    such that a convolution becomes a plain matrix product with the
+    reshaped weight tensor — exactly the "chain of dot products" view of
+    CNN inference used throughout the paper (Sec. II-B).
+    """
+    windows = extract_windows(x, kernel, stride, padding)
+    n, c, out_h, out_w, kh, kw = windows.shape
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return cols
+
+
+def flatten_spatial(x: np.ndarray) -> np.ndarray:
+    """Reshape ``(N, C, H, W)`` to ``(N, C*H*W)`` without copying when possible."""
+    if x.ndim == 2:
+        return x
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW or NF input, got shape {x.shape}")
+    return x.reshape(x.shape[0], -1)
+
+
+def assert_batched(x: np.ndarray) -> None:
+    """Validate that an array looks like a batch of activations."""
+    if x.ndim not in (2, 4):
+        raise ShapeError(
+            f"activations must be (N, F) or (N, C, H, W); got shape {x.shape}"
+        )

@@ -1,0 +1,85 @@
+"""From a sigma budget and an objective to concrete bitwidths.
+
+The last mile of the paper's pipeline (Sec. V-D): solve Eq. 8 for xi,
+evaluate Eq. 7 for each layer's ``Delta_XK``, convert to fraction bits,
+combine with measured integer bits, and package as a
+:class:`~repro.quant.BitwidthAllocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..analysis.profiler import LayerErrorProfile
+from ..analysis.sigma_search import deltas_for_sigma
+from ..nn.statistics import LayerStats
+from ..quant.allocation import BitwidthAllocation
+from .objective import Objective, resolve_objective
+from .sqp import XiSolution, equal_xi, optimize_xi
+
+
+@dataclass
+class AllocationResult:
+    """An optimized allocation with its provenance."""
+
+    allocation: BitwidthAllocation
+    xi: Dict[str, float]
+    deltas: Dict[str, float]
+    sigma: float
+    objective: Objective
+    solution: Optional[XiSolution] = None
+
+    def bitwidths(self) -> Dict[str, int]:
+        return self.allocation.bitwidths()
+
+    def effective_bitwidth(self, rho: Mapping[str, float]) -> float:
+        return self.allocation.effective_bitwidth(rho)
+
+
+def allocate_optimized(
+    objective,
+    profiles: Mapping[str, LayerErrorProfile],
+    stats: Mapping[str, LayerStats],
+    sigma: float,
+    ordered_names: Optional[List[str]] = None,
+) -> AllocationResult:
+    """Optimize xi for an objective and emit the bitwidth allocation."""
+    names = list(ordered_names or profiles)
+    objective = resolve_objective(objective, stats)
+    solution = optimize_xi(objective, profiles, sigma)
+    deltas = deltas_for_sigma(profiles, sigma, xi=solution.xi)
+    allocation = BitwidthAllocation.from_deltas(
+        [stats[name] for name in names], deltas
+    )
+    return AllocationResult(
+        allocation=allocation,
+        xi=solution.xi,
+        deltas=deltas,
+        sigma=sigma,
+        objective=objective,
+        solution=solution,
+    )
+
+
+def allocate_equal_scheme(
+    profiles: Mapping[str, LayerErrorProfile],
+    stats: Mapping[str, LayerStats],
+    sigma: float,
+    ordered_names: Optional[List[str]] = None,
+) -> AllocationResult:
+    """The paper's equal scheme (xi_K = 1/L) as an allocation."""
+    names = list(ordered_names or profiles)
+    xi = equal_xi(names)
+    deltas = deltas_for_sigma(profiles, sigma, xi=xi)
+    allocation = BitwidthAllocation.from_deltas(
+        [stats[name] for name in names], deltas
+    )
+    return AllocationResult(
+        allocation=allocation,
+        xi=xi,
+        deltas=deltas,
+        sigma=sigma,
+        objective=Objective("equal", {name: 1.0 for name in names}),
+        solution=None,
+    )

@@ -1,0 +1,167 @@
+"""Constrained bitwidth optimization: minimize one cost under a cap on
+another.
+
+The paper closes with "designers can formulate different optimization
+criteria using our framework"; the most common real formulation is not
+a weighted blend but a *budgeted* trade: minimize MAC energy subject to
+the memory interface's bandwidth ceiling (or vice versa).  Both costs
+are smooth functions of xi through Eq. 7, so the same SLSQP machinery
+solves it with one extra inequality constraint:
+
+    min  sum_K rho_K   * (-log2 Delta_K(xi))            (objective)
+    s.t. sum_K cap_K   * (-log2 Delta_K(xi)) <= budget  (cap)
+         sum_K xi_K = 1,  xi_K >= floor_K
+
+Budgets are stated in the cap objective's *weighted bits* (same units
+as ``BitwidthAllocation.weighted_bits``), continuous before the ceil()
+discretization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from ..analysis.profiler import LayerErrorProfile
+from ..errors import OptimizationError
+from .objective import Objective
+from .sqp import XiSolution, _feasibility_floor
+
+
+@dataclass
+class ConstrainedSolution:
+    """Result of the budgeted optimization."""
+
+    xi: Dict[str, float]
+    objective_value: float
+    cap_value: float
+    cap_budget: float
+    success: bool
+    message: str
+
+    @property
+    def cap_satisfied(self) -> bool:
+        # Additive tolerance: weighted bits may legitimately be negative
+        # (a layer with Delta > 1 contributes -log2(Delta) < 0), so a
+        # multiplicative margin would flip direction.
+        tolerance = 1e-6 * max(1.0, abs(self.cap_budget))
+        return self.cap_value <= self.cap_budget + tolerance
+
+    def as_xi_solution(self) -> XiSolution:
+        return XiSolution(
+            xi=self.xi,
+            objective_value=self.objective_value,
+            success=self.success,
+            message=self.message,
+            num_iterations=0,
+        )
+
+
+def optimize_xi_constrained(
+    objective: Objective,
+    cap: Objective,
+    cap_budget: float,
+    profiles: Mapping[str, LayerErrorProfile],
+    sigma: float,
+    max_iterations: int = 300,
+) -> ConstrainedSolution:
+    """Minimize ``objective`` subject to ``cap``'s weighted bits <= budget.
+
+    Raises :class:`OptimizationError` when the budget is infeasible
+    (tighter than the cap-optimal solution can reach).
+    """
+    names = [name for name in profiles if name in objective.rho]
+    if set(names) != set(objective.rho) or set(names) != set(cap.rho):
+        raise OptimizationError(
+            "objective, cap, and profiles must cover the same layers"
+        )
+    # Normalize both weightings so SLSQP works on O(1) quantities; the
+    # reported values are rescaled back to the caller's units.
+    rho_raw = np.array([objective.rho[name] for name in names], dtype=float)
+    cap_raw = np.array([cap.rho[name] for name in names], dtype=float)
+    rho_scale = float(rho_raw.sum())
+    cap_scale = float(cap_raw.sum())
+    if rho_scale <= 0 or cap_scale <= 0:
+        raise OptimizationError("objective and cap need positive weights")
+    rho = rho_raw / rho_scale
+    cap_rho = cap_raw / cap_scale
+    cap_budget_scaled = cap_budget / cap_scale
+    lam = np.array([profiles[name].lam for name in names])
+    theta = np.array([profiles[name].theta for name in names])
+    floors = np.array(
+        [
+            _feasibility_floor(profiles[name].lam, profiles[name].theta, sigma)
+            for name in names
+        ]
+    )
+    if floors.sum() >= 1.0:
+        raise OptimizationError("infeasible: floors exceed the unit budget")
+
+    log2 = np.log(2.0)
+
+    def delta_of(xi):
+        return lam * sigma * np.sqrt(xi) + theta
+
+    def weighted_bits(xi, weights):
+        return float((weights * -np.log2(delta_of(xi))).sum())
+
+    def objective_fn(xi):
+        return weighted_bits(xi, rho)
+
+    def objective_grad(xi):
+        delta = delta_of(xi)
+        d_delta = lam * sigma / (2.0 * np.sqrt(xi))
+        return -(rho * d_delta) / (delta * log2)
+
+    def cap_fn(xi):
+        # SLSQP convention: constraint >= 0.
+        return cap_budget_scaled - weighted_bits(xi, cap_rho)
+
+    def cap_grad(xi):
+        delta = delta_of(xi)
+        d_delta = lam * sigma / (2.0 * np.sqrt(xi))
+        return (cap_rho * d_delta) / (delta * log2)
+
+    # Feasibility check: the cap-optimal point is the best achievable
+    # cap value; if even that exceeds the budget, no xi satisfies it.
+    from .sqp import optimize_xi
+
+    cap_opt = optimize_xi(cap, profiles, sigma)
+    best_cap = weighted_bits(
+        np.array([cap_opt.xi[name] for name in names]), cap_rho
+    )
+    if best_cap > cap_budget_scaled:
+        raise OptimizationError(
+            f"cap budget {cap_budget:.4g} is infeasible; the best "
+            f"achievable {cap.name} cost at this sigma is "
+            f"{best_cap * cap_scale:.4g}"
+        )
+
+    start = np.array([cap_opt.xi[name] for name in names])
+    start = np.maximum(start, floors)
+    start = start / start.sum()
+    result = sciopt.minimize(
+        objective_fn,
+        start,
+        jac=objective_grad,
+        method="SLSQP",
+        bounds=[(float(f), 1.0) for f in floors],
+        constraints=[
+            {"type": "eq", "fun": lambda xi: xi.sum() - 1.0},
+            {"type": "ineq", "fun": cap_fn, "jac": cap_grad},
+        ],
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+    xi = np.clip(result.x, floors, 1.0)
+    xi = xi / xi.sum()
+    return ConstrainedSolution(
+        xi={name: float(x) for name, x in zip(names, xi)},
+        objective_value=objective_fn(xi) * rho_scale,
+        cap_value=weighted_bits(xi, cap_rho) * cap_scale,
+        cap_budget=cap_budget,
+        success=bool(result.success),
+        message=str(result.message),
+    )

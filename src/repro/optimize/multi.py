@@ -1,0 +1,79 @@
+"""Multi-objective exploration: trade-off frontiers between objectives.
+
+The paper observes that optimizing for energy can cost bandwidth
+(Fig. 4: "optimizing for energy will yield a bandwidth that is 5.6%
+worse than the baseline") and notes designers may "formulate different
+optimization criteria".  This module operationalizes that: sweep convex
+blends of two objectives and keep the Pareto-optimal allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.profiler import LayerErrorProfile
+from ..nn.statistics import LayerStats
+from .allocator import AllocationResult, allocate_optimized
+from .objective import Objective, blended_objective
+
+
+@dataclass
+class FrontierPoint:
+    """One point of the bandwidth/energy trade-off frontier."""
+
+    alpha: float
+    result: AllocationResult
+    cost_first: float
+    cost_second: float
+
+
+def objective_cost(
+    result: AllocationResult, objective: Objective
+) -> float:
+    """Total weighted bits of an allocation under an objective."""
+    return result.allocation.weighted_bits(objective.rho)
+
+
+def tradeoff_frontier(
+    first: Objective,
+    second: Objective,
+    profiles: Mapping[str, LayerErrorProfile],
+    stats: Mapping[str, LayerStats],
+    sigma: float,
+    num_points: int = 9,
+    ordered_names: Optional[List[str]] = None,
+) -> List[FrontierPoint]:
+    """Sweep alpha in [0, 1], returning the non-dominated points."""
+    points: List[FrontierPoint] = []
+    for alpha in np.linspace(0.0, 1.0, num_points):
+        blend = blended_objective(first, second, float(alpha))
+        result = allocate_optimized(
+            blend, profiles, stats, sigma, ordered_names=ordered_names
+        )
+        points.append(
+            FrontierPoint(
+                alpha=float(alpha),
+                result=result,
+                cost_first=objective_cost(result, first),
+                cost_second=objective_cost(result, second),
+            )
+        )
+    return _non_dominated(points)
+
+
+def _non_dominated(points: List[FrontierPoint]) -> List[FrontierPoint]:
+    front = []
+    for p in points:
+        dominated = any(
+            q.cost_first <= p.cost_first
+            and q.cost_second <= p.cost_second
+            and (q.cost_first < p.cost_first or q.cost_second < p.cost_second)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    front.sort(key=lambda p: p.alpha)
+    return front

@@ -1,0 +1,104 @@
+"""Alternative Eq. 8 solver: projected gradient descent on the simplex.
+
+The SLSQP solver (:mod:`repro.optimize.sqp`) matches the paper's Octave
+``sqp``; this independent solver exists to cross-check it.  The Eq. 8
+objective is convex in ``xi`` on the feasible region (for ``theta >= 0``
+it is a sum of ``-log`` terms of concave arguments), so two different
+methods must agree — a disagreement flags a bug, and the test-suite
+asserts the agreement.
+
+The method is classical: gradient steps followed by Euclidean
+projection onto the (floored) probability simplex.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..analysis.profiler import LayerErrorProfile
+from ..errors import OptimizationError
+from .objective import Objective
+from .sqp import XiSolution, _feasibility_floor
+
+
+def project_to_simplex(values: np.ndarray, floors: np.ndarray) -> np.ndarray:
+    """Euclidean projection onto {x : sum x = 1, x >= floors}.
+
+    Standard shift-and-clip: substitute ``y = x - floors`` and project
+    onto the scaled simplex of mass ``1 - sum(floors)``.
+    """
+    if floors.sum() >= 1.0:
+        raise OptimizationError("floors exceed the unit budget")
+    mass = 1.0 - floors.sum()
+    y = values - floors
+    # Project y onto {y >= 0, sum y = mass} (Held et al. algorithm).
+    sorted_y = np.sort(y)[::-1]
+    cumulative = np.cumsum(sorted_y) - mass
+    indices = np.arange(1, y.size + 1)
+    candidates = sorted_y - cumulative / indices
+    rho = np.nonzero(candidates > 0)[0][-1]
+    tau = cumulative[rho] / (rho + 1.0)
+    projected = np.maximum(y - tau, 0.0)
+    return projected + floors
+
+
+def optimize_xi_projected(
+    objective: Objective,
+    profiles: Mapping[str, LayerErrorProfile],
+    sigma: float,
+    learning_rate: float = 0.05,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-10,
+) -> XiSolution:
+    """Solve Eq. 8 by projected gradient descent (cross-check solver)."""
+    names = [name for name in profiles if name in objective.rho]
+    if set(names) != set(objective.rho):
+        missing = set(objective.rho) - set(names)
+        raise OptimizationError(
+            f"objective references unprofiled layers: {sorted(missing)}"
+        )
+    rho = np.array([objective.rho[name] for name in names])
+    rho = rho / rho.sum()
+    lam = np.array([profiles[name].lam for name in names])
+    theta = np.array([profiles[name].theta for name in names])
+    floors = np.array(
+        [
+            _feasibility_floor(profiles[name].lam, profiles[name].theta, sigma)
+            for name in names
+        ]
+    )
+    if floors.sum() >= 1.0:
+        raise OptimizationError(
+            "infeasible: per-layer floors exceed the unit budget"
+        )
+
+    log2 = np.log(2.0)
+
+    def objective_fn(xi: np.ndarray) -> float:
+        return float(-(rho * np.log2(lam * sigma * np.sqrt(xi) + theta)).sum())
+
+    def gradient(xi: np.ndarray) -> np.ndarray:
+        delta = lam * sigma * np.sqrt(xi) + theta
+        d_delta = lam * sigma / (2.0 * np.sqrt(xi))
+        return -(rho * d_delta) / (delta * log2)
+
+    xi = project_to_simplex(np.full(len(names), 1.0 / len(names)), floors)
+    value = objective_fn(xi)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        step = learning_rate / np.sqrt(iterations)
+        candidate = project_to_simplex(xi - step * gradient(xi), floors)
+        new_value = objective_fn(candidate)
+        if abs(value - new_value) < tolerance and iterations > 10:
+            xi, value = candidate, new_value
+            break
+        xi, value = candidate, new_value
+    return XiSolution(
+        xi={name: float(x) for name, x in zip(names, xi)},
+        objective_value=value,
+        success=True,
+        message=f"projected gradient converged in {iterations} iterations",
+        num_iterations=iterations,
+    )

@@ -1,0 +1,141 @@
+"""Constrained xi optimization via SQP (paper Eq. 8).
+
+The paper solves::
+
+    min  F = sum_K rho_K * (-log2(Delta_XK))
+    s.t. sum_K xi_K = 1
+    with Delta_XK = lambda_K * sigma_YL * sqrt(xi_K) + theta_K
+
+with Octave's ``sqp``.  Here the same problem goes to
+``scipy.optimize.minimize(method="SLSQP")`` — also a sequential
+quadratic programming solver — with analytic gradients and per-layer
+feasibility floors keeping every ``Delta_XK`` positive (the objective
+is undefined otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from ..errors import OptimizationError
+from ..analysis.profiler import LayerErrorProfile
+from .objective import Objective
+
+#: Global floor on any xi entry (shares cannot vanish entirely).
+XI_FLOOR = 1e-6
+
+#: Delta must clear this multiple of |theta| above zero at the floor.
+_DELTA_MARGIN = 1e-9
+
+
+@dataclass
+class XiSolution:
+    """Result of the Eq. 8 optimization."""
+
+    xi: Dict[str, float]
+    objective_value: float
+    success: bool
+    message: str
+    num_iterations: int
+
+    def as_array(self, names: List[str]) -> np.ndarray:
+        return np.array([self.xi[name] for name in names])
+
+
+def _feasibility_floor(
+    lam: float, theta: float, sigma: float
+) -> float:
+    """Smallest xi keeping ``lam*sigma*sqrt(xi) + theta`` positive."""
+    if lam <= 0 or sigma <= 0:
+        raise OptimizationError(
+            "xi optimization requires positive lambda and sigma"
+        )
+    if theta >= 0:
+        return XI_FLOOR
+    needed = ((-theta + _DELTA_MARGIN) / (lam * sigma)) ** 2
+    return max(XI_FLOOR, float(needed))
+
+
+def optimize_xi(
+    objective: Objective,
+    profiles: Mapping[str, LayerErrorProfile],
+    sigma: float,
+    max_iterations: int = 200,
+) -> XiSolution:
+    """Solve Eq. 8 for the error-share vector xi.
+
+    Layers with larger rho get smaller xi (hence smaller Delta, more
+    bits are *saved* elsewhere): the optimizer trades precision between
+    layers exactly as Table II shows for AlexNet.
+    """
+    names = [name for name in profiles if name in objective.rho]
+    if set(names) != set(objective.rho):
+        missing = set(objective.rho) - set(names)
+        raise OptimizationError(
+            f"objective references unprofiled layers: {sorted(missing)}"
+        )
+    count = len(names)
+    if count == 0:
+        raise OptimizationError("nothing to optimize: no layers")
+    rho = np.array([objective.rho[name] for name in names])
+    rho = rho / rho.sum()
+    lam = np.array([profiles[name].lam for name in names])
+    theta = np.array([profiles[name].theta for name in names])
+    floors = np.array(
+        [
+            _feasibility_floor(profiles[name].lam, profiles[name].theta, sigma)
+            for name in names
+        ]
+    )
+    if floors.sum() >= 1.0:
+        raise OptimizationError(
+            "infeasible: per-layer floors exceed the unit budget; the "
+            "profiling fit may be degenerate (large negative theta)"
+        )
+
+    log2 = np.log(2.0)
+
+    def delta_of(xi: np.ndarray) -> np.ndarray:
+        return lam * sigma * np.sqrt(xi) + theta
+
+    def objective_fn(xi: np.ndarray) -> float:
+        return float(-(rho * np.log2(delta_of(xi))).sum())
+
+    def gradient(xi: np.ndarray) -> np.ndarray:
+        delta = delta_of(xi)
+        d_delta = lam * sigma / (2.0 * np.sqrt(xi))
+        return -(rho * d_delta) / (delta * log2)
+
+    start = np.full(count, 1.0 / count)
+    start = np.maximum(start, floors)
+    start = start / start.sum()
+    result = sciopt.minimize(
+        objective_fn,
+        start,
+        jac=gradient,
+        method="SLSQP",
+        bounds=[(float(f), 1.0) for f in floors],
+        constraints=[{"type": "eq", "fun": lambda xi: xi.sum() - 1.0}],
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+    xi = np.clip(result.x, floors, 1.0)
+    xi = xi / xi.sum()
+    return XiSolution(
+        xi={name: float(x) for name, x in zip(names, xi)},
+        objective_value=objective_fn(xi),
+        success=bool(result.success),
+        message=str(result.message),
+        num_iterations=int(result.get("nit", 0)),
+    )
+
+
+def equal_xi(names: List[str]) -> Dict[str, float]:
+    """The equal scheme: ``xi_K = 1/L`` (paper's baseline Scheme 1)."""
+    if not names:
+        raise OptimizationError("equal_xi needs at least one layer")
+    share = 1.0 / len(names)
+    return {name: share for name in names}

@@ -1,0 +1,17 @@
+"""End-to-end facade and reporting."""
+
+from .ascii_plot import bar_chart, grouped_bar_chart, scatter_plot
+from .optimizer import OptimizationOutcome, PrecisionOptimizer
+from .report import bitwidth_row, describe_outcome, format_table, savings_row
+
+__all__ = [
+    "OptimizationOutcome",
+    "PrecisionOptimizer",
+    "bar_chart",
+    "bitwidth_row",
+    "describe_outcome",
+    "format_table",
+    "grouped_bar_chart",
+    "savings_row",
+    "scatter_plot",
+]

@@ -1,0 +1,120 @@
+"""Terminal plotting: render the paper's figures without matplotlib.
+
+The repo is terminal-first (offline, CI-friendly); these helpers draw
+scatter/line series and bar charts as plain text so benchmark output
+shows the *shape* of Fig. 2-4, not just their numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+_MARKERS = "ox+*#@%&"
+
+
+def scatter_plot(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series scatter plot (one marker per series).
+
+    ``series`` maps a label to ``(xs, ys)``.  Axis ranges cover all
+    series; the legend lists marker assignments.
+    """
+    if not series:
+        raise ReproError("scatter_plot needs at least one series")
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, __ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for __, ys in series.values()])
+    if all_x.size == 0:
+        raise ReproError("series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    lines.append(f"{y_label} (top={y_hi:.4g}, bottom={y_lo:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.4g} .. {x_hi:.4g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart of label -> value (non-negative)."""
+    if not values:
+        raise ReproError("bar_chart needs at least one bar")
+    numeric = {k: float(v) for k, v in values.items()}
+    if min(numeric.values()) < 0:
+        raise ReproError("bar_chart only supports non-negative values")
+    peak = max(numeric.values()) or 1.0
+    label_width = max(len(k) for k in numeric)
+    lines = []
+    for label, value in numeric.items():
+        bar = fill * max(1 if value > 0 else 0, int(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    fills: str = "#=",
+) -> str:
+    """Per-item bars for several schemes (Fig. 4's paired bars).
+
+    ``groups`` maps item label -> {scheme -> value}.
+    """
+    if not groups:
+        raise ReproError("grouped_bar_chart needs at least one group")
+    schemes: List[str] = []
+    for by_scheme in groups.values():
+        for scheme in by_scheme:
+            if scheme not in schemes:
+                schemes.append(scheme)
+    peak = max(
+        (v for by_scheme in groups.values() for v in by_scheme.values()),
+        default=1.0,
+    ) or 1.0
+    label_width = max(len(k) for k in groups)
+    lines = [
+        " legend: "
+        + "  ".join(
+            f"{fills[i % len(fills)]}={scheme}"
+            for i, scheme in enumerate(schemes)
+        )
+    ]
+    for label, by_scheme in groups.items():
+        for i, scheme in enumerate(schemes):
+            value = float(by_scheme.get(scheme, 0.0))
+            bar = fills[i % len(fills)] * max(
+                1 if value > 0 else 0, int(value / peak * width)
+            )
+            prefix = label.rjust(label_width) if i == 0 else " " * label_width
+            lines.append(f"{prefix} |{bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,308 @@
+"""End-to-end precision optimization facade.
+
+:class:`PrecisionOptimizer` strings together the paper's stages with
+caching, so the expensive parts run once per network:
+
+1. measure per-layer statistics (``#Input``, ``#MAC``, ``max|X_K|``),
+2. profile ``lambda_K / theta_K`` by error injection (Sec. V-A),
+3. binary-search the output error budget ``sigma_YL`` for the accuracy
+   constraint (Sec. V-C, Scheme 1 or 2),
+4. optimize the error shares ``xi`` for an objective and emit bitwidths
+   (Sec. V-D), and
+5. validate the allocation on the actual quantized network, optionally
+   searching the weight bitwidth afterwards (Sec. V-E).
+
+"Changing the user constraints only requires re-running the last
+optimization step" — the caches make that true here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.profiler import ErrorProfiler, ProfileReport
+from ..analysis.sigma_search import (
+    Scheme1Evaluator,
+    Scheme2Evaluator,
+    SigmaSearchResult,
+    find_sigma,
+)
+from ..config import ProfileSettings, SearchSettings
+from ..data import Dataset
+from ..errors import ReproError
+from ..models.evaluate import top1_accuracy
+from ..nn.graph import Network
+from ..nn.statistics import LayerStats, measure_ranges, ordered_stats
+from ..optimize.allocator import (
+    AllocationResult,
+    allocate_equal_scheme,
+    allocate_optimized,
+)
+from ..weights.search import WeightSearchResult, search_weight_bitwidth
+
+
+@dataclass
+class OptimizationOutcome:
+    """A finished optimization: allocation + validation evidence."""
+
+    result: AllocationResult
+    sigma_result: SigmaSearchResult
+    baseline_accuracy: float
+    validated_accuracy: Optional[float] = None
+    weight_search: Optional[WeightSearchResult] = None
+    #: Times the sigma budget was shrunk because true-quantization
+    #: validation came in below target (0 on the common path).
+    backoff_steps: int = 0
+
+    @property
+    def bitwidths(self) -> Dict[str, int]:
+        return self.result.bitwidths()
+
+    @property
+    def meets_constraint(self) -> Optional[bool]:
+        if self.validated_accuracy is None:
+            return None
+        return self.validated_accuracy >= self.sigma_result.target_accuracy
+
+
+class PrecisionOptimizer:
+    """Profile once, then optimize for any objective and constraint."""
+
+    def __init__(
+        self,
+        network: Network,
+        dataset: Dataset,
+        profile_settings: Optional[ProfileSettings] = None,
+        search_settings: Optional[SearchSettings] = None,
+        scheme: str = "scheme1",
+        batch_size: int = 64,
+        refine: bool = True,
+    ):
+        if scheme not in ("scheme1", "scheme2"):
+            raise ReproError('scheme must be "scheme1" or "scheme2"')
+        self.network = network
+        self.dataset = dataset
+        self.profile_settings = profile_settings or ProfileSettings()
+        self.search_settings = search_settings or SearchSettings()
+        self.scheme = scheme
+        self.batch_size = batch_size
+        #: Re-profile around the operating Deltas once sigma is known
+        #: (the paper's iterative Delta guessing, Sec. V-A).
+        self.refine = refine
+        self._stats: Optional[Dict[str, LayerStats]] = None
+        self._profiles: Optional[ProfileReport] = None
+        self._refined: Dict[float, ProfileReport] = {}
+        self._baseline_accuracy: Optional[float] = None
+        self._sigma_cache: Dict[float, SigmaSearchResult] = {}
+        self._scheme2_evaluator: Optional[Scheme2Evaluator] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def layer_names(self) -> List[str]:
+        return self.network.analyzed_layer_names
+
+    def baseline_accuracy(self) -> float:
+        """Float (exact) top-1 accuracy on the evaluation dataset."""
+        if self._baseline_accuracy is None:
+            self._baseline_accuracy = top1_accuracy(
+                self.network, self.dataset, batch_size=self.batch_size
+            )
+        return self._baseline_accuracy
+
+    def stats(self) -> Dict[str, LayerStats]:
+        """Per-layer statistics, measuring max|X_K| on the dataset."""
+        if self._stats is None:
+            self._stats = measure_ranges(
+                self.network, self.dataset.images, batch_size=self.batch_size
+            )
+        return self._stats
+
+    def ordered_stats(self) -> List[LayerStats]:
+        return ordered_stats(self.network, self.stats())
+
+    def profile(self, progress: bool = False) -> ProfileReport:
+        """lambda/theta for every analyzed layer (cached)."""
+        if self._profiles is None:
+            profiler = ErrorProfiler(
+                self.network,
+                self.dataset.images,
+                settings=self.profile_settings,
+                batch_size=min(self.batch_size, 32),
+            )
+            self._profiles = profiler.profile(progress=progress)
+        return self._profiles
+
+    # ------------------------------------------------------------------
+    def sigma_for_drop(self, accuracy_drop: float) -> SigmaSearchResult:
+        """Binary search for the tolerable sigma_YL (cached per drop)."""
+        if accuracy_drop not in self._sigma_cache:
+            if self.scheme == "scheme2":
+                if self._scheme2_evaluator is None:
+                    self._scheme2_evaluator = Scheme2Evaluator(
+                        self.network,
+                        self.dataset,
+                        batch_size=self.batch_size,
+                        num_trials=self.search_settings.num_trials,
+                        seed=self.search_settings.seed,
+                    )
+                accuracy_fn = self._scheme2_evaluator.accuracy
+            else:
+                evaluator = Scheme1Evaluator(
+                    self.network,
+                    self.dataset,
+                    self.profile().profiles,
+                    batch_size=self.batch_size,
+                    num_trials=self.search_settings.num_trials,
+                    seed=self.search_settings.seed,
+                )
+                accuracy_fn = evaluator.accuracy
+            self._sigma_cache[accuracy_drop] = find_sigma(
+                accuracy_fn,
+                self.baseline_accuracy(),
+                accuracy_drop,
+                self.search_settings,
+            )
+        return self._sigma_cache[accuracy_drop]
+
+    def profiles_for_drop(self, accuracy_drop: float):
+        """Profiles to allocate with: refined around the operating point.
+
+        The initial wide-grid fit is conservative when the allocator
+        requests Deltas near or beyond the grid top.  With ``refine``
+        enabled, a second injection campaign re-measures lambda/theta
+        on grids centred on the equal-scheme operating Deltas for this
+        accuracy constraint (the paper's iterative Delta guessing).
+        """
+        if not self.refine:
+            return self.profile().profiles
+        if accuracy_drop not in self._refined:
+            from ..analysis.sigma_search import deltas_for_sigma
+
+            sigma = self.sigma_for_drop(accuracy_drop).sigma
+            coarse = self.profile().profiles
+            operating = deltas_for_sigma(coarse, sigma)
+            floor = {
+                name: max(delta, 1e-9)
+                for name, delta in operating.items()
+            }
+            profiler = ErrorProfiler(
+                self.network,
+                self.dataset.images,
+                settings=self.profile_settings,
+                batch_size=min(self.batch_size, 32),
+            )
+            self._refined[accuracy_drop] = profiler.profile_around(floor)
+        return self._refined[accuracy_drop].profiles
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        objective="input",
+        accuracy_drop: float = 0.01,
+        validate: bool = True,
+        search_weights: bool = False,
+        weight_start_bits: int = 16,
+    ) -> OptimizationOutcome:
+        """Run the full flow for one objective and accuracy constraint.
+
+        If true-quantization validation lands below target (possible on
+        small evaluation sets, where the constraint sits inside
+        measurement noise), the sigma budget is shrunk by 7% and the
+        allocation recomputed, a few times at most — keeping the
+        paper's "no accuracy criterion was violated" guarantee.
+        """
+        sigma_result = self.sigma_for_drop(accuracy_drop)
+        profiles = self.profiles_for_drop(accuracy_drop)
+        sigma = sigma_result.sigma
+        backoff = 0
+        max_backoffs = 6 if validate else 0
+        while True:
+            result = allocate_optimized(
+                objective,
+                profiles,
+                self.stats(),
+                sigma,
+                ordered_names=self.layer_names,
+            )
+            outcome, weight_search_failed = self._finish(
+                result, sigma_result, validate, search_weights,
+                weight_start_bits, accuracy_drop,
+            )
+            outcome.backoff_steps = backoff
+            acceptable = (
+                not validate
+                or (outcome.meets_constraint and not weight_search_failed)
+            )
+            if acceptable or backoff >= max_backoffs:
+                return outcome
+            sigma *= 0.93
+            backoff += 1
+
+    def equal_scheme(
+        self,
+        accuracy_drop: float = 0.01,
+        validate: bool = True,
+    ) -> OptimizationOutcome:
+        """The analytic equal-share allocation (no objective)."""
+        sigma_result = self.sigma_for_drop(accuracy_drop)
+        result = allocate_equal_scheme(
+            self.profiles_for_drop(accuracy_drop),
+            self.stats(),
+            sigma_result.sigma,
+            ordered_names=self.layer_names,
+        )
+        outcome, __ = self._finish(result, sigma_result, validate, False, 16,
+                                   accuracy_drop)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        result: AllocationResult,
+        sigma_result: SigmaSearchResult,
+        validate: bool,
+        search_weights: bool,
+        weight_start_bits: int,
+        accuracy_drop: float,
+    ):
+        """Validate and (optionally) weight-search one allocation.
+
+        Returns ``(outcome, weight_search_failed)``; a failed weight
+        search means the input allocation left no margin for any weight
+        quantization, which the caller treats like a validation miss
+        (shrink the budget and retry).
+        """
+        from ..errors import SearchError
+
+        validated = None
+        if validate:
+            validated = top1_accuracy(
+                self.network,
+                self.dataset,
+                taps=result.allocation.taps(self.network),
+                batch_size=self.batch_size,
+            )
+        weight_search = None
+        weight_search_failed = False
+        if search_weights:
+            try:
+                weight_search = search_weight_bitwidth(
+                    self.network,
+                    self.dataset,
+                    self.baseline_accuracy(),
+                    accuracy_drop,
+                    input_taps=result.allocation.taps(self.network),
+                    start_bits=weight_start_bits,
+                    batch_size=self.batch_size,
+                )
+            except SearchError:
+                weight_search_failed = True
+        outcome = OptimizationOutcome(
+            result=result,
+            sigma_result=sigma_result,
+            baseline_accuracy=self.baseline_accuracy(),
+            validated_accuracy=validated,
+            weight_search=weight_search,
+        )
+        return outcome, weight_search_failed

@@ -1,0 +1,51 @@
+"""Fixed-point quantization substrate (paper Sec. II-A)."""
+
+from .allocation import BitwidthAllocation, LayerAllocation, pareto_front
+from .clipping import (
+    ClippedAllocation,
+    clip_allocation,
+    clipping_saving_percent,
+    measure_percentile_ranges,
+)
+from .channelwise import (
+    ChannelwiseLayer,
+    channelwise_effective_bits,
+    channelwise_refinement,
+    channelwise_taps,
+    measure_channel_ranges,
+)
+from .fixed_point import (
+    FixedPointFormat,
+    format_for,
+    fraction_bits_for_delta,
+    integer_bits_for_range,
+)
+from .serialization import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    save_allocation,
+)
+
+__all__ = [
+    "BitwidthAllocation",
+    "ChannelwiseLayer",
+    "ClippedAllocation",
+    "FixedPointFormat",
+    "LayerAllocation",
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "channelwise_effective_bits",
+    "channelwise_refinement",
+    "channelwise_taps",
+    "clip_allocation",
+    "clipping_saving_percent",
+    "format_for",
+    "fraction_bits_for_delta",
+    "integer_bits_for_range",
+    "load_allocation",
+    "measure_channel_ranges",
+    "measure_percentile_ranges",
+    "pareto_front",
+    "save_allocation",
+]

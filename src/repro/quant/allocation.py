@@ -1,0 +1,235 @@
+"""Per-layer bitwidth allocations and their cost accounting.
+
+A :class:`BitwidthAllocation` maps each analyzed layer to a fixed-point
+format.  It provides the two cost views of Table II — total input bits
+(`#Input_bits`) and total MAC input bits (`#MAC_bits`) — plus the
+normalized ``effective_bitwidth`` used throughout Table III, and can
+materialize itself as quantization taps to run the network with those
+formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import MAX_BITWIDTH, MIN_BITWIDTH
+from ..errors import QuantizationError
+from ..nn.graph import Network, Tap
+from ..nn.statistics import LayerStats
+from .fixed_point import FixedPointFormat, fraction_bits_for_delta
+
+
+@dataclass(frozen=True)
+class LayerAllocation:
+    """Bitwidth decision for one analyzed layer."""
+
+    name: str
+    integer_bits: int
+    fraction_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Word length, clamped to the supported range."""
+        raw = self.integer_bits + self.fraction_bits
+        return int(np.clip(raw, MIN_BITWIDTH, MAX_BITWIDTH))
+
+    @property
+    def fmt(self) -> FixedPointFormat:
+        """The fixed-point format this allocation selects.
+
+        Fraction bits are clamped so the stored word is at least
+        ``MIN_BITWIDTH`` wide (mirroring :attr:`total_bits`).
+        """
+        fraction = max(self.fraction_bits, MIN_BITWIDTH - self.integer_bits)
+        return FixedPointFormat(self.integer_bits, fraction)
+
+
+class BitwidthAllocation:
+    """An ordered per-layer bitwidth assignment for a network."""
+
+    def __init__(self, layers: List[LayerAllocation]):
+        if not layers:
+            raise QuantizationError("allocation must cover at least one layer")
+        self._layers = list(layers)
+        self._by_name = {a.name: a for a in layers}
+        if len(self._by_name) != len(layers):
+            raise QuantizationError("duplicate layer in allocation")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_deltas(
+        cls,
+        stats: List[LayerStats],
+        deltas: Mapping[str, float],
+        allow_negative_fraction: bool = True,
+    ) -> "BitwidthAllocation":
+        """Translate per-layer error boundaries Delta_XK into formats.
+
+        This is the final step of the paper's pipeline (Sec. V-D):
+        fraction bits from Delta, integer bits from the measured range.
+        ``allow_negative_fraction=False`` disables the paper's
+        integer-bit-dropping trick (Sec. II-A), clamping F >= 0 — used
+        by the ablation benchmark.
+        """
+        layers = []
+        for stat in stats:
+            delta = deltas[stat.name]
+            fraction = fraction_bits_for_delta(delta)
+            if not allow_negative_fraction:
+                fraction = max(fraction, 0)
+            layers.append(
+                LayerAllocation(
+                    name=stat.name,
+                    integer_bits=stat.integer_bits,
+                    fraction_bits=fraction,
+                )
+            )
+        return cls(layers)
+
+    @classmethod
+    def uniform(
+        cls, stats: List[LayerStats], total_bits: int
+    ) -> "BitwidthAllocation":
+        """Same total width everywhere; fraction bits absorb the remainder."""
+        layers = [
+            LayerAllocation(
+                name=stat.name,
+                integer_bits=stat.integer_bits,
+                fraction_bits=total_bits - stat.integer_bits,
+            )
+            for stat in stats
+        ]
+        return cls(layers)
+
+    @classmethod
+    def from_bitwidths(
+        cls, stats: List[LayerStats], bitwidths: Mapping[str, int]
+    ) -> "BitwidthAllocation":
+        """Explicit per-layer total widths (integer bits from stats)."""
+        layers = [
+            LayerAllocation(
+                name=stat.name,
+                integer_bits=stat.integer_bits,
+                fraction_bits=bitwidths[stat.name] - stat.integer_bits,
+            )
+            for stat in stats
+        ]
+        return cls(layers)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[LayerAllocation]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, name: str) -> LayerAllocation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise QuantizationError(f"no allocation for layer {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> List[str]:
+        return [a.name for a in self._layers]
+
+    def bitwidths(self) -> Dict[str, int]:
+        """Per-layer total word lengths (the headline result)."""
+        return {a.name: a.total_bits for a in self._layers}
+
+    def with_layer(self, allocation: LayerAllocation) -> "BitwidthAllocation":
+        """Copy with one layer's allocation replaced."""
+        layers = [
+            allocation if a.name == allocation.name else a for a in self._layers
+        ]
+        if allocation.name not in self._by_name:
+            raise QuantizationError(
+                f"layer {allocation.name!r} is not part of this allocation"
+            )
+        return BitwidthAllocation(layers)
+
+    # ------------------------------------------------------------------
+    # Cost accounting (Table II rows: #Input_bits, #MAC_bits)
+    # ------------------------------------------------------------------
+    def weighted_bits(self, weights: Mapping[str, float]) -> float:
+        """``sum_K rho_K * B_K`` for an arbitrary weighting rho."""
+        return float(
+            sum(weights[a.name] * a.total_bits for a in self._layers)
+        )
+
+    def input_bits(self, stats: Mapping[str, LayerStats]) -> float:
+        """Total bits to read all analyzed-layer inputs for one image."""
+        return self.weighted_bits(
+            {name: stats[name].num_inputs for name in self.names}
+        )
+
+    def mac_bits(self, stats: Mapping[str, LayerStats]) -> float:
+        """Total input bits consumed by all MAC operations for one image."""
+        return self.weighted_bits(
+            {name: stats[name].num_macs for name in self.names}
+        )
+
+    def effective_bitwidth(self, weights: Mapping[str, float]) -> float:
+        """``sum(rho_K * B_K) / sum(rho_K)`` (paper Sec. V-D)."""
+        total_weight = float(sum(weights[name] for name in self.names))
+        if total_weight <= 0:
+            raise QuantizationError("effective bitwidth needs positive weights")
+        return self.weighted_bits(weights) / total_weight
+
+    # ------------------------------------------------------------------
+    def taps(self, network: Optional[Network] = None) -> Dict[str, Tap]:
+        """Quantization taps: run the network with these formats applied.
+
+        Each analyzed layer's input is replaced by its fixed-point
+        rounding, which is the ground-truth test that an allocation
+        meets the accuracy constraint.
+        """
+        if network is not None:
+            for name in self.names:
+                if name not in network:
+                    raise QuantizationError(
+                        f"allocation targets layer {name!r} absent from "
+                        f"network {network.name!r}"
+                    )
+        taps: Dict[str, Tap] = {}
+        for alloc in self._layers:
+            fmt = alloc.fmt
+            taps[alloc.name] = fmt.quantize
+        return taps
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        rows = [f"{'layer':<16} {'I':>3} {'F':>4} {'bits':>5}"]
+        for a in self._layers:
+            rows.append(
+                f"{a.name:<16} {a.integer_bits:>3} {a.fraction_bits:>4} "
+                f"{a.total_bits:>5}"
+            )
+        return "\n".join(rows)
+
+
+def pareto_front(
+    candidates: List[Tuple[BitwidthAllocation, float, float]],
+) -> List[Tuple[BitwidthAllocation, float, float]]:
+    """Non-dominated subset of (allocation, cost_a, cost_b) triples.
+
+    Utility for multi-objective exploration: keeps allocations for which
+    no other candidate is better on both costs.
+    """
+    front = []
+    for item in candidates:
+        __, cost_a, cost_b = item
+        dominated = any(
+            other_a <= cost_a and other_b <= cost_b
+            and (other_a < cost_a or other_b < cost_b)
+            for __, other_a, other_b in candidates
+        )
+        if not dominated:
+            front.append(item)
+    return front

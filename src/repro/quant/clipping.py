@@ -1,0 +1,123 @@
+"""Percentile-clipped integer ranges (saturating-format extension).
+
+The paper sizes each layer's integer width from the absolute maximum
+``max|X_K|`` so no value ever saturates.  Activation maxima are heavy-
+tailed, so this spends integer bits on a handful of outliers.  The
+standard alternative (used by essentially all later quantization
+frameworks) is to cover only a high percentile of the distribution and
+let the rare outliers saturate — trading a bounded, rare clipping error
+for one or two integer bits on every value.
+
+This module measures percentile ranges, derives the clipped integer
+widths, and provides taps so the accuracy impact can be validated the
+same way as every other allocation in this repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..nn.graph import Network, Tap
+from ..nn.statistics import LayerStats
+from .allocation import BitwidthAllocation, LayerAllocation
+from .fixed_point import integer_bits_for_range
+
+
+def measure_percentile_ranges(
+    network: Network,
+    images: np.ndarray,
+    layer_names: List[str],
+    percentile: float = 99.9,
+    batch_size: int = 64,
+) -> Dict[str, float]:
+    """Per-layer ``percentile(|x|)`` of each named layer's input.
+
+    Exact percentiles need all samples; to stay memory-bounded, the
+    per-batch percentiles are aggregated by their maximum, which upper-
+    bounds the global percentile (a conservative clip).
+    """
+    if not 50.0 < percentile <= 100.0:
+        raise QuantizationError("percentile must be in (50, 100]")
+    ranges: Dict[str, float] = {name: 0.0 for name in layer_names}
+
+    def make_tap(name: str):
+        def tap(x: np.ndarray) -> np.ndarray:
+            value = float(np.percentile(np.abs(x), percentile))
+            ranges[name] = max(ranges[name], value)
+            return x
+
+        return tap
+
+    taps = {name: make_tap(name) for name in layer_names}
+    for start in range(0, images.shape[0], batch_size):
+        network.forward(images[start : start + batch_size], taps=taps)
+    return ranges
+
+
+@dataclass
+class ClippedAllocation:
+    """A per-layer allocation with percentile-clipped integer widths."""
+
+    allocation: BitwidthAllocation
+    percentile: float
+    clipped_ranges: Dict[str, float]
+
+    def bitwidths(self) -> Dict[str, int]:
+        return self.allocation.bitwidths()
+
+    def taps(self, network: Network) -> Dict[str, Tap]:
+        """Saturating quantization taps at the clipped ranges."""
+        return self.allocation.taps(network)
+
+
+def clip_allocation(
+    allocation: BitwidthAllocation,
+    clipped_ranges: Mapping[str, float],
+    percentile: float = 99.9,
+) -> ClippedAllocation:
+    """Shrink integer widths to cover only the percentile range.
+
+    Each layer keeps its fraction width (the error budget, Eq. 7); the
+    integer width is re-derived from the clipped range, never exceeding
+    the original.  Values beyond the clipped range saturate — the
+    validation pass decides whether that costs accuracy.
+    """
+    layers = []
+    for layer in allocation:
+        if layer.name in clipped_ranges:
+            clipped_bits = integer_bits_for_range(
+                float(clipped_ranges[layer.name])
+            )
+            integer_bits = min(layer.integer_bits, clipped_bits)
+        else:
+            integer_bits = layer.integer_bits
+        layers.append(
+            LayerAllocation(
+                name=layer.name,
+                integer_bits=integer_bits,
+                fraction_bits=layer.fraction_bits,
+            )
+        )
+    return ClippedAllocation(
+        allocation=BitwidthAllocation(layers),
+        percentile=percentile,
+        clipped_ranges=dict(clipped_ranges),
+    )
+
+
+def clipping_saving_percent(
+    original: BitwidthAllocation,
+    clipped: ClippedAllocation,
+    stats: Mapping[str, LayerStats],
+) -> float:
+    """Input-traffic saving (%) from percentile clipping alone."""
+    rho = {name: float(stats[name].num_inputs) for name in original.names}
+    before = original.weighted_bits(rho)
+    after = clipped.allocation.weighted_bits(rho)
+    if before <= 0:
+        raise QuantizationError("original allocation has no weighted bits")
+    return 100.0 * (before - after) / before

@@ -1,0 +1,131 @@
+"""Fixed-point ``I.F`` formats and uniform quantization (paper Sec. II-A).
+
+A value is represented with ``I`` integer bits (including sign) and
+``F`` fraction bits.  With correct rounding, the worst-case rounding
+error is ``Delta = 2**-(F+1)`` — the paper's quantization-error
+boundary.  Two paper-specific behaviours are supported:
+
+* **Negative fraction bits.**  When the tolerated ``Delta`` exceeds 1,
+  low-order *integer* bits may be dropped ("saving the integer bitwidth
+  when Delta is greater than 1"), which corresponds to ``F < 0`` with an
+  implicit scaling shift; the total word length is still ``I + F``.
+* **Saturation.**  The integer width is chosen from the measured value
+  range, so in-range values never overflow; out-of-range values clamp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``integer_bits`` + ``fraction_bits``.
+
+    ``integer_bits`` includes the sign bit.  ``fraction_bits`` may be
+    negative (implicit power-of-two scaling).
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise QuantizationError(
+                f"integer_bits must be >= 1 (sign bit); got {self.integer_bits}"
+            )
+        if self.total_bits < 1:
+            raise QuantizationError(
+                f"format {self.integer_bits}.{self.fraction_bits} has "
+                f"non-positive total width {self.total_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Stored word length ``I + F`` (F may be negative)."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def step(self) -> float:
+        """Quantization step size ``2**-F``."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def delta(self) -> float:
+        """Worst-case rounding error ``2**-(F+1)`` (half a step)."""
+        return 2.0 ** (-(self.fraction_bits + 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return 2.0 ** (self.integer_bits - 1) - self.step
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2.0 ** (self.integer_bits - 1))
+
+    @property
+    def error_std(self) -> float:
+        """Std of the uniform rounding-error model: ``(2*Delta)/sqrt(12)``.
+
+        Paper Sec. II-A (after Widrow et al.): quantization error is
+        white uniform noise on ``[-Delta, Delta]`` with variance
+        ``(2*Delta)**2 / 12``.
+        """
+        return 2.0 * self.delta / math.sqrt(12.0)
+
+    # ------------------------------------------------------------------
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value, saturating the range."""
+        x = np.asarray(x, dtype=np.float64)
+        q = np.round(x / self.step) * self.step
+        return np.clip(q, self.min_value, self.max_value)
+
+    def rounding_error(self, x: np.ndarray) -> np.ndarray:
+        """``quantize(x) - x`` (bounded by ``delta`` for in-range inputs)."""
+        return self.quantize(x) - x
+
+    def __str__(self) -> str:
+        return f"{self.integer_bits}.{self.fraction_bits}"
+
+
+def fraction_bits_for_delta(delta: float) -> int:
+    """Smallest F whose worst-case error is <= delta: ``ceil(-log2(2*delta))``.
+
+    Paper Sec. II-A: "we can assign ceil(-log2(2*delta_x)) as the F".
+    """
+    if delta <= 0:
+        raise QuantizationError(f"delta must be positive; got {delta}")
+    exact = -math.log2(2.0 * delta)
+    ceiled = math.ceil(exact)
+    # Guard against float fuzz on exact powers of two.
+    if abs(exact - round(exact)) < 1e-12:
+        ceiled = int(round(exact))
+    return ceiled
+
+
+def integer_bits_for_range(max_abs: float) -> int:
+    """Signed integer bits avoiding overflow: ``ceil(log2(max|x|)) + 1``."""
+    if max_abs <= 0:
+        return 1
+    exact = math.log2(max_abs)
+    ceiled = math.ceil(exact)
+    if abs(exact - round(exact)) < 1e-12:
+        # A value exactly at a power of two needs one more bit to include it.
+        ceiled = int(round(exact)) + 1
+    return max(1, ceiled + 1)
+
+
+def format_for(delta: float, max_abs: float) -> FixedPointFormat:
+    """Format guaranteeing error <= delta on values bounded by max_abs."""
+    return FixedPointFormat(
+        integer_bits=integer_bits_for_range(max_abs),
+        fraction_bits=fraction_bits_for_delta(delta),
+    )

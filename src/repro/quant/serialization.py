@@ -1,0 +1,89 @@
+"""Serialize bitwidth allocations to/from JSON.
+
+An allocation is the tool's deliverable — the per-layer formats a
+hardware team consumes.  The JSON schema keeps integer and fraction
+widths separately (the word length alone cannot reconstruct the format)
+plus optional provenance (objective, sigma, accuracy evidence).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..errors import QuantizationError
+from .allocation import BitwidthAllocation, LayerAllocation
+
+PathLike = Union[str, Path]
+
+#: Bumped when the stored schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def allocation_to_dict(
+    allocation: BitwidthAllocation,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """JSON-ready representation of an allocation."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "layers": [
+            {
+                "name": layer.name,
+                "integer_bits": layer.integer_bits,
+                "fraction_bits": layer.fraction_bits,
+                "total_bits": layer.total_bits,
+            }
+            for layer in allocation
+        ],
+        "provenance": dict(provenance or {}),
+    }
+
+
+def allocation_from_dict(data: Dict[str, Any]) -> BitwidthAllocation:
+    """Rebuild an allocation from its dict form (total_bits is derived)."""
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise QuantizationError(
+            f"unsupported allocation schema {data.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    layers = []
+    for entry in data.get("layers", []):
+        try:
+            layers.append(
+                LayerAllocation(
+                    name=entry["name"],
+                    integer_bits=int(entry["integer_bits"]),
+                    fraction_bits=int(entry["fraction_bits"]),
+                )
+            )
+        except KeyError as missing:
+            raise QuantizationError(
+                f"allocation entry missing field {missing}"
+            ) from None
+    return BitwidthAllocation(layers)
+
+
+def save_allocation(
+    allocation: BitwidthAllocation,
+    path: PathLike,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write an allocation (plus provenance) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(
+            allocation_to_dict(allocation, provenance), handle, indent=2
+        )
+    return path
+
+
+def load_allocation(path: PathLike) -> BitwidthAllocation:
+    """Read an allocation previously written by :func:`save_allocation`."""
+    path = Path(path)
+    if not path.exists():
+        raise QuantizationError(f"no allocation file at {path}")
+    with open(path) as handle:
+        return allocation_from_dict(json.load(handle))

@@ -1,0 +1,26 @@
+"""Weight quantization and weight bitwidth search (paper Sec. V-E)."""
+
+from .analytic import (
+    AnalyticWeightAllocation,
+    WeightErrorProfiler,
+    allocate_weight_bits,
+)
+from .quantizer import QuantizedWeights, weight_format
+from .search import (
+    PerLayerWeightSearchResult,
+    WeightSearchResult,
+    search_per_layer_weight_bits,
+    search_weight_bitwidth,
+)
+
+__all__ = [
+    "AnalyticWeightAllocation",
+    "PerLayerWeightSearchResult",
+    "QuantizedWeights",
+    "WeightErrorProfiler",
+    "WeightSearchResult",
+    "allocate_weight_bits",
+    "search_per_layer_weight_bits",
+    "search_weight_bitwidth",
+    "weight_format",
+]

@@ -1,0 +1,199 @@
+"""Analytic weight bitwidth allocation (extending Eq. 5 to weights).
+
+The paper allocates *input* bitwidths analytically but falls back to
+dynamic search for weights (Sec. V-E).  Nothing in the error model
+requires that: a weight rounding error ``delta_w`` propagates through
+the very same dot products as an input error (Eq. 1 is symmetric in
+``w`` and ``x``), so the cross-layer linear law
+
+``Delta_WK ≈ lambda^w_K * sigma_{Y_K->L} + theta^w_K``
+
+holds for uniform noise injected into layer K's *weights*, and the
+whole sigma-budget / xi-optimization pipeline applies unchanged.  This
+module profiles those weight-error constants and allocates per-layer
+weight bitwidths analytically — the repo's answer to the paper's "our
+bitwidth optimization method can also work well with other weights
+quantization techniques".
+
+Weight errors differ from input errors in two practical ways, both
+handled here:
+
+* Weights are *fixed*, so a single rounding draw (not a distribution
+  over images) is realized; profiling still injects fresh uniform noise
+  per trial to estimate the induced output-error scale.
+* The weight budget must be *split* with the input budget: callers pass
+  ``budget_fraction`` (default half the variance) so combined input +
+  weight errors stay within the user's sigma_YL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.profiler import LayerErrorProfile, ProfileReport
+from ..analysis.regression import fit_line
+from ..config import ProfileSettings
+from ..errors import ProfilingError
+from ..nn.graph import Network
+from ..nn.layers import Conv2D, Dense
+from ..quant.fixed_point import fraction_bits_for_delta, integer_bits_for_range
+
+
+class WeightErrorProfiler:
+    """Measures lambda^w / theta^w by injecting noise into weights."""
+
+    def __init__(
+        self,
+        network: Network,
+        images: np.ndarray,
+        settings: Optional[ProfileSettings] = None,
+        batch_size: int = 32,
+    ):
+        self.network = network
+        self.images = np.asarray(images, dtype=np.float64)
+        self.settings = settings or ProfileSettings()
+        self.batch_size = batch_size
+        if self.images.shape[0] < 1:
+            raise ProfilingError("profiling needs at least one image")
+
+    def _weight_layers(self, names: Optional[List[str]]) -> List[str]:
+        candidates = names or self.network.analyzed_layer_names
+        selected = []
+        for name in candidates:
+            layer = self.network[name]
+            if not isinstance(layer, (Conv2D, Dense)):
+                raise ProfilingError(
+                    f"layer {name!r} has no weights to profile"
+                )
+            selected.append(name)
+        return selected
+
+    def profile(
+        self, layer_names: Optional[List[str]] = None
+    ) -> ProfileReport:
+        """Fit ``Delta_W = lambda^w * sigma_{Y->L} + theta^w`` per layer."""
+        import time
+
+        start_time = time.perf_counter()
+        settings = self.settings
+        names = self._weight_layers(layer_names)
+        num_images = min(settings.num_images, self.images.shape[0])
+        images = self.images[:num_images]
+        rng = np.random.default_rng(settings.seed)
+
+        profiles: Dict[str, LayerErrorProfile] = {}
+        for name in names:
+            layer = self.network[name]
+            weight = layer.weight
+            scale = float(np.abs(weight).std()) or 1.0
+            grid = np.geomspace(
+                scale * settings.delta_min,
+                scale * settings.delta_max,
+                settings.num_delta_points,
+            )
+            sq_sums = np.zeros(settings.num_delta_points)
+            counts = np.zeros(settings.num_delta_points)
+            for batch_start in range(0, num_images, self.batch_size):
+                batch = images[batch_start : batch_start + self.batch_size]
+                cache = self.network.run_all(batch)
+                reference = cache[self.network.output_name]
+                for j, delta in enumerate(grid):
+                    for __ in range(settings.num_repeats):
+                        noise = rng.uniform(
+                            -delta, delta, size=weight.shape
+                        )
+                        layer.weight = weight + noise
+                        try:
+                            perturbed = self.network.forward_from(
+                                cache, name, lambda x: x
+                            )
+                        finally:
+                            layer.weight = weight
+                        err = perturbed - reference
+                        sq_sums[j] += float((err * err).sum())
+                        counts[j] += err.size
+            sigmas = np.sqrt(sq_sums / np.maximum(counts, 1.0))
+            if np.all(sigmas == 0.0):
+                raise ProfilingError(
+                    f"weight noise at {name!r} never perturbed the output"
+                )
+            fit = fit_line(sigmas, grid)
+            profiles[name] = LayerErrorProfile(
+                name=name,
+                lam=fit.slope,
+                theta=fit.intercept,
+                r_squared=fit.r_squared,
+                max_relative_error=fit.max_relative_error,
+                deltas=grid,
+                sigmas=sigmas,
+            )
+        return ProfileReport(
+            profiles=profiles,
+            num_images=num_images,
+            elapsed_seconds=time.perf_counter() - start_time,
+        )
+
+
+@dataclass
+class AnalyticWeightAllocation:
+    """Per-layer weight formats derived analytically."""
+
+    bits: Dict[str, int]
+    deltas: Dict[str, float]
+    sigma_weights: float
+    budget_fraction: float
+
+    def effective_bits(self, weights: Mapping[str, float]) -> float:
+        total = sum(weights[name] for name in self.bits)
+        return (
+            sum(weights[name] * b for name, b in self.bits.items()) / total
+        )
+
+
+def allocate_weight_bits(
+    network: Network,
+    weight_profiles: Mapping[str, LayerErrorProfile],
+    sigma_total: float,
+    budget_fraction: float = 0.5,
+    xi: Optional[Mapping[str, float]] = None,
+    min_bits: int = 2,
+    max_bits: int = 16,
+) -> AnalyticWeightAllocation:
+    """Turn a sigma budget share into per-layer weight bitwidths.
+
+    ``budget_fraction`` is the fraction of the total error *variance*
+    granted to weights (inputs keep the rest): by Eq. 6 the weight-error
+    std budget is ``sigma_total * sqrt(budget_fraction)``.  ``xi``
+    splits that budget across layers (default: equal shares).
+    """
+    if not 0.0 < budget_fraction < 1.0:
+        raise ProfilingError("budget_fraction must be in (0, 1)")
+    names = list(weight_profiles)
+    if xi is None:
+        xi = {name: 1.0 / len(names) for name in names}
+    sigma_weights = sigma_total * math.sqrt(budget_fraction)
+    bits: Dict[str, int] = {}
+    deltas: Dict[str, float] = {}
+    for name in names:
+        profile = weight_profiles[name]
+        delta = profile.delta_for_sigma(
+            sigma_weights * math.sqrt(xi[name])
+        )
+        delta = max(delta, 1e-12)
+        weight = network[name].weight
+        max_abs = float(np.max(np.abs(weight))) if weight.size else 1.0
+        integer_bits = integer_bits_for_range(max_abs)
+        fraction_bits = max(fraction_bits_for_delta(delta), 0)
+        total = int(np.clip(integer_bits + fraction_bits, min_bits, max_bits))
+        bits[name] = total
+        deltas[name] = delta
+    return AnalyticWeightAllocation(
+        bits=bits,
+        deltas=deltas,
+        sigma_weights=sigma_weights,
+        budget_fraction=budget_fraction,
+    )

@@ -1,0 +1,77 @@
+"""Weight quantization for analyzed layers.
+
+Weights are constants at inference time, so quantizing them is a static
+transformation of the stored tensors.  :class:`QuantizedWeights` swaps
+fixed-point-rounded weights in and restores the originals on exit, so
+accuracy tests under candidate weight bitwidths (Sec. V-E) do not
+disturb the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..nn.graph import Network
+from ..nn.layers import Conv2D, Dense
+from ..quant.fixed_point import FixedPointFormat, integer_bits_for_range
+
+
+def weight_format(weight: np.ndarray, total_bits: int) -> FixedPointFormat:
+    """Fixed-point format for a weight tensor at a given word length.
+
+    Integer bits cover the tensor's dynamic range; the remaining bits
+    are fraction bits (possibly negative integer-bit savings do not
+    apply to weights, whose magnitudes are small).
+    """
+    max_abs = float(np.max(np.abs(weight))) if weight.size else 0.0
+    integer_bits = integer_bits_for_range(max_abs)
+    fraction_bits = total_bits - integer_bits
+    if fraction_bits < 0:
+        raise QuantizationError(
+            f"{total_bits} bits cannot represent weights with range "
+            f"{max_abs:.3g} (needs {integer_bits} integer bits)"
+        )
+    return FixedPointFormat(integer_bits, fraction_bits)
+
+
+class QuantizedWeights:
+    """Context manager: run the network with quantized weights.
+
+    ``bits`` is either one word length for every analyzed layer or a
+    per-layer mapping.  Bias terms are left exact (they are folded into
+    the accumulator at full precision in the modelled accelerators).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        bits: Union[int, Mapping[str, int]],
+        layer_names: Optional[Sequence[str]] = None,
+    ):
+        self.network = network
+        names = list(layer_names or network.analyzed_layer_names)
+        if isinstance(bits, int):
+            self.bits: Dict[str, int] = {name: bits for name in names}
+        else:
+            self.bits = {name: bits[name] for name in names}
+        self._saved: Dict[str, np.ndarray] = {}
+
+    def __enter__(self) -> "QuantizedWeights":
+        for name, total_bits in self.bits.items():
+            layer = self.network[name]
+            if not isinstance(layer, (Conv2D, Dense)):
+                raise QuantizationError(
+                    f"layer {name!r} has no weights to quantize"
+                )
+            self._saved[name] = layer.weight
+            fmt = weight_format(layer.weight, total_bits)
+            layer.weight = fmt.quantize(layer.weight)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for name, weight in self._saved.items():
+            self.network[name].weight = weight
+        self._saved.clear()

@@ -1,0 +1,185 @@
+"""Weight bitwidth search (paper Sec. V-E).
+
+"The extended version of Stripes [1], Loom [2] searches for weight
+bitwidth after the reduction in input bitwidth has been made.  We
+integrated the same method at the end of the input optimization
+process."  Concretely: with the optimized input (activation) formats
+applied, descend a uniform weight word length until the accuracy
+constraint would break, and keep the smallest passing width (the ``W``
+columns of Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..data import Dataset
+from ..errors import QuantizationError, SearchError
+from ..models.evaluate import top1_accuracy
+from ..nn.graph import Network, Tap
+from .quantizer import QuantizedWeights
+
+
+@dataclass
+class WeightSearchResult:
+    """Smallest accuracy-preserving uniform weight bitwidth."""
+
+    bits: int
+    accuracy: float
+    evaluations: int
+
+
+@dataclass
+class PerLayerWeightSearchResult:
+    """Per-layer weight bitwidths (Loom-style, Sec. V-E extension)."""
+
+    bits: "dict[str, int]"
+    accuracy: float
+    evaluations: int
+    joint_increments: int
+
+    def effective_bits(self, weights: "dict[str, float]") -> float:
+        """Weighted mean weight bitwidth (same form as effective_bitwidth)."""
+        total = sum(weights[name] for name in self.bits)
+        return sum(
+            weights[name] * b for name, b in self.bits.items()
+        ) / total
+
+
+def search_weight_bitwidth(
+    network: Network,
+    dataset: Dataset,
+    baseline_accuracy: float,
+    max_relative_drop: float,
+    input_taps: Optional[Mapping[str, Tap]] = None,
+    start_bits: int = 16,
+    min_bits: int = 2,
+    batch_size: int = 64,
+) -> WeightSearchResult:
+    """Descend the uniform weight width under the accuracy constraint.
+
+    ``input_taps`` should be the quantization taps of the already
+    optimized activation allocation, so the combined effect is tested,
+    exactly as the paper integrates the two steps.
+    """
+    if start_bits < min_bits:
+        raise SearchError("start_bits must be >= min_bits")
+    target = baseline_accuracy * (1.0 - max_relative_drop)
+    best: Optional[WeightSearchResult] = None
+    evaluations = 0
+    for bits in range(start_bits, min_bits - 1, -1):
+        try:
+            with QuantizedWeights(network, bits):
+                accuracy = top1_accuracy(
+                    network, dataset, taps=input_taps, batch_size=batch_size
+                )
+        except QuantizationError:
+            # Too few bits to even cover some layer's weight range.
+            break
+        evaluations += 1
+        if accuracy >= target:
+            best = WeightSearchResult(
+                bits=bits, accuracy=accuracy, evaluations=evaluations
+            )
+        else:
+            break
+    if best is None:
+        raise SearchError(
+            f"even {start_bits}-bit weights violate the accuracy target "
+            f"{target:.3f}"
+        )
+    return best
+
+
+def search_per_layer_weight_bits(
+    network: Network,
+    dataset: Dataset,
+    baseline_accuracy: float,
+    max_relative_drop: float,
+    input_taps: Optional[Mapping[str, Tap]] = None,
+    per_layer_tolerance: Optional[float] = None,
+    start_bits: int = 16,
+    min_bits: int = 2,
+    batch_size: int = 64,
+) -> PerLayerWeightSearchResult:
+    """Loom-style per-layer weight bitwidths (Sec. V-E extension).
+
+    Loom [Sharify et al., DAC'18] exploits per-layer *weight* precision
+    on top of per-layer activation precision.  The search mirrors the
+    Judd two-phase procedure: per-layer minima with every other layer's
+    weights exact, each tested against the *user's* accuracy constraint
+    (``per_layer_tolerance`` overrides it with a stricter per-layer
+    bound), then uniform inflation until the joint assignment meets the
+    constraint.  Demanding bit-exact per-layer accuracy would be
+    meaningless here: when the input allocation has already spent the
+    accuracy budget, a handful of images sit on razor-thin logit
+    margins and flip under any perturbation, however small.
+    """
+    if start_bits < min_bits:
+        raise SearchError("start_bits must be >= min_bits")
+    target = baseline_accuracy * (1.0 - max_relative_drop)
+    names = network.analyzed_layer_names
+    evaluations = 0
+
+    def accuracy_with(bits: "dict[str, int]") -> float:
+        nonlocal evaluations
+        evaluations += 1
+        with QuantizedWeights(network, bits, layer_names=list(bits)):
+            return top1_accuracy(
+                network, dataset, taps=input_taps, batch_size=batch_size
+            )
+
+    # Sanity: input quantization alone must still meet the constraint.
+    with_inputs_only = top1_accuracy(
+        network, dataset, taps=input_taps, batch_size=batch_size
+    )
+    if with_inputs_only < target:
+        raise SearchError(
+            f"input quantization alone ({with_inputs_only:.3f}) already "
+            f"violates the target ({target:.3f}); re-run the input "
+            "optimization with a tighter budget first"
+        )
+    if per_layer_tolerance is None:
+        layer_target = target
+    else:
+        layer_target = baseline_accuracy * (1.0 - per_layer_tolerance)
+
+    # Phase 1: per-layer minima (only one layer quantized at a time).
+    # The widest format is accepted by construction — its rounding error
+    # is negligible, so a sub-target measurement there is evaluation
+    # noise (razor-margin samples), not a real violation.
+    minima: "dict[str, int]" = {}
+    for name in names:
+        best = start_bits
+        for bits in range(start_bits - 1, min_bits - 1, -1):
+            try:
+                accuracy = accuracy_with({name: bits})
+            except QuantizationError:
+                break
+            if accuracy >= layer_target:
+                best = bits
+            else:
+                break
+        minima[name] = best
+
+    # Phase 2: joint repair.  All-at-start_bits is accepted like phase
+    # 1's widest format (near-lossless; sub-target readings are noise).
+    increments = 0
+    while True:
+        bits = {
+            name: min(b + increments, start_bits)
+            for name, b in minima.items()
+        }
+        accuracy = accuracy_with(bits)
+        if accuracy >= target or all(
+            b >= start_bits for b in bits.values()
+        ):
+            break
+        increments += 1
+    return PerLayerWeightSearchResult(
+        bits=bits,
+        accuracy=accuracy,
+        evaluations=evaluations,
+        joint_increments=increments,
+    )

@@ -1,0 +1,66 @@
+"""Tests for bootstrap confidence intervals on lambda/theta."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_profile
+from repro.analysis.profiler import LayerErrorProfile
+from repro.errors import ProfilingError
+
+
+def synthetic_profile(noise=0.02, count=20, lam=50.0, theta=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    sigmas = np.geomspace(0.001, 0.2, count)
+    deltas = lam * sigmas + theta
+    deltas = deltas * (1 + rng.normal(0, noise, size=count))
+    return LayerErrorProfile(
+        name="synthetic",
+        lam=lam,
+        theta=theta,
+        r_squared=1.0,
+        max_relative_error=noise,
+        deltas=deltas,
+        sigmas=sigmas,
+    )
+
+
+class TestBootstrapProfile:
+    def test_interval_contains_true_lambda(self):
+        profile = synthetic_profile()
+        fit = bootstrap_profile(profile, num_resamples=300, seed=1)
+        assert fit.lam.contains(50.0)
+
+    def test_more_noise_widens_interval(self):
+        quiet = bootstrap_profile(synthetic_profile(noise=0.01), seed=2)
+        loud = bootstrap_profile(synthetic_profile(noise=0.15), seed=2)
+        assert loud.lam.width > quiet.lam.width
+
+    def test_interval_ordering(self):
+        fit = bootstrap_profile(synthetic_profile(), seed=3)
+        assert fit.lam.low <= fit.lam.high
+        assert fit.theta.low <= fit.theta.high
+
+    def test_relative_width_positive(self):
+        fit = bootstrap_profile(synthetic_profile(), seed=4)
+        assert fit.lam.relative_width > 0
+
+    def test_deterministic_given_seed(self):
+        profile = synthetic_profile()
+        a = bootstrap_profile(profile, seed=9)
+        b = bootstrap_profile(profile, seed=9)
+        assert a.lam.low == b.lam.low
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ProfilingError):
+            bootstrap_profile(synthetic_profile(), confidence=1.5)
+
+    def test_rejects_tiny_profiles(self):
+        profile = synthetic_profile(count=2)
+        with pytest.raises(ProfilingError):
+            bootstrap_profile(profile)
+
+    def test_works_on_real_profile(self, lenet_profiles):
+        profile = next(iter(lenet_profiles))
+        fit = bootstrap_profile(profile, num_resamples=100)
+        # the point estimate must sit inside its own CI
+        assert fit.lam.contains(profile.lam)

@@ -1,0 +1,94 @@
+"""Tests for the post-hoc error-budget verification (Eq. 6/7 audit)."""
+
+import pytest
+
+from repro.analysis import verify_error_budget
+from repro.errors import ProfilingError
+from repro.nn import ordered_stats
+from repro.quant import BitwidthAllocation
+
+
+@pytest.fixture(scope="module")
+def verification(lenet, lenet_stats, datasets):
+    __, test = datasets
+    stats = ordered_stats(lenet, lenet_stats)
+    allocation = BitwidthAllocation.uniform(stats, 8)
+    return (
+        allocation,
+        verify_error_budget(lenet, test.images[:48], allocation, sigma=0.5),
+    )
+
+
+class TestVerification:
+    def test_one_check_per_layer(self, lenet, verification):
+        __, result = verification
+        assert len(result.layers) == len(lenet.analyzed_layer_names)
+
+    def test_measured_sigmas_positive(self, verification):
+        __, result = verification
+        for check in result.layers:
+            assert check.measured_sigma > 0
+
+    def test_joint_close_to_rss(self, verification):
+        """Eq. 6: the joint error tracks the root-sum-square of the
+        per-layer errors within a modest factor (correlations exist but
+        do not dominate)."""
+        __, result = verification
+        assert result.additivity_error < 0.5
+
+    def test_rows_structure(self, verification):
+        __, result = verification
+        rows = result.rows()
+        assert {"layer", "budget_sigma", "measured_sigma", "utilization"} == (
+            set(rows[0])
+        )
+
+    def test_wider_formats_use_less_budget(self, lenet, lenet_stats, datasets):
+        """Adding bits must shrink every layer's measured contribution."""
+        __, test = datasets
+        stats = ordered_stats(lenet, lenet_stats)
+        narrow = verify_error_budget(
+            lenet, test.images[:32],
+            BitwidthAllocation.uniform(stats, 6), sigma=0.5,
+        )
+        wide = verify_error_budget(
+            lenet, test.images[:32],
+            BitwidthAllocation.uniform(stats, 10), sigma=0.5,
+        )
+        for n, w in zip(narrow.layers, wide.layers):
+            assert w.measured_sigma < n.measured_sigma
+
+    def test_rejects_bad_sigma(self, lenet, lenet_stats, datasets):
+        __, test = datasets
+        stats = ordered_stats(lenet, lenet_stats)
+        allocation = BitwidthAllocation.uniform(stats, 8)
+        with pytest.raises(ProfilingError):
+            verify_error_budget(lenet, test.images[:8], allocation, sigma=0.0)
+
+
+class TestPipelineBudgetAudit:
+    def test_allocation_respects_its_budget(self, lenet, datasets):
+        """The end-to-end guarantee in budget terms: the measured joint
+        error of an optimized allocation stays at or below the sigma
+        budget it was derived from (ceil() adds headroom)."""
+        from repro import PrecisionOptimizer
+        from repro.config import ProfileSettings, SearchSettings
+
+        __, test = datasets
+        optimizer = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=ProfileSettings(num_images=12, num_delta_points=6),
+            search_settings=SearchSettings(tolerance=0.05, num_trials=1),
+        )
+        outcome = optimizer.optimize("input", accuracy_drop=0.05)
+        result = verify_error_budget(
+            lenet,
+            test.images[:48],
+            outcome.result.allocation,
+            sigma=outcome.result.sigma,
+            xi=outcome.result.xi,
+        )
+        # Paper's safety direction: measured <= budget (with slack for
+        # measurement noise).
+        assert result.joint_utilization < 1.3

@@ -1,0 +1,119 @@
+"""Unit tests for noise injection primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    injected_output_error,
+    multi_layer_uniform_taps,
+    output_error_std,
+    perturb_logits,
+    uniform_noise_tap,
+)
+
+
+class TestUniformNoiseTap:
+    def test_noise_bounded_by_delta(self):
+        rng = np.random.default_rng(0)
+        tap = uniform_noise_tap(0.5, rng)
+        x = np.ones((100,))
+        noise = tap(x) - x
+        assert np.all(np.abs(noise) <= 0.5)
+
+    def test_zeros_preserved_by_default(self):
+        rng = np.random.default_rng(1)
+        tap = uniform_noise_tap(1.0, rng)
+        x = np.array([0.0, 1.0, 0.0, -2.0])
+        out = tap(x)
+        assert out[0] == 0.0 and out[2] == 0.0
+        assert out[1] != 1.0 or out[3] != -2.0
+
+    def test_zeros_perturbed_when_disabled(self):
+        rng = np.random.default_rng(2)
+        tap = uniform_noise_tap(1.0, rng, preserve_zeros=False)
+        x = np.zeros(1000)
+        assert np.any(tap(x) != 0.0)
+
+    def test_fresh_noise_each_call(self):
+        rng = np.random.default_rng(3)
+        tap = uniform_noise_tap(1.0, rng)
+        x = np.ones(50)
+        assert not np.allclose(tap(x), tap(x))
+
+    @settings(max_examples=30, deadline=None)
+    @given(delta=st.floats(min_value=1e-6, max_value=1e3))
+    def test_noise_statistics(self, delta):
+        """PROPERTY: injected noise matches U[-delta, delta] moments."""
+        rng = np.random.default_rng(int(delta * 1000) % 2**31)
+        tap = uniform_noise_tap(delta, rng)
+        x = np.ones(20_000)
+        noise = tap(x) - x
+        assert noise.std() == pytest.approx(2 * delta / np.sqrt(12), rel=0.05)
+        assert abs(noise.mean()) < delta * 0.05
+
+
+class TestMultiLayerTaps:
+    def test_one_tap_per_layer(self):
+        rng = np.random.default_rng(0)
+        taps = multi_layer_uniform_taps({"a": 0.1, "b": 0.2}, rng)
+        assert set(taps) == {"a", "b"}
+
+    def test_taps_use_their_own_delta(self):
+        rng = np.random.default_rng(1)
+        taps = multi_layer_uniform_taps({"small": 0.01, "big": 10.0}, rng)
+        x = np.ones(1000)
+        small = np.abs(taps["small"](x) - x).max()
+        big = np.abs(taps["big"](x) - x).max()
+        assert small <= 0.01 and big > 1.0
+
+
+class TestPerturbLogits:
+    def test_zero_sigma_is_identity(self):
+        rng = np.random.default_rng(0)
+        logits = np.ones((4, 3))
+        assert perturb_logits(logits, 0.0, rng) is logits
+
+    def test_noise_statistics(self):
+        rng = np.random.default_rng(1)
+        logits = np.zeros((500, 100))
+        noisy = perturb_logits(logits, 0.7, rng)
+        assert noisy.std() == pytest.approx(0.7, rel=0.02)
+
+
+class TestInjectedOutputError:
+    def test_error_grows_with_delta(self, lenet, images):
+        cache = lenet.run_all(images)
+        rng = np.random.default_rng(0)
+        small = injected_output_error(lenet, cache, "conv1", 0.01, rng)
+        large = injected_output_error(lenet, cache, "conv1", 1.0, rng)
+        assert large.std() > small.std() * 10
+
+    def test_zero_when_no_noise(self, lenet, images):
+        cache = lenet.run_all(images)
+        rng = np.random.default_rng(0)
+        err = injected_output_error(lenet, cache, "conv2", 0.0, rng)
+        # preserve_zeros keeps exact zeros; delta=0 noise is all zeros
+        np.testing.assert_allclose(err, 0.0, atol=1e-12)
+
+
+class TestOutputErrorStd:
+    def test_positive_for_positive_deltas(self, lenet, images):
+        rng = np.random.default_rng(0)
+        sigma = output_error_std(
+            lenet, images, {"conv1": 0.5, "conv2": 0.5}, rng
+        )
+        assert sigma > 0
+
+    def test_batching_consistency(self, lenet, images):
+        sig_a = output_error_std(
+            lenet, images, {"conv1": 0.5}, np.random.default_rng(7),
+            batch_size=16,
+        )
+        sig_b = output_error_std(
+            lenet, images, {"conv1": 0.5}, np.random.default_rng(7),
+            batch_size=4,
+        )
+        # Different noise draws per batch layout, same distribution.
+        assert sig_a == pytest.approx(sig_b, rel=0.5)

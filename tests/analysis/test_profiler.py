@@ -1,0 +1,91 @@
+"""Tests for the lambda/theta error profiler (paper Sec. V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorProfiler
+from repro.config import ProfileSettings
+from repro.errors import ProfilingError
+
+
+class TestProfileReport:
+    def test_covers_all_analyzed_layers(self, lenet, lenet_profiles):
+        assert set(p.name for p in lenet_profiles) == set(
+            lenet.analyzed_layer_names
+        )
+
+    def test_lambdas_positive(self, lenet_profiles):
+        """More output error must require a larger input boundary."""
+        for p in lenet_profiles:
+            assert p.lam > 0
+
+    def test_fit_quality_matches_paper_band(self, lenet_profiles):
+        """Paper Sec. IV: < 5% typical, ~10% worst case.  Allow extra
+        slack for the small profiling set used in tests."""
+        for p in lenet_profiles:
+            assert p.r_squared > 0.9
+            assert p.max_relative_error < 0.35
+
+    def test_worst_fit_returns_max(self, lenet_profiles):
+        worst = lenet_profiles.worst_fit()
+        assert worst.max_relative_error == max(
+            p.max_relative_error for p in lenet_profiles
+        )
+
+    def test_delta_for_sigma_linear(self, lenet_profiles):
+        p = next(iter(lenet_profiles))
+        assert p.delta_for_sigma(2.0) == pytest.approx(p.lam * 2.0 + p.theta)
+
+    def test_len_and_getitem(self, lenet, lenet_profiles):
+        assert len(lenet_profiles) == len(lenet.analyzed_layer_names)
+        name = lenet.analyzed_layer_names[0]
+        assert lenet_profiles[name].name == name
+
+
+class TestProfilerBehaviour:
+    def test_deeper_layers_have_smaller_lambda_scale_effect(
+        self, lenet_profiles
+    ):
+        """Sanity: lambda values are finite and of a sane magnitude."""
+        for p in lenet_profiles:
+            assert 0 < p.lam < 1e6
+
+    def test_deterministic_given_seed(self, lenet, datasets):
+        __, test = datasets
+        settings = ProfileSettings(num_images=8, num_delta_points=5, seed=11)
+        r1 = ErrorProfiler(lenet, test.images, settings).profile(["conv1"])
+        r2 = ErrorProfiler(lenet, test.images, settings).profile(["conv1"])
+        assert r1["conv1"].lam == pytest.approx(r2["conv1"].lam)
+
+    def test_layer_subset(self, lenet, datasets):
+        __, test = datasets
+        settings = ProfileSettings(num_images=8, num_delta_points=5)
+        report = ErrorProfiler(lenet, test.images, settings).profile(["conv2"])
+        assert len(report) == 1
+
+    def test_unknown_layer_rejected(self, lenet, datasets):
+        __, test = datasets
+        profiler = ErrorProfiler(
+            lenet, test.images, ProfileSettings(num_images=4, num_delta_points=4)
+        )
+        with pytest.raises(ProfilingError):
+            profiler.profile(["ghost"])
+
+    def test_needs_images(self, lenet):
+        with pytest.raises(ProfilingError):
+            ErrorProfiler(lenet, np.zeros((0, 3, 32, 32)))
+
+    def test_sigma_monotone_in_delta(self, lenet_profiles):
+        """Measured sigma_{Y_K->L} grows with the injected Delta."""
+        for p in lenet_profiles:
+            order = np.argsort(p.deltas)
+            sigmas = p.sigmas[order]
+            # allow tiny non-monotonicity from sampling noise
+            assert np.all(np.diff(sigmas) > -0.05 * sigmas[:-1])
+
+    def test_measurement_count_matches_settings(self, lenet, datasets):
+        __, test = datasets
+        settings = ProfileSettings(num_images=8, num_delta_points=6)
+        report = ErrorProfiler(lenet, test.images, settings).profile(["conv1"])
+        assert report["conv1"].deltas.shape == (6,)
+        assert report.num_images == 8

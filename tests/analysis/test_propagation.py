@@ -1,0 +1,142 @@
+"""Tests validating the paper's single-layer error models (Sec. II-III)
+against direct simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    avg_pool_output_std,
+    delta_from_std,
+    dot_product_output_std,
+    lambda_for_weights,
+    motivating_example_split,
+    normality_statistics,
+    relu_alpha,
+    uniform_std,
+)
+from repro.errors import ReproError
+
+
+class TestUniformStd:
+    def test_known_value(self):
+        # U[-1, 1] has variance 1/3
+        assert uniform_std(1.0) == pytest.approx(1.0 / np.sqrt(3))
+
+    def test_roundtrip_with_delta_from_std(self):
+        for delta in [0.01, 0.5, 3.0]:
+            assert delta_from_std(uniform_std(delta)) == pytest.approx(delta)
+
+    def test_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(-0.7, 0.7, size=200_000)
+        assert samples.std() == pytest.approx(uniform_std(0.7), rel=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            uniform_std(-1.0)
+
+
+class TestDotProductModel:
+    """Paper Eq. 3/4: sigma_y = sqrt(sum w_i^2) * sigma_x."""
+
+    def test_matches_simulation(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=64)
+        delta = 0.25
+        sigma_x = uniform_std(delta)
+        trials = 50_000
+        noise = rng.uniform(-delta, delta, size=(trials, 64))
+        output_errors = noise @ weights
+        predicted = dot_product_output_std(weights, sigma_x)
+        assert output_errors.std() == pytest.approx(predicted, rel=0.02)
+
+    def test_lambda_is_reciprocal_norm(self):
+        w = np.array([3.0, 4.0])
+        assert lambda_for_weights(w) == pytest.approx(0.2)
+
+    def test_lambda_rejects_zero_weights(self):
+        with pytest.raises(ReproError):
+            lambda_for_weights(np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(4, 256))
+    def test_output_error_is_gaussianish(self, seed, n):
+        """PROPERTY (Fig. 1): dot-product output error approaches normal
+        — excess kurtosis shrinks with fan-in (uniform inputs have -1.2)."""
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=n)
+        noise = rng.uniform(-1, 1, size=(4000, n))
+        __, __, kurtosis = normality_statistics(noise @ weights)
+        assert abs(kurtosis) < 1.0  # far from the uniform's -1.2
+
+
+class TestReLUAlpha:
+    def test_alpha_reflects_positive_fraction(self):
+        x = np.array([1.0, -1.0, 2.0, -2.0])
+        assert relu_alpha(x) == pytest.approx(np.sqrt(0.5))
+
+    def test_alpha_scales_error_std_in_simulation(self):
+        """Paper Sec. III-C: sigma_out = alpha * sigma_in for small noise."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100_000) * 10
+        alpha = relu_alpha(x)
+        delta = 1e-3
+        noise = rng.uniform(-delta, delta, size=x.size)
+        diff = np.maximum(x + noise, 0) - np.maximum(x, 0)
+        assert diff.std() == pytest.approx(alpha * noise.std(), rel=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            relu_alpha(np.array([]))
+
+
+class TestAvgPool:
+    def test_known_scaling(self):
+        assert avg_pool_output_std(1.0, 4) == 0.5
+
+    def test_rejects_bad_filter(self):
+        with pytest.raises(ReproError):
+            avg_pool_output_std(1.0, 0)
+
+
+class TestMotivatingExample:
+    def test_equal_split_achieves_budget(self):
+        """Sec. II: plugging the split back into Eq. 2 recovers delta_y."""
+        weights = np.array([2.0, -3.0])
+        inputs = np.array([1.5, 0.5])
+        delta_y = 0.1
+        dw, dx = motivating_example_split(delta_y, weights, inputs)
+        # Linear part of Eq. 1: x*dw + w*dx summed over i
+        recovered = np.sum(inputs * dw + weights * dx)
+        assert recovered == pytest.approx(delta_y)
+
+    def test_paper_formula(self):
+        weights = np.array([1.0, 2.0])
+        inputs = np.array([4.0, 8.0])
+        dw, dx = motivating_example_split(1.0, weights, inputs)
+        np.testing.assert_allclose(dw, 1.0 / (4 * inputs))
+        np.testing.assert_allclose(dx, 1.0 / (4 * weights))
+
+    def test_rejects_zeros(self):
+        with pytest.raises(ReproError):
+            motivating_example_split(1.0, np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestNormalityStatistics:
+    def test_gaussian_sample(self):
+        rng = np.random.default_rng(3)
+        mean, std, kurt = normality_statistics(rng.normal(2.0, 3.0, size=100_000))
+        assert mean == pytest.approx(2.0, abs=0.05)
+        assert std == pytest.approx(3.0, rel=0.02)
+        assert abs(kurt) < 0.1
+
+    def test_uniform_sample_has_negative_kurtosis(self):
+        rng = np.random.default_rng(4)
+        __, __, kurt = normality_statistics(rng.uniform(-1, 1, size=100_000))
+        assert kurt == pytest.approx(-1.2, abs=0.1)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ReproError):
+            normality_statistics(np.array([1.0, 2.0]))

@@ -1,0 +1,68 @@
+"""Unit + property tests for the line-fitting utility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_line
+from repro.errors import ProfilingError
+
+
+class TestFitLine:
+    def test_recovers_exact_line(self):
+        x = np.linspace(1, 10, 20)
+        fit = fit_line(x, 3.0 * x + 0.5)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.max_relative_error < 1e-10
+
+    def test_relative_weighting_balances_decades(self):
+        """With y spanning decades and a bend at the top, the relative
+        fit must stay accurate at the small end (plain OLS would not)."""
+        x = np.geomspace(0.01, 10.0, 30)
+        y = 2.0 * x
+        y[-3:] *= 1.4  # bend at the large end
+        rel = fit_line(x, y, weighting="relative")
+        ols = fit_line(x, y, weighting="none")
+        small_rel = abs(rel.predict(x[0]) - y[0]) / y[0]
+        small_ols = abs(ols.predict(x[0]) - y[0]) / y[0]
+        assert small_rel < small_ols
+
+    def test_predict_vectorized(self):
+        fit = fit_line([1.0, 2.0], [2.0, 4.0])
+        np.testing.assert_allclose(fit.predict([3.0, 4.0]), [6.0, 8.0])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ProfilingError):
+            fit_line([1.0, 2.0], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ProfilingError):
+            fit_line([1.0], [1.0])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ProfilingError):
+            fit_line([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_unknown_weighting(self):
+        with pytest.raises(ProfilingError):
+            fit_line([1.0, 2.0], [1.0, 2.0], weighting="quadratic")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        slope=st.floats(min_value=0.1, max_value=100),
+        intercept=st.floats(min_value=-1, max_value=1),
+        seed=st.integers(0, 1000),
+    )
+    def test_recovers_noisy_line(self, slope, intercept, seed):
+        """PROPERTY: slope recovered within noise bounds."""
+        rng = np.random.default_rng(seed)
+        x = np.geomspace(0.1, 10, 40)
+        y = slope * x + intercept
+        y = y * (1 + rng.normal(0, 0.01, size=y.size))
+        if np.any(y <= 0):
+            return
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(slope, rel=0.1)

@@ -1,0 +1,82 @@
+"""Tests for the xi corner-case robustness study (Fig. 3 error bars)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import corner_xi_vectors, xi_robustness_study
+from repro.analysis.robustness import RobustnessPoint
+from repro.errors import SearchError
+
+
+class TestCornerVectors:
+    def test_one_vector_per_layer(self):
+        vectors = corner_xi_vectors(["a", "b", "c"])
+        assert len(vectors) == 3
+
+    def test_each_sums_to_one(self):
+        for xi in corner_xi_vectors(["a", "b", "c", "d"], heavy_share=0.8):
+            assert sum(xi.values()) == pytest.approx(1.0)
+
+    def test_heavy_layer_gets_the_share(self):
+        vectors = corner_xi_vectors(["a", "b", "c"], heavy_share=0.8)
+        assert vectors[0]["a"] == pytest.approx(0.8)
+        assert vectors[0]["b"] == pytest.approx(0.1)
+
+    def test_paper_example_three_layers(self):
+        """Paper: 'the first case for 3 layers would be (0.8, 0.1, 0.1)'."""
+        first = corner_xi_vectors(["l1", "l2", "l3"])[0]
+        assert [round(first[k], 3) for k in ["l1", "l2", "l3"]] == [
+            0.8,
+            0.1,
+            0.1,
+        ]
+
+    def test_rejects_single_layer(self):
+        with pytest.raises(SearchError):
+            corner_xi_vectors(["a"])
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(SearchError):
+            corner_xi_vectors(["a", "b"], heavy_share=1.5)
+
+
+class TestRobustnessPoint:
+    def test_max_deviation(self):
+        p = RobustnessPoint(
+            sigma=1.0,
+            equal_scheme_accuracy=0.9,
+            min_accuracy=0.85,
+            max_accuracy=0.92,
+        )
+        assert p.max_deviation == pytest.approx(0.05)
+
+
+class TestStudyOnLenet:
+    def test_study_produces_point_per_sigma(
+        self, lenet, datasets, lenet_profiles
+    ):
+        __, test = datasets
+        points = xi_robustness_study(
+            lenet, test.subset(64), lenet_profiles.profiles, [0.2, 1.0]
+        )
+        assert [p.sigma for p in points] == [0.2, 1.0]
+
+    def test_corner_bounds_bracket_consistently(
+        self, lenet, datasets, lenet_profiles
+    ):
+        __, test = datasets
+        points = xi_robustness_study(
+            lenet, test.subset(64), lenet_profiles.profiles, [0.5]
+        )
+        p = points[0]
+        assert p.min_accuracy <= p.max_accuracy
+
+    def test_small_sigma_has_small_deviation(
+        self, lenet, datasets, lenet_profiles
+    ):
+        """Paper Sec. V-C: variation is tolerable at small accuracy loss."""
+        __, test = datasets
+        points = xi_robustness_study(
+            lenet, test.subset(96), lenet_profiles.profiles, [0.05]
+        )
+        assert points[0].max_deviation < 0.1

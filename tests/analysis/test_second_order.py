@@ -1,0 +1,62 @@
+"""Tests for the second-order (cross-term) error analysis."""
+
+import pytest
+
+from repro.analysis import cross_term_sweep, simulate_dot_product_errors
+from repro.errors import ReproError
+
+
+class TestSimulation:
+    def test_first_order_accurate_for_small_errors(self):
+        """Paper Eq. 2's assumption: for w >> delta_w, x >> delta_x the
+        linearization predicts the output error within a few percent."""
+        result = simulate_dot_product_errors(
+            fan_in=128, sigma_w=0.01, sigma_x=0.01
+        )
+        assert result.prediction_error < 0.05
+        assert result.cross_term_share < 0.01
+
+    def test_cross_term_grows_with_relative_error(self):
+        small = simulate_dot_product_errors(64, 0.02, 0.02, seed=1)
+        large = simulate_dot_product_errors(64, 0.5, 0.5, seed=1)
+        assert large.cross_term_share > small.cross_term_share
+
+    def test_cross_term_std_scales_with_product(self):
+        """cross = sum dw*dx has std ~ sqrt(N) * sigma_w * sigma_x."""
+        result = simulate_dot_product_errors(
+            fan_in=256, sigma_w=0.1, sigma_x=0.2, num_trials=50_000
+        )
+        expected = (256**0.5) * 0.1 * 0.2
+        assert result.cross_term_std == pytest.approx(expected, rel=0.1)
+
+    def test_weights_only_error(self):
+        """With exact inputs there is no cross term at all."""
+        result = simulate_dot_product_errors(64, sigma_w=0.1, sigma_x=0.0)
+        assert result.cross_term_std == 0.0
+        assert result.prediction_error < 0.05
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ReproError):
+            simulate_dot_product_errors(0, 0.1, 0.1)
+        with pytest.raises(ReproError):
+            simulate_dot_product_errors(8, -0.1, 0.1)
+
+
+class TestSweep:
+    def test_one_result_per_setting(self):
+        results = cross_term_sweep(relative_errors=(0.01, 0.1))
+        assert len(results) == 2
+
+    def test_prediction_degrades_monotonically_in_the_sweep(self):
+        """The cross-term share grows along the sweep — quantifying
+        exactly when the paper's first-order model stops being safe."""
+        results = cross_term_sweep(relative_errors=(0.01, 0.1, 0.5))
+        shares = [r.cross_term_share for r in results]
+        assert shares[0] < shares[-1]
+
+    def test_paper_regime_is_first_order(self):
+        """At the error sizes real formats produce (<= ~10% relative),
+        the neglected term stays below a few percent of the variance."""
+        results = cross_term_sweep(relative_errors=(0.01, 0.05, 0.1))
+        for result in results:
+            assert result.cross_term_share < 0.05

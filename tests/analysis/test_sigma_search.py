@@ -1,0 +1,162 @@
+"""Tests for the sigma binary search (paper Sec. V-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Scheme1Evaluator,
+    Scheme2Evaluator,
+    deltas_for_sigma,
+    find_sigma,
+)
+from repro.analysis.sigma_search import MIN_DELTA
+from repro.config import SearchSettings
+from repro.errors import SearchError
+
+
+def step_accuracy(threshold):
+    """A synthetic monotone accuracy function: 1.0 below, 0.5 above."""
+
+    def accuracy(sigma):
+        return 1.0 if sigma <= threshold else 0.5
+
+    return accuracy
+
+
+class TestFindSigmaOnSyntheticFunctions:
+    def test_finds_step_threshold(self):
+        result = find_sigma(
+            step_accuracy(0.7),
+            baseline_accuracy=1.0,
+            max_relative_drop=0.01,
+            settings=SearchSettings(tolerance=0.001),
+        )
+        assert result.sigma == pytest.approx(0.7, abs=0.002)
+
+    def test_threshold_above_initial_upper_triggers_doubling(self):
+        result = find_sigma(
+            step_accuracy(5.0),
+            baseline_accuracy=1.0,
+            max_relative_drop=0.01,
+            settings=SearchSettings(tolerance=0.01),
+        )
+        assert result.sigma == pytest.approx(5.0, abs=0.02)
+
+    def test_never_violating_function_returns_last_doubling(self):
+        result = find_sigma(
+            lambda s: 1.0,
+            baseline_accuracy=1.0,
+            max_relative_drop=0.01,
+            settings=SearchSettings(max_doublings=5),
+        )
+        assert result.sigma == pytest.approx(2.0**4)
+
+    def test_smooth_decay(self):
+        # accuracy = exp(-sigma); target 0.95 -> sigma = -ln(0.95)
+        result = find_sigma(
+            lambda s: float(np.exp(-s)),
+            baseline_accuracy=1.0,
+            max_relative_drop=0.05,
+            settings=SearchSettings(tolerance=0.001),
+        )
+        assert result.sigma == pytest.approx(-np.log(0.95), abs=0.002)
+
+    def test_result_respects_constraint(self):
+        result = find_sigma(
+            lambda s: float(np.exp(-s)),
+            baseline_accuracy=1.0,
+            max_relative_drop=0.10,
+        )
+        assert np.exp(-result.sigma) >= 0.90
+
+    def test_rejects_bad_drop(self):
+        with pytest.raises(SearchError):
+            find_sigma(lambda s: 1.0, 1.0, 1.5)
+
+    def test_evaluation_history_recorded(self):
+        result = find_sigma(step_accuracy(0.3), 1.0, 0.01)
+        assert result.num_evaluations == len(result.evaluations)
+        assert result.num_evaluations > 2
+
+    @hsettings(max_examples=30, deadline=None)
+    @given(threshold=st.floats(min_value=0.05, max_value=20.0))
+    def test_bracket_property(self, threshold):
+        """PROPERTY: the returned sigma passes, sigma + tolerance fails."""
+        settings = SearchSettings(tolerance=0.01)
+        fn = step_accuracy(threshold)
+        result = find_sigma(fn, 1.0, 0.01, settings)
+        target = 1.0 * (1 - 0.01)
+        assert fn(result.sigma) >= target
+        assert fn(result.sigma + 3 * settings.tolerance) < target
+
+
+class TestDeltasForSigma:
+    def test_equal_scheme_default(self, lenet_profiles):
+        profiles = lenet_profiles.profiles
+        deltas = deltas_for_sigma(profiles, 1.0)
+        count = len(profiles)
+        for name, profile in profiles.items():
+            expected = profile.delta_for_sigma(np.sqrt(1.0 / count))
+            assert deltas[name] == pytest.approx(max(expected, MIN_DELTA))
+
+    def test_custom_xi(self, lenet_profiles):
+        profiles = lenet_profiles.profiles
+        names = list(profiles)
+        xi = {name: 0.0 for name in names}
+        xi[names[0]] = 1.0
+        deltas = deltas_for_sigma(profiles, 1.0, xi=xi)
+        expected = profiles[names[0]].delta_for_sigma(1.0)
+        assert deltas[names[0]] == pytest.approx(expected)
+
+    def test_negative_prediction_clamped(self, lenet_profiles):
+        profiles = lenet_profiles.profiles
+        deltas = deltas_for_sigma(profiles, 0.0)
+        for value in deltas.values():
+            assert value >= MIN_DELTA
+
+
+class TestEvaluatorsOnLenet:
+    def test_scheme2_zero_sigma_equals_baseline(self, lenet, datasets):
+        __, test = datasets
+        ev = Scheme2Evaluator(lenet, test)
+        from repro.models import top1_accuracy
+
+        assert ev.accuracy(0.0) == pytest.approx(top1_accuracy(lenet, test))
+
+    def test_scheme2_monotone_decrease(self, lenet, datasets):
+        __, test = datasets
+        ev = Scheme2Evaluator(lenet, test, num_trials=5)
+        accs = [ev.accuracy(s) for s in [0.0, 1.0, 4.0, 16.0]]
+        assert accs[0] >= accs[1] >= accs[2] >= accs[3]
+        assert accs[-1] < accs[0]
+
+    def test_scheme1_zero_sigma_near_baseline(
+        self, lenet, datasets, lenet_profiles
+    ):
+        __, test = datasets
+        ev = Scheme1Evaluator(lenet, test, lenet_profiles.profiles)
+        from repro.models import top1_accuracy
+
+        base = top1_accuracy(lenet, test)
+        assert ev.accuracy(0.0) == pytest.approx(base, abs=0.05)
+
+    def test_scheme1_large_sigma_degrades(self, lenet, datasets, lenet_profiles):
+        __, test = datasets
+        ev = Scheme1Evaluator(lenet, test, lenet_profiles.profiles)
+        assert ev.accuracy(50.0) < ev.accuracy(0.0)
+
+    def test_schemes_agree_on_found_sigma(self, lenet, datasets, lenet_profiles):
+        """Fig. 3's premise: the two schemes find similar budgets."""
+        __, test = datasets
+        from repro.models import top1_accuracy
+
+        base = top1_accuracy(lenet, test)
+        s1 = Scheme1Evaluator(lenet, test, lenet_profiles.profiles)
+        s2 = Scheme2Evaluator(lenet, test, num_trials=3)
+        settings = SearchSettings(tolerance=0.02)
+        r1 = find_sigma(s1.accuracy, base, 0.05, settings)
+        r2 = find_sigma(s2.accuracy, base, 0.05, settings)
+        ratio = max(r1.sigma, r2.sigma) / max(min(r1.sigma, r2.sigma), 1e-9)
+        assert ratio < 3.0

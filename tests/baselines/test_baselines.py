@@ -1,0 +1,132 @@
+"""Tests for uniform, Stripes-style, and greedy search baselines."""
+
+import pytest
+
+from repro.baselines import (
+    greedy_coordinate_search,
+    smallest_uniform_bitwidth,
+    stripes_search,
+)
+from repro.errors import SearchError
+from repro.models import top1_accuracy
+from repro.nn import ordered_stats
+
+
+@pytest.fixture()
+def setup(lenet, lenet_stats, datasets):
+    __, test = datasets
+    stats = ordered_stats(lenet, lenet_stats)
+    base_acc = top1_accuracy(lenet, test)
+    return lenet, test, stats, base_acc
+
+
+class TestUniformBaseline:
+    def test_meets_constraint(self, setup):
+        net, test, stats, base_acc = setup
+        result = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.05)
+        assert result.accuracy >= base_acc * 0.95
+
+    def test_one_less_bit_fails(self, setup):
+        """Minimality: reducing the uniform width violates the target."""
+        net, test, stats, base_acc = setup
+        result = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.05)
+        from repro.quant import BitwidthAllocation
+
+        smaller = BitwidthAllocation.uniform(stats, result.bitwidth - 1)
+        acc = top1_accuracy(net, test, taps=smaller.taps(net))
+        assert acc < base_acc * 0.95
+
+    def test_all_layers_same_width(self, setup):
+        net, test, stats, base_acc = setup
+        result = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.05)
+        widths = set(result.allocation.bitwidths().values())
+        assert widths == {result.bitwidth}
+
+    def test_looser_constraint_allows_fewer_bits(self, setup):
+        net, test, stats, base_acc = setup
+        tight = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.01)
+        loose = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.20)
+        assert loose.bitwidth <= tight.bitwidth
+
+    def test_impossible_start_raises(self, setup):
+        net, test, stats, base_acc = setup
+        with pytest.raises(SearchError):
+            smallest_uniform_bitwidth(
+                net, test, stats, base_acc, 0.0, start_bits=2, min_bits=2
+            )
+
+
+class TestStripesSearch:
+    def test_meets_constraint_on_full_set(self, setup):
+        net, test, stats, base_acc = setup
+        result = stripes_search(net, test, stats, base_acc, 0.05)
+        assert result.accuracy >= base_acc * 0.95 - 0.02
+
+    def test_phase1_minima_recorded(self, setup):
+        net, test, stats, base_acc = setup
+        result = stripes_search(net, test, stats, base_acc, 0.05)
+        assert set(result.per_layer_minima) == {s.name for s in stats}
+
+    def test_final_widths_at_least_minima(self, setup):
+        net, test, stats, base_acc = setup
+        result = stripes_search(net, test, stats, base_acc, 0.05)
+        widths = result.allocation.bitwidths()
+        for name, minimum in result.per_layer_minima.items():
+            assert widths[name] >= minimum
+
+    def test_search_subset_reduces_work(self, setup):
+        net, test, stats, base_acc = setup
+        result = stripes_search(
+            net, test, stats, base_acc, 0.05, search_count=48
+        )
+        assert result.evaluations > 0
+
+    def test_counts_evaluations(self, setup):
+        net, test, stats, base_acc = setup
+        result = stripes_search(net, test, stats, base_acc, 0.05)
+        # at least one descent evaluation per layer + the joint check
+        assert result.evaluations >= len(stats) + 1
+
+
+class TestGreedySearch:
+    def test_never_worse_than_uniform_on_cost(self, setup):
+        net, test, stats, base_acc = setup
+        uniform = smallest_uniform_bitwidth(net, test, stats, base_acc, 0.05)
+        rho = {s.name: float(s.num_inputs) for s in stats}
+        greedy = greedy_coordinate_search(
+            net, test, stats, base_acc, 0.05, cost_weights=rho
+        )
+        assert greedy.allocation.weighted_bits(rho) <= (
+            uniform.allocation.weighted_bits(rho)
+        )
+
+    def test_history_starts_at_uniform(self, setup):
+        net, test, stats, base_acc = setup
+        greedy = greedy_coordinate_search(net, test, stats, base_acc, 0.05)
+        first = set(greedy.history[0].values())
+        assert len(first) == 1  # uniform start
+
+    def test_history_cost_monotone(self, setup):
+        net, test, stats, base_acc = setup
+        rho = {s.name: float(s.num_inputs) for s in stats}
+        greedy = greedy_coordinate_search(
+            net, test, stats, base_acc, 0.05, cost_weights=rho
+        )
+        costs = [
+            sum(rho[n] * b for n, b in snapshot.items())
+            for snapshot in greedy.history
+        ]
+        assert all(c1 > c2 for c1, c2 in zip(costs, costs[1:]))
+
+    def test_holdout_accuracy_reported(self, setup, datasets):
+        net, test, stats, base_acc = setup
+        train, __ = datasets
+        greedy = greedy_coordinate_search(
+            net,
+            test.subset(64),
+            stats,
+            base_acc,
+            0.05,
+            holdout=train.subset(64),
+        )
+        assert greedy.holdout_accuracy is not None

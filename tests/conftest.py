@@ -1,0 +1,83 @@
+"""Shared fixtures.
+
+Expensive artifacts (pretrained models, profiling reports) are built
+once per session; tests treat them as read-only.  Anything a test
+mutates must be built inside the test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorProfiler
+from repro.config import ProfileSettings
+from repro.data import SyntheticImageNet
+from repro.models import build_model, lsuv_calibrate, pretrain
+from repro.nn import measure_ranges
+
+
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def source():
+    """Small synthetic dataset source shared by most tests."""
+    return SyntheticImageNet(num_classes=8, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def datasets(source):
+    """(train, test) splits sized for fast tests."""
+    return source.train_test(256, 128)
+
+
+@pytest.fixture(scope="session")
+def lenet(source, datasets):
+    """A pretrained LeNet replica (READ-ONLY: session scoped)."""
+    train, test = datasets
+    network = build_model("lenet", num_classes=source.num_classes, seed=TEST_SEED)
+    lsuv_calibrate(network, train.images[:32])
+    pretrain(network, train, test)
+    return network
+
+
+@pytest.fixture(scope="session")
+def lenet_stats(lenet, datasets):
+    """Measured layer statistics for the shared LeNet."""
+    __, test = datasets
+    return measure_ranges(lenet, test.images[:64])
+
+
+@pytest.fixture(scope="session")
+def lenet_profiles(lenet, datasets):
+    """Profiled lambda/theta for the shared LeNet."""
+    __, test = datasets
+    profiler = ErrorProfiler(
+        lenet,
+        test.images,
+        ProfileSettings(num_images=24, num_delta_points=8, seed=TEST_SEED),
+    )
+    return profiler.profile()
+
+
+@pytest.fixture()
+def fresh_lenet(source, datasets):
+    """A pretrained LeNet a test may freely mutate."""
+    train, test = datasets
+    network = build_model("lenet", num_classes=source.num_classes, seed=TEST_SEED)
+    lsuv_calibrate(network, train.images[:32])
+    pretrain(network, train, test)
+    return network
+
+
+@pytest.fixture(scope="session")
+def images(datasets):
+    """A small batch of test images."""
+    __, test = datasets
+    return test.images[:16]

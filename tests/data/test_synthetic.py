@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic ImageNet stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticImageNet
+from repro.errors import ReproError
+
+
+class TestDataset:
+    def test_length(self):
+        ds = Dataset(np.zeros((5, 3, 4, 4)), np.zeros(5, dtype=int), 4)
+        assert len(ds) == 5
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(ReproError):
+            Dataset(np.zeros((5, 3, 4, 4)), np.zeros(4, dtype=int), 4)
+
+    def test_subset(self):
+        ds = Dataset(np.arange(20.0).reshape(5, 4), np.arange(5), 5)
+        sub = ds.subset(2)
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.labels, [0, 1])
+
+    def test_subset_caps_at_length(self):
+        ds = Dataset(np.zeros((3, 4)), np.zeros(3, dtype=int), 2)
+        assert len(ds.subset(100)) == 3
+
+    def test_batches_cover_everything(self):
+        ds = Dataset(np.arange(28.0).reshape(7, 4), np.arange(7), 7)
+        chunks = list(ds.batches(3))
+        assert [len(lbl) for __, lbl in chunks] == [3, 3, 1]
+        np.testing.assert_array_equal(
+            np.concatenate([lbl for __, lbl in chunks]), ds.labels
+        )
+
+
+class TestSyntheticImageNet:
+    def test_deterministic_per_seed(self):
+        a = SyntheticImageNet(seed=3).sample(8, seed=1)
+        b = SyntheticImageNet(seed=3).sample(8, seed=1)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageNet(seed=3).sample(8, seed=1)
+        b = SyntheticImageNet(seed=4).sample(8, seed=1)
+        assert not np.allclose(a.images, b.images)
+
+    def test_shapes_and_label_range(self):
+        src = SyntheticImageNet(num_classes=5, image_shape=(3, 16, 16))
+        ds = src.sample(10)
+        assert ds.images.shape == (10, 3, 16, 16)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 5
+
+    def test_value_scale_sets_dynamic_range(self):
+        """Pixel std should be of order value_scale (paper-realistic)."""
+        src = SyntheticImageNet(value_scale=60.0)
+        ds = src.sample(32)
+        assert 30 < ds.images.std() < 120
+
+    def test_train_test_disjoint(self):
+        src = SyntheticImageNet()
+        train, test = src.train_test(16, 16)
+        assert not np.allclose(train.images, test.images)
+
+    def test_prototypes_shape(self):
+        src = SyntheticImageNet(num_classes=7, image_shape=(3, 8, 8))
+        assert src.prototypes.shape == (7, 3, 8, 8)
+
+    def test_noise_controls_difficulty(self):
+        """Higher noise -> samples further from their prototype."""
+        lo = SyntheticImageNet(noise=0.1, seed=5)
+        hi = SyntheticImageNet(noise=2.0, seed=5)
+        ds_lo = lo.sample(16, seed=1)
+        ds_hi = hi.sample(16, seed=1)
+
+        def mean_prototype_distance(src, ds):
+            protos = src.prototypes[ds.labels] * src.value_scale
+            return np.abs(ds.images - protos).mean()
+
+        assert mean_prototype_distance(hi, ds_hi) > mean_prototype_distance(
+            lo, ds_lo
+        )
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ReproError):
+            SyntheticImageNet(num_classes=1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ReproError):
+            SyntheticImageNet(image_shape=(3, 16))

@@ -1,0 +1,60 @@
+"""Tests for result export (JSON / CSV)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import export_csv, export_json, load_json
+
+
+@dataclasses.dataclass
+class FakeResult:
+    model: str
+    values: np.ndarray
+    nested: dict
+
+
+class TestExportJson:
+    def test_roundtrip_dataclass(self, tmp_path):
+        result = FakeResult(
+            model="alexnet",
+            values=np.array([1.0, 2.0]),
+            nested={"sigma": np.float64(0.25)},
+        )
+        path = export_json(result, tmp_path / "out.json")
+        data = load_json(path)
+        assert data["model"] == "alexnet"
+        assert data["values"] == [1.0, 2.0]
+        assert data["nested"]["sigma"] == 0.25
+
+    def test_roundtrip_plain_dict(self, tmp_path):
+        path = export_json({"a": [1, 2, {"b": np.int64(3)}]}, tmp_path / "d.json")
+        assert load_json(path) == {"a": [1, 2, {"b": 3}]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_json({"x": 1}, tmp_path / "deep" / "dir" / "f.json")
+        assert path.exists()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_json(tmp_path / "nope.json")
+
+
+class TestExportCsv:
+    def test_writes_rows(self, tmp_path):
+        rows = [{"layer": "c1", "bits": 6}, {"layer": "c2", "bits": 7}]
+        path = export_csv(rows, tmp_path / "t.csv")
+        text = path.read_text()
+        assert "layer,bits" in text
+        assert "c2,7" in text
+
+    def test_column_selection(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        path = export_csv(rows, tmp_path / "t.csv", columns=["b"])
+        assert path.read_text().splitlines()[0] == "b"
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_csv([], tmp_path / "t.csv")

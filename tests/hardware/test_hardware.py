@@ -1,0 +1,137 @@
+"""Unit tests for the energy / bandwidth / accelerator models."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware import (
+    BitSerialAccelerator,
+    MacEnergyModel,
+    bandwidth_saving_percent,
+    energy_saving_percent,
+    input_traffic_bits,
+    layer_traffic_bits,
+    per_layer_table,
+    uniform_weight_bits,
+)
+from repro.nn.statistics import LayerStats
+from repro.quant import BitwidthAllocation
+
+
+@pytest.fixture()
+def stats():
+    return {
+        "a": LayerStats("a", num_inputs=100, num_macs=10_000, max_abs_input=50),
+        "b": LayerStats("b", num_inputs=200, num_macs=2_000, max_abs_input=50),
+    }
+
+
+@pytest.fixture()
+def stats_list(stats):
+    return [stats["a"], stats["b"]]
+
+
+class TestMacEnergyModel:
+    def test_monotone_in_input_bits(self):
+        model = MacEnergyModel()
+        energies = [model.mac_energy_pj(b, 8) for b in range(1, 17)]
+        assert all(e1 < e2 for e1, e2 in zip(energies, energies[1:]))
+
+    def test_bilinear_partial_product_term(self):
+        model = MacEnergyModel(e_static_pj=0, e_accumulate_pj_per_bit=0)
+        assert model.mac_energy_pj(8, 8) == pytest.approx(
+            4 * model.mac_energy_pj(4, 4)
+        )
+
+    def test_16x16_in_published_range(self):
+        """Horowitz ISSCC'14: int MAC at 45nm ~ 0.5-1 pJ."""
+        e = MacEnergyModel().mac_energy_pj(16, 16)
+        assert 0.3 < e < 1.5
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ReproError):
+            MacEnergyModel().mac_energy_pj(0, 8)
+
+    def test_network_energy_sums_layers(self, stats):
+        model = MacEnergyModel()
+        alloc = BitwidthAllocation.from_bitwidths(
+            list(stats.values()), {"a": 8, "b": 4}
+        )
+        wbits = uniform_weight_bits(alloc, 8)
+        per_layer = model.layer_energy_pj(stats, alloc, wbits)
+        assert model.network_energy_pj(stats, alloc, wbits) == pytest.approx(
+            sum(per_layer.values())
+        )
+
+    def test_layer_energy_proportional_to_macs(self, stats):
+        model = MacEnergyModel()
+        alloc = BitwidthAllocation.uniform(list(stats.values()), 8)
+        wbits = uniform_weight_bits(alloc, 8)
+        per_layer = model.layer_energy_pj(stats, alloc, wbits)
+        assert per_layer["a"] == pytest.approx(5 * per_layer["b"])
+
+
+class TestEnergySaving:
+    def test_percent(self):
+        assert energy_saving_percent(200.0, 150.0) == pytest.approx(25.0)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ReproError):
+            energy_saving_percent(0.0, 1.0)
+
+
+class TestPerLayerTable:
+    def test_rows_per_layer_and_scheme(self, stats, stats_list):
+        base = BitwidthAllocation.uniform(stats_list, 8)
+        opt = BitwidthAllocation.from_bitwidths(stats_list, {"a": 6, "b": 10})
+        wbits = uniform_weight_bits(base, 8)
+        rows = per_layer_table(
+            stats, {"baseline": base, "optimized": opt}, wbits
+        )
+        assert len(rows) == 2
+        assert rows[0]["baseline_bits"] == 8
+        assert rows[0]["optimized_bits"] == 6
+        assert rows[0]["optimized_energy_pj"] < rows[0]["baseline_energy_pj"]
+
+    def test_rejects_empty(self, stats):
+        with pytest.raises(ReproError):
+            per_layer_table(stats, {}, {})
+
+
+class TestBandwidth:
+    def test_traffic_is_input_weighted_bits(self, stats, stats_list):
+        alloc = BitwidthAllocation.from_bitwidths(stats_list, {"a": 4, "b": 8})
+        assert input_traffic_bits(stats, alloc) == 100 * 4 + 200 * 8
+
+    def test_layer_traffic(self, stats, stats_list):
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        traffic = layer_traffic_bits(stats, alloc)
+        assert traffic == {"a": 800.0, "b": 1600.0}
+
+    def test_saving_percent(self, stats, stats_list):
+        base = BitwidthAllocation.uniform(stats_list, 8)
+        opt = BitwidthAllocation.uniform(stats_list, 6)
+        assert bandwidth_saving_percent(stats, base, opt) == pytest.approx(25.0)
+
+
+class TestAccelerator:
+    def test_cycles_scale_with_bits(self, stats, stats_list):
+        acc = BitSerialAccelerator(lanes=100)
+        a8 = acc.total_cycles(stats, BitwidthAllocation.uniform(stats_list, 8))
+        a4 = acc.total_cycles(stats, BitwidthAllocation.uniform(stats_list, 4))
+        assert a8 == pytest.approx(2 * a4)
+
+    def test_speedup_vs_16bit_baseline(self, stats, stats_list):
+        acc = BitSerialAccelerator(lanes=100, baseline_bits=16)
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        assert acc.speedup(stats, alloc) == pytest.approx(2.0)
+
+    def test_paper_scaling_claim(self, stats, stats_list):
+        """Performance scales linearly with effective MAC bitwidth
+        (paper Sec. VI): halving the effective bitwidth doubles speed."""
+        acc = BitSerialAccelerator()
+        full = BitwidthAllocation.uniform(stats_list, 12)
+        rho = {name: float(s.num_macs) for name, s in stats.items()}
+        half = BitwidthAllocation.uniform(stats_list, 6)
+        ratio = acc.speedup(stats, half) / acc.speedup(stats, full)
+        eff_ratio = full.effective_bitwidth(rho) / half.effective_bitwidth(rho)
+        assert ratio == pytest.approx(eff_ratio)

@@ -1,0 +1,119 @@
+"""Tests for the Loom accelerator and memory-hierarchy energy models."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware import (
+    LoomAccelerator,
+    MacEnergyModel,
+    MemoryEnergyModel,
+    system_energy,
+)
+from repro.nn.statistics import LayerStats
+from repro.quant import BitwidthAllocation
+
+
+@pytest.fixture()
+def stats():
+    return {
+        "a": LayerStats("a", num_inputs=100, num_macs=10_000, max_abs_input=50),
+        "b": LayerStats("b", num_inputs=200, num_macs=2_000, max_abs_input=50),
+    }
+
+
+@pytest.fixture()
+def stats_list(stats):
+    return [stats["a"], stats["b"]]
+
+
+class TestLoom:
+    def test_cycles_scale_with_both_widths(self, stats, stats_list):
+        loom = LoomAccelerator(lanes=100)
+        alloc8 = BitwidthAllocation.uniform(stats_list, 8)
+        w8 = {"a": 8, "b": 8}
+        w4 = {"a": 4, "b": 4}
+        assert loom.total_cycles(stats, alloc8, w8) == pytest.approx(
+            2 * loom.total_cycles(stats, alloc8, w4)
+        )
+
+    def test_speedup_vs_16x16(self, stats, stats_list):
+        loom = LoomAccelerator()
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        w = {"a": 8, "b": 8}
+        assert loom.speedup(stats, alloc, w) == pytest.approx(4.0)
+
+    def test_loom_beats_stripes_when_weights_narrow(self, stats, stats_list):
+        """Loom exploits weight precision that Stripes cannot."""
+        from repro.hardware import BitSerialAccelerator
+
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        stripes = BitSerialAccelerator()
+        loom = LoomAccelerator()
+        narrow_w = {"a": 4, "b": 4}
+        assert loom.speedup(stats, alloc, narrow_w) > stripes.speedup(
+            stats, alloc
+        )
+
+    def test_rejects_bad_weight_width(self, stats, stats_list):
+        loom = LoomAccelerator()
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        with pytest.raises(ReproError):
+            loom.total_cycles(stats, alloc, {"a": 0, "b": 8})
+
+
+class TestMemoryModel:
+    def test_dram_fraction_raises_cost(self, stats, stats_list):
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        cheap = MemoryEnergyModel(dram_activation_fraction=0.0)
+        pricey = MemoryEnergyModel(dram_activation_fraction=1.0)
+        assert pricey.activation_energy_pj(stats, alloc) > (
+            cheap.activation_energy_pj(stats, alloc)
+        )
+
+    def test_activation_energy_proportional_to_bits(self, stats, stats_list):
+        model = MemoryEnergyModel()
+        a8 = model.activation_energy_pj(
+            stats, BitwidthAllocation.uniform(stats_list, 8)
+        )
+        a4 = model.activation_energy_pj(
+            stats, BitwidthAllocation.uniform(stats_list, 4)
+        )
+        assert a8 == pytest.approx(2 * a4)
+
+    def test_weight_energy(self):
+        model = MemoryEnergyModel(sram_pj_per_bit=0.1, dram_pj_per_bit=10.0)
+        params = {"a": 1000}
+        assert model.weight_energy_pj(params, {"a": 8}) == pytest.approx(800.0)
+        assert model.weight_energy_pj(
+            params, {"a": 8}, from_dram=True
+        ) == pytest.approx(80_000.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ReproError):
+            MemoryEnergyModel(dram_activation_fraction=1.5)
+
+
+class TestSystemEnergy:
+    def test_breakdown_sums(self, stats, stats_list):
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        w = {"a": 8, "b": 8}
+        params = {"a": 900, "b": 100}
+        breakdown = system_energy(stats, alloc, w, params)
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.mac_pj + breakdown.activation_pj + breakdown.weight_pj
+        )
+        assert set(breakdown.as_dict()) == {
+            "mac_pj",
+            "activation_pj",
+            "weight_pj",
+            "total_pj",
+        }
+
+    def test_all_components_positive(self, stats, stats_list):
+        alloc = BitwidthAllocation.uniform(stats_list, 8)
+        breakdown = system_energy(
+            stats, alloc, {"a": 8, "b": 8}, {"a": 10, "b": 10}
+        )
+        assert breakdown.mac_pj > 0
+        assert breakdown.activation_pj > 0
+        assert breakdown.weight_pj > 0

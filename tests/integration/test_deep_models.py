@@ -1,0 +1,61 @@
+"""Slow integration tests on the deep zoo models.
+
+These verify the headline capability — layer-level analysis of very
+deep networks — on the actual deep replicas.  Marked ``slow``; run with
+``pytest -m slow``.  A fast smoke subset runs by default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorProfiler
+from repro.config import ProfileSettings
+from repro.data import SyntheticImageNet
+from repro.models import PAPER_LAYER_COUNTS, build_model, pretrained_model
+from repro.nn import replay_cost_fraction, validate_dag
+
+
+class TestDeepModelSmoke:
+    """Fast checks on the deep architectures (no pretraining)."""
+
+    @pytest.mark.parametrize("name", ["googlenet", "resnet50"])
+    def test_forward_and_dag(self, name):
+        net = build_model(name, num_classes=8)
+        validate_dag(net)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)) * 50
+        out = net.forward(x)
+        assert out.shape == (2, 8)
+        assert np.isfinite(out).all()
+
+    def test_partial_replay_cheap_in_deep_nets(self):
+        """The profiler's enabler: replaying from a deep layer costs a
+        tiny fraction of a full pass in a 54-layer network."""
+        net = build_model("resnet50")
+        last_conv = net.analyzed_layer_names[-2]  # before the fc
+        assert replay_cost_fraction(net, last_conv) < 0.05
+
+
+@pytest.mark.slow
+class TestResNet152EndToEnd:
+    """The paper's flagship depth: 156 analyzed layers."""
+
+    def test_full_pipeline_on_resnet152(self):
+        source = SyntheticImageNet(num_classes=8, seed=9)
+        net, train, test, info = pretrained_model(
+            "resnet152", source=source, train_count=192, test_count=96, seed=9
+        )
+        assert len(net.analyzed_layer_names) == PAPER_LAYER_COUNTS["resnet152"]
+        assert info["test_accuracy"] > 0.4
+
+        # Profile a subset of layers spanning the depth.
+        layers = net.analyzed_layer_names
+        sample = [layers[0], layers[40], layers[90], layers[150], layers[-1]]
+        profiler = ErrorProfiler(
+            net,
+            test.images,
+            ProfileSettings(num_images=8, num_delta_points=6, num_repeats=1),
+        )
+        report = profiler.profile(sample)
+        for profile in report:
+            assert profile.lam > 0
+            assert profile.r_squared > 0.7

@@ -1,0 +1,164 @@
+"""Integration tests: the complete paper pipeline on small models.
+
+These exercise the full chain — pretrain, statistics, profiling, sigma
+search, xi optimization, bitwidth translation, true-quantization
+validation, baseline comparison — and assert the paper's headline
+properties hold on this substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PrecisionOptimizer
+from repro.baselines import smallest_uniform_bitwidth, stripes_search
+from repro.config import ProfileSettings, SearchSettings
+from repro.data import SyntheticImageNet
+from repro.models import pretrained_model, top1_accuracy
+from repro.nn import ordered_stats
+from repro.optimize import input_bandwidth_objective, mac_energy_objective
+from repro.hardware import MacEnergyModel, uniform_weight_bits
+
+
+@pytest.fixture(scope="module")
+def flow(lenet, datasets):
+    """A fully-run optimizer with both objectives, shared by the tests."""
+    __, test = datasets
+    optimizer = PrecisionOptimizer(
+        lenet,
+        test,
+        profile_settings=ProfileSettings(num_images=20, num_delta_points=8),
+        search_settings=SearchSettings(tolerance=0.02),
+    )
+    out_input = optimizer.optimize("input", accuracy_drop=0.05)
+    out_mac = optimizer.optimize("mac", accuracy_drop=0.05)
+    return optimizer, out_input, out_mac
+
+
+class TestAccuracyGuarantee:
+    def test_no_accuracy_criterion_violated(self, flow):
+        """Paper Sec. VI: 'No accuracy criterion was violated.'"""
+        __, out_input, out_mac = flow
+        for outcome in (out_input, out_mac):
+            assert outcome.validated_accuracy >= (
+                outcome.sigma_result.target_accuracy
+            )
+
+    def test_validated_on_true_quantization(self, flow, lenet, datasets):
+        """The validation really runs fixed-point rounding taps."""
+        optimizer, out_input, __ = flow
+        __, test = datasets
+        acc = top1_accuracy(
+            lenet, test, taps=out_input.result.allocation.taps(lenet)
+        )
+        assert acc == pytest.approx(out_input.validated_accuracy)
+
+
+class TestObjectivesDiffer:
+    def test_each_objective_wins_its_own_metric(self, flow):
+        """Optimized-for-X must be at least as good on X as the other,
+        in *continuous* Delta terms at a common sigma budget.  (The
+        pipeline's validation back-off can give the two outcomes
+        different budgets, and ceil() discretization can flip discrete
+        costs by a bit, so the comparison is made on fresh allocations
+        at one sigma.)"""
+        from repro.optimize import allocate_optimized
+
+        optimizer, out_input, __ = flow
+        stats = optimizer.stats()
+        rho_in = input_bandwidth_objective(stats).rho
+        rho_mac = mac_energy_objective(stats).rho
+        sigma = out_input.sigma_result.sigma
+        profiles = optimizer.profiles_for_drop(0.05)
+        names = optimizer.layer_names
+        res_in = allocate_optimized(
+            "input", profiles, stats, sigma, ordered_names=names
+        )
+        res_mac = allocate_optimized(
+            "mac", profiles, stats, sigma, ordered_names=names
+        )
+
+        def continuous(result, rho):
+            return sum(
+                rho[name] * -np.log2(result.deltas[name]) for name in rho
+            )
+
+        assert continuous(res_in, rho_in) <= continuous(res_mac, rho_in) + 1e-9
+        assert continuous(res_mac, rho_mac) <= (
+            continuous(res_in, rho_mac) + 1e-9
+        )
+
+
+class TestAgainstBaselines:
+    def test_analytic_is_competitive_with_uniform(self, flow, lenet, datasets):
+        """The optimized allocation should not need more weighted bits
+        than the smallest accuracy-preserving uniform width."""
+        optimizer, out_input, __ = flow
+        __, test = datasets
+        stats_list = optimizer.ordered_stats()
+        uniform = smallest_uniform_bitwidth(
+            lenet, test, stats_list, optimizer.baseline_accuracy(), 0.05
+        )
+        rho = input_bandwidth_objective(optimizer.stats()).rho
+        optimized_cost = out_input.result.allocation.weighted_bits(rho)
+        uniform_cost = uniform.allocation.weighted_bits(rho)
+        assert optimized_cost <= uniform_cost * 1.35
+
+    def test_analytic_cheaper_than_search(self, flow, lenet, datasets):
+        """Far fewer accuracy evaluations than the dynamic search."""
+        optimizer, out_input, __ = flow
+        __, test = datasets
+        stats_list = optimizer.ordered_stats()
+        search = stripes_search(
+            lenet, test, stats_list, optimizer.baseline_accuracy(), 0.05
+        )
+        assert (
+            out_input.sigma_result.num_evaluations < search.evaluations
+        )
+
+
+class TestEnergyAccounting:
+    def test_energy_saving_sign_matches_bit_saving(self, flow):
+        optimizer, __, out_mac = flow
+        stats = optimizer.stats()
+        rho_mac = mac_energy_objective(stats).rho
+        model = MacEnergyModel()
+        wbits = uniform_weight_bits(out_mac.result.allocation, 8)
+        opt_energy = model.network_energy_pj(
+            stats, out_mac.result.allocation, wbits
+        )
+        assert opt_energy > 0
+
+
+class TestDeterminism:
+    def test_pipeline_is_reproducible(self):
+        """Same seeds -> identical bitwidths end to end."""
+        results = []
+        for _ in range(2):
+            source = SyntheticImageNet(num_classes=8, seed=42)
+            net, train, test, __ = pretrained_model(
+                "lenet", source=source, train_count=128, test_count=64, seed=42
+            )
+            optimizer = PrecisionOptimizer(
+                net,
+                test,
+                profile_settings=ProfileSettings(
+                    num_images=8, num_delta_points=6, seed=42
+                ),
+                search_settings=SearchSettings(tolerance=0.05, seed=42),
+            )
+            outcome = optimizer.optimize(
+                "input", accuracy_drop=0.05, validate=False
+            )
+            results.append(outcome.bitwidths)
+        assert results[0] == results[1]
+
+
+class TestChangingConstraints:
+    def test_looser_drop_allows_fewer_bits(self, flow):
+        optimizer, out_input, __ = flow
+        loose = optimizer.optimize("input", accuracy_drop=0.20, validate=False)
+        stats = optimizer.stats()
+        rho = input_bandwidth_objective(stats).rho
+        assert loose.result.allocation.weighted_bits(rho) <= (
+            out_input.result.allocation.weighted_bits(rho)
+        )

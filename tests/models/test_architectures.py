@@ -1,0 +1,168 @@
+"""Structural checks: each replica preserves its original's topology."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import validate_dag
+from repro.nn.layers import (
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    LRN,
+    MaxPool2D,
+)
+
+
+def layers_of_type(net, cls):
+    return [l for l in net.layers if isinstance(l, cls)]
+
+
+class TestAlexNetStructure:
+    def test_grouped_convs(self):
+        net = build_model("alexnet")
+        assert net["conv2"].groups == 2
+        assert net["conv4"].groups == 2
+        assert net["conv5"].groups == 2
+        assert net["conv1"].groups == 1
+
+    def test_lrn_after_first_two_convs(self):
+        net = build_model("alexnet")
+        assert len(layers_of_type(net, LRN)) == 2
+
+    def test_three_fully_connected(self):
+        net = build_model("alexnet")
+        dense = layers_of_type(net, Dense)
+        assert [d.name for d in dense] == ["fc6", "fc7", "fc8"]
+
+    def test_fc_not_analyzed(self):
+        net = build_model("alexnet")
+        assert "fc6" not in net.analyzed_layer_names
+
+
+class TestVGGStructure:
+    def test_five_pool_blocks(self):
+        net = build_model("vgg19")
+        assert len(layers_of_type(net, MaxPool2D)) == 5
+
+    def test_all_convs_are_3x3(self):
+        net = build_model("vgg19")
+        for conv in layers_of_type(net, Conv2D):
+            assert conv.kernel == 3
+
+    def test_spatial_collapse_to_1x1(self):
+        net = build_model("vgg19")
+        assert net["pool5"].output_shape[1:] == (1, 1)
+
+
+class TestNiNStructure:
+    def test_mlpconv_blocks_use_1x1(self):
+        net = build_model("nin")
+        convs = layers_of_type(net, Conv2D)
+        one_by_one = [c for c in convs if c.kernel == 1]
+        assert len(one_by_one) == 8  # 2 per block x 4 blocks
+
+    def test_no_analyzed_dense(self):
+        net = build_model("nin")
+        assert all(
+            not isinstance(net[n], Dense) for n in net.analyzed_layer_names
+        )
+
+
+class TestGoogleNetStructure:
+    def test_nine_inception_modules(self):
+        net = build_model("googlenet")
+        concats = layers_of_type(net, Concat)
+        assert len(concats) == 9
+
+    def test_each_module_concatenates_four_branches(self):
+        net = build_model("googlenet")
+        for concat in layers_of_type(net, Concat):
+            assert len(concat.inputs) == 4
+
+
+class TestResNetStructure:
+    @pytest.mark.parametrize(
+        "name,blocks", [("resnet50", 16), ("resnet152", 50)]
+    )
+    def test_residual_add_count(self, name, blocks):
+        net = build_model(name)
+        assert len(layers_of_type(net, Add)) == blocks
+
+    def test_four_projection_shortcuts(self):
+        net = build_model("resnet50")
+        projections = [
+            l for l in net.layers if l.name.endswith("_proj")
+        ]
+        assert len(projections) == 4
+
+    def test_bottleneck_kernel_pattern(self):
+        """Each block is 1x1 -> 3x3 -> 1x1."""
+        net = build_model("resnet50")
+        assert net["s2b1_a"].kernel == 1
+        assert net["s2b1_b"].kernel == 3
+        assert net["s2b1_c"].kernel == 1
+
+    def test_head_dense_is_analyzed(self):
+        net = build_model("resnet50")
+        assert "fc" in net.analyzed_layer_names
+
+
+class TestSqueezeNetStructure:
+    def test_eight_fire_modules(self):
+        net = build_model("squeezenet")
+        squeezes = [l for l in net.layers if l.name.endswith("_squeeze")]
+        assert len(squeezes) == 8
+
+    def test_fire_expands_concat_two_branches(self):
+        net = build_model("squeezenet")
+        for concat in layers_of_type(net, Concat):
+            assert len(concat.inputs) == 2
+
+    def test_squeeze_narrower_than_expand(self):
+        net = build_model("squeezenet")
+        squeeze = net["fire2_squeeze"]
+        expand = net["fire2_e1x1"]
+        assert squeeze.out_channels < 2 * expand.out_channels
+
+
+class TestMobileNetStructure:
+    def test_thirteen_depthwise_blocks(self):
+        net = build_model("mobilenet")
+        depthwise = [
+            l
+            for l in net.layers
+            if isinstance(l, Conv2D) and l.groups > 1
+        ]
+        assert len(depthwise) == 13
+
+    def test_depthwise_one_kernel_per_channel(self):
+        net = build_model("mobilenet")
+        dw = net["dw3"]
+        assert dw.groups == dw.weight.shape[0]
+        assert dw.weight.shape[1] == 1
+
+    def test_pointwise_are_1x1(self):
+        net = build_model("mobilenet")
+        for i in range(1, 14):
+            assert net[f"pw{i}"].kernel == 1
+
+
+class TestAllModelsShared:
+    @pytest.mark.parametrize(
+        "name",
+        ["alexnet", "nin", "vgg19", "squeezenet", "mobilenet"],
+    )
+    def test_valid_dag_and_global_head(self, name):
+        net = build_model(name)
+        validate_dag(net)
+        assert isinstance(net[net.output_name], Dense)
+
+    @pytest.mark.parametrize("name", ["alexnet", "nin", "mobilenet"])
+    def test_analyzed_layers_in_topological_order(self, name):
+        net = build_model(name)
+        order = {l.name: i for i, l in enumerate(net.layers)}
+        indices = [order[n] for n in net.analyzed_layer_names]
+        assert indices == sorted(indices)

@@ -1,0 +1,70 @@
+"""Tests for model checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageNet
+from repro.errors import ModelError
+from repro.models import (
+    build_model,
+    cached_pretrained_model,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_outputs(self, fresh_lenet, images, tmp_path):
+        path = tmp_path / "lenet.npz"
+        expected = fresh_lenet.forward(images)
+        save_checkpoint(fresh_lenet, path)
+
+        other = build_model("lenet", num_classes=8, seed=999)
+        assert not np.allclose(other.forward(images), expected)
+        manifest = load_checkpoint(other, path)
+        np.testing.assert_allclose(other.forward(images), expected, rtol=1e-12)
+        assert manifest["network"] == "lenet"
+
+    def test_rejects_missing_file(self, fresh_lenet, tmp_path):
+        with pytest.raises(ModelError):
+            load_checkpoint(fresh_lenet, tmp_path / "nope.npz")
+
+    def test_rejects_wrong_architecture(self, fresh_lenet, tmp_path):
+        path = tmp_path / "lenet.npz"
+        save_checkpoint(fresh_lenet, path)
+        other = build_model("alexnet", num_classes=8)
+        with pytest.raises(ModelError):
+            load_checkpoint(other, path)
+
+    def test_rejects_non_checkpoint_npz(self, fresh_lenet, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ModelError):
+            load_checkpoint(fresh_lenet, path)
+
+    def test_manifest_contents(self, fresh_lenet, tmp_path):
+        path = tmp_path / "lenet.npz"
+        save_checkpoint(fresh_lenet, path)
+        manifest = load_checkpoint(fresh_lenet, path)
+        assert manifest["parameters"] == fresh_lenet.num_parameters()
+        assert manifest["input_shape"] == [3, 32, 32]
+
+
+class TestCachedPretrainedModel:
+    def test_second_call_loads_from_cache(self, tmp_path):
+        source = SyntheticImageNet(num_classes=8, seed=55)
+        net1, __, test, info1 = cached_pretrained_model(
+            "lenet", tmp_path, source=source, train_count=96, test_count=48,
+            seed=55,
+        )
+        assert (tmp_path / "lenet-seed55.npz").exists()
+        net2, __, __, info2 = cached_pretrained_model(
+            "lenet", tmp_path, source=source, train_count=96, test_count=48,
+            seed=55,
+        )
+        np.testing.assert_array_equal(
+            net1["fc"].weight, net2["fc"].weight
+        )
+        assert info2["test_accuracy"] == pytest.approx(
+            info1["test_accuracy"]
+        )

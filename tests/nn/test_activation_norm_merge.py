@@ -1,0 +1,156 @@
+"""Unit tests for ReLU, Softmax, LRN, ChannelAffine, Add, Concat, Flatten."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    Add,
+    ChannelAffine,
+    Concat,
+    Flatten,
+    LRN,
+    ReLU,
+    Softmax,
+)
+
+
+class TestReLU:
+    def test_clamps_negatives(self):
+        layer = ReLU("r", ["input"])
+        layer.bind([(2,)])
+        out = layer.forward([np.array([[-1.0, 2.0]])])
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_preserves_shape(self):
+        layer = ReLU("r", ["input"])
+        layer.bind([(2, 3, 3)])
+        assert layer.output_shape == (2, 3, 3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        layer = Softmax("s", ["input"])
+        layer.bind([(5,)])
+        out = layer.forward([np.random.default_rng(0).normal(size=(3, 5))])
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        layer = Softmax("s", ["input"])
+        layer.bind([(2,)])
+        out = layer.forward([np.array([[1e4, 0.0]])])
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_argmax_invariant(self):
+        """Softmax never changes the predicted class."""
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(16, 10))
+        layer = Softmax("s", ["input"])
+        layer.bind([(10,)])
+        out = layer.forward([logits])
+        np.testing.assert_array_equal(
+            np.argmax(out, axis=1), np.argmax(logits, axis=1)
+        )
+
+
+class TestLRN:
+    def _naive_lrn(self, x, size, alpha, beta, k):
+        out = np.empty_like(x)
+        half = size // 2
+        channels = x.shape[1]
+        for c in range(channels):
+            lo, hi = max(0, c - half), min(channels, c + half + 1)
+            ssq = (x[:, lo:hi] ** 2).sum(axis=1)
+            out[:, c] = x[:, c] / (k + alpha / size * ssq) ** beta
+        return out
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 7, 4, 4))
+        layer = LRN("l", ["input"], local_size=5, alpha=1e-3, beta=0.75, k=2.0)
+        layer.bind([(7, 4, 4)])
+        np.testing.assert_allclose(
+            layer.forward([x]),
+            self._naive_lrn(x, 5, 1e-3, 0.75, 2.0),
+            rtol=1e-10,
+        )
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ShapeError):
+            LRN("l", ["input"], local_size=4)
+
+
+class TestChannelAffine:
+    def test_scale_and_shift(self):
+        layer = ChannelAffine(
+            "a", ["input"], scale=np.array([2.0, 0.5]), shift=np.array([1.0, 0.0])
+        )
+        layer.bind([(2, 2, 2)])
+        x = np.ones((1, 2, 2, 2))
+        out = layer.forward([x])
+        assert np.all(out[0, 0] == 3.0)
+        assert np.all(out[0, 1] == 0.5)
+
+    def test_rejects_channel_mismatch(self):
+        layer = ChannelAffine(
+            "a", ["input"], scale=np.ones(3), shift=np.zeros(3)
+        )
+        with pytest.raises(ShapeError):
+            layer.bind([(2, 4, 4)])
+
+    def test_rejects_mismatched_scale_shift(self):
+        with pytest.raises(ShapeError):
+            ChannelAffine("a", ["input"], scale=np.ones(3), shift=np.zeros(2))
+
+
+class TestAdd:
+    def test_sums_inputs(self):
+        layer = Add("add", ["a", "b"])
+        layer.bind([(2, 2, 2), (2, 2, 2)])
+        out = layer.forward([np.ones((1, 2, 2, 2)), 2 * np.ones((1, 2, 2, 2))])
+        assert np.all(out == 3.0)
+
+    def test_three_way_add(self):
+        layer = Add("add", ["a", "b", "c"])
+        layer.bind([(2,)] * 3)
+        out = layer.forward([np.ones((1, 2))] * 3)
+        assert np.all(out == 3.0)
+
+    def test_does_not_mutate_inputs(self):
+        layer = Add("add", ["a", "b"])
+        layer.bind([(2,), (2,)])
+        a = np.ones((1, 2))
+        layer.forward([a, a])
+        assert np.all(a == 1.0)
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ShapeError):
+            Add("add", ["a"])
+
+    def test_rejects_shape_mismatch(self):
+        layer = Add("add", ["a", "b"])
+        with pytest.raises(ShapeError):
+            layer.bind([(2, 2, 2), (3, 2, 2)])
+
+
+class TestConcat:
+    def test_concatenates_channels(self):
+        layer = Concat("cat", ["a", "b"])
+        layer.bind([(2, 3, 3), (4, 3, 3)])
+        assert layer.output_shape == (6, 3, 3)
+        out = layer.forward([np.ones((1, 2, 3, 3)), np.zeros((1, 4, 3, 3))])
+        assert out[0, :2].sum() == 18
+        assert out[0, 2:].sum() == 0
+
+    def test_rejects_spatial_mismatch(self):
+        layer = Concat("cat", ["a", "b"])
+        with pytest.raises(ShapeError):
+            layer.bind([(2, 3, 3), (2, 4, 4)])
+
+
+class TestFlatten:
+    def test_shape(self):
+        layer = Flatten("f", ["input"])
+        layer.bind([(2, 3, 4)])
+        assert layer.output_shape == (24,)

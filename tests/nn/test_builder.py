@@ -1,0 +1,105 @@
+"""Unit tests for NetworkBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import NetworkBuilder
+from repro.nn.layers import Conv2D
+
+
+class TestBuilderWiring:
+    def test_conv_appends_relu_by_default(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        head = b.conv("c1", 4, 3)
+        assert head == "c1_relu"
+        net = b.build()
+        assert "c1" in net and "c1_relu" in net
+
+    def test_conv_without_relu(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        head = b.conv("c1", 4, 3, relu=False)
+        assert head == "c1"
+        assert "c1_relu" not in b.build()
+
+    def test_default_padding_is_same(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        b.conv("c1", 4, 5)
+        net = b.build()
+        assert net["c1"].output_shape == (4, 8, 8)
+
+    def test_explicit_source(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        b.conv("c1", 4, 3)
+        b.conv("c2", 4, 3)
+        b.conv("c3", 4, 3, source="c1_relu")
+        net = b.build()
+        assert net["c3"].inputs == ["c1_relu"]
+
+    def test_depthwise_uses_channel_groups(self):
+        b = NetworkBuilder("n", (4, 8, 8), seed=0)
+        b.depthwise_conv("dw", 3)
+        net = b.build()
+        layer = net["dw"]
+        assert isinstance(layer, Conv2D)
+        assert layer.groups == 4
+        assert layer.weight.shape == (4, 1, 3, 3)
+
+    def test_build_empty_rejected(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_build_sets_output_and_analyzed(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        b.conv("c1", 4, 3)
+        b.global_pool("gap")
+        b.dense("fc", 5)
+        net = b.build(output="fc", analyzed_layers=["c1"])
+        assert net.output_name == "fc"
+        assert net.analyzed_layer_names == ["c1"]
+
+    def test_seed_determinism(self):
+        w1 = NetworkBuilder("a", (3, 8, 8), seed=7).conv("c", 4, 3)
+        w2 = NetworkBuilder("b", (3, 8, 8), seed=7).conv("c", 4, 3)
+        # builders built independently with the same seed produce the
+        # same weights
+        b1 = NetworkBuilder("a", (3, 8, 8), seed=7)
+        b1.conv("c", 4, 3)
+        b2 = NetworkBuilder("b", (3, 8, 8), seed=7)
+        b2.conv("c", 4, 3)
+        np.testing.assert_array_equal(
+            b1.build()["c"].weight, b2.build()["c"].weight
+        )
+
+    def test_he_scaling_shrinks_with_fan_in(self):
+        b = NetworkBuilder("n", (64, 8, 8), seed=0)
+        b.conv("wide", 8, 3)
+        b2 = NetworkBuilder("n", (4, 8, 8), seed=0)
+        b2.conv("narrow", 8, 3)
+        wide_std = b.build()["wide"].weight.std()
+        narrow_std = b2.build()["narrow"].weight.std()
+        assert wide_std < narrow_std
+
+    def test_dense_from_input(self):
+        b = NetworkBuilder("n", (12,), seed=0)
+        b.dense("fc", 5)
+        net = b.build()
+        assert net["fc"].in_features == 12
+
+    def test_batch_norm_channels(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        b.conv("c1", 6, 3, relu=False)
+        b.batch_norm("bn")
+        net = b.build()
+        assert net["bn"].scale.shape == (6,)
+
+    def test_concat_and_residual(self):
+        b = NetworkBuilder("n", (3, 8, 8), seed=0)
+        a = b.conv("a", 4, 3)
+        c = b.conv("c", 4, 3, source="input")
+        b.concat("cat", [a, c])
+        b.add_residual("add", [a, c])
+        net = b.build()
+        assert net["cat"].output_shape == (8, 8, 8)
+        assert net["add"].output_shape == (4, 8, 8)

@@ -1,0 +1,154 @@
+"""Unit tests for Conv2D (dense, grouped, depthwise paths)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Conv2D
+
+
+def naive_conv(x, w, stride=1, padding=0, groups=1):
+    """Reference convolution via explicit loops."""
+    n, c_in, h, wd = x.shape
+    c_out, c_in_g, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        h, wd = h + 2 * padding, wd + 2 * padding
+    out_h = (h - k) // stride + 1
+    out_w = (wd - k) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    out_per_group = c_out // groups
+    for b in range(n):
+        for f in range(c_out):
+            g = f // out_per_group
+            xs = x[b, g * c_in_g : (g + 1) * c_in_g]
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = xs[:, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[b, f, i, j] = np.sum(patch * w[f])
+    return out
+
+
+def make_conv(w, **kw):
+    layer = Conv2D("c", ["input"], w, **kw)
+    in_channels = w.shape[1] * kw.get("groups", 1)
+    return layer, in_channels
+
+
+class TestDenseConv:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(5, 3, 3, 3))
+        layer, _ = make_conv(w, padding=1, stride=2)
+        layer.bind([(3, 7, 7)])
+        out = layer.forward([x])
+        np.testing.assert_allclose(
+            out, naive_conv(x, w, stride=2, padding=1), rtol=1e-10
+        )
+
+    def test_bias_added_per_channel(self):
+        w = np.zeros((2, 1, 1, 1))
+        layer = Conv2D("c", ["input"], w, bias=np.array([1.0, -2.0]))
+        layer.bind([(1, 3, 3)])
+        out = layer.forward([np.zeros((1, 1, 3, 3))])
+        assert np.all(out[0, 0] == 1.0)
+        assert np.all(out[0, 1] == -2.0)
+
+    def test_1x1_conv_is_channel_mix(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        layer, _ = make_conv(w, padding=0)
+        layer.bind([(3, 4, 4)])
+        out = layer.forward([x])
+        expected = np.einsum("nchw,fc->nfhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+class TestGroupedConv:
+    def test_two_groups_match_naive(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 4, 5, 5))
+        w = rng.normal(size=(6, 2, 3, 3))
+        layer = Conv2D("c", ["input"], w, padding=1, groups=2)
+        layer.bind([(4, 5, 5)])
+        out = layer.forward([x])
+        np.testing.assert_allclose(
+            out, naive_conv(x, w, padding=1, groups=2), rtol=1e-10
+        )
+
+    def test_depthwise_matches_naive(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 4, 6, 6))
+        w = rng.normal(size=(4, 1, 3, 3))
+        layer = Conv2D("c", ["input"], w, padding=1, groups=4)
+        layer.bind([(4, 6, 6)])
+        out = layer.forward([x])
+        np.testing.assert_allclose(
+            out, naive_conv(x, w, padding=1, groups=4), rtol=1e-10
+        )
+
+    def test_depthwise_with_stride(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(3, 1, 3, 3))
+        layer = Conv2D("c", ["input"], w, stride=2, padding=1, groups=3)
+        layer.bind([(3, 8, 8)])
+        out = layer.forward([x])
+        np.testing.assert_allclose(
+            out, naive_conv(x, w, stride=2, padding=1, groups=3), rtol=1e-10
+        )
+
+
+class TestConvValidation:
+    def test_rejects_non_square_kernel(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", ["input"], np.zeros((1, 1, 2, 3)))
+
+    def test_rejects_wrong_channel_count(self):
+        layer = Conv2D("c", ["input"], np.zeros((2, 3, 3, 3)))
+        with pytest.raises(ShapeError):
+            layer.bind([(4, 8, 8)])
+
+    def test_rejects_bad_bias_shape(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", ["input"], np.zeros((2, 1, 3, 3)), bias=np.zeros(3))
+
+    def test_rejects_out_channels_not_divisible_by_groups(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", ["input"], np.zeros((3, 1, 3, 3)), groups=2)
+
+    def test_rejects_flat_input_shape(self):
+        layer = Conv2D("c", ["input"], np.zeros((2, 3, 3, 3)))
+        with pytest.raises(ShapeError):
+            layer.bind([(27,)])
+
+
+class TestConvStats:
+    def test_mac_count(self):
+        # output 4x4x8, each output needs 3*3*3 multiplies
+        layer = Conv2D("c", ["input"], np.zeros((8, 3, 3, 3)), padding=1)
+        layer.bind([(3, 4, 4)])
+        assert layer.num_macs() == 8 * 4 * 4 * 3 * 3 * 3
+
+    def test_depthwise_mac_count(self):
+        layer = Conv2D("c", ["input"], np.zeros((4, 1, 3, 3)), padding=1, groups=4)
+        layer.bind([(4, 4, 4)])
+        assert layer.num_macs() == 4 * 4 * 4 * 1 * 3 * 3
+
+    def test_input_elements(self):
+        layer = Conv2D("c", ["input"], np.zeros((8, 3, 3, 3)), padding=1)
+        layer.bind([(3, 4, 4)])
+        assert layer.num_input_elements() == 3 * 4 * 4
+
+    def test_parameter_count_with_bias(self):
+        layer = Conv2D("c", ["input"], np.zeros((8, 3, 3, 3)), bias=np.zeros(8))
+        assert layer.num_parameters() == 8 * 3 * 9 + 8
+
+    def test_alexnet_paper_mac_formula(self):
+        """Sanity-check the #MAC formula against the paper's AlexNet conv1:
+        96 filters, 11x11x3 kernels, 55x55 output => 1.05e8 MACs."""
+        layer = Conv2D("c", ["input"], np.zeros((96, 3, 11, 11)), stride=4)
+        layer.bind([(3, 227, 227)])
+        assert layer.num_macs() == pytest.approx(1.05e8, rel=0.01)

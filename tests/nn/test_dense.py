@@ -1,0 +1,70 @@
+"""Unit tests for the Dense (fully connected) layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Dense
+
+
+class TestDenseForward:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        layer = Dense("fc", ["input"], w, bias=b)
+        layer.bind([(6,)])
+        np.testing.assert_allclose(layer.forward([x]), x @ w.T + b, rtol=1e-12)
+
+    def test_flattens_spatial_input(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 3, 3))
+        w = rng.normal(size=(5, 18))
+        layer = Dense("fc", ["input"], w)
+        layer.bind([(2, 3, 3)])
+        expected = x.reshape(2, 18) @ w.T
+        np.testing.assert_allclose(layer.forward([x]), expected, rtol=1e-12)
+
+    def test_no_bias(self):
+        w = np.eye(3)
+        layer = Dense("fc", ["input"], w)
+        layer.bind([(3,)])
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_array_equal(layer.forward([x]), x)
+
+
+class TestDenseValidation:
+    def test_rejects_non_2d_weight(self):
+        with pytest.raises(ShapeError):
+            Dense("fc", ["input"], np.zeros((2, 3, 4)))
+
+    def test_rejects_feature_mismatch(self):
+        layer = Dense("fc", ["input"], np.zeros((2, 5)))
+        with pytest.raises(ShapeError):
+            layer.bind([(6,)])
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ShapeError):
+            Dense("fc", ["input"], np.zeros((2, 5)), bias=np.zeros(5))
+
+
+class TestDenseStats:
+    def test_macs_equals_in_times_out(self):
+        layer = Dense("fc", ["input"], np.zeros((7, 11)))
+        layer.bind([(11,)])
+        assert layer.num_macs() == 77
+
+    def test_input_elements(self):
+        layer = Dense("fc", ["input"], np.zeros((7, 12)))
+        layer.bind([(3, 2, 2)])
+        assert layer.num_input_elements() == 12
+
+    def test_parameters(self):
+        layer = Dense("fc", ["input"], np.zeros((7, 11)), bias=np.zeros(7))
+        assert layer.num_parameters() == 7 * 11 + 7
+
+    def test_output_shape(self):
+        layer = Dense("fc", ["input"], np.zeros((7, 11)))
+        layer.bind([(11,)])
+        assert layer.output_shape == (7,)

@@ -1,0 +1,215 @@
+"""Unit tests for the Network DAG: wiring, taps, partial re-execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn import (
+    Add,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    Network,
+    NetworkBuilder,
+    ReLU,
+)
+from repro.nn.graph import INPUT
+
+
+def tiny_network(seed=0):
+    """conv -> relu -> conv -> gap -> fc, all deterministic."""
+    b = NetworkBuilder("tiny", (2, 6, 6), seed=seed)
+    b.conv("c1", 3, 3)
+    b.conv("c2", 4, 3)
+    b.global_pool("gap")
+    b.dense("fc", 5)
+    return b.build()
+
+
+def residual_network(seed=0):
+    """A DAG with a skip connection (c1 feeds both c2 and the add)."""
+    b = NetworkBuilder("res", (2, 6, 6), seed=seed)
+    c1 = b.conv("c1", 4, 3)
+    b.conv("c2", 4, 3, source=c1)
+    c3 = b.conv("c3", 4, 3, relu=False)
+    b.add_residual("add", [c1, c3])
+    b.relu("post")
+    b.global_pool("gap")
+    b.dense("fc", 3)
+    return b.build()
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        net = Network("n", (2, 4, 4))
+        net.add(ReLU("r", [INPUT]))
+        with pytest.raises(GraphError):
+            net.add(ReLU("r", [INPUT]))
+
+    def test_reserved_name_rejected(self):
+        net = Network("n", (2, 4, 4))
+        with pytest.raises(GraphError):
+            net.add(ReLU(INPUT, [INPUT]))
+
+    def test_unknown_producer_rejected(self):
+        net = Network("n", (2, 4, 4))
+        with pytest.raises(GraphError):
+            net.add(ReLU("r", ["ghost"]))
+
+    def test_empty_layer_name_rejected(self):
+        with pytest.raises(GraphError):
+            ReLU("", [INPUT])
+
+    def test_bad_input_shape_rejected(self):
+        with pytest.raises(GraphError):
+            Network("n", (2, 4))
+
+    def test_output_defaults_to_last_layer(self):
+        net = tiny_network()
+        assert net.output_name == "fc"
+
+    def test_set_output(self):
+        net = tiny_network()
+        net.set_output("gap")
+        assert net.output_name == "gap"
+        with pytest.raises(GraphError):
+            net.set_output("ghost")
+
+    def test_getitem_and_contains(self):
+        net = tiny_network()
+        assert "c1" in net
+        assert net["c1"].name == "c1"
+        with pytest.raises(GraphError):
+            net["nope"]
+
+    def test_len_counts_layers(self):
+        net = tiny_network()
+        # c1, c1_relu, c2, c2_relu, gap, fc
+        assert len(net) == 6
+
+
+class TestAnalyzedLayers:
+    def test_defaults_to_all_dot_product_layers(self):
+        net = tiny_network()
+        assert net.analyzed_layer_names == ["c1", "c2", "fc"]
+
+    def test_restriction(self):
+        net = tiny_network()
+        net.set_analyzed_layers(["c1", "c2"])
+        assert net.analyzed_layer_names == ["c1", "c2"]
+
+    def test_rejects_non_dot_product_layer(self):
+        net = tiny_network()
+        with pytest.raises(GraphError):
+            net.set_analyzed_layers(["gap"])
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = tiny_network()
+        x = np.random.default_rng(0).normal(size=(3, 2, 6, 6))
+        assert net.forward(x).shape == (3, 5)
+
+    def test_deterministic(self):
+        net = tiny_network()
+        x = np.random.default_rng(0).normal(size=(2, 2, 6, 6))
+        np.testing.assert_array_equal(net.forward(x), net.forward(x))
+
+    def test_rejects_wrong_input_shape(self):
+        net = tiny_network()
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((1, 3, 6, 6)))
+
+    def test_rejects_unknown_tap_target(self):
+        net = tiny_network()
+        with pytest.raises(GraphError):
+            net.forward(np.zeros((1, 2, 6, 6)), taps={"ghost": lambda x: x})
+
+    def test_identity_tap_is_noop(self):
+        net = tiny_network()
+        x = np.random.default_rng(1).normal(size=(2, 2, 6, 6))
+        out_plain = net.forward(x)
+        out_tapped = net.forward(x, taps={"c2": lambda a: a})
+        np.testing.assert_array_equal(out_plain, out_tapped)
+
+    def test_tap_modifies_downstream(self):
+        net = tiny_network()
+        x = np.random.default_rng(2).normal(size=(2, 2, 6, 6))
+        out_plain = net.forward(x)
+        out_tapped = net.forward(x, taps={"c2": lambda a: a + 1.0})
+        assert not np.allclose(out_plain, out_tapped)
+
+    def test_tap_sees_layer_input(self):
+        net = tiny_network()
+        x = np.random.default_rng(3).normal(size=(2, 2, 6, 6))
+        seen = {}
+
+        def spy(a):
+            seen["shape"] = a.shape
+            return a
+
+        net.forward(x, taps={"c2": spy})
+        assert seen["shape"] == (2, 3, 6, 6)  # c1 has 3 output channels
+
+    def test_residual_forward_matches_manual(self):
+        net = residual_network()
+        x = np.random.default_rng(4).normal(size=(1, 2, 6, 6))
+        cache = net.run_all(x)
+        manual = cache["c1_relu"] + cache["c3"]
+        np.testing.assert_allclose(cache["add"], manual, rtol=1e-12)
+
+
+class TestRunAllAndForwardFrom:
+    def test_cache_contains_every_layer(self):
+        net = tiny_network()
+        x = np.random.default_rng(0).normal(size=(2, 2, 6, 6))
+        cache = net.run_all(x)
+        for layer in net.layers:
+            assert layer.name in cache
+
+    def test_forward_from_equals_full_forward_with_same_tap(self):
+        """Partial re-execution must agree exactly with a tapped full pass."""
+        net = tiny_network()
+        x = np.random.default_rng(1).normal(size=(2, 2, 6, 6))
+        cache = net.run_all(x)
+
+        def tap(a):
+            return a + 0.5
+
+        for start in ["c1", "c2", "fc"]:
+            full = net.forward(x, taps={start: tap})
+            partial = net.forward_from(cache, start, tap)
+            np.testing.assert_allclose(partial, full, rtol=1e-12)
+
+    def test_forward_from_on_dag_with_skip(self):
+        """Injection below a fork must leave the skip path clean."""
+        net = residual_network()
+        x = np.random.default_rng(2).normal(size=(2, 2, 6, 6))
+        cache = net.run_all(x)
+
+        def tap(a):
+            return a * 1.01
+
+        for start in ["c1", "c2", "c3", "fc"]:
+            full = net.forward(x, taps={start: tap})
+            partial = net.forward_from(cache, start, tap)
+            np.testing.assert_allclose(partial, full, rtol=1e-12)
+
+    def test_forward_from_identity_tap_reproduces_cache(self):
+        net = residual_network()
+        x = np.random.default_rng(3).normal(size=(2, 2, 6, 6))
+        cache = net.run_all(x)
+        out = net.forward_from(cache, "c2", lambda a: a)
+        np.testing.assert_allclose(out, cache[net.output_name], rtol=1e-12)
+
+    def test_num_parameters_positive(self):
+        assert tiny_network().num_parameters() > 0
+
+
+class TestMemoryFreeing:
+    def test_forward_correct_when_producer_feeds_multiple_consumers(self):
+        """The last-use bookkeeping must not free a value still needed."""
+        net = residual_network()
+        x = np.random.default_rng(5).normal(size=(2, 2, 6, 6))
+        expected = net.run_all(x)[net.output_name]
+        np.testing.assert_allclose(net.forward(x), expected, rtol=1e-12)

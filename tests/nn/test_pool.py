@@ -1,0 +1,94 @@
+"""Unit tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import AvgPool2D, GlobalAvgPool, MaxPool2D
+
+
+class TestMaxPool:
+    def test_basic_2x2(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        layer = MaxPool2D("p", ["input"], 2)
+        layer.bind([(1, 2, 2)])
+        assert layer.forward([x])[0, 0, 0, 0] == 4.0
+
+    def test_overlapping_3x3_stride1(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 5, 5))
+        layer = MaxPool2D("p", ["input"], 3, stride=1)
+        layer.bind([(2, 5, 5)])
+        out = layer.forward([x])
+        assert out.shape == (1, 2, 3, 3)
+        assert out[0, 1, 0, 0] == x[0, 1, 0:3, 0:3].max()
+
+    def test_padding_uses_neg_inf_not_zero(self):
+        """All-negative inputs must not pool to the zero padding."""
+        x = -np.ones((1, 1, 2, 2))
+        layer = MaxPool2D("p", ["input"], 3, stride=1, padding=1)
+        layer.bind([(1, 2, 2)])
+        out = layer.forward([x])
+        assert np.all(out == -1.0)
+
+    def test_default_stride_equals_kernel(self):
+        layer = MaxPool2D("p", ["input"], 2)
+        layer.bind([(1, 6, 6)])
+        assert layer.output_shape == (1, 3, 3)
+
+    def test_rejects_flat_input(self):
+        layer = MaxPool2D("p", ["input"], 2)
+        with pytest.raises(ShapeError):
+            layer.bind([(4,)])
+
+    def test_error_passthrough_property(self):
+        """Paper Sec. III-C: max pooling sub-samples errors, so a small
+        perturbation moves the output by (at most) the same amount."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 3, 8, 8))
+        layer = MaxPool2D("p", ["input"], 2)
+        layer.bind([(3, 8, 8)])
+        delta = 1e-6
+        noise = rng.uniform(-delta, delta, size=x.shape)
+        diff = layer.forward([x + noise]) - layer.forward([x])
+        assert np.max(np.abs(diff)) <= delta * (1 + 1e-9)
+
+
+class TestAvgPool:
+    def test_basic_average(self):
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        layer = AvgPool2D("p", ["input"], 2)
+        layer.bind([(1, 2, 2)])
+        assert layer.forward([x])[0, 0, 0, 0] == 1.5
+
+    def test_error_scaling_matches_dot_product_model(self):
+        """Paper Sec. III-C: avg pooling with N elements scales error std
+        by ~1/sqrt(N) for i.i.d. errors."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 4, 16, 16))
+        layer = AvgPool2D("p", ["input"], 4)
+        layer.bind([(4, 16, 16)])
+        noise = rng.uniform(-1.0, 1.0, size=x.shape)
+        diff = layer.forward([x + noise]) - layer.forward([x])
+        ratio = diff.std() / noise.std()
+        assert ratio == pytest.approx(1.0 / 4.0, rel=0.1)  # sqrt(16)=4
+
+
+class TestGlobalAvgPool:
+    def test_produces_flat_features(self):
+        x = np.arange(8.0).reshape(1, 2, 2, 2)
+        layer = GlobalAvgPool("g", ["input"])
+        layer.bind([(2, 2, 2)])
+        out = layer.forward([x])
+        assert out.shape == (1, 2)
+        np.testing.assert_allclose(out[0], [1.5, 5.5])
+
+    def test_rejects_flat_input(self):
+        layer = GlobalAvgPool("g", ["input"])
+        with pytest.raises(ShapeError):
+            layer.bind([(4,)])
+
+    def test_no_macs(self):
+        layer = GlobalAvgPool("g", ["input"])
+        layer.bind([(2, 2, 2)])
+        assert layer.num_macs() == 0

@@ -1,0 +1,103 @@
+"""Property tests on randomly generated network DAGs.
+
+Hand-written graph tests cover known shapes; these generate arbitrary
+valid DAGs (random depth, branching, merges, pooling) and assert the
+two invariants the whole reproduction rests on:
+
+* a tapped full forward equals partial replay from the tapped layer,
+* the forward pass with memory freeing equals the keep-everything pass.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import NetworkBuilder, validate_dag
+
+
+def build_random_network(seed: int):
+    """A random but always-valid DAG over a 2x8x8 input."""
+    rng = np.random.default_rng(seed)
+    b = NetworkBuilder(f"rand{seed}", (2, 8, 8), seed=seed)
+    # heads: (name, channels) of CHW-shaped outputs available to consume
+    heads = []
+    current = b.conv("c0", int(rng.integers(2, 5)), 3)
+    heads.append((current, b.network[current.replace("_relu", "")].out_channels))
+    num_blocks = int(rng.integers(1, 5))
+    for i in range(num_blocks):
+        choice = rng.integers(0, 4)
+        src_name, src_channels = heads[int(rng.integers(0, len(heads)))]
+        if choice == 0:  # plain conv
+            name = b.conv(
+                f"conv{i}", int(rng.integers(2, 6)), 3, source=src_name
+            )
+            channels = b.network[f"conv{i}"].out_channels
+        elif choice == 1:  # two-branch concat
+            left = b.conv(
+                f"l{i}", int(rng.integers(2, 4)), 1, padding=0, source=src_name
+            )
+            right = b.conv(
+                f"r{i}", int(rng.integers(2, 4)), 3, source=src_name
+            )
+            name = b.concat(f"cat{i}", [left, right])
+            channels = (
+                b.network[f"l{i}"].out_channels
+                + b.network[f"r{i}"].out_channels
+            )
+        elif choice == 2:  # residual add
+            branch = b.conv(
+                f"b{i}", src_channels, 3, relu=False, source=src_name
+            )
+            name = b.add_residual(f"add{i}", [src_name, branch])
+            b.relu(f"post{i}")
+            name = f"post{i}"
+            channels = src_channels
+        else:  # norm
+            name = b.batch_norm(f"bn{i}", source=src_name)
+            channels = src_channels
+        heads.append((name, channels))
+    final = heads[-1][0]
+    b.global_pool("gap", source=final)
+    b.dense("fc", 4)
+    return b.build()
+
+
+class TestRandomGraphs:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_graphs_are_valid(self, seed):
+        net = build_random_network(seed)
+        validate_dag(net)
+        x = np.random.default_rng(seed).normal(size=(2, 2, 8, 8))
+        out = net.forward(x)
+        assert out.shape == (2, 4)
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), layer_pick=st.integers(0, 100))
+    def test_partial_replay_matches_tapped_forward(self, seed, layer_pick):
+        """PROPERTY: forward_from == forward-with-tap, on any DAG and
+        any analyzed layer — the profiler's core assumption."""
+        net = build_random_network(seed)
+        analyzed = net.analyzed_layer_names
+        target = analyzed[layer_pick % len(analyzed)]
+        x = np.random.default_rng(seed + 1).normal(size=(2, 2, 8, 8))
+        cache = net.run_all(x)
+
+        def tap(a):
+            return a * 1.01 + 0.1
+
+        full = net.forward(x, taps={target: tap})
+        partial = net.forward_from(cache, target, tap)
+        np.testing.assert_allclose(partial, full, rtol=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_memory_freeing_forward_matches_cache(self, seed):
+        """PROPERTY: the memory-bounded forward equals run_all."""
+        net = build_random_network(seed)
+        x = np.random.default_rng(seed + 2).normal(size=(1, 2, 8, 8))
+        np.testing.assert_allclose(
+            net.forward(x), net.run_all(x)[net.output_name], rtol=1e-12
+        )

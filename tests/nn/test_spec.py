@@ -1,0 +1,156 @@
+"""Tests for declarative network specs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import LayerSpec, NetworkSpec, build_from_spec
+
+
+def small_spec():
+    return NetworkSpec(
+        name="specnet",
+        input_shape=(3, 16, 16),
+        layers=[
+            LayerSpec("conv", "c1", {"out_channels": 4, "kernel": 3}),
+            LayerSpec("max_pool", "p1", {"kernel": 2}),
+            LayerSpec("conv", "c2", {"out_channels": 8, "kernel": 3}),
+            LayerSpec("global_pool", "gap"),
+            LayerSpec("dense", "fc", {"out_features": 5}),
+        ],
+        analyzed_layers=["c1", "c2", "fc"],
+    )
+
+
+def branchy_spec():
+    return NetworkSpec(
+        name="branchy",
+        input_shape=(3, 8, 8),
+        layers=[
+            LayerSpec("conv", "a", {"out_channels": 4, "kernel": 3}),
+            LayerSpec(
+                "conv", "b", {"out_channels": 4, "kernel": 1},
+                source="input",
+            ),
+            LayerSpec("concat", "cat", sources=["a_relu", "b_relu"]),
+            LayerSpec("add", "sum", sources=["a_relu", "b_relu"]),
+            LayerSpec("global_pool", "gap", source="cat"),
+            LayerSpec("dense", "fc", {"out_features": 3}),
+        ],
+    )
+
+
+class TestBuild:
+    def test_builds_working_network(self):
+        net = small_spec().build(seed=3)
+        x = np.random.default_rng(0).normal(size=(2, 3, 16, 16))
+        assert net.forward(x).shape == (2, 5)
+
+    def test_analyzed_layers_respected(self):
+        net = small_spec().build()
+        assert net.analyzed_layer_names == ["c1", "c2", "fc"]
+
+    def test_seed_reproducible(self):
+        a = small_spec().build(seed=9)
+        b = small_spec().build(seed=9)
+        np.testing.assert_array_equal(a["c1"].weight, b["c1"].weight)
+
+    def test_branching_layers(self):
+        net = branchy_spec().build()
+        assert net["cat"].output_shape == (8, 8, 8)
+        assert net["sum"].output_shape == (4, 8, 8)
+
+    def test_unknown_param_rejected(self):
+        spec = NetworkSpec(
+            name="bad",
+            input_shape=(3, 8, 8),
+            layers=[
+                LayerSpec("conv", "c", {"out_channels": 4, "kernel": 3,
+                                        "dilation": 2}),
+            ],
+        )
+        with pytest.raises(GraphError):
+            spec.build()
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GraphError):
+            LayerSpec("transformer", "t")
+
+    def test_multi_source_needs_sources(self):
+        with pytest.raises(GraphError):
+            LayerSpec("concat", "cat")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            LayerSpec("relu", "")
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        spec = small_spec()
+        rebuilt = NetworkSpec.from_dict(spec.to_dict())
+        assert rebuilt.name == spec.name
+        assert [l.name for l in rebuilt.layers] == [
+            l.name for l in spec.layers
+        ]
+
+    def test_file_roundtrip_builds_identically(self, tmp_path):
+        spec = small_spec()
+        path = spec.save(tmp_path / "net.json")
+        net_a = spec.build(seed=4)
+        net_b = NetworkSpec.load(path).build(seed=4)
+        x = np.random.default_rng(1).normal(size=(1, 3, 16, 16))
+        np.testing.assert_array_equal(net_a.forward(x), net_b.forward(x))
+
+    def test_build_from_spec_accepts_all_forms(self, tmp_path):
+        spec = small_spec()
+        path = spec.save(tmp_path / "net.json")
+        for form in (spec, spec.to_dict(), path):
+            net = build_from_spec(form, seed=1)
+            assert len(net) > 0
+
+    def test_rejects_wrong_version(self):
+        data = small_spec().to_dict()
+        data["spec_version"] = 999
+        with pytest.raises(GraphError):
+            NetworkSpec.from_dict(data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(GraphError):
+            NetworkSpec.load(tmp_path / "none.json")
+
+
+class TestSpecWithOptimizer:
+    def test_spec_network_runs_full_pipeline(self, source, datasets):
+        """A spec-defined custom network goes through the whole paper
+        pipeline like any zoo model."""
+        from repro import PrecisionOptimizer
+        from repro.config import ProfileSettings, SearchSettings
+        from repro.models import lsuv_calibrate, pretrain
+
+        train, test = datasets
+        spec = NetworkSpec(
+            name="custom",
+            input_shape=(3, 32, 32),
+            layers=[
+                LayerSpec("conv", "c1", {"out_channels": 8, "kernel": 3}),
+                LayerSpec("max_pool", "p1", {"kernel": 2}),
+                LayerSpec("conv", "c2", {"out_channels": 8, "kernel": 3}),
+                LayerSpec("global_pool", "gap"),
+                LayerSpec("dense", "fc", {"out_features": 8}),
+            ],
+            analyzed_layers=["c1", "c2"],
+        )
+        net = spec.build(seed=5)
+        lsuv_calibrate(net, train.images[:16])
+        pretrain(net, train, test)
+        optimizer = PrecisionOptimizer(
+            net,
+            test.subset(64),
+            profile_settings=ProfileSettings(num_images=8, num_delta_points=6),
+            search_settings=SearchSettings(tolerance=0.05, num_trials=1),
+        )
+        outcome = optimizer.optimize("input", accuracy_drop=0.10)
+        assert set(outcome.bitwidths) == {"c1", "c2"}

@@ -1,0 +1,94 @@
+"""Unit tests for per-layer statistics (Table II's raw rows)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    NetworkBuilder,
+    measure_ranges,
+    ordered_stats,
+    static_stats,
+    total_inputs,
+    total_macs,
+)
+from repro.nn.statistics import LayerStats
+
+
+@pytest.fixture()
+def net():
+    b = NetworkBuilder("n", (3, 8, 8), seed=0)
+    b.conv("c1", 4, 3)
+    b.max_pool("p1", 2)
+    b.conv("c2", 8, 3)
+    b.global_pool("gap")
+    b.dense("fc", 5)
+    return b.build()
+
+
+class TestStaticStats:
+    def test_covers_analyzed_layers_only(self, net):
+        stats = static_stats(net)
+        assert set(stats) == {"c1", "c2", "fc"}
+
+    def test_input_counts(self, net):
+        stats = static_stats(net)
+        assert stats["c1"].num_inputs == 3 * 8 * 8
+        assert stats["c2"].num_inputs == 4 * 4 * 4
+        assert stats["fc"].num_inputs == 8
+
+    def test_mac_counts(self, net):
+        stats = static_stats(net)
+        assert stats["c1"].num_macs == 4 * 8 * 8 * 3 * 9
+        assert stats["c2"].num_macs == 8 * 4 * 4 * 4 * 9
+        assert stats["fc"].num_macs == 8 * 5
+
+    def test_totals(self, net):
+        stats = static_stats(net)
+        assert total_inputs(stats) == sum(s.num_inputs for s in stats.values())
+        assert total_macs(stats) == sum(s.num_macs for s in stats.values())
+
+    def test_ordered_follows_analyzed_order(self, net):
+        stats = static_stats(net)
+        assert [s.name for s in ordered_stats(net, stats)] == ["c1", "c2", "fc"]
+
+
+class TestMeasuredRanges:
+    def test_max_abs_positive_after_measurement(self, net):
+        images = np.random.default_rng(0).normal(size=(8, 3, 8, 8)) * 10
+        stats = measure_ranges(net, images)
+        for s in stats.values():
+            assert s.max_abs_input > 0
+
+    def test_c1_range_matches_input_range(self, net):
+        images = np.random.default_rng(1).normal(size=(8, 3, 8, 8))
+        stats = measure_ranges(net, images)
+        assert stats["c1"].max_abs_input == pytest.approx(
+            float(np.abs(images).max())
+        )
+
+    def test_batching_does_not_change_result(self, net):
+        images = np.random.default_rng(2).normal(size=(10, 3, 8, 8))
+        s_all = measure_ranges(net, images, batch_size=10)
+        s_batched = measure_ranges(net, images, batch_size=3)
+        for name in s_all:
+            assert s_all[name].max_abs_input == pytest.approx(
+                s_batched[name].max_abs_input
+            )
+
+
+class TestIntegerBits:
+    @pytest.mark.parametrize(
+        "max_abs,expected",
+        [
+            (161.0, 9),   # paper Table II conv1
+            (139.0, 9),   # paper Table II conv2/conv3
+            (443.0, 10),  # paper Table II conv4
+            (415.0, 10),  # paper Table II conv5
+            (1.0, 2),
+            (0.9, 1),
+            (0.0, 1),
+        ],
+    )
+    def test_matches_paper_formula(self, max_abs, expected):
+        stat = LayerStats(name="x", num_inputs=1, num_macs=1, max_abs_input=max_abs)
+        assert stat.integer_bits == expected

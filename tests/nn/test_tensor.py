@@ -1,0 +1,135 @@
+"""Unit tests for the im2col / windowing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.tensor import (
+    assert_batched,
+    conv_output_hw,
+    extract_windows,
+    flatten_spatial,
+    im2col,
+    pad_nchw,
+)
+
+
+class TestConvOutputHW:
+    def test_unit_stride_no_padding(self):
+        assert conv_output_hw(8, 8, 3, 1, 0) == (6, 6)
+
+    def test_same_padding(self):
+        assert conv_output_hw(8, 8, 3, 1, 1) == (8, 8)
+
+    def test_stride_two(self):
+        assert conv_output_hw(8, 8, 2, 2, 0) == (4, 4)
+
+    def test_rectangular_input(self):
+        assert conv_output_hw(6, 10, 3, 1, 1) == (6, 10)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(2, 2, 5, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_is_identity(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        assert pad_nchw(x, 0) is x
+
+    def test_padding_adds_zero_border(self):
+        x = np.ones((1, 1, 2, 2))
+        padded = pad_nchw(x, 1)
+        assert padded.shape == (1, 1, 4, 4)
+        assert padded[0, 0, 0, :].sum() == 0
+        assert padded[0, 0, 1, 1] == 1
+
+
+class TestExtractWindows:
+    def test_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 6, 6))
+        windows = extract_windows(x, 3, 1, 0)
+        assert windows.shape == (2, 3, 4, 4, 3, 3)
+
+    def test_window_content_matches_slice(self):
+        x = np.arange(36.0).reshape(1, 1, 6, 6)
+        windows = extract_windows(x, 3, 1, 0)
+        np.testing.assert_array_equal(windows[0, 0, 2, 1], x[0, 0, 2:5, 1:4])
+
+    def test_strided_window_content(self):
+        x = np.arange(64.0).reshape(1, 1, 8, 8)
+        windows = extract_windows(x, 2, 2, 0)
+        np.testing.assert_array_equal(windows[0, 0, 1, 3], x[0, 0, 2:4, 6:8])
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ShapeError):
+            extract_windows(np.zeros((4, 4)), 2, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 5, 5))
+        cols = im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 27, 25)
+
+    def test_conv_via_im2col_matches_naive(self):
+        """im2col convolution equals the straightforward nested loop."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols = im2col(x, 3, 1, 0)
+        out = np.matmul(w.reshape(4, -1)[None], cols).reshape(2, 4, 4, 4)
+        naive = np.zeros_like(out)
+        for n in range(2):
+            for f in range(4):
+                for i in range(4):
+                    for j in range(4):
+                        naive[n, f, i, j] = np.sum(
+                            x[n, :, i : i + 3, j : j + 3] * w[f]
+                        )
+        np.testing.assert_allclose(out, naive, rtol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        size=st.integers(4, 7),
+    )
+    def test_column_count_matches_output_positions(
+        self, kernel, stride, padding, size
+    ):
+        x = np.zeros((1, 2, size, size))
+        out_h, out_w = conv_output_hw(size, size, kernel, stride, padding)
+        cols = im2col(x, kernel, stride, padding)
+        assert cols.shape == (1, 2 * kernel * kernel, out_h * out_w)
+
+
+class TestFlatten:
+    def test_flattens_nchw(self):
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        flat = flatten_spatial(x)
+        assert flat.shape == (2, 12)
+        np.testing.assert_array_equal(flat[0], x[0].ravel())
+
+    def test_flat_input_passthrough(self):
+        x = np.zeros((2, 5))
+        assert flatten_spatial(x) is x
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            flatten_spatial(np.zeros((2, 3, 4)))
+
+
+class TestAssertBatched:
+    def test_accepts_2d_and_4d(self):
+        assert_batched(np.zeros((1, 2)))
+        assert_batched(np.zeros((1, 2, 3, 4)))
+
+    def test_rejects_others(self):
+        with pytest.raises(ShapeError):
+            assert_batched(np.zeros((3,)))
+        with pytest.raises(ShapeError):
+            assert_batched(np.zeros((1, 2, 3)))

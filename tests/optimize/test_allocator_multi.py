@@ -1,0 +1,131 @@
+"""Tests for the allocation pipeline and multi-objective frontier."""
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    allocate_equal_scheme,
+    allocate_optimized,
+    input_bandwidth_objective,
+    mac_energy_objective,
+    objective_cost,
+    tradeoff_frontier,
+)
+
+
+@pytest.fixture()
+def pieces(lenet, lenet_stats, lenet_profiles):
+    return {
+        "profiles": lenet_profiles.profiles,
+        "stats": lenet_stats,
+        "names": lenet.analyzed_layer_names,
+    }
+
+
+class TestAllocateOptimized:
+    def test_produces_allocation_for_every_layer(self, pieces):
+        result = allocate_optimized(
+            "input", pieces["profiles"], pieces["stats"], 0.5,
+            ordered_names=pieces["names"],
+        )
+        assert result.allocation.names == pieces["names"]
+
+    def test_bitwidths_reasonable(self, pieces):
+        result = allocate_optimized(
+            "input", pieces["profiles"], pieces["stats"], 0.5,
+            ordered_names=pieces["names"],
+        )
+        for bits in result.bitwidths().values():
+            assert 1 <= bits <= 32
+
+    def test_smaller_sigma_needs_more_bits(self, pieces):
+        tight = allocate_optimized(
+            "input", pieces["profiles"], pieces["stats"], 0.05,
+            ordered_names=pieces["names"],
+        )
+        loose = allocate_optimized(
+            "input", pieces["profiles"], pieces["stats"], 2.0,
+            ordered_names=pieces["names"],
+        )
+        rho = input_bandwidth_objective(pieces["stats"]).rho
+        assert tight.allocation.weighted_bits(rho) > loose.allocation.weighted_bits(
+            rho
+        )
+
+    def test_optimized_beats_equal_on_its_objective(self, pieces):
+        """The paper's core claim: optimizing xi reduces the weighted cost
+        in continuous Delta terms (discretized bits are weakly better)."""
+        sigma = 0.5
+        rho = mac_energy_objective(pieces["stats"]).rho
+        optimized = allocate_optimized(
+            "mac", pieces["profiles"], pieces["stats"], sigma,
+            ordered_names=pieces["names"],
+        )
+        equal = allocate_equal_scheme(
+            pieces["profiles"], pieces["stats"], sigma,
+            ordered_names=pieces["names"],
+        )
+
+        def continuous_cost(result):
+            return sum(
+                rho[name] * -np.log2(result.deltas[name])
+                for name in pieces["names"]
+            )
+
+        assert continuous_cost(optimized) <= continuous_cost(equal) + 1e-9
+
+    def test_xi_recorded_and_normalized(self, pieces):
+        result = allocate_optimized(
+            "mac", pieces["profiles"], pieces["stats"], 0.5,
+            ordered_names=pieces["names"],
+        )
+        assert sum(result.xi.values()) == pytest.approx(1.0)
+
+
+class TestEqualScheme:
+    def test_equal_shares(self, pieces):
+        result = allocate_equal_scheme(
+            pieces["profiles"], pieces["stats"], 0.5,
+            ordered_names=pieces["names"],
+        )
+        count = len(pieces["names"])
+        for value in result.xi.values():
+            assert value == pytest.approx(1.0 / count)
+
+    def test_no_solver_involved(self, pieces):
+        result = allocate_equal_scheme(
+            pieces["profiles"], pieces["stats"], 0.5,
+            ordered_names=pieces["names"],
+        )
+        assert result.solution is None
+
+
+class TestFrontier:
+    def test_frontier_is_non_dominated(self, pieces):
+        first = input_bandwidth_objective(pieces["stats"])
+        second = mac_energy_objective(pieces["stats"])
+        front = tradeoff_frontier(
+            first, second, pieces["profiles"], pieces["stats"], 0.5,
+            num_points=5, ordered_names=pieces["names"],
+        )
+        assert front
+        for p in front:
+            dominated = any(
+                q.cost_first <= p.cost_first
+                and q.cost_second <= p.cost_second
+                and (q.cost_first < p.cost_first or q.cost_second < p.cost_second)
+                for q in front
+            )
+            assert not dominated
+
+    def test_costs_match_objective_cost_helper(self, pieces):
+        first = input_bandwidth_objective(pieces["stats"])
+        second = mac_energy_objective(pieces["stats"])
+        front = tradeoff_frontier(
+            first, second, pieces["profiles"], pieces["stats"], 0.5,
+            num_points=3, ordered_names=pieces["names"],
+        )
+        for p in front:
+            assert p.cost_first == pytest.approx(
+                objective_cost(p.result, first)
+            )

@@ -1,0 +1,115 @@
+"""Tests for budgeted (inequality-constrained) xi optimization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize import (
+    Objective,
+    optimize_xi,
+    optimize_xi_constrained,
+)
+
+from .test_sqp import make_profile
+
+
+@pytest.fixture()
+def problem():
+    profiles = {
+        "a": make_profile("a", 40.0),
+        "b": make_profile("b", 90.0),
+        "c": make_profile("c", 25.0),
+    }
+    energy = Objective("energy", {"a": 5.0, "b": 1.0, "c": 1.0})
+    bandwidth = Objective("bandwidth", {"a": 1.0, "b": 4.0, "c": 2.0})
+    return profiles, energy, bandwidth
+
+
+def cap_cost(xi, cap, profiles, sigma):
+    total = 0.0
+    for name, share in xi.items():
+        delta = profiles[name].delta_for_sigma(sigma * np.sqrt(share))
+        total += cap.rho[name] * -np.log2(delta)
+    return total
+
+
+class TestConstrainedOptimization:
+    def test_loose_budget_recovers_unconstrained(self, problem):
+        """With a huge cap budget, the constraint is inactive and the
+        solution equals the unconstrained optimum."""
+        profiles, energy, bandwidth = problem
+        sigma = 0.5
+        unconstrained = optimize_xi(energy, profiles, sigma)
+        constrained = optimize_xi_constrained(
+            energy, bandwidth, cap_budget=1e9, profiles=profiles, sigma=sigma
+        )
+        for name in profiles:
+            assert constrained.xi[name] == pytest.approx(
+                unconstrained.xi[name], abs=0.02
+            )
+
+    def test_tight_budget_binds(self, problem):
+        """A budget between the two optima must be met with equality-ish
+        and must cost some objective value vs unconstrained."""
+        profiles, energy, bandwidth = problem
+        sigma = 0.5
+        energy_opt = optimize_xi(energy, profiles, sigma)
+        bw_at_energy_opt = cap_cost(energy_opt.xi, bandwidth, profiles, sigma)
+        bw_opt = optimize_xi(bandwidth, profiles, sigma)
+        bw_best = cap_cost(bw_opt.xi, bandwidth, profiles, sigma)
+        # pick a budget strictly between best and the energy-optimal cost
+        budget = 0.5 * (bw_best + bw_at_energy_opt)
+        result = optimize_xi_constrained(
+            energy, bandwidth, budget, profiles, sigma
+        )
+        assert result.cap_satisfied
+        assert result.cap_value == pytest.approx(budget, rel=0.02)
+        # Constraining must cost energy vs the unconstrained optimum
+        # (compare both in the same raw-rho units).
+        unconstrained_cost = cap_cost(energy_opt.xi, energy, profiles, sigma)
+        assert result.objective_value >= unconstrained_cost - 1e-9
+
+    def test_infeasible_budget_raises(self, problem):
+        profiles, energy, bandwidth = problem
+        sigma = 0.5
+        bw_opt = optimize_xi(bandwidth, profiles, sigma)
+        best = cap_cost(bw_opt.xi, bandwidth, profiles, sigma)
+        # a budget strictly below the best achievable cost (weighted
+        # bits may be negative, so subtract rather than scale)
+        impossible = best - abs(best) * 0.05 - 1.0
+        with pytest.raises(OptimizationError):
+            optimize_xi_constrained(
+                energy, bandwidth, impossible, profiles, sigma
+            )
+
+    def test_xi_on_simplex(self, problem):
+        profiles, energy, bandwidth = problem
+        result = optimize_xi_constrained(
+            energy, bandwidth, cap_budget=1e6, profiles=profiles, sigma=0.4
+        )
+        assert sum(result.xi.values()) == pytest.approx(1.0)
+        assert all(v > 0 for v in result.xi.values())
+
+    def test_layer_mismatch_rejected(self, problem):
+        profiles, energy, __ = problem
+        other = Objective("cap", {"a": 1.0})
+        with pytest.raises(OptimizationError):
+            optimize_xi_constrained(energy, other, 10.0, profiles, 0.5)
+
+    def test_on_real_profiles(self, lenet_profiles, lenet_stats):
+        from repro.optimize import (
+            input_bandwidth_objective,
+            mac_energy_objective,
+        )
+
+        profiles = lenet_profiles.profiles
+        energy = mac_energy_objective(lenet_stats)
+        bandwidth = input_bandwidth_objective(lenet_stats)
+        sigma = 0.4
+        bw_opt = optimize_xi(bandwidth, profiles, sigma)
+        best = cap_cost(bw_opt.xi, bandwidth, profiles, sigma)
+        budget = best + abs(best) * 0.02 + 0.5
+        result = optimize_xi_constrained(
+            energy, bandwidth, budget, profiles, sigma
+        )
+        assert result.cap_satisfied

@@ -1,0 +1,95 @@
+"""Unit tests for objective construction (paper Eq. 8's rho vectors)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.nn.statistics import LayerStats
+from repro.optimize import (
+    Objective,
+    blended_objective,
+    input_bandwidth_objective,
+    mac_energy_objective,
+    resolve_objective,
+)
+
+
+@pytest.fixture()
+def stats():
+    return {
+        "a": LayerStats("a", num_inputs=100, num_macs=5000, max_abs_input=10),
+        "b": LayerStats("b", num_inputs=300, num_macs=1000, max_abs_input=10),
+    }
+
+
+class TestObjective:
+    def test_normalized_sums_to_one(self):
+        obj = Objective("x", {"a": 2.0, "b": 6.0}).normalized()
+        assert sum(obj.rho.values()) == pytest.approx(1.0)
+        assert obj.rho["b"] == pytest.approx(0.75)
+
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            Objective("x", {})
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(OptimizationError):
+            Objective("x", {"a": -1.0})
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(OptimizationError):
+            Objective("x", {"a": 0.0, "b": 0.0})
+
+
+class TestBuilders:
+    def test_input_objective_uses_input_counts(self, stats):
+        obj = input_bandwidth_objective(stats)
+        assert obj.rho == {"a": 100.0, "b": 300.0}
+
+    def test_mac_objective_uses_mac_counts(self, stats):
+        obj = mac_energy_objective(stats)
+        assert obj.rho == {"a": 5000.0, "b": 1000.0}
+
+
+class TestBlended:
+    def test_endpoints(self, stats):
+        a = input_bandwidth_objective(stats)
+        b = mac_energy_objective(stats)
+        only_a = blended_objective(a, b, 1.0)
+        assert only_a.rho == a.normalized().rho
+
+    def test_midpoint(self, stats):
+        a = Objective("a", {"x": 1.0, "y": 0.0})
+        b = Objective("b", {"x": 0.0, "y": 1.0})
+        mid = blended_objective(a, b, 0.5)
+        assert mid.rho == {"x": 0.5, "y": 0.5}
+
+    def test_rejects_alpha_out_of_range(self, stats):
+        a = input_bandwidth_objective(stats)
+        with pytest.raises(OptimizationError):
+            blended_objective(a, a, 1.5)
+
+    def test_rejects_layer_mismatch(self):
+        a = Objective("a", {"x": 1.0})
+        b = Objective("b", {"y": 1.0})
+        with pytest.raises(OptimizationError):
+            blended_objective(a, b, 0.5)
+
+
+class TestResolve:
+    def test_passthrough(self, stats):
+        obj = Objective("mine", {"a": 1.0})
+        assert resolve_objective(obj, stats) is obj
+
+    def test_input_string(self, stats):
+        assert resolve_objective("input", stats).rho["b"] == 300.0
+
+    def test_mac_string(self, stats):
+        assert resolve_objective("mac", stats).rho["a"] == 5000.0
+
+    def test_mapping(self, stats):
+        obj = resolve_objective({"a": 1.0, "b": 2.0}, stats)
+        assert obj.name == "custom"
+
+    def test_rejects_garbage(self, stats):
+        with pytest.raises(OptimizationError):
+            resolve_objective("bandwidth?", stats)

@@ -1,0 +1,106 @@
+"""Tests for the projected-gradient cross-check solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimize import (
+    Objective,
+    optimize_xi,
+    optimize_xi_projected,
+    project_to_simplex,
+)
+
+from .test_sqp import make_profile
+
+
+class TestProjection:
+    def test_already_feasible_point_unchanged(self):
+        floors = np.zeros(3)
+        x = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_to_simplex(x, floors), x)
+
+    def test_result_on_simplex(self):
+        floors = np.full(4, 0.01)
+        x = np.array([3.0, -1.0, 0.2, 0.8])
+        projected = project_to_simplex(x, floors)
+        assert projected.sum() == pytest.approx(1.0)
+        assert np.all(projected >= floors - 1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(2, 10))
+    def test_projection_properties(self, seed, n):
+        """PROPERTY: projection lands on the floored simplex and is a
+        fixed point (projecting twice changes nothing)."""
+        rng = np.random.default_rng(seed)
+        floors = rng.uniform(0, 0.5 / n, size=n)
+        x = rng.normal(size=n)
+        p = project_to_simplex(x, floors)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= floors - 1e-12)
+        np.testing.assert_allclose(project_to_simplex(p, floors), p, atol=1e-9)
+
+    def test_infeasible_floors_raise(self):
+        with pytest.raises(OptimizationError):
+            project_to_simplex(np.ones(2), np.array([0.8, 0.8]))
+
+
+class TestSolverAgreement:
+    def test_matches_closed_form(self):
+        """theta=0 closed form: xi_K = rho_K / sum(rho)."""
+        profiles = {
+            "a": make_profile("a", 40.0),
+            "b": make_profile("b", 90.0),
+        }
+        objective = Objective("t", {"a": 3.0, "b": 1.0})
+        solution = optimize_xi_projected(objective, profiles, 0.5)
+        assert solution.xi["a"] == pytest.approx(0.75, abs=5e-3)
+
+    def test_agrees_with_slsqp(self):
+        """Two independent solvers must land on the same optimum."""
+        profiles = {
+            "a": make_profile("a", 40.0, theta=0.002),
+            "b": make_profile("b", 90.0, theta=-0.001),
+            "c": make_profile("c", 20.0, theta=0.0),
+        }
+        objective = Objective("t", {"a": 1.0, "b": 5.0, "c": 2.0})
+        slsqp = optimize_xi(objective, profiles, 0.7)
+        projected = optimize_xi_projected(objective, profiles, 0.7)
+        for name in profiles:
+            assert projected.xi[name] == pytest.approx(
+                slsqp.xi[name], abs=0.02
+            )
+        assert projected.objective_value == pytest.approx(
+            slsqp.objective_value, abs=1e-3
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rho_a=st.floats(min_value=0.2, max_value=5),
+        rho_b=st.floats(min_value=0.2, max_value=5),
+        sigma=st.floats(min_value=0.1, max_value=2.0),
+    )
+    def test_agreement_property(self, rho_a, rho_b, sigma):
+        """PROPERTY: solver agreement across random two-layer problems."""
+        profiles = {
+            "a": make_profile("a", 30.0),
+            "b": make_profile("b", 70.0),
+        }
+        objective = Objective("t", {"a": rho_a, "b": rho_b})
+        slsqp = optimize_xi(objective, profiles, sigma)
+        projected = optimize_xi_projected(objective, profiles, sigma)
+        assert projected.xi["a"] == pytest.approx(slsqp.xi["a"], abs=0.02)
+
+    def test_on_real_profiles(self, lenet_profiles, lenet_stats):
+        from repro.optimize import mac_energy_objective
+
+        objective = mac_energy_objective(lenet_stats)
+        profiles = lenet_profiles.profiles
+        slsqp = optimize_xi(objective, profiles, 0.5)
+        projected = optimize_xi_projected(objective, profiles, 0.5)
+        for name in profiles:
+            assert projected.xi[name] == pytest.approx(
+                slsqp.xi[name], abs=0.03
+            )

@@ -1,0 +1,81 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.pipeline import bar_chart, grouped_bar_chart, scatter_plot
+
+
+class TestScatterPlot:
+    def test_renders_all_series_markers(self):
+        text = scatter_plot(
+            {
+                "a": ([0, 1, 2], [0, 1, 2]),
+                "b": ([0, 1, 2], [2, 1, 0]),
+            }
+        )
+        assert "o" in text and "x" in text
+        assert "legend: o=a  x=b" in text
+
+    def test_axis_ranges_reported(self):
+        text = scatter_plot({"s": ([1.0, 5.0], [10.0, 20.0])})
+        assert "1" in text and "5" in text
+        assert "top=20" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter_plot({"s": ([1.0], [1.0])})
+        assert "o" in text
+
+    def test_dimensions(self):
+        text = scatter_plot({"s": ([0, 1], [0, 1])}, width=20, height=5)
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(body) == 5
+        assert all(len(l) == 21 for l in body)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            scatter_plot({})
+
+
+class TestBarChart:
+    def test_longest_bar_is_peak(self):
+        text = bar_chart({"small": 1.0, "big": 10.0}, width=10)
+        lines = text.splitlines()
+        big_line = next(l for l in lines if l.strip().startswith("big"))
+        small_line = next(l for l in lines if l.strip().startswith("small"))
+        assert big_line.count("#") == 10
+        assert small_line.count("#") == 1
+
+    def test_values_shown(self):
+        text = bar_chart({"x": 3.5})
+        assert "3.5" in text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            bar_chart({"x": -1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+
+class TestGroupedBarChart:
+    def test_two_schemes_per_group(self):
+        text = grouped_bar_chart(
+            {
+                "conv1": {"baseline": 4.0, "optimized": 2.0},
+                "conv2": {"baseline": 1.0, "optimized": 3.0},
+            }
+        )
+        assert "legend: #=baseline  ==optimized" in text
+        assert text.count("conv1") == 1  # label printed once per group
+
+    def test_missing_scheme_renders_zero(self):
+        text = grouped_bar_chart(
+            {"a": {"x": 1.0}, "b": {"x": 1.0, "y": 2.0}}
+        )
+        assert "0" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart({})

@@ -1,0 +1,196 @@
+"""Tests for the PrecisionOptimizer facade and report rendering."""
+
+import pytest
+
+from repro import PrecisionOptimizer
+from repro.config import ProfileSettings, SearchSettings
+from repro.errors import ReproError
+from repro.pipeline import bitwidth_row, format_table, savings_row
+
+
+@pytest.fixture(scope="module")
+def optimizer(lenet, datasets):
+    __, test = datasets
+    return PrecisionOptimizer(
+        lenet,
+        test,
+        profile_settings=ProfileSettings(num_images=16, num_delta_points=8),
+        search_settings=SearchSettings(tolerance=0.02),
+    )
+
+
+class TestPrecisionOptimizer:
+    def test_rejects_unknown_scheme(self, lenet, datasets):
+        __, test = datasets
+        with pytest.raises(ReproError):
+            PrecisionOptimizer(lenet, test, scheme="scheme3")
+
+    def test_profile_cached(self, optimizer):
+        first = optimizer.profile()
+        second = optimizer.profile()
+        assert first is second
+
+    def test_stats_cached(self, optimizer):
+        assert optimizer.stats() is optimizer.stats()
+
+    def test_sigma_cached_per_drop(self, optimizer):
+        a = optimizer.sigma_for_drop(0.05)
+        b = optimizer.sigma_for_drop(0.05)
+        assert a is b
+        c = optimizer.sigma_for_drop(0.10)
+        assert c.sigma >= a.sigma
+
+    def test_optimize_outcome_fields(self, optimizer):
+        outcome = optimizer.optimize("input", accuracy_drop=0.05)
+        assert set(outcome.bitwidths) == set(optimizer.layer_names)
+        assert outcome.validated_accuracy is not None
+        assert outcome.sigma_result.sigma > 0
+
+    def test_constraint_validated(self, optimizer):
+        """Headline guarantee: 'No accuracy criterion was violated'."""
+        outcome = optimizer.optimize("input", accuracy_drop=0.05)
+        assert outcome.meets_constraint
+
+    def test_mac_objective_differs_or_matches_input(self, optimizer):
+        a = optimizer.optimize("input", accuracy_drop=0.05, validate=False)
+        b = optimizer.optimize("mac", accuracy_drop=0.05, validate=False)
+        assert set(a.bitwidths) == set(b.bitwidths)
+
+    def test_equal_scheme_outcome(self, optimizer):
+        outcome = optimizer.equal_scheme(accuracy_drop=0.05)
+        shares = set(round(v, 6) for v in outcome.result.xi.values())
+        assert len(shares) == 1
+
+    def test_validate_false_skips_validation(self, optimizer):
+        outcome = optimizer.optimize("input", 0.05, validate=False)
+        assert outcome.validated_accuracy is None
+        assert outcome.meets_constraint is None
+
+    def test_weight_search_integration(self, optimizer):
+        outcome = optimizer.optimize(
+            "input", accuracy_drop=0.05, search_weights=True
+        )
+        assert outcome.weight_search is not None
+        assert 2 <= outcome.weight_search.bits <= 16
+
+    def test_scheme1_pipeline(self, lenet, datasets):
+        __, test = datasets
+        opt = PrecisionOptimizer(
+            lenet,
+            test.subset(64),
+            profile_settings=ProfileSettings(num_images=8, num_delta_points=6),
+            search_settings=SearchSettings(tolerance=0.05),
+            scheme="scheme1",
+        )
+        outcome = opt.optimize("input", accuracy_drop=0.10)
+        assert outcome.sigma_result.sigma > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_bitwidth_row(self):
+        row = bitwidth_row("opt", {"c1": 5, "c2": 7}, ["c1", "c2"])
+        assert row == {"scheme": "opt", "c1": 5, "c2": 7}
+
+    def test_savings_row_optional_fields(self):
+        row = savings_row("x", 7.0, 6.5)
+        assert "bw_save_%" not in row
+        row = savings_row("x", 7.0, 6.5, bw_save_pct=10.0, energy_save_pct=5.0)
+        assert row["bw_save_%"] == 10.0
+
+
+class TestDescribeOutcome:
+    def test_contains_all_sections(self, optimizer):
+        from repro.pipeline import describe_outcome
+
+        outcome = optimizer.optimize("input", accuracy_drop=0.05)
+        text = describe_outcome(outcome, stats=optimizer.stats())
+        assert "sigma_YL" in text
+        assert "effective bitwidth" in text
+        assert "constraint met" in text
+        for name in optimizer.layer_names:
+            assert name in text
+
+    def test_without_stats_or_validation(self, optimizer):
+        from repro.pipeline import describe_outcome
+
+        outcome = optimizer.optimize("mac", accuracy_drop=0.05, validate=False)
+        text = describe_outcome(outcome)
+        assert "not validated" in text
+        assert "effective bitwidth" not in text
+
+
+class TestValidationBackoff:
+    def test_backoff_triggers_on_validation_miss(
+        self, lenet, datasets, monkeypatch
+    ):
+        """Force the first validation below target; the pipeline must
+        shrink sigma and retry rather than return a violating outcome."""
+        import repro.pipeline.optimizer as mod
+
+        __, test = datasets
+        optimizer = PrecisionOptimizer(
+            lenet,
+            test.subset(64),
+            profile_settings=ProfileSettings(num_images=8, num_delta_points=6),
+            search_settings=SearchSettings(tolerance=0.05, num_trials=1),
+        )
+        real_accuracy = mod.top1_accuracy
+        calls = {"n": 0}
+
+        def flaky_accuracy(network, dataset, taps=None, batch_size=64):
+            value = real_accuracy(
+                network, dataset, taps=taps, batch_size=batch_size
+            )
+            if taps and calls["n"] == 0:
+                calls["n"] += 1
+                return 0.0  # sabotage the first tapped validation
+            return value
+
+        monkeypatch.setattr(mod, "top1_accuracy", flaky_accuracy)
+        outcome = optimizer.optimize("input", accuracy_drop=0.10)
+        assert outcome.backoff_steps >= 1
+        assert outcome.meets_constraint
+
+    def test_backoff_shrinks_sigma(self, lenet, datasets, monkeypatch):
+        """Each back-off step multiplies the budget by 0.93."""
+        import repro.pipeline.optimizer as mod
+
+        __, test = datasets
+        optimizer = PrecisionOptimizer(
+            lenet,
+            test.subset(64),
+            profile_settings=ProfileSettings(num_images=8, num_delta_points=6),
+            search_settings=SearchSettings(tolerance=0.05, num_trials=1),
+        )
+        real_accuracy = mod.top1_accuracy
+        calls = {"n": 0}
+
+        def flaky_accuracy(network, dataset, taps=None, batch_size=64):
+            value = real_accuracy(
+                network, dataset, taps=taps, batch_size=batch_size
+            )
+            if taps and calls["n"] < 2:
+                calls["n"] += 1
+                return 0.0
+            return value
+
+        monkeypatch.setattr(mod, "top1_accuracy", flaky_accuracy)
+        outcome = optimizer.optimize("input", accuracy_drop=0.10)
+        assert outcome.backoff_steps == 2
+        expected = outcome.sigma_result.sigma * 0.93**2
+        assert outcome.result.sigma == pytest.approx(expected)

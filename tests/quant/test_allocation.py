@@ -1,0 +1,168 @@
+"""Unit tests for BitwidthAllocation and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import MAX_BITWIDTH, MIN_BITWIDTH
+from repro.errors import QuantizationError
+from repro.nn.statistics import LayerStats
+from repro.quant import BitwidthAllocation, LayerAllocation, pareto_front
+
+
+@pytest.fixture()
+def stats():
+    return [
+        LayerStats("a", num_inputs=100, num_macs=1000, max_abs_input=100.0),
+        LayerStats("b", num_inputs=50, num_macs=4000, max_abs_input=10.0),
+        LayerStats("c", num_inputs=10, num_macs=500, max_abs_input=200.0),
+    ]
+
+
+class TestLayerAllocation:
+    def test_total_bits(self):
+        assert LayerAllocation("a", 8, 4).total_bits == 12
+
+    def test_negative_fraction_reduces_total(self):
+        assert LayerAllocation("a", 8, -3).total_bits == 5
+
+    def test_clamped_to_bounds(self):
+        assert LayerAllocation("a", 8, -20).total_bits == MIN_BITWIDTH
+        assert LayerAllocation("a", 8, 40).total_bits == MAX_BITWIDTH
+
+    def test_fmt_roundtrip(self):
+        alloc = LayerAllocation("a", 6, 2)
+        assert alloc.fmt.integer_bits == 6
+        assert alloc.fmt.fraction_bits == 2
+
+
+class TestConstruction:
+    def test_from_deltas(self, stats):
+        alloc = BitwidthAllocation.from_deltas(
+            stats, {"a": 0.25, "b": 0.5, "c": 1.0}
+        )
+        # a: I=8 (max 100), F=1 -> 9 bits
+        assert alloc["a"].total_bits == integer_bits_a(stats) + 1
+        assert alloc["b"].fraction_bits == 0
+        assert alloc["c"].fraction_bits == -1
+
+    def test_from_deltas_clamps_negative_fraction_when_disabled(self, stats):
+        alloc = BitwidthAllocation.from_deltas(
+            stats, {"a": 4.0, "b": 4.0, "c": 4.0}, allow_negative_fraction=False
+        )
+        for layer in alloc:
+            assert layer.fraction_bits == 0
+
+    def test_uniform(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        assert all(a.total_bits == 8 for a in alloc)
+
+    def test_from_bitwidths(self, stats):
+        alloc = BitwidthAllocation.from_bitwidths(stats, {"a": 5, "b": 7, "c": 9})
+        assert alloc.bitwidths() == {"a": 5, "b": 7, "c": 9}
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuantizationError):
+            BitwidthAllocation([])
+
+    def test_rejects_duplicates(self):
+        layers = [LayerAllocation("a", 4, 2), LayerAllocation("a", 4, 3)]
+        with pytest.raises(QuantizationError):
+            BitwidthAllocation(layers)
+
+    def test_getitem_unknown(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        with pytest.raises(QuantizationError):
+            alloc["ghost"]
+
+
+class TestWithLayer:
+    def test_replaces_one_layer(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        new = alloc.with_layer(LayerAllocation("b", 4, 2))
+        assert new["b"].total_bits == 6
+        assert new["a"].total_bits == 8
+        # original untouched
+        assert alloc["b"].total_bits == 8
+
+    def test_rejects_unknown_layer(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        with pytest.raises(QuantizationError):
+            alloc.with_layer(LayerAllocation("zz", 4, 2))
+
+
+class TestCosts:
+    def test_input_bits(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        by_name = {s.name: s for s in stats}
+        assert alloc.input_bits(by_name) == 8 * (100 + 50 + 10)
+
+    def test_mac_bits(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        by_name = {s.name: s for s in stats}
+        assert alloc.mac_bits(by_name) == 8 * (1000 + 4000 + 500)
+
+    def test_effective_bitwidth_uniform_case(self, stats):
+        """Uniform 8-bit allocation has effective bitwidth exactly 8."""
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        rho = {s.name: float(s.num_inputs) for s in stats}
+        assert alloc.effective_bitwidth(rho) == pytest.approx(8.0)
+
+    def test_effective_bitwidth_weighted(self, stats):
+        alloc = BitwidthAllocation.from_bitwidths(stats, {"a": 4, "b": 8, "c": 16})
+        rho = {"a": 1.0, "b": 1.0, "c": 2.0}
+        expected = (4 + 8 + 32) / 4
+        assert alloc.effective_bitwidth(rho) == pytest.approx(expected)
+
+    def test_paper_effective_bitwidth_example(self):
+        """Paper Sec. V-D: baseline 2833/397.6 ~= 7.1 for AlexNet."""
+        paper_stats = [
+            LayerStats("conv1", 154_600, 0, 161),
+            LayerStats("conv2", 70_000, 0, 139),
+            LayerStats("conv3", 43_200, 0, 139),
+            LayerStats("conv4", 64_900, 0, 443),
+            LayerStats("conv5", 64_900, 0, 415),
+        ]
+        alloc = BitwidthAllocation.from_bitwidths(
+            paper_stats,
+            {"conv1": 9, "conv2": 7, "conv3": 4, "conv4": 5, "conv5": 7},
+        )
+        rho = {s.name: float(s.num_inputs) for s in paper_stats}
+        assert alloc.effective_bitwidth(rho) == pytest.approx(7.1, abs=0.05)
+
+    def test_effective_bitwidth_rejects_zero_weights(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 8)
+        with pytest.raises(QuantizationError):
+            alloc.effective_bitwidth({s.name: 0.0 for s in stats})
+
+
+class TestTaps:
+    def test_taps_quantize_inputs(self, stats):
+        alloc = BitwidthAllocation.uniform(stats, 6)
+        taps = alloc.taps()
+        x = np.array([0.33, 1.77, -2.21])
+        q = taps["b"](x)
+        fmt = alloc["b"].fmt
+        np.testing.assert_array_equal(q, fmt.quantize(x))
+
+    def test_taps_validate_against_network(self, stats, lenet):
+        alloc = BitwidthAllocation.uniform(stats, 6)
+        with pytest.raises(QuantizationError):
+            alloc.taps(lenet)  # lenet has no layers named a/b/c
+
+
+class TestParetoFront:
+    def test_keeps_non_dominated(self, stats):
+        a = BitwidthAllocation.uniform(stats, 8)
+        candidates = [(a, 1.0, 5.0), (a, 2.0, 2.0), (a, 5.0, 1.0), (a, 3.0, 3.0)]
+        front = pareto_front(candidates)
+        costs = {(c1, c2) for __, c1, c2 in front}
+        assert (3.0, 3.0) not in costs
+        assert len(front) == 3
+
+    def test_single_candidate(self, stats):
+        a = BitwidthAllocation.uniform(stats, 8)
+        assert pareto_front([(a, 1.0, 1.0)]) == [(a, 1.0, 1.0)]
+
+
+def integer_bits_a(stats):
+    return stats[0].integer_bits

@@ -1,0 +1,112 @@
+"""Tests for the per-channel integer-width refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models import top1_accuracy
+from repro.nn import ordered_stats
+from repro.quant import (
+    BitwidthAllocation,
+    ChannelwiseLayer,
+    channelwise_effective_bits,
+    channelwise_refinement,
+    channelwise_taps,
+    measure_channel_ranges,
+)
+
+
+@pytest.fixture(scope="module")
+def refined_setup(lenet, lenet_stats, datasets):
+    __, test = datasets
+    stats = ordered_stats(lenet, lenet_stats)
+    allocation = BitwidthAllocation.uniform(stats, 8)
+    conv_layers = ["conv2", "conv3"]  # conv inputs with many channels
+    ranges = measure_channel_ranges(
+        lenet, test.images[:64], conv_layers
+    )
+    refined = channelwise_refinement(allocation, ranges)
+    return lenet, test, stats, allocation, ranges, refined
+
+
+class TestMeasureChannelRanges:
+    def test_one_range_per_channel(self, refined_setup):
+        lenet, __, __, __, ranges, __ = refined_setup
+        assert ranges["conv2"].shape == (8,)   # conv1 has 8 output channels
+
+    def test_ranges_positive(self, refined_setup):
+        __, __, __, __, ranges, __ = refined_setup
+        for values in ranges.values():
+            assert np.all(values > 0)
+
+
+class TestRefinement:
+    def test_never_exceeds_layer_width(self, refined_setup):
+        __, __, __, allocation, __, refined = refined_setup
+        for name, layer in refined.items():
+            assert np.all(
+                layer.channel_integer_bits <= allocation[name].integer_bits
+            )
+
+    def test_mean_bits_not_above_layerwise(self, refined_setup):
+        __, __, __, allocation, __, refined = refined_setup
+        for name, layer in refined.items():
+            assert layer.mean_total_bits <= allocation[name].total_bits
+
+    def test_effective_bits_improve_or_match(self, refined_setup):
+        __, __, stats, allocation, __, refined = refined_setup
+        by_name = {s.name: s for s in stats}
+        rho = {s.name: float(s.num_inputs) for s in stats}
+        refined_eff = channelwise_effective_bits(allocation, refined, by_name)
+        layerwise_eff = allocation.effective_bitwidth(rho)
+        assert refined_eff <= layerwise_eff
+
+
+class TestChannelwiseTaps:
+    def test_error_bound_preserved(self, refined_setup):
+        """Per-channel formats keep the same step, so the rounding error
+        bound (Delta) is unchanged — the paper's model still applies."""
+        __, __, __, allocation, __, refined = refined_setup
+        layer = refined["conv2"]
+        tap = layer.tap()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, layer.num_channels, 6, 6)) * 10
+        err = np.abs(tap(x) - x)
+        delta = allocation["conv2"].fmt.delta
+        # in-range values obey the bound; saturated channels may exceed
+        in_range = np.abs(x) < 2.0 ** (layer.channel_integer_bits.min() - 1)
+        assert np.all(err[in_range] <= delta + 1e-12)
+
+    def test_accuracy_unharmed(self, refined_setup):
+        """Channelwise refinement must not change accuracy materially
+        (channels keep their own full range)."""
+        lenet, test, __, allocation, __, refined = refined_setup
+        layer_acc = top1_accuracy(lenet, test, taps=allocation.taps(lenet))
+        chan_acc = top1_accuracy(
+            lenet, test, taps=channelwise_taps(allocation, refined, lenet)
+        )
+        assert chan_acc >= layer_acc - 0.03
+
+    def test_tap_rejects_wrong_channels(self, refined_setup):
+        __, __, __, __, __, refined = refined_setup
+        tap = refined["conv2"].tap()
+        with pytest.raises(QuantizationError):
+            tap(np.zeros((1, 3, 4, 4)))
+
+
+class TestChannelwiseLayer:
+    def test_mean_total_bits(self):
+        layer = ChannelwiseLayer(
+            name="x",
+            fraction_bits=2,
+            channel_integer_bits=np.array([4, 6]),
+        )
+        assert layer.mean_total_bits == pytest.approx(7.0)
+
+    def test_floor_at_one_bit(self):
+        layer = ChannelwiseLayer(
+            name="x",
+            fraction_bits=-10,
+            channel_integer_bits=np.array([2, 3]),
+        )
+        assert layer.mean_total_bits == pytest.approx(1.0)

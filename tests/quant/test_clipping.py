@@ -1,0 +1,111 @@
+"""Tests for percentile-clipped integer ranges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models import top1_accuracy
+from repro.nn import ordered_stats
+from repro.quant import (
+    BitwidthAllocation,
+    clip_allocation,
+    clipping_saving_percent,
+    measure_percentile_ranges,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(lenet, lenet_stats, datasets):
+    __, test = datasets
+    stats = ordered_stats(lenet, lenet_stats)
+    allocation = BitwidthAllocation.uniform(stats, 8)
+    names = [s.name for s in stats]
+    ranges = measure_percentile_ranges(
+        lenet, test.images[:64], names, percentile=99.0
+    )
+    return lenet, test, stats, allocation, names, ranges
+
+
+class TestMeasurePercentileRanges:
+    def test_below_absolute_max(self, setup, lenet_stats):
+        __, __, stats, __, names, ranges = setup
+        for stat in stats:
+            assert ranges[stat.name] <= stat.max_abs_input + 1e-9
+
+    def test_positive(self, setup):
+        __, __, __, __, __, ranges = setup
+        assert all(v > 0 for v in ranges.values())
+
+    def test_lower_percentile_gives_smaller_range(self, setup):
+        lenet, test, __, __, names, __ = setup
+        p90 = measure_percentile_ranges(
+            lenet, test.images[:32], names, percentile=90.0
+        )
+        p999 = measure_percentile_ranges(
+            lenet, test.images[:32], names, percentile=99.9
+        )
+        for name in names:
+            assert p90[name] <= p999[name] + 1e-9
+
+    def test_rejects_bad_percentile(self, setup):
+        lenet, test, __, __, names, __ = setup
+        with pytest.raises(QuantizationError):
+            measure_percentile_ranges(lenet, test.images[:8], names, 40.0)
+
+
+class TestClipAllocation:
+    def test_integer_bits_never_grow(self, setup):
+        __, __, __, allocation, __, ranges = setup
+        clipped = clip_allocation(allocation, ranges)
+        for layer in allocation:
+            assert (
+                clipped.allocation[layer.name].integer_bits
+                <= layer.integer_bits
+            )
+
+    def test_fraction_bits_preserved(self, setup):
+        __, __, __, allocation, __, ranges = setup
+        clipped = clip_allocation(allocation, ranges)
+        for layer in allocation:
+            assert (
+                clipped.allocation[layer.name].fraction_bits
+                == layer.fraction_bits
+            )
+
+    def test_saving_non_negative(self, setup):
+        __, __, stats, allocation, __, ranges = setup
+        clipped = clip_allocation(allocation, ranges)
+        by_name = {s.name: s for s in stats}
+        assert clipping_saving_percent(allocation, clipped, by_name) >= 0
+
+    def test_unlisted_layers_untouched(self, setup):
+        __, __, __, allocation, names, ranges = setup
+        partial = {names[0]: ranges[names[0]]}
+        clipped = clip_allocation(allocation, partial)
+        for name in names[1:]:
+            assert (
+                clipped.allocation[name].integer_bits
+                == allocation[name].integer_bits
+            )
+
+
+class TestClippedAccuracy:
+    def test_mild_clipping_keeps_accuracy(self, setup):
+        """Saturating 1% of activations must not change accuracy much."""
+        lenet, test, __, allocation, __, ranges = setup
+        base = top1_accuracy(lenet, test, taps=allocation.taps(lenet))
+        clipped = clip_allocation(allocation, ranges, percentile=99.0)
+        clipped_acc = top1_accuracy(lenet, test, taps=clipped.taps(lenet))
+        assert clipped_acc >= base - 0.05
+
+    def test_aggressive_clipping_hurts(self, setup):
+        """Clipping at the median destroys information — the accuracy
+        validation is what keeps this extension honest."""
+        lenet, test, __, allocation, names, __ = setup
+        tiny = measure_percentile_ranges(
+            lenet, test.images[:32], names, percentile=51.0
+        )
+        clipped = clip_allocation(allocation, tiny)
+        base = top1_accuracy(lenet, test, taps=allocation.taps(lenet))
+        clipped_acc = top1_accuracy(lenet, test, taps=clipped.taps(lenet))
+        assert clipped_acc < base

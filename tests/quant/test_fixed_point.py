@@ -1,0 +1,169 @@
+"""Unit + property tests for fixed-point formats (paper Sec. II-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn.statistics import LayerStats
+from repro.quant import (
+    FixedPointFormat,
+    format_for,
+    fraction_bits_for_delta,
+    integer_bits_for_range,
+)
+
+
+class TestFormatProperties:
+    def test_step_and_delta(self):
+        fmt = FixedPointFormat(4, 3)
+        assert fmt.step == 0.125
+        assert fmt.delta == 0.0625
+        assert fmt.total_bits == 7
+
+    def test_negative_fraction_bits(self):
+        """Paper's integer-bit dropping: Delta > 1 means F < 0."""
+        fmt = FixedPointFormat(8, -2)
+        assert fmt.step == 4.0
+        assert fmt.delta == 2.0
+        assert fmt.total_bits == 6
+
+    def test_range_symmetric_signed(self):
+        fmt = FixedPointFormat(4, 2)
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == 8.0 - 0.25
+
+    def test_error_std_matches_widrow_model(self):
+        fmt = FixedPointFormat(4, 3)
+        assert fmt.error_std == pytest.approx(2 * fmt.delta / math.sqrt(12))
+
+    def test_rejects_zero_integer_bits(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(0, 4)
+
+    def test_rejects_non_positive_total(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(2, -2)
+
+    def test_str(self):
+        assert str(FixedPointFormat(4, -1)) == "4.-1"
+
+
+class TestQuantize:
+    def test_rounds_to_nearest_step(self):
+        fmt = FixedPointFormat(4, 2)
+        x = np.array([0.1, 0.13, 0.38, -0.4])
+        np.testing.assert_allclose(fmt.quantize(x), [0.0, 0.25, 0.5, -0.5])
+
+    def test_saturates_out_of_range(self):
+        fmt = FixedPointFormat(3, 1)  # range [-4, 3.5]
+        x = np.array([100.0, -100.0])
+        np.testing.assert_allclose(fmt.quantize(x), [3.5, -4.0])
+
+    def test_zero_is_exact(self):
+        fmt = FixedPointFormat(4, -3)
+        assert fmt.quantize(np.array([0.0]))[0] == 0.0
+
+    def test_idempotent(self):
+        fmt = FixedPointFormat(5, 3)
+        x = np.random.default_rng(0).normal(size=100) * 5
+        q = fmt.quantize(x)
+        np.testing.assert_array_equal(fmt.quantize(q), q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        integer_bits=st.integers(2, 12),
+        fraction_bits=st.integers(-4, 12),
+        seed=st.integers(0, 10_000),
+    )
+    def test_error_bounded_by_delta_in_range(
+        self, integer_bits, fraction_bits, seed
+    ):
+        """PROPERTY: in-range values round with error <= delta."""
+        if integer_bits + fraction_bits < 1:
+            return
+        fmt = FixedPointFormat(integer_bits, fraction_bits)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(fmt.min_value, fmt.max_value, size=64)
+        err = np.abs(fmt.rounding_error(x))
+        assert np.all(err <= fmt.delta * (1 + 1e-12))
+
+    @settings(max_examples=50, deadline=None)
+    @given(fraction_bits=st.integers(-4, 16))
+    def test_uniform_error_statistics(self, fraction_bits):
+        """PROPERTY: rounding error of dense uniform input is ~uniform
+        with std ~ 2*delta/sqrt(12) (Widrow's model, paper Sec. II-A)."""
+        fmt = FixedPointFormat(8, fraction_bits)
+        rng = np.random.default_rng(fraction_bits + 100)
+        x = rng.uniform(-100, 100, size=20_000)
+        err = fmt.rounding_error(x)
+        assert err.std() == pytest.approx(fmt.error_std, rel=0.05)
+        assert abs(err.mean()) < 3 * fmt.error_std / np.sqrt(err.size) * 2
+
+
+class TestFractionBitsForDelta:
+    @pytest.mark.parametrize(
+        "delta,expected",
+        [
+            (0.5, 0),     # 2**-(0+1) = 0.5
+            (0.25, 1),
+            (0.0625, 3),
+            (1.0, -1),    # tolerating 1.0 drops one integer bit
+            (2.0, -2),
+            (0.3, 1),     # needs the next finer format than 0.5
+        ],
+    )
+    def test_known_values(self, delta, expected):
+        assert fraction_bits_for_delta(delta) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(QuantizationError):
+            fraction_bits_for_delta(0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_guarantee_property(self, delta):
+        """PROPERTY: the chosen F's worst-case error never exceeds delta,
+        and one fewer bit would exceed it."""
+        f = fraction_bits_for_delta(delta)
+        assert 2.0 ** -(f + 1) <= delta * (1 + 1e-9)
+        assert 2.0 ** -(f) > delta * (1 - 1e-9)
+
+
+class TestIntegerBitsForRange:
+    @pytest.mark.parametrize(
+        "max_abs,expected",
+        [(161, 9), (139, 9), (443, 10), (415, 10), (1.0, 2), (0.5, 1), (0, 1)],
+    )
+    def test_paper_values(self, max_abs, expected):
+        assert integer_bits_for_range(max_abs) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_range_covered(self, max_abs):
+        """PROPERTY: the chosen I covers [-max_abs, max_abs]."""
+        bits = integer_bits_for_range(max_abs)
+        assert 2.0 ** (bits - 1) >= max_abs * (1 - 1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_agrees_with_layerstats(self, max_abs):
+        """Cross-consistency with the duplicated nn.statistics logic."""
+        stat = LayerStats(name="x", num_inputs=1, num_macs=1, max_abs_input=max_abs)
+        assert stat.integer_bits == integer_bits_for_range(max_abs)
+
+
+class TestFormatFor:
+    def test_combines_both_constraints(self):
+        fmt = format_for(delta=0.1, max_abs=100.0)
+        assert fmt.delta <= 0.1
+        assert fmt.max_value >= 100.0
+
+    def test_quantization_respects_both(self):
+        fmt = format_for(delta=0.05, max_abs=10.0)
+        x = np.linspace(-10, 10, 999)
+        err = np.abs(fmt.rounding_error(x))
+        assert err.max() <= 0.05 + 1e-12

@@ -1,0 +1,76 @@
+"""Tests for allocation JSON serialization."""
+
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn.statistics import LayerStats
+from repro.quant import (
+    BitwidthAllocation,
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    save_allocation,
+)
+
+
+@pytest.fixture()
+def allocation():
+    stats = [
+        LayerStats("a", num_inputs=10, num_macs=100, max_abs_input=50.0),
+        LayerStats("b", num_inputs=20, num_macs=200, max_abs_input=400.0),
+    ]
+    return BitwidthAllocation.from_deltas(stats, {"a": 0.25, "b": 2.0})
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_formats(self, allocation):
+        rebuilt = allocation_from_dict(allocation_to_dict(allocation))
+        for layer in allocation:
+            other = rebuilt[layer.name]
+            assert other.integer_bits == layer.integer_bits
+            assert other.fraction_bits == layer.fraction_bits
+            assert other.total_bits == layer.total_bits
+
+    def test_file_roundtrip(self, allocation, tmp_path):
+        path = save_allocation(
+            allocation, tmp_path / "alloc.json", provenance={"sigma": 0.3}
+        )
+        rebuilt = load_allocation(path)
+        assert rebuilt.bitwidths() == allocation.bitwidths()
+
+    def test_provenance_stored(self, allocation, tmp_path):
+        import json
+
+        path = save_allocation(
+            allocation, tmp_path / "a.json", provenance={"objective": "mac"}
+        )
+        data = json.loads(path.read_text())
+        assert data["provenance"]["objective"] == "mac"
+
+    def test_negative_fraction_survives(self, allocation):
+        """The word length alone can't encode F < 0; the schema must."""
+        data = allocation_to_dict(allocation)
+        entry = next(e for e in data["layers"] if e["name"] == "b")
+        assert entry["fraction_bits"] < 0
+        rebuilt = allocation_from_dict(data)
+        assert rebuilt["b"].fraction_bits == entry["fraction_bits"]
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, allocation):
+        data = allocation_to_dict(allocation)
+        data["schema_version"] = 99
+        with pytest.raises(QuantizationError):
+            allocation_from_dict(data)
+
+    def test_rejects_missing_fields(self):
+        data = {
+            "schema_version": 1,
+            "layers": [{"name": "a", "integer_bits": 4}],
+        }
+        with pytest.raises(QuantizationError):
+            allocation_from_dict(data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(QuantizationError):
+            load_allocation(tmp_path / "nope.json")

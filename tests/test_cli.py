@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+FAST = [
+    "--model",
+    "lenet",
+    "--train-count",
+    "128",
+    "--test-count",
+    "64",
+    "--profile-images",
+    "8",
+    "--profile-points",
+    "6",
+    "--seed",
+    "321",
+]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_model_choicelessly(self):
+        # model is free-form; the zoo lookup raises at run time instead
+        args = build_parser().parse_args(["profile", "--model", "nope"])
+        assert args.model == "nope"
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.objective == "input"
+        assert args.drop == 0.01
+        assert not args.weights
+
+    def test_scheme_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--scheme", "scheme9"])
+
+
+class TestCommands:
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "resnet152" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out and "conv1" in out
+
+    def test_optimize(self, capsys):
+        code = main(["optimize", "--drop", "0.05"] + FAST)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "constraint met" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "max_rel_err" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "equal_scheme" in out
+
+
+class TestSuiteCommand:
+    def test_suite_with_subset_and_export(self, capsys, tmp_path):
+        code = main(
+            ["suite", "--only", "fig1", "--output", str(tmp_path)] + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite finished" in out
+        assert (tmp_path / "fig1.json").exists()
+
+
+@pytest.mark.slow
+class TestSlowCommands:
+    def test_table2(self, capsys):
+        assert main(["table2", "--drop", "0.05"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--drop", "0.05"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out

@@ -1,0 +1,74 @@
+"""Tests for configuration dataclasses and the error hierarchy."""
+
+import pytest
+
+from repro import (
+    GraphError,
+    ModelError,
+    OptimizationError,
+    ProfilingError,
+    QuantizationError,
+    ReproError,
+    SearchError,
+    ShapeError,
+)
+from repro.config import FAST_PROFILE, FAST_SEARCH, ProfileSettings, SearchSettings
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            ModelError,
+            OptimizationError,
+            ProfilingError,
+            QuantizationError,
+            SearchError,
+            ShapeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestProfileSettings:
+    def test_defaults_match_paper(self):
+        s = ProfileSettings()
+        assert s.num_delta_points == 20  # paper Sec. V-A
+        assert s.num_images == 50       # paper: 50-200 images
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ProfileSettings(num_images=0)
+        with pytest.raises(ValueError):
+            ProfileSettings(num_delta_points=1)
+        with pytest.raises(ValueError):
+            ProfileSettings(delta_min=1.0, delta_max=0.5)
+        with pytest.raises(ValueError):
+            ProfileSettings(num_repeats=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ProfileSettings().num_images = 5
+
+
+class TestSearchSettings:
+    def test_defaults_match_paper(self):
+        s = SearchSettings()
+        assert s.tolerance == 0.01        # paper Sec. V-C
+        assert s.initial_upper == 1.0     # paper's initial guess
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SearchSettings(tolerance=0.0)
+        with pytest.raises(ValueError):
+            SearchSettings(initial_upper=-1.0)
+        with pytest.raises(ValueError):
+            SearchSettings(num_trials=0)
+
+    def test_fast_presets_valid(self):
+        assert FAST_PROFILE.num_images < ProfileSettings().num_images
+        assert FAST_SEARCH.tolerance >= SearchSettings().tolerance

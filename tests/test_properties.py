@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These use hypothesis to exercise invariants that individual unit tests
+only sample: linearity of the conv substrate, monotonicity of the
+error model, and bounds on cost accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import deltas_for_sigma
+from repro.analysis.profiler import LayerErrorProfile
+from repro.nn import NetworkBuilder
+from repro.nn.statistics import LayerStats
+from repro.quant import BitwidthAllocation
+
+
+def linear_network(seed=0):
+    """conv -> conv -> gap -> dense with no nonlinearity and no bias."""
+    b = NetworkBuilder("linear", (2, 8, 8), seed=seed)
+    b.conv("c1", 4, 3, relu=False, bias=False)
+    b.conv("c2", 4, 3, relu=False, bias=False)
+    b.global_pool("gap")
+    net = b.network
+    # dense without bias for exact homogeneity
+    from repro.nn.layers import Dense
+
+    rng = np.random.default_rng(seed + 1)
+    net.add(Dense("fc", ["gap"], rng.normal(size=(3, 4))))
+    return b.build()
+
+
+class TestSubstrateLinearity:
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=100), seed=st.integers(0, 50))
+    def test_forward_is_homogeneous(self, scale, seed):
+        """PROPERTY: a bias-free, activation-free CNN is linear, so
+        f(a*x) = a*f(x).  Validates conv/pool/dense arithmetic at once."""
+        net = linear_network()
+        x = np.random.default_rng(seed).normal(size=(2, 2, 8, 8))
+        base = net.forward(x)
+        scaled = net.forward(scale * x)
+        np.testing.assert_allclose(scaled, scale * base, rtol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_forward_is_additive(self, seed):
+        """PROPERTY: f(x + y) = f(x) + f(y) for the linear network."""
+        net = linear_network()
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 8, 8))
+        y = rng.normal(size=(1, 2, 8, 8))
+        np.testing.assert_allclose(
+            net.forward(x + y), net.forward(x) + net.forward(y), rtol=1e-9
+        )
+
+
+class TestQuantizationTapProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(3, 12), seed=st.integers(0, 100))
+    def test_tap_idempotent(self, bits, seed):
+        """PROPERTY: quantizing a quantized tensor changes nothing."""
+        stats = [LayerStats("a", 10, 100, max_abs_input=30.0)]
+        tap = BitwidthAllocation.uniform(stats, bits).taps()["a"]
+        x = np.random.default_rng(seed).normal(size=200) * 20
+        once = tap(x)
+        np.testing.assert_array_equal(tap(once), once)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits_small=st.integers(2, 8),
+        extra=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_more_bits_less_error(self, bits_small, extra, seed):
+        """PROPERTY: widening the format never increases the error."""
+        stats = [LayerStats("a", 10, 100, max_abs_input=30.0)]
+        small = BitwidthAllocation.uniform(stats, bits_small).taps()["a"]
+        large = BitwidthAllocation.uniform(stats, bits_small + extra).taps()["a"]
+        x = np.random.default_rng(seed).uniform(-30, 30, size=500)
+        err_small = np.abs(small(x) - x).max()
+        err_large = np.abs(large(x) - x).max()
+        assert err_large <= err_small + 1e-12
+
+
+class TestErrorModelMonotonicity:
+    def _profile(self, lam, theta):
+        grid = np.geomspace(0.01, 1.0, 5)
+        return LayerErrorProfile(
+            name="p",
+            lam=lam,
+            theta=theta,
+            r_squared=1.0,
+            max_relative_error=0.0,
+            deltas=grid,
+            sigmas=(grid - theta) / lam,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lam=st.floats(min_value=1.0, max_value=500.0),
+        theta=st.floats(min_value=-0.01, max_value=0.1),
+        sigma_low=st.floats(min_value=0.01, max_value=1.0),
+        factor=st.floats(min_value=1.01, max_value=10.0),
+    )
+    def test_deltas_monotone_in_sigma(self, lam, theta, sigma_low, factor):
+        """PROPERTY: a larger output budget never shrinks any Delta."""
+        profiles = {"p": self._profile(lam, theta)}
+        low = deltas_for_sigma(profiles, sigma_low)["p"]
+        high = deltas_for_sigma(profiles, sigma_low * factor)["p"]
+        assert high >= low
+
+
+class TestEffectiveBitwidthBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        b1=st.integers(2, 16),
+        b2=st.integers(2, 16),
+        w1=st.floats(min_value=0.1, max_value=1000),
+        w2=st.floats(min_value=0.1, max_value=1000),
+    )
+    def test_weighted_mean_between_extremes(self, b1, b2, w1, w2):
+        """PROPERTY: effective bitwidth lies between the min and max
+        per-layer widths for any positive weighting."""
+        stats = [
+            LayerStats("a", 10, 100, max_abs_input=10.0),
+            LayerStats("b", 20, 200, max_abs_input=10.0),
+        ]
+        alloc = BitwidthAllocation.from_bitwidths(stats, {"a": b1, "b": b2})
+        eff = alloc.effective_bitwidth({"a": w1, "b": w2})
+        widths = [alloc["a"].total_bits, alloc["b"].total_bits]
+        assert min(widths) - 1e-9 <= eff <= max(widths) + 1e-9

@@ -1,0 +1,61 @@
+"""Guards on the public API surface.
+
+Every name a package exports in ``__all__`` must actually be importable
+and resolvable — catches stale export lists after refactors.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.data",
+    "repro.experiments",
+    "repro.hardware",
+    "repro.models",
+    "repro.nn",
+    "repro.optimize",
+    "repro.pipeline",
+    "repro.quant",
+    "repro.weights",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} must define __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} is exported but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted(package):
+    """Sorted export lists keep diffs reviewable."""
+    module = importlib.import_module(package)
+    exported = list(module.__all__)
+    assert exported == sorted(exported), f"{package}.__all__ is not sorted"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_entrypoint_importable():
+    from repro.cli import build_parser, main
+
+    parser = build_parser()
+    assert parser.prog == "repro"
+    assert callable(main)

@@ -1,0 +1,113 @@
+"""Tests for analytic weight bitwidth allocation (Eq. 5 for weights)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ProfileSettings
+from repro.errors import ProfilingError
+from repro.models import top1_accuracy
+from repro.weights import (
+    QuantizedWeights,
+    WeightErrorProfiler,
+    allocate_weight_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def weight_report(lenet, datasets):
+    __, test = datasets
+    profiler = WeightErrorProfiler(
+        lenet,
+        test.images,
+        ProfileSettings(num_images=12, num_delta_points=6, seed=5),
+    )
+    return profiler.profile()
+
+
+class TestWeightErrorProfiler:
+    def test_linear_law_holds_for_weights(self, weight_report):
+        """The paper's Eq. 5, with weight errors as the source."""
+        for p in weight_report:
+            assert p.lam > 0
+            assert p.r_squared > 0.85
+
+    def test_covers_all_analyzed_layers(self, lenet, weight_report):
+        assert set(p.name for p in weight_report) == set(
+            lenet.analyzed_layer_names
+        )
+
+    def test_weights_restored_after_profiling(self, lenet, datasets):
+        __, test = datasets
+        before = lenet["conv1"].weight.copy()
+        WeightErrorProfiler(
+            lenet, test.images,
+            ProfileSettings(num_images=4, num_delta_points=4),
+        ).profile(["conv1"])
+        np.testing.assert_array_equal(lenet["conv1"].weight, before)
+
+    def test_sigma_grows_with_delta(self, weight_report):
+        for p in weight_report:
+            assert p.sigmas[-1] > p.sigmas[0]
+
+    def test_rejects_weightless_layer(self, lenet, datasets):
+        __, test = datasets
+        profiler = WeightErrorProfiler(
+            lenet, test.images,
+            ProfileSettings(num_images=4, num_delta_points=4),
+        )
+        with pytest.raises(ProfilingError):
+            profiler.profile(["pool1"])
+
+
+class TestAllocateWeightBits:
+    def test_bits_in_range(self, lenet, weight_report):
+        alloc = allocate_weight_bits(lenet, weight_report.profiles, 0.3)
+        for bits in alloc.bits.values():
+            assert 2 <= bits <= 16
+
+    def test_tighter_budget_needs_more_bits(self, lenet, weight_report):
+        loose = allocate_weight_bits(lenet, weight_report.profiles, 1.0)
+        tight = allocate_weight_bits(lenet, weight_report.profiles, 0.05)
+        assert sum(tight.bits.values()) >= sum(loose.bits.values())
+
+    def test_budget_fraction_scales_sigma(self, lenet, weight_report):
+        half = allocate_weight_bits(
+            lenet, weight_report.profiles, 0.4, budget_fraction=0.5
+        )
+        tenth = allocate_weight_bits(
+            lenet, weight_report.profiles, 0.4, budget_fraction=0.1
+        )
+        assert tenth.sigma_weights < half.sigma_weights
+
+    def test_rejects_bad_fraction(self, lenet, weight_report):
+        with pytest.raises(ProfilingError):
+            allocate_weight_bits(
+                lenet, weight_report.profiles, 0.3, budget_fraction=1.5
+            )
+
+    def test_effective_bits_weighted_mean(self, lenet, weight_report):
+        alloc = allocate_weight_bits(lenet, weight_report.profiles, 0.3)
+        weights = {name: 1.0 for name in alloc.bits}
+        expected = sum(alloc.bits.values()) / len(alloc.bits)
+        assert alloc.effective_bits(weights) == pytest.approx(expected)
+
+    def test_quantized_accuracy_tracks_budget(
+        self, lenet, datasets, weight_report
+    ):
+        """A small weight budget keeps accuracy near baseline; a huge
+        one degrades it — the analytic allocation is actually wired to
+        the accuracy knob."""
+        __, test = datasets
+        base = top1_accuracy(lenet, test)
+        small = allocate_weight_bits(
+            lenet, weight_report.profiles, 0.05, budget_fraction=0.5
+        )
+        with QuantizedWeights(lenet, small.bits):
+            acc_small = top1_accuracy(lenet, test)
+        huge = allocate_weight_bits(
+            lenet, weight_report.profiles, 8.0, budget_fraction=0.5
+        )
+        with QuantizedWeights(lenet, huge.bits):
+            acc_huge = top1_accuracy(lenet, test)
+        assert acc_small >= base - 0.05
+        assert acc_huge <= acc_small

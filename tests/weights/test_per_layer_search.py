@@ -1,0 +1,51 @@
+"""Tests for the Loom-style per-layer weight bitwidth search."""
+
+import pytest
+
+from repro.models import top1_accuracy
+from repro.weights import search_per_layer_weight_bits
+
+
+@pytest.fixture(scope="module")
+def result(lenet, datasets):
+    __, test = datasets
+    base = top1_accuracy(lenet, test)
+    res = search_per_layer_weight_bits(lenet, test, base, 0.05)
+    return lenet, test, base, res
+
+
+class TestPerLayerWeightSearch:
+    def test_covers_all_analyzed_layers(self, result):
+        lenet, __, __, res = result
+        assert set(res.bits) == set(lenet.analyzed_layer_names)
+
+    def test_meets_joint_constraint(self, result):
+        __, __, base, res = result
+        assert res.accuracy >= base * 0.95
+
+    def test_bits_in_valid_range(self, result):
+        __, __, __, res = result
+        for bits in res.bits.values():
+            assert 2 <= bits <= 16
+
+    def test_no_worse_than_uniform_search(self, result, datasets):
+        """The per-layer assignment's max width is a valid uniform width,
+        so its effective bits can't exceed the uniform result by much."""
+        lenet, test, base, res = result
+        from repro.weights import search_weight_bitwidth
+
+        uniform = search_weight_bitwidth(lenet, test, base, 0.05)
+        weights = {name: 1.0 for name in res.bits}
+        assert res.effective_bits(weights) <= uniform.bits + 1
+
+    def test_network_restored(self, result, images):
+        """Search must leave the model weights untouched."""
+        lenet, test, base, res = result
+        assert top1_accuracy(lenet, test) == pytest.approx(base)
+
+    def test_effective_bits_weighted_mean(self, result):
+        __, __, __, res = result
+        names = list(res.bits)
+        weights = {name: 1.0 for name in names}
+        expected = sum(res.bits.values()) / len(names)
+        assert res.effective_bits(weights) == pytest.approx(expected)

@@ -1,0 +1,99 @@
+"""Tests for weight quantization and the weight bitwidth search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError, SearchError
+from repro.models import top1_accuracy
+from repro.weights import (
+    QuantizedWeights,
+    search_weight_bitwidth,
+    weight_format,
+)
+
+
+class TestWeightFormat:
+    def test_covers_range(self):
+        w = np.array([0.5, -1.75, 0.3])
+        fmt = weight_format(w, 8)
+        assert fmt.max_value >= 1.75
+        assert fmt.total_bits == 8
+
+    def test_error_within_half_step(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=100)
+        fmt = weight_format(w, 10)
+        err = np.abs(fmt.quantize(w) - w)
+        assert err.max() <= fmt.delta + 1e-12
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(QuantizationError):
+            weight_format(np.array([100.0]), 2)
+
+
+class TestQuantizedWeights:
+    def test_restores_on_exit(self, fresh_lenet):
+        original = fresh_lenet["conv1"].weight.copy()
+        with QuantizedWeights(fresh_lenet, 4):
+            assert not np.array_equal(fresh_lenet["conv1"].weight, original)
+        np.testing.assert_array_equal(fresh_lenet["conv1"].weight, original)
+
+    def test_restores_on_exception(self, fresh_lenet):
+        original = fresh_lenet["conv1"].weight.copy()
+        with pytest.raises(RuntimeError):
+            with QuantizedWeights(fresh_lenet, 4):
+                raise RuntimeError("boom")
+        np.testing.assert_array_equal(fresh_lenet["conv1"].weight, original)
+
+    def test_weights_are_quantized_inside(self, fresh_lenet):
+        with QuantizedWeights(fresh_lenet, 6):
+            w = fresh_lenet["conv1"].weight
+            fmt = weight_format(w, 6)
+            np.testing.assert_array_equal(fmt.quantize(w), w)
+
+    def test_per_layer_bits(self, fresh_lenet):
+        bits = {"conv1": 4, "conv2": 8, "conv3": 8, "fc": 8}
+        with QuantizedWeights(fresh_lenet, bits):
+            pass  # enters and exits cleanly
+
+    def test_rejects_weightless_layer(self, fresh_lenet):
+        with pytest.raises(QuantizationError):
+            with QuantizedWeights(fresh_lenet, 8, layer_names=["pool1"]):
+                pass
+
+    def test_wide_weights_accuracy_unchanged(self, fresh_lenet, datasets):
+        __, test = datasets
+        base = top1_accuracy(fresh_lenet, test)
+        with QuantizedWeights(fresh_lenet, 16):
+            quant = top1_accuracy(fresh_lenet, test)
+        assert quant == pytest.approx(base, abs=0.02)
+
+    def test_tiny_weights_destroy_accuracy(self, fresh_lenet, datasets):
+        __, test = datasets
+        base = top1_accuracy(fresh_lenet, test)
+        with QuantizedWeights(fresh_lenet, 2):
+            quant = top1_accuracy(fresh_lenet, test)
+        assert quant < base
+
+
+class TestWeightSearch:
+    def test_finds_passing_width(self, fresh_lenet, datasets):
+        __, test = datasets
+        base = top1_accuracy(fresh_lenet, test)
+        result = search_weight_bitwidth(fresh_lenet, test, base, 0.05)
+        assert result.accuracy >= base * 0.95
+        assert 2 <= result.bits <= 16
+
+    def test_network_restored_after_search(self, fresh_lenet, datasets):
+        __, test = datasets
+        original = fresh_lenet["fc"].weight.copy()
+        base = top1_accuracy(fresh_lenet, test)
+        search_weight_bitwidth(fresh_lenet, test, base, 0.05)
+        np.testing.assert_array_equal(fresh_lenet["fc"].weight, original)
+
+    def test_rejects_bad_bounds(self, fresh_lenet, datasets):
+        __, test = datasets
+        with pytest.raises(SearchError):
+            search_weight_bitwidth(
+                fresh_lenet, test, 1.0, 0.05, start_bits=2, min_bits=8
+            )
