@@ -5,8 +5,14 @@ paper's full pipeline (profile -> sigma search -> xi optimization ->
 bitwidth translation), and validates the result on the actual quantized
 network.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--strict]
+
+``--strict`` runs the pipeline with every resilience guardrail
+escalated to a hard error (no equal-xi degradation, no warnings) — the
+CI smoke mode proving the happy path stays numerically clean.
 """
+
+import argparse
 
 from repro import PrecisionOptimizer
 from repro.config import ProfileSettings, SearchSettings
@@ -15,6 +21,10 @@ from repro.pipeline import format_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--strict", action="store_true")
+    args = parser.parse_args()
+
     # The offline stand-in for "download a Caffe Model Zoo checkpoint".
     network, train, test, info = pretrained_model("alexnet")
     print(f"pretrained alexnet replica: test accuracy {info['test_accuracy']:.3f}")
@@ -24,6 +34,7 @@ def main() -> None:
         test,
         profile_settings=ProfileSettings(num_images=32, num_delta_points=10),
         search_settings=SearchSettings(),
+        strict=args.strict,
     )
 
     # One call per objective; profiling and the sigma search are shared.

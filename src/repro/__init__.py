@@ -13,6 +13,8 @@ method end to end on a pure-numpy substrate:
 * :mod:`repro.optimize` — multi-objective xi optimization (Eq. 8).
 * :mod:`repro.baselines` — uniform / equal-scheme / search baselines.
 * :mod:`repro.weights` — weight bitwidth search (Sec. V-E).
+* :mod:`repro.resilience` — guardrails, solver fallback chain,
+  resumable run state, and the chaos-testing harness.
 * :mod:`repro.pipeline` — the end-to-end :class:`PrecisionOptimizer`.
 * :mod:`repro.experiments` — drivers for every paper table and figure.
 
@@ -35,14 +37,19 @@ from .config import (
     SearchSettings,
 )
 from .errors import (
+    DegradedResultWarning,
     GraphError,
     ModelError,
+    NumericalGuardError,
     OptimizationError,
     ProfilingError,
     QuantizationError,
     ReproError,
+    ResumeError,
+    RetryExhaustedError,
     SearchError,
     ShapeError,
+    TransientError,
 )
 from .pipeline import OptimizationOutcome, PrecisionOptimizer
 
@@ -50,10 +57,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_SEED",
+    "DegradedResultWarning",
     "FAST_PROFILE",
     "FAST_SEARCH",
     "GraphError",
     "ModelError",
+    "NumericalGuardError",
     "OptimizationError",
     "OptimizationOutcome",
     "PrecisionOptimizer",
@@ -61,8 +70,11 @@ __all__ = [
     "ProfilingError",
     "QuantizationError",
     "ReproError",
+    "ResumeError",
+    "RetryExhaustedError",
     "SearchError",
     "SearchSettings",
     "ShapeError",
+    "TransientError",
     "__version__",
 ]

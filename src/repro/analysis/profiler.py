@@ -17,13 +17,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import ProfileSettings
 from ..errors import ProfilingError
 from ..nn.graph import Network
+from ..resilience.guards import (
+    Diagnostic,
+    check_finite_array,
+    check_profile_fit,
+    enforce,
+)
 from .injection import uniform_noise_tap
 from .regression import LinearFit, fit_line
 
@@ -39,6 +45,8 @@ class LayerErrorProfile:
     max_relative_error: float
     deltas: np.ndarray = field(repr=False)
     sigmas: np.ndarray = field(repr=False)
+    #: Guardrail findings for this layer's fit (empty on a clean fit).
+    diagnostics: List[Diagnostic] = field(default_factory=list, repr=False)
 
     def delta_for_sigma(self, sigma: float) -> float:
         """Predict Delta_XK for a target sigma_{Y_K->L} (Eq. 5/7)."""
@@ -76,6 +84,14 @@ class ProfileReport:
         """The layer with the largest relative fit error (paper: <= ~10%)."""
         return max(self.profiles.values(), key=lambda p: p.max_relative_error)
 
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """Every guardrail finding across all layers."""
+        found: List[Diagnostic] = []
+        for profile in self.profiles.values():
+            found.extend(profile.diagnostics)
+        return found
+
 
 class ErrorProfiler:
     """Measures lambda_K / theta_K for the analyzed layers of a network."""
@@ -87,6 +103,7 @@ class ErrorProfiler:
         settings: Optional[ProfileSettings] = None,
         batch_size: int = 32,
         delta_relative: bool = True,
+        strict: bool = False,
     ):
         self.network = network
         self.images = np.asarray(images, dtype=np.float64)
@@ -96,8 +113,18 @@ class ErrorProfiler:
         #: that layer's input scale (keeps the regression in the regime
         #: where the linear model holds for layers of any magnitude).
         self.delta_relative = delta_relative
+        #: Strict mode escalates degenerate-fit diagnostics (lambda <= 0,
+        #: near-zero R^2) to errors; otherwise they become warnings and
+        #: are attached to the resulting profiles.  NaN/Inf measurements
+        #: always raise.
+        self.strict = strict
         if self.images.shape[0] < 1:
             raise ProfilingError("profiling needs at least one image")
+        enforce(
+            check_finite_array(self.images, "profiling", layer="<input>"),
+            strict=True,
+            context="profiling input images",
+        )
 
     # ------------------------------------------------------------------
     def _delta_grid(self, input_scale: float) -> np.ndarray:
@@ -206,7 +233,31 @@ class ErrorProfiler:
                         tap = uniform_noise_tap(float(delta), rng)
                         perturbed = self.network.forward_from(cache, name, tap)
                         err = perturbed - reference
-                        sq_sums[name][j] += float((err * err).sum())
+                        sq_sum = float((err * err).sum())
+                        if not np.isfinite(sq_sum):
+                            enforce(
+                                check_finite_array(
+                                    perturbed, "profiling", layer=name
+                                )
+                                or [
+                                    Diagnostic(
+                                        stage="profiling",
+                                        code="non_finite",
+                                        message=(
+                                            "squared-error sum overflowed "
+                                            f"at delta={delta:.4g}"
+                                        ),
+                                        layer=name,
+                                        value=float(delta),
+                                    )
+                                ],
+                                strict=True,
+                                context=(
+                                    f"error injection at layer {name!r}, "
+                                    f"delta={delta:.4g}"
+                                ),
+                            )
+                        sq_sums[name][j] += sq_sum
                         counts[name][j] += err.size
             if progress:  # pragma: no cover - console nicety
                 done = min(batch_start + self.batch_size, num_images)
@@ -222,6 +273,13 @@ class ErrorProfiler:
                     "disconnected from the network output"
                 )
             fit = fit_line(sigmas, deltas)
+            diagnostics = enforce(
+                check_profile_fit(
+                    name, fit.slope, fit.intercept, fit.r_squared
+                ),
+                strict=self.strict,
+                context=f"profiling regression for layer {name!r}",
+            )
             profiles[name] = LayerErrorProfile(
                 name=name,
                 lam=fit.slope,
@@ -230,6 +288,7 @@ class ErrorProfiler:
                 max_relative_error=fit.max_relative_error,
                 deltas=deltas,
                 sigmas=sigmas,
+                diagnostics=diagnostics,
             )
         elapsed = time.perf_counter() - start_time
         return ProfileReport(

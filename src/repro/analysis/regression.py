@@ -49,6 +49,14 @@ def fit_line(
         raise ProfilingError("fit_line needs two equal-length 1-D arrays")
     if x.size < 2:
         raise ProfilingError("need at least 2 points for a line fit")
+    if not (np.isfinite(x).all() and np.isfinite(y).all()):
+        bad_x = int((~np.isfinite(x)).sum())
+        bad_y = int((~np.isfinite(y)).sum())
+        raise ProfilingError(
+            f"cannot fit a line through non-finite data "
+            f"({bad_x} bad x values, {bad_y} bad y values); an upstream "
+            "measurement produced NaN/Inf"
+        )
     if float(x.std()) == 0.0:
         raise ProfilingError("cannot fit a line: x values are all identical")
     if weighting == "relative":

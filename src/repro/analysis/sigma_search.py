@@ -146,6 +146,7 @@ def find_sigma(
     baseline_accuracy: float,
     max_relative_drop: float,
     settings: Optional[SearchSettings] = None,
+    transient_retries: int = 2,
 ) -> SigmaSearchResult:
     """Largest sigma_YL whose accuracy stays within the allowed drop.
 
@@ -153,18 +154,45 @@ def find_sigma(
     guess, double until the constraint is violated, then binary search
     until the bracket is tighter than the tolerance; the passing lower
     bound is returned.
+
+    Resilience: accuracy evaluations raising
+    :class:`~repro.errors.TransientError` are retried up to
+    ``transient_retries`` times before the search gives up (a single
+    flaky evaluator call must not discard the bracket built so far),
+    and a non-finite accuracy measurement raises a structured
+    :class:`SearchError` immediately instead of silently poisoning the
+    bracket.
     """
+    from ..resilience.fallback import call_with_retries
+    from ..resilience.guards import check_sigma_bracket, enforce
+
     settings = settings or SearchSettings()
     if not 0 <= max_relative_drop < 1:
         raise SearchError(
             f"max_relative_drop must be in [0, 1); got {max_relative_drop}"
+        )
+    if not np.isfinite(baseline_accuracy):
+        raise SearchError(
+            f"baseline accuracy is {baseline_accuracy!r}; cannot derive "
+            "a target"
         )
     start_time = time.perf_counter()
     target = baseline_accuracy * (1.0 - max_relative_drop)
     evaluations: List[Tuple[float, float]] = []
 
     def passes(sigma: float) -> bool:
-        acc = accuracy_fn(sigma)
+        acc = call_with_retries(
+            accuracy_fn,
+            sigma,
+            retries=transient_retries,
+            label=f"accuracy evaluation at sigma={sigma:.4g}",
+        )
+        if not np.isfinite(acc):
+            raise SearchError(
+                f"accuracy evaluation at sigma={sigma:.4g} returned "
+                f"{acc!r} after {len(evaluations)} evaluations; the "
+                "evaluator is numerically broken"
+            )
         evaluations.append((sigma, acc))
         return acc >= target
 
@@ -186,6 +214,11 @@ def find_sigma(
                 evaluations=evaluations,
                 elapsed_seconds=time.perf_counter() - start_time,
             )
+    enforce(
+        check_sigma_bracket(lower, upper, len(evaluations)),
+        strict=True,
+        context="sigma search bracket",
+    )
     while upper - lower > settings.tolerance:
         mid = 0.5 * (lower + upper)
         if passes(mid):

@@ -14,6 +14,11 @@ point for the substrate replica.  Subcommands:
 ``fig4``      NiN per-layer energy anatomy (Fig. 4)
 ``cost``      analytic vs search cost comparison (Sec. VI-A)
 
+Every subcommand accepts ``--resume DIR`` (checkpoint/resume the
+expensive stages under DIR) and ``--strict`` (escalate guardrail
+warnings and solver degradation to hard errors); see
+``docs/resilience.md``.
+
 Run ``python -m repro <subcommand> --help`` for options.
 """
 
@@ -51,6 +56,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="scheme1",
         help="accuracy test for the sigma search (Sec. V-C)",
     )
+    parser.add_argument(
+        "--resume",
+        default="",
+        metavar="DIR",
+        help=(
+            "checkpoint the expensive stages (per-layer profiles, sigma "
+            "searches) under DIR and resume from whatever already "
+            "completed there"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "escalate numerical guardrail warnings and solver "
+            "degradation to hard errors (no equal-xi fallback)"
+        ),
+    )
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -62,6 +85,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         profile_points=args.profile_points,
         scheme=args.scheme,
         seed=args.seed,
+        strict=args.strict,
+        state_dir=args.resume,
     )
 
 
@@ -127,6 +152,12 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         f"quantized acc {outcome.validated_accuracy:.3f}  "
         f"constraint {'met' if outcome.meets_constraint else 'VIOLATED'}"
     )
+    if outcome.degraded:
+        print(
+            "WARNING: xi optimization degraded to the equal scheme "
+            "(solver fallback chain exhausted); allocation is "
+            "conservative"
+        )
     if outcome.weight_search is not None:
         print(f"weight bitwidth (Sec. V-E search): {outcome.weight_search.bits}")
     if args.output:
@@ -139,6 +170,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             "sigma": outcome.result.sigma,
             "baseline_accuracy": outcome.baseline_accuracy,
             "validated_accuracy": outcome.validated_accuracy,
+            "degraded": outcome.degraded,
         }
         path = save_allocation(
             outcome.result.allocation, args.output, provenance=provenance

@@ -38,3 +38,51 @@ class OptimizationError(ReproError):
 
 class ModelError(ReproError):
     """A model could not be constructed or pretrained."""
+
+
+class NumericalGuardError(ReproError):
+    """A resilience guardrail caught NaN/Inf or degenerate values.
+
+    Carries the structured :class:`~repro.resilience.Diagnostic` records
+    that triggered it, so callers can log or report exactly which stage
+    and layer went numerically bad instead of receiving silent garbage.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+class TransientError(ReproError):
+    """A stage failed in a way expected to succeed on retry.
+
+    Raised by flaky evaluators (and by the chaos harness when simulating
+    them); the resilience layer retries these a bounded number of times
+    before giving up.
+    """
+
+
+class RetryExhaustedError(OptimizationError):
+    """Every attempt in a fallback chain failed.
+
+    ``attempts`` records the per-attempt failure messages in order, so
+    the exhaustion report shows the whole chain, not just the last
+    error.
+    """
+
+    def __init__(self, message: str, attempts=()):
+        super().__init__(message)
+        self.attempts = list(attempts)
+
+
+class ResumeError(ReproError):
+    """Persisted run state is missing, corrupt, or incompatible."""
+
+
+class DegradedResultWarning(UserWarning):
+    """A result came from a degraded fallback path, not the primary solver.
+
+    Not a :class:`ReproError`: the pipeline *succeeded*, but via a safe
+    fallback (e.g. the equal-xi scheme after SLSQP exhaustion), and the
+    result is correspondingly conservative.
+    """

@@ -36,6 +36,10 @@ class ExperimentConfig:
     #: accuracy test) or "scheme2" (fast Gaussian logits approximation).
     scheme: str = "scheme1"
     seed: int = DEFAULT_SEED
+    #: Escalate guardrail warnings and solver degradation to errors.
+    strict: bool = False
+    #: Directory for resumable run state ("" disables checkpointing).
+    state_dir: str = ""
 
     def profile_settings(self) -> ProfileSettings:
         return ProfileSettings(
@@ -94,6 +98,8 @@ def make_context(
         profile_settings=config.profile_settings(),
         search_settings=config.search_settings(),
         scheme=config.scheme,
+        strict=config.strict,
+        state_dir=config.state_dir or None,
     )
     context = ExperimentContext(
         config=config,

@@ -9,7 +9,7 @@ combine with measured integer bits, and package as a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..analysis.profiler import LayerErrorProfile
 from ..analysis.sigma_search import deltas_for_sigma
@@ -29,6 +29,13 @@ class AllocationResult:
     sigma: float
     objective: Objective
     solution: Optional[XiSolution] = None
+    #: True when the xi came from a fallback path (equal-xi degradation
+    #: after solver exhaustion), not the primary Eq. 8 solver.
+    degraded: bool = False
+    #: Provenance of the resilient solve (attempt count, failures); a
+    #: :class:`repro.resilience.FallbackReport` when ``fallback`` was
+    #: requested, else None.
+    fallback: Optional[object] = None
 
     def bitwidths(self) -> Dict[str, int]:
         return self.allocation.bitwidths()
@@ -43,11 +50,31 @@ def allocate_optimized(
     stats: Mapping[str, LayerStats],
     sigma: float,
     ordered_names: Optional[List[str]] = None,
+    fallback: bool = False,
+    strict: bool = False,
+    seed: int = 0,
+    solver: Optional[Callable[..., XiSolution]] = None,
 ) -> AllocationResult:
-    """Optimize xi for an objective and emit the bitwidth allocation."""
+    """Optimize xi for an objective and emit the bitwidth allocation.
+
+    With ``fallback=True`` the solve goes through the resilience chain
+    (multi-start retries, then equal-xi degradation tagged
+    ``degraded=True``; ``strict=True`` raises
+    :class:`~repro.errors.RetryExhaustedError` instead of degrading).
+    ``solver`` overrides the Eq. 8 solver — the chaos harness's hook.
+    """
     names = list(ordered_names or profiles)
     objective = resolve_objective(objective, stats)
-    solution = optimize_xi(objective, profiles, sigma)
+    report = None
+    if fallback:
+        from ..resilience.fallback import solve_xi_with_fallback
+
+        solution, report = solve_xi_with_fallback(
+            objective, profiles, sigma, strict=strict, seed=seed,
+            solver=solver,
+        )
+    else:
+        solution = (solver or optimize_xi)(objective, profiles, sigma)
     deltas = deltas_for_sigma(profiles, sigma, xi=solution.xi)
     allocation = BitwidthAllocation.from_deltas(
         [stats[name] for name in names], deltas
@@ -59,6 +86,8 @@ def allocate_optimized(
         sigma=sigma,
         objective=objective,
         solution=solution,
+        degraded=bool(report.degraded) if report else False,
+        fallback=report,
     )
 
 

@@ -65,7 +65,9 @@ def optimize_xi_projected(
     theta = np.array([profiles[name].theta for name in names])
     floors = np.array(
         [
-            _feasibility_floor(profiles[name].lam, profiles[name].theta, sigma)
+            _feasibility_floor(
+                profiles[name].lam, profiles[name].theta, sigma, name=name
+            )
             for name in names
         ]
     )

@@ -16,7 +16,7 @@ is undefined otherwise).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 from scipy import optimize as sciopt
@@ -47,12 +47,29 @@ class XiSolution:
 
 
 def _feasibility_floor(
-    lam: float, theta: float, sigma: float
+    lam: float, theta: float, sigma: float, name: str = "<unnamed>"
 ) -> float:
-    """Smallest xi keeping ``lam*sigma*sqrt(xi) + theta`` positive."""
-    if lam <= 0 or sigma <= 0:
+    """Smallest xi keeping ``lam*sigma*sqrt(xi) + theta`` positive.
+
+    The raised :class:`OptimizationError` always names the offending
+    layer — in a multi-layer failure the layer identity is the only
+    debuggable signal.
+    """
+    if not (np.isfinite(lam) and np.isfinite(theta)):
         raise OptimizationError(
-            "xi optimization requires positive lambda and sigma"
+            f"layer {name!r} has non-finite profile "
+            f"(lambda={lam!r}, theta={theta!r}); the regression fit is "
+            "numerically broken"
+        )
+    if lam <= 0:
+        raise OptimizationError(
+            f"layer {name!r} has non-positive lambda {lam:.4g}; "
+            "xi optimization requires a positive error slope"
+        )
+    if sigma <= 0:
+        raise OptimizationError(
+            f"xi optimization requires positive sigma, got {sigma!r} "
+            f"(while flooring layer {name!r})"
         )
     if theta >= 0:
         return XI_FLOOR
@@ -65,12 +82,19 @@ def optimize_xi(
     profiles: Mapping[str, LayerErrorProfile],
     sigma: float,
     max_iterations: int = 200,
+    start: Optional[np.ndarray] = None,
+    xi_floor: float = XI_FLOOR,
 ) -> XiSolution:
     """Solve Eq. 8 for the error-share vector xi.
 
     Layers with larger rho get smaller xi (hence smaller Delta, more
     bits are *saved* elsewhere): the optimizer trades precision between
     layers exactly as Table II shows for AlexNet.
+
+    ``start`` (an explicit initial simplex point) and ``xi_floor`` (a
+    raised global floor keeping iterates away from the ``sqrt(xi)``
+    singularity) are the retry knobs of the resilience fallback chain
+    (:func:`repro.resilience.solve_xi_with_fallback`).
     """
     names = [name for name in profiles if name in objective.rho]
     if set(names) != set(objective.rho):
@@ -87,14 +111,20 @@ def optimize_xi(
     theta = np.array([profiles[name].theta for name in names])
     floors = np.array(
         [
-            _feasibility_floor(profiles[name].lam, profiles[name].theta, sigma)
+            _feasibility_floor(
+                profiles[name].lam, profiles[name].theta, sigma, name=name
+            )
             for name in names
         ]
     )
+    floors = np.maximum(floors, xi_floor)
     if floors.sum() >= 1.0:
+        worst = sorted(zip(floors, names), reverse=True)[:3]
+        offenders = ", ".join(f"{n}={f:.3g}" for f, n in worst)
         raise OptimizationError(
-            "infeasible: per-layer floors exceed the unit budget; the "
-            "profiling fit may be degenerate (large negative theta)"
+            "infeasible: per-layer floors exceed the unit budget "
+            f"(largest: {offenders}); the profiling fit may be "
+            "degenerate (large negative theta)"
         )
 
     log2 = np.log(2.0)
@@ -110,7 +140,14 @@ def optimize_xi(
         d_delta = lam * sigma / (2.0 * np.sqrt(xi))
         return -(rho * d_delta) / (delta * log2)
 
-    start = np.full(count, 1.0 / count)
+    if start is None:
+        start = np.full(count, 1.0 / count)
+    else:
+        start = np.asarray(start, dtype=np.float64)
+        if start.shape != (count,):
+            raise OptimizationError(
+                f"start point has shape {start.shape}; expected ({count},)"
+            )
     start = np.maximum(start, floors)
     start = start / start.sum()
     result = sciopt.minimize(

@@ -14,12 +14,19 @@ caching, so the expensive parts run once per network:
 
 "Changing the user constraints only requires re-running the last
 optimization step" — the caches make that true here as well.
+
+Resilience: with ``state_dir`` set, the expensive stages (per-layer
+profiling, sigma searches) checkpoint to disk and a re-run resumes from
+the last completed unit of work; ``strict`` escalates guardrail
+warnings and solver degradation to errors; the default fallback chain
+retries a failed Eq. 8 solve and degrades to equal-xi with the outcome
+tagged ``degraded=True``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..analysis.profiler import ErrorProfiler, ProfileReport
 from ..analysis.sigma_search import (
@@ -65,6 +72,11 @@ class OptimizationOutcome:
             return None
         return self.validated_accuracy >= self.sigma_result.target_accuracy
 
+    @property
+    def degraded(self) -> bool:
+        """True when the xi came from a fallback, not the Eq. 8 solver."""
+        return self.result.degraded
+
 
 class PrecisionOptimizer:
     """Profile once, then optimize for any objective and constraint."""
@@ -78,6 +90,11 @@ class PrecisionOptimizer:
         scheme: str = "scheme1",
         batch_size: int = 64,
         refine: bool = True,
+        state_dir: Optional[Union[str, "object"]] = None,
+        strict: bool = False,
+        fallback: bool = True,
+        transient_retries: int = 2,
+        xi_solver: Optional[Callable] = None,
     ):
         if scheme not in ("scheme1", "scheme2"):
             raise ReproError('scheme must be "scheme1" or "scheme2"')
@@ -90,6 +107,30 @@ class PrecisionOptimizer:
         #: Re-profile around the operating Deltas once sigma is known
         #: (the paper's iterative Delta guessing, Sec. V-A).
         self.refine = refine
+        #: Strict mode: guardrail diagnostics and solver exhaustion
+        #: raise instead of warning/degrading.
+        self.strict = strict
+        #: Route Eq. 8 solves through the resilience fallback chain.
+        self.fallback = fallback
+        #: Transient-evaluator retries during the sigma search.
+        self.transient_retries = transient_retries
+        #: Override the Eq. 8 solver (dependency injection for chaos
+        #: testing; None means the real SLSQP solver).
+        self.xi_solver = xi_solver
+        #: On-disk checkpointing: bind (or resume) a RunState when a
+        #: state directory is given.  The coarse per-layer profiles and
+        #: every finished sigma search persist there; a crashed run
+        #: resumes from the last completed layer/search.
+        self.state = None
+        if state_dir is not None:
+            from ..resilience.state import RunState
+
+            self.state = (
+                state_dir
+                if isinstance(state_dir, RunState)
+                else RunState(state_dir)
+            )
+            self.state.bind(network.name)
         self._stats: Optional[Dict[str, LayerStats]] = None
         self._profiles: Optional[ProfileReport] = None
         self._refined: Dict[float, ProfileReport] = {}
@@ -122,20 +163,41 @@ class PrecisionOptimizer:
         return ordered_stats(self.network, self.stats())
 
     def profile(self, progress: bool = False) -> ProfileReport:
-        """lambda/theta for every analyzed layer (cached)."""
+        """lambda/theta for every analyzed layer (cached).
+
+        With a bound run state, profiling goes layer by layer with a
+        checkpoint after each completed layer, and resuming a crashed
+        run re-profiles only the layers that never finished.
+        """
         if self._profiles is None:
             profiler = ErrorProfiler(
                 self.network,
                 self.dataset.images,
                 settings=self.profile_settings,
                 batch_size=min(self.batch_size, 32),
+                strict=self.strict,
             )
-            self._profiles = profiler.profile(progress=progress)
+            if self.state is not None:
+                from ..resilience.state import resumable_profile
+
+                self._profiles = resumable_profile(
+                    profiler, self.state, progress=progress
+                )
+            else:
+                self._profiles = profiler.profile(progress=progress)
         return self._profiles
 
     # ------------------------------------------------------------------
     def sigma_for_drop(self, accuracy_drop: float) -> SigmaSearchResult:
-        """Binary search for the tolerable sigma_YL (cached per drop)."""
+        """Binary search for the tolerable sigma_YL (cached per drop).
+
+        With a bound run state, finished searches persist to disk and a
+        resumed run loads them instead of re-searching.
+        """
+        if accuracy_drop not in self._sigma_cache and self.state is not None:
+            stored = self.state.load_sigma_result(accuracy_drop)
+            if stored is not None:
+                self._sigma_cache[accuracy_drop] = stored
         if accuracy_drop not in self._sigma_cache:
             if self.scheme == "scheme2":
                 if self._scheme2_evaluator is None:
@@ -162,7 +224,12 @@ class PrecisionOptimizer:
                 self.baseline_accuracy(),
                 accuracy_drop,
                 self.search_settings,
+                transient_retries=self.transient_retries,
             )
+            if self.state is not None:
+                self.state.save_sigma_result(
+                    accuracy_drop, self._sigma_cache[accuracy_drop]
+                )
         return self._sigma_cache[accuracy_drop]
 
     def profiles_for_drop(self, accuracy_drop: float):
@@ -191,6 +258,7 @@ class PrecisionOptimizer:
                 self.dataset.images,
                 settings=self.profile_settings,
                 batch_size=min(self.batch_size, 32),
+                strict=self.strict,
             )
             self._refined[accuracy_drop] = profiler.profile_around(floor)
         return self._refined[accuracy_drop].profiles
@@ -224,6 +292,10 @@ class PrecisionOptimizer:
                 self.stats(),
                 sigma,
                 ordered_names=self.layer_names,
+                fallback=self.fallback,
+                strict=self.strict,
+                seed=self.search_settings.seed,
+                solver=self.xi_solver,
             )
             outcome, weight_search_failed = self._finish(
                 result, sigma_result, validate, search_weights,

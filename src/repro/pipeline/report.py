@@ -89,6 +89,14 @@ def describe_outcome(outcome, stats=None) -> str:
             else ")"
         )
     )
+    if getattr(outcome.result, "degraded", False):
+        fallback = outcome.result.fallback
+        detail = f" ({fallback.describe()})" if fallback is not None else ""
+        lines.append(
+            "DEGRADED: xi optimization fell back to the equal scheme "
+            "after solver exhaustion; the allocation is feasible but "
+            "conservative" + detail
+        )
     rows = []
     for layer in allocation:
         row: Dict[str, object] = {

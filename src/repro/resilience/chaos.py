@@ -1,0 +1,215 @@
+"""Fault-injection harness for chaos-testing the pipeline.
+
+Resilience claims are worthless untested: this module wraps the real
+substrate objects and injects configurable faults on a *seeded,
+deterministic schedule*, so the `tests/resilience/` suite can prove
+every degradation path end-to-end — NaN activations must trip the
+guardrails, transient evaluator exceptions must be retried, a simulated
+crash mid-profiling must be resumable, and SLSQP non-convergence must
+degrade to equal-xi.
+
+Nothing here is imported by the production pipeline; it is a test
+harness shipped as library code so downstream users can chaos-test
+their own deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Set
+
+import numpy as np
+
+from ..errors import OptimizationError, ReproError, TransientError
+
+
+class SimulatedCrash(ReproError):
+    """Stands in for a process kill / OOM in chaos tests.
+
+    Raised (rather than actually killing the interpreter) so tests can
+    observe the half-finished state exactly as a restarted process
+    would find it on disk.
+    """
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic schedule over a monotonically counted event stream.
+
+    Explicit indices (``at``) fire exactly at those 0-based event
+    counts; a ``rate`` adds seeded random faults on top.  One schedule
+    instance is consumed by one injector — its counter is its state.
+    """
+
+    at: Set[int] = field(default_factory=set)
+    rate: float = 0.0
+    seed: int = 0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.at = set(self.at)
+        self._rng = np.random.default_rng(self.seed)
+        self._calls = 0
+        self._fired = 0
+
+    @classmethod
+    def once(cls, at_call: int) -> "FaultSchedule":
+        return cls(at={at_call})
+
+    @property
+    def calls(self) -> int:
+        """Events observed so far."""
+        return self._calls
+
+    @property
+    def fired(self) -> int:
+        """Faults actually injected so far."""
+        return self._fired
+
+    def should_fault(self) -> bool:
+        """Advance the event counter; True when this event faults."""
+        index = self._calls
+        self._calls += 1
+        if self.max_faults is not None and self._fired >= self.max_faults:
+            return False
+        hit = index in self.at or (
+            self.rate > 0 and self._rng.random() < self.rate
+        )
+        if hit:
+            self._fired += 1
+        return hit
+
+
+class ChaosNetwork:
+    """A :class:`~repro.nn.graph.Network` wrapper that injects faults.
+
+    Each forward-style call (``forward``, ``run_all``, ``forward_from``)
+    counts as one event against the schedules:
+
+    * ``nan_schedule`` — corrupt a slice of the output with NaN,
+    * ``transient_schedule`` — raise :class:`~repro.errors.TransientError`,
+    * ``crash_schedule`` — raise :class:`SimulatedCrash` (mid-run kill).
+
+    Everything else delegates to the wrapped network, so the chaos
+    wrapper drops into any API slot a real ``Network`` fits.
+    """
+
+    def __init__(
+        self,
+        network,
+        nan_schedule: Optional[FaultSchedule] = None,
+        transient_schedule: Optional[FaultSchedule] = None,
+        crash_schedule: Optional[FaultSchedule] = None,
+    ):
+        self._network = network
+        self.nan_schedule = nan_schedule
+        self.transient_schedule = transient_schedule
+        self.crash_schedule = crash_schedule
+
+    # -- fault core ----------------------------------------------------
+    def _pre_call(self) -> bool:
+        """Raise scheduled exceptions; return whether to NaN the output."""
+        if self.crash_schedule and self.crash_schedule.should_fault():
+            raise SimulatedCrash("chaos: simulated crash mid-forward")
+        if self.transient_schedule and self.transient_schedule.should_fault():
+            raise TransientError("chaos: transient evaluator fault")
+        return bool(self.nan_schedule and self.nan_schedule.should_fault())
+
+    @staticmethod
+    def _corrupt(array: np.ndarray) -> np.ndarray:
+        out = np.array(array, dtype=np.float64, copy=True)
+        flat = out.reshape(-1)
+        flat[:: max(1, flat.size // 7)] = np.nan
+        return out
+
+    # -- forward surface -----------------------------------------------
+    def forward(self, x, taps=None):
+        poison = self._pre_call()
+        out = self._network.forward(x, taps=taps)
+        return self._corrupt(out) if poison else out
+
+    def run_all(self, x):
+        self._pre_call()
+        return self._network.run_all(x)
+
+    def forward_from(self, cache, layer, tap):
+        poison = self._pre_call()
+        out = self._network.forward_from(cache, layer, tap)
+        return self._corrupt(out) if poison else out
+
+    # -- transparent delegation ----------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._network, name)
+
+    def __getitem__(self, name: str):
+        return self._network[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._network
+
+    def __len__(self) -> int:
+        return len(self._network)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaosNetwork({self._network!r})"
+
+
+def flaky(
+    fn: Callable,
+    schedule: FaultSchedule,
+    exception: Callable[[str], Exception] = TransientError,
+):
+    """Wrap any callable so scheduled calls raise instead of running."""
+
+    def wrapper(*args, **kwargs):
+        if schedule.should_fault():
+            raise exception(
+                f"chaos: injected fault on call {schedule.calls - 1}"
+            )
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def broken_solver(
+    fail_times: Optional[int] = None,
+    message: str = "chaos: SLSQP did not converge",
+):
+    """A drop-in for ``optimize_xi`` that fails its first N calls.
+
+    ``fail_times=None`` fails forever — the knob for proving the
+    equal-xi degradation endgame; a finite count proves multi-start
+    recovery.  Accepts (and records) the retry kwargs the fallback
+    chain passes, then delegates to the real solver once exhausted.
+    """
+    from ..optimize.sqp import optimize_xi
+
+    state = {"calls": 0}
+
+    def solver(objective, profiles, sigma, **kwargs):
+        state["calls"] += 1
+        if fail_times is None or state["calls"] <= fail_times:
+            raise OptimizationError(message)
+        return optimize_xi(objective, profiles, sigma, **kwargs)
+
+    solver.state = state
+    return solver
+
+
+def crash_after_layers(
+    completed: int,
+    num_delta_points: int,
+    num_repeats: int,
+    num_batches: int = 1,
+) -> FaultSchedule:
+    """Schedule a crash once ``completed`` layer campaigns finished.
+
+    Helper for resume tests with :func:`resumable_profile`, which runs
+    one ``profile([name])`` campaign per layer.  Each campaign issues,
+    in network-forward events: one scale pass, then per batch one
+    ``run_all`` plus ``num_delta_points * num_repeats`` partial
+    re-executions.  The crash fires on the first event of campaign
+    ``completed`` — i.e. after exactly that many layers checkpointed.
+    """
+    per_layer = 1 + num_batches * (1 + num_delta_points * num_repeats)
+    return FaultSchedule.once(completed * per_layer)

@@ -1,0 +1,247 @@
+"""Resumable run state: persist pipeline stages to disk.
+
+A :class:`~repro.pipeline.PrecisionOptimizer` run spends nearly all of
+its time in two stages — the per-layer injection campaign and the sigma
+binary search.  :class:`RunState` checkpoints both under one directory
+(``.npz`` per layer profile + JSON manifests, following the versioned
+format of :mod:`repro.models.checkpoint`) so a crashed or interrupted
+run resumes from the last *completed* unit of work instead of starting
+over:
+
+``<dir>/manifest.json``            run identity + format version
+``<dir>/profiles/<layer>.npz``     one completed layer profile each
+``<dir>/sigma/drop_<drop>.json``   one finished sigma search per drop
+
+Layer profiles are written atomically (tmp file + rename), so a crash
+mid-write never leaves a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..analysis.profiler import LayerErrorProfile
+from ..analysis.sigma_search import SigmaSearchResult
+from ..errors import ResumeError
+
+PathLike = Union[str, Path]
+
+#: Bumped when the stored format changes incompatibly.
+STATE_VERSION = 1
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe file stem for a layer name."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+class RunState:
+    """Versioned on-disk state for one optimizer run."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.profiles_dir = self.directory / "profiles"
+        self.sigma_dir = self.directory / "sigma"
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def bind(self, network_name: str) -> Dict[str, object]:
+        """Create (or validate) the manifest for ``network_name``.
+
+        A fresh directory gets a new manifest; an existing one must
+        match both the format version and the network, otherwise
+        resuming would silently mix incompatible measurements.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.profiles_dir.mkdir(exist_ok=True)
+        self.sigma_dir.mkdir(exist_ok=True)
+        if self.manifest_path.exists():
+            manifest = self._read_manifest()
+            if manifest.get("version") != STATE_VERSION:
+                raise ResumeError(
+                    f"run state at {self.directory} has version "
+                    f"{manifest.get('version')}; expected {STATE_VERSION}"
+                )
+            if manifest.get("network") != network_name:
+                raise ResumeError(
+                    f"run state at {self.directory} belongs to network "
+                    f"{manifest.get('network')!r}, not {network_name!r}"
+                )
+            return manifest
+        manifest = {"version": STATE_VERSION, "network": network_name}
+        self._atomic_write_json(self.manifest_path, manifest)
+        return manifest
+
+    def _read_manifest(self) -> Dict[str, object]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ResumeError(
+                f"run-state manifest {self.manifest_path} is unreadable: "
+                f"{exc}"
+            ) from exc
+
+    @staticmethod
+    def _atomic_write_json(path: Path, payload: Dict[str, object]) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    # -- layer profiles ------------------------------------------------
+    def _profile_path(self, name: str) -> Path:
+        return self.profiles_dir / f"{_slug(name)}.npz"
+
+    def save_layer_profile(self, profile: LayerErrorProfile) -> None:
+        """Atomically persist one completed layer profile."""
+        path = self._profile_path(profile.name)
+        tmp = path.with_suffix(".tmp.npz")
+        meta = {
+            "version": STATE_VERSION,
+            "name": profile.name,
+            "lam": profile.lam,
+            "theta": profile.theta,
+            "r_squared": profile.r_squared,
+            "max_relative_error": profile.max_relative_error,
+        }
+        np.savez_compressed(
+            tmp,
+            deltas=np.asarray(profile.deltas, dtype=np.float64),
+            sigmas=np.asarray(profile.sigmas, dtype=np.float64),
+            __manifest__=np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        os.replace(tmp, path)
+
+    def load_layer_profiles(self) -> Dict[str, LayerErrorProfile]:
+        """Every completed layer profile on disk, keyed by layer name."""
+        profiles: Dict[str, LayerErrorProfile] = {}
+        if not self.profiles_dir.exists():
+            return profiles
+        for path in sorted(self.profiles_dir.glob("*.npz")):
+            profile = self._load_profile_file(path)
+            profiles[profile.name] = profile
+        return profiles
+
+    @staticmethod
+    def _load_profile_file(path: Path) -> LayerErrorProfile:
+        try:
+            with np.load(path) as data:
+                if "__manifest__" not in data:
+                    raise ResumeError(
+                        f"{path} is not a repro profile checkpoint"
+                    )
+                meta = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+                if meta.get("version") != STATE_VERSION:
+                    raise ResumeError(
+                        f"profile checkpoint {path} has version "
+                        f"{meta.get('version')}; expected {STATE_VERSION}"
+                    )
+                return LayerErrorProfile(
+                    name=str(meta["name"]),
+                    lam=float(meta["lam"]),
+                    theta=float(meta["theta"]),
+                    r_squared=float(meta["r_squared"]),
+                    max_relative_error=float(meta["max_relative_error"]),
+                    deltas=np.array(data["deltas"], dtype=np.float64),
+                    sigmas=np.array(data["sigmas"], dtype=np.float64),
+                )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise ResumeError(
+                f"profile checkpoint {path} is corrupt: {exc}"
+            ) from exc
+
+    # -- sigma search --------------------------------------------------
+    def _sigma_path(self, accuracy_drop: float) -> Path:
+        return self.sigma_dir / f"drop_{accuracy_drop:.6g}.json"
+
+    def save_sigma_result(
+        self, accuracy_drop: float, result: SigmaSearchResult
+    ) -> None:
+        payload = {
+            "version": STATE_VERSION,
+            "accuracy_drop": accuracy_drop,
+            "sigma": result.sigma,
+            "baseline_accuracy": result.baseline_accuracy,
+            "target_accuracy": result.target_accuracy,
+            "achieved_accuracy": result.achieved_accuracy,
+            "evaluations": [[s, a] for s, a in result.evaluations],
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        self.sigma_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write_json(self._sigma_path(accuracy_drop), payload)
+
+    def load_sigma_result(
+        self, accuracy_drop: float
+    ) -> Optional[SigmaSearchResult]:
+        """The persisted search for this drop, or None if not finished."""
+        path = self._sigma_path(accuracy_drop)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != STATE_VERSION:
+                raise ResumeError(
+                    f"sigma checkpoint {path} has version "
+                    f"{payload.get('version')}; expected {STATE_VERSION}"
+                )
+            return SigmaSearchResult(
+                sigma=float(payload["sigma"]),
+                baseline_accuracy=float(payload["baseline_accuracy"]),
+                target_accuracy=float(payload["target_accuracy"]),
+                achieved_accuracy=float(payload["achieved_accuracy"]),
+                evaluations=[
+                    (float(s), float(a)) for s, a in payload["evaluations"]
+                ],
+                elapsed_seconds=float(payload["elapsed_seconds"]),
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise ResumeError(
+                f"sigma checkpoint {path} is corrupt: {exc}"
+            ) from exc
+
+
+def resumable_profile(
+    profiler,
+    state: RunState,
+    layer_names=None,
+    progress: bool = False,
+):
+    """Profile layer by layer, checkpointing each completed layer.
+
+    Unlike :meth:`ErrorProfiler.profile` (which interleaves all layers
+    over shared forward passes for throughput), this runs one full
+    injection campaign per layer so a crash loses at most the layer in
+    flight.  Already-checkpointed layers are loaded, not re-profiled.
+
+    Returns a :class:`~repro.analysis.profiler.ProfileReport` covering
+    all requested layers in network order.
+    """
+    from ..analysis.profiler import ProfileReport
+
+    names = list(layer_names or profiler.network.analyzed_layer_names)
+    done = state.load_layer_profiles()
+    profiles: Dict[str, LayerErrorProfile] = {}
+    num_images = min(profiler.settings.num_images, profiler.images.shape[0])
+    elapsed = 0.0
+    for name in names:
+        if name in done:
+            profiles[name] = done[name]
+            continue
+        report = profiler.profile([name], progress=progress)
+        profile = report.profiles[name]
+        state.save_layer_profile(profile)
+        profiles[name] = profile
+        elapsed += report.elapsed_seconds
+    return ProfileReport(
+        profiles=profiles, num_images=num_images, elapsed_seconds=elapsed
+    )

@@ -63,13 +63,21 @@ class TestDotProductModel:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 500), n=st.integers(4, 256))
     def test_output_error_is_gaussianish(self, seed, n):
-        """PROPERTY (Fig. 1): dot-product output error approaches normal
-        — excess kurtosis shrinks with fan-in (uniform inputs have -1.2)."""
+        """PROPERTY (Fig. 1): dot-product output error approaches normal.
+
+        For a weighted sum of independent uniforms the excess kurtosis
+        is exactly ``-1.2 * sum(w^4) / sum(w^2)^2`` — between the
+        uniform's -1.2 (one dominant weight) and 0 (large even fan-in).
+        The sample statistic must match that prediction, and in
+        particular must never be *more* platykurtic than a uniform.
+        """
         rng = np.random.default_rng(seed)
         weights = rng.normal(size=n)
         noise = rng.uniform(-1, 1, size=(4000, n))
         __, __, kurtosis = normality_statistics(noise @ weights)
-        assert abs(kurtosis) < 1.0  # far from the uniform's -1.2
+        predicted = -1.2 * (weights**4).sum() / (weights**2).sum() ** 2
+        assert kurtosis == pytest.approx(predicted, abs=0.35)
+        assert -1.25 < kurtosis < 1.0
 
 
 class TestReLUAlpha:

@@ -1,0 +1,102 @@
+"""Coverage for the validation backoff loop in PrecisionOptimizer.
+
+When true-quantization validation lands below target, ``optimize``
+shrinks the sigma budget by 7% and recomputes, at most ``max_backoffs``
+times.  These tests force both exits of that loop by faking the
+validation accuracy measurement.
+"""
+
+import pytest
+
+import repro.pipeline.optimizer as optimizer_mod
+from repro.config import ProfileSettings, SearchSettings
+from repro.models.evaluate import top1_accuracy
+from repro.pipeline import PrecisionOptimizer
+
+SETTINGS = ProfileSettings(num_images=8, num_delta_points=6, seed=7)
+SEARCH = SearchSettings(num_images=64, tolerance=0.05, num_trials=1, seed=7)
+
+
+def make_optimizer(lenet, dataset):
+    return PrecisionOptimizer(
+        lenet,
+        dataset,
+        profile_settings=SETTINGS,
+        search_settings=SEARCH,
+        refine=False,
+    )
+
+
+def fake_validation(sequence):
+    """top1_accuracy stand-in: real baseline, scripted validations.
+
+    ``sequence`` yields one accuracy per validation call (``taps`` set);
+    after it is exhausted the last value repeats.  Baseline calls
+    (``taps=None``) measure the real network.
+    """
+    scripted = list(sequence)
+    calls = {"validations": 0}
+
+    def fake(network, dataset, taps=None, batch_size=64):
+        if taps is None:
+            return top1_accuracy(network, dataset, batch_size=batch_size)
+        index = min(calls["validations"], len(scripted) - 1)
+        calls["validations"] += 1
+        return scripted[index]
+
+    fake.calls = calls
+    return fake
+
+
+class TestValidationBackoff:
+    def test_exhausted_backoffs_return_best_effort(
+        self, lenet, datasets, monkeypatch
+    ):
+        __, test = datasets
+        opt = make_optimizer(lenet, test)
+        monkeypatch.setattr(
+            optimizer_mod, "top1_accuracy", fake_validation([0.0])
+        )
+        outcome = opt.optimize("input", accuracy_drop=0.05)
+        # loop exited via backoff >= max_backoffs, not via success
+        assert outcome.backoff_steps == 6
+        assert outcome.meets_constraint is False
+        assert outcome.validated_accuracy == 0.0
+        # each backoff shrank the budget by 7%
+        sigma0 = opt.sigma_for_drop(0.05).sigma
+        assert outcome.result.sigma == pytest.approx(sigma0 * 0.93**6)
+
+    def test_single_backoff_then_recovery(self, lenet, datasets, monkeypatch):
+        __, test = datasets
+        opt = make_optimizer(lenet, test)
+        fake = fake_validation([0.0, 1.0])
+        monkeypatch.setattr(optimizer_mod, "top1_accuracy", fake)
+        outcome = opt.optimize("input", accuracy_drop=0.05)
+        assert outcome.backoff_steps == 1
+        assert outcome.meets_constraint is True
+        assert fake.calls["validations"] == 2
+        sigma0 = opt.sigma_for_drop(0.05).sigma
+        assert outcome.result.sigma == pytest.approx(sigma0 * 0.93)
+
+    def test_clean_validation_never_backs_off(
+        self, lenet, datasets, monkeypatch
+    ):
+        __, test = datasets
+        opt = make_optimizer(lenet, test)
+        monkeypatch.setattr(
+            optimizer_mod, "top1_accuracy", fake_validation([1.0])
+        )
+        outcome = opt.optimize("input", accuracy_drop=0.05)
+        assert outcome.backoff_steps == 0
+        assert outcome.result.sigma == opt.sigma_for_drop(0.05).sigma
+
+    def test_validate_false_skips_the_loop(self, lenet, datasets, monkeypatch):
+        __, test = datasets
+        opt = make_optimizer(lenet, test)
+        fake = fake_validation([0.0])
+        monkeypatch.setattr(optimizer_mod, "top1_accuracy", fake)
+        outcome = opt.optimize("input", accuracy_drop=0.05, validate=False)
+        assert outcome.backoff_steps == 0
+        assert outcome.validated_accuracy is None
+        assert outcome.meets_constraint is None
+        assert fake.calls["validations"] == 0

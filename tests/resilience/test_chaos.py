@@ -1,0 +1,306 @@
+"""End-to-end chaos tests: every degradation path, proven on a real model.
+
+These are the acceptance tests for the resilience layer: a simulated
+crash mid-profiling must be resumable without re-profiling completed
+layers, NaN activations must trip the guardrails, transient evaluator
+faults must be retried, and forced SLSQP failure must degrade to an
+equal-xi allocation tagged ``degraded=True`` instead of raising.
+"""
+
+import pytest
+
+from repro.analysis.profiler import ErrorProfiler
+from repro.analysis.sigma_search import Scheme1Evaluator, find_sigma
+from repro.config import ProfileSettings, SearchSettings
+from repro.errors import (
+    DegradedResultWarning,
+    NumericalGuardError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.pipeline import PrecisionOptimizer, describe_outcome
+from repro.resilience import (
+    ChaosNetwork,
+    FaultSchedule,
+    RunState,
+    SimulatedCrash,
+    broken_solver,
+    crash_after_layers,
+    flaky,
+    resumable_profile,
+)
+
+SETTINGS = ProfileSettings(num_images=8, num_delta_points=6, seed=99)
+SEARCH = SearchSettings(num_images=64, tolerance=0.05, num_trials=1, seed=99)
+
+
+class CountingProfiler(ErrorProfiler):
+    """Records which layers actually get (re-)profiled."""
+
+    def profile(self, layer_names=None, progress=False):
+        names = list(layer_names or self.network.analyzed_layer_names)
+        self.profiled_layers = getattr(self, "profiled_layers", []) + names
+        return super().profile(names, progress=progress)
+
+
+class TestFaultSchedule:
+    def test_explicit_indices_fire_exactly(self):
+        sched = FaultSchedule(at={1, 3})
+        assert [sched.should_fault() for __ in range(5)] == [
+            False, True, False, True, False,
+        ]
+        assert sched.fired == 2
+
+    def test_max_faults_caps_injection(self):
+        sched = FaultSchedule(rate=1.0, max_faults=2)
+        fired = sum(sched.should_fault() for __ in range(10))
+        assert fired == 2
+
+    def test_seeded_rate_is_deterministic(self):
+        a = FaultSchedule(rate=0.5, seed=3)
+        b = FaultSchedule(rate=0.5, seed=3)
+        assert [a.should_fault() for __ in range(20)] == [
+            b.should_fault() for __ in range(20)
+        ]
+
+
+class TestNaNGuardrail:
+    def test_nan_activations_trip_profiler_guard(self, lenet, datasets):
+        __, test = datasets
+        chaos = ChaosNetwork(lenet, nan_schedule=FaultSchedule.once(2))
+        profiler = ErrorProfiler(chaos, test.images, settings=SETTINGS)
+        with pytest.raises(NumericalGuardError) as excinfo:
+            profiler.profile()
+        diags = excinfo.value.diagnostics
+        assert diags and diags[0].code == "non_finite"
+        assert diags[0].layer in lenet.analyzed_layer_names
+
+    def test_nan_accuracy_trips_sigma_search_guard(self):
+        from repro.errors import SearchError
+
+        def poisoned_accuracy(sigma):
+            return float("nan")
+
+        with pytest.raises(SearchError, match="numerically broken"):
+            find_sigma(poisoned_accuracy, 0.8, 0.05, SEARCH)
+
+
+class TestTransientRetry:
+    def test_flaky_evaluator_is_retried(self):
+        def accuracy(sigma):
+            return 0.9 if sigma <= 0.5 else 0.4
+
+        flaky_fn = flaky(accuracy, FaultSchedule(at={0, 3}))
+        result = find_sigma(flaky_fn, 0.9, 0.05, SEARCH)
+        assert result.sigma > 0
+
+    def test_persistent_faults_exhaust_retries(self):
+        def accuracy(sigma):
+            return 0.9
+
+        always_bad = flaky(accuracy, FaultSchedule(rate=1.0))
+        with pytest.raises(RetryExhaustedError):
+            find_sigma(always_bad, 0.9, 0.05, SEARCH)
+
+    def test_transient_network_fault_retried_end_to_end(
+        self, lenet, datasets, lenet_profiles
+    ):
+        __, test = datasets
+        chaos = ChaosNetwork(
+            lenet, transient_schedule=FaultSchedule.once(0)
+        )
+        evaluator = Scheme1Evaluator(
+            chaos,
+            test.subset(32),
+            lenet_profiles.profiles,
+            batch_size=32,
+            num_trials=1,
+            seed=5,
+        )
+
+        def accuracy(sigma):
+            try:
+                return evaluator.accuracy(sigma)
+            except TransientError:
+                raise  # let find_sigma's retry loop handle it
+
+        result = find_sigma(accuracy, 0.8, 0.10, SEARCH)
+        assert result.sigma > 0
+        assert chaos.transient_schedule.fired == 1
+
+
+class TestCrashAndResume:
+    """Acceptance: kill mid-profiling, resume without redoing work."""
+
+    def test_crash_then_resume_skips_completed_layers(
+        self, lenet, datasets, tmp_path
+    ):
+        __, test = datasets
+        layers = lenet.analyzed_layer_names
+        assert len(layers) >= 3, "test needs a multi-layer network"
+        completed = 2
+
+        state = RunState(tmp_path / "run")
+        state.bind(lenet.name)
+        chaos = ChaosNetwork(
+            lenet,
+            crash_schedule=crash_after_layers(
+                completed,
+                SETTINGS.num_delta_points,
+                SETTINGS.num_repeats,
+            ),
+        )
+        profiler = ErrorProfiler(chaos, test.images, settings=SETTINGS)
+        with pytest.raises(SimulatedCrash):
+            resumable_profile(profiler, state)
+
+        # exactly the first `completed` layers were checkpointed
+        assert set(state.load_layer_profiles()) == set(layers[:completed])
+        mtimes = {
+            p.name: p.stat().st_mtime_ns
+            for p in state.profiles_dir.glob("*.npz")
+        }
+
+        # resume on a clean (chaos-free) profiler
+        fresh = CountingProfiler(lenet, test.images, settings=SETTINGS)
+        report = resumable_profile(fresh, state)
+        assert set(report.profiles) == set(layers)
+        # only the unfinished layers were re-profiled...
+        assert fresh.profiled_layers == layers[completed:]
+        # ...and the completed checkpoints were not rewritten
+        for path in state.profiles_dir.glob("*.npz"):
+            if path.name in mtimes:
+                assert path.stat().st_mtime_ns == mtimes[path.name]
+
+    def test_resumed_profiles_match_uninterrupted_run(
+        self, lenet, datasets, tmp_path
+    ):
+        __, test = datasets
+        state_a = RunState(tmp_path / "a")
+        state_a.bind(lenet.name)
+        clean = resumable_profile(
+            ErrorProfiler(lenet, test.images, settings=SETTINGS), state_a
+        )
+
+        state_b = RunState(tmp_path / "b")
+        state_b.bind(lenet.name)
+        chaos = ChaosNetwork(
+            lenet,
+            crash_schedule=crash_after_layers(
+                1, SETTINGS.num_delta_points, SETTINGS.num_repeats
+            ),
+        )
+        with pytest.raises(SimulatedCrash):
+            resumable_profile(
+                ErrorProfiler(chaos, test.images, settings=SETTINGS), state_b
+            )
+        resumed = resumable_profile(
+            ErrorProfiler(lenet, test.images, settings=SETTINGS), state_b
+        )
+        for name in clean.profiles:
+            assert resumed.profiles[name].lam == pytest.approx(
+                clean.profiles[name].lam
+            )
+            assert resumed.profiles[name].theta == pytest.approx(
+                clean.profiles[name].theta
+            )
+
+    def test_optimizer_resumes_profile_and_sigma(
+        self, lenet, datasets, tmp_path
+    ):
+        __, test = datasets
+        state_dir = tmp_path / "opt-run"
+        chaos = ChaosNetwork(
+            lenet,
+            crash_schedule=crash_after_layers(
+                2, SETTINGS.num_delta_points, SETTINGS.num_repeats
+            ),
+        )
+        crashed = PrecisionOptimizer(
+            chaos,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            state_dir=state_dir,
+        )
+        with pytest.raises(SimulatedCrash):
+            crashed.profile()
+        assert len(crashed.state.load_layer_profiles()) == 2
+
+        resumed = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            state_dir=state_dir,
+        )
+        outcome = resumed.optimize("input", accuracy_drop=0.05)
+        assert outcome.sigma_result.sigma > 0
+        assert set(outcome.bitwidths) == set(lenet.analyzed_layer_names)
+
+        # the finished sigma search persisted; a third optimizer loads
+        # it instead of re-searching (its evaluations match exactly)
+        third = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            state_dir=state_dir,
+        )
+        stored = third.sigma_for_drop(0.05)
+        assert stored.sigma == outcome.sigma_result.sigma
+        assert stored.evaluations == outcome.sigma_result.evaluations
+
+
+class TestSolverDegradation:
+    """Acceptance: forced SLSQP failure returns degraded equal-xi."""
+
+    def test_forced_failure_degrades_to_equal_xi(self, lenet, datasets):
+        __, test = datasets
+        opt = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            xi_solver=broken_solver(fail_times=None),
+        )
+        with pytest.warns(DegradedResultWarning):
+            outcome = opt.optimize(
+                "input", accuracy_drop=0.05, validate=False
+            )
+        assert outcome.degraded is True
+        shares = set(round(x, 9) for x in outcome.result.xi.values())
+        assert len(shares) == 1  # equal-xi fallback
+        assert "DEGRADED" in describe_outcome(outcome)
+
+    def test_strict_mode_raises_instead_of_degrading(self, lenet, datasets):
+        __, test = datasets
+        opt = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            strict=True,
+            xi_solver=broken_solver(fail_times=None),
+        )
+        with pytest.raises(RetryExhaustedError):
+            opt.optimize("input", accuracy_drop=0.05, validate=False)
+
+    def test_multi_start_recovery_is_not_degraded(self, lenet, datasets):
+        __, test = datasets
+        opt = PrecisionOptimizer(
+            lenet,
+            test,
+            profile_settings=SETTINGS,
+            search_settings=SEARCH,
+            refine=False,
+            xi_solver=broken_solver(fail_times=1),
+        )
+        outcome = opt.optimize("input", accuracy_drop=0.05, validate=False)
+        assert outcome.degraded is False
+        assert outcome.result.fallback.attempts == 2

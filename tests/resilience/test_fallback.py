@@ -1,0 +1,166 @@
+"""Unit tests for the solver fallback chain and retry primitive."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiler import LayerErrorProfile
+from repro.errors import (
+    DegradedResultWarning,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.optimize.objective import Objective
+from repro.resilience import (
+    broken_solver,
+    call_with_retries,
+    solve_xi_with_fallback,
+)
+
+
+def make_profiles(lams=(2.0, 1.0, 0.5)):
+    profiles = {}
+    for i, lam in enumerate(lams):
+        name = f"layer{i}"
+        profiles[name] = LayerErrorProfile(
+            name=name,
+            lam=lam,
+            theta=0.001,
+            r_squared=0.999,
+            max_relative_error=0.01,
+            deltas=np.geomspace(1e-3, 1e-1, 8),
+            sigmas=np.geomspace(1e-3, 1e-1, 8) / lam,
+        )
+    return profiles
+
+
+def make_objective(profiles):
+    return Objective("test", {name: 1.0 for name in profiles})
+
+
+class TestCallWithRetries:
+    def test_passthrough_on_success(self):
+        assert call_with_retries(lambda x: x + 1, 41) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky_fn():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("flaky")
+            return "ok"
+
+        assert call_with_retries(flaky_fn, retries=2) == "ok"
+        assert calls["n"] == 3
+
+    def test_exhaustion_raises_with_attempts(self):
+        def always_fails():
+            raise TransientError("nope")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retries(always_fails, retries=2, label="probe")
+        assert len(excinfo.value.attempts) == 3
+
+    def test_non_transient_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            call_with_retries(bad, retries=5)
+        assert calls["n"] == 1
+
+
+class TestSolveXiWithFallback:
+    def test_clean_solve_first_attempt(self):
+        profiles = make_profiles()
+        solution, report = solve_xi_with_fallback(
+            make_objective(profiles), profiles, sigma=0.5
+        )
+        assert solution.success
+        assert report.attempts == 1
+        assert not report.degraded
+        assert sum(solution.xi.values()) == pytest.approx(1.0)
+
+    def test_recovers_via_multi_start(self):
+        profiles = make_profiles()
+        solver = broken_solver(fail_times=2)
+        solution, report = solve_xi_with_fallback(
+            make_objective(profiles), profiles, sigma=0.5, solver=solver
+        )
+        assert solution.success
+        assert report.attempts == 3
+        assert not report.degraded
+        assert len(report.failures) == 2
+        # retries passed the multi-start knobs through
+        assert solver.state["calls"] == 3
+
+    def test_exhaustion_degrades_to_equal_xi(self):
+        profiles = make_profiles()
+        with pytest.warns(DegradedResultWarning):
+            solution, report = solve_xi_with_fallback(
+                make_objective(profiles),
+                profiles,
+                sigma=0.5,
+                solver=broken_solver(fail_times=None),
+            )
+        assert report.degraded
+        assert not solution.success
+        shares = set(round(x, 9) for x in solution.xi.values())
+        assert shares == {round(1.0 / len(profiles), 9)}
+        assert "degraded" in report.describe().lower()
+
+    def test_strict_raises_retry_exhausted(self):
+        profiles = make_profiles()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            solve_xi_with_fallback(
+                make_objective(profiles),
+                profiles,
+                sigma=0.5,
+                strict=True,
+                solver=broken_solver(fail_times=None),
+            )
+        # every attempt's failure is recorded in order
+        assert len(excinfo.value.attempts) >= 2
+
+    def test_unsuccessful_solution_triggers_retry(self):
+        profiles = make_profiles()
+        from repro.optimize.sqp import XiSolution, optimize_xi
+
+        calls = {"n": 0}
+
+        def soft_failer(objective, profiles_, sigma, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                share = 1.0 / len(profiles_)
+                return XiSolution(
+                    xi={name: share for name in profiles_},
+                    objective_value=0.0,
+                    success=False,
+                    message="iteration limit",
+                    num_iterations=200,
+                )
+            return optimize_xi(objective, profiles_, sigma, **kwargs)
+
+        solution, report = solve_xi_with_fallback(
+            make_objective(profiles), profiles, sigma=0.5, solver=soft_failer
+        )
+        assert solution.success
+        assert report.attempts == 2
+        assert "solver reported failure" in report.failures[0]
+
+    def test_seeded_retries_are_deterministic(self):
+        profiles = make_profiles()
+        results = []
+        for __ in range(2):
+            solution, __report = solve_xi_with_fallback(
+                make_objective(profiles),
+                profiles,
+                sigma=0.5,
+                seed=7,
+                solver=broken_solver(fail_times=1),
+            )
+            results.append(solution.xi)
+        assert results[0] == results[1]

@@ -1,0 +1,86 @@
+"""Unit tests for the numerical guardrails."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DegradedResultWarning, NumericalGuardError
+from repro.resilience import (
+    Diagnostic,
+    check_finite_array,
+    check_finite_scalar,
+    check_profile_fit,
+    check_sigma_bracket,
+    enforce,
+)
+
+
+class TestFiniteChecks:
+    def test_clean_array_no_diagnostics(self):
+        assert check_finite_array(np.ones(10), "profiling") == []
+
+    def test_nan_and_inf_counted(self):
+        array = np.array([1.0, np.nan, np.inf, -np.inf, 2.0])
+        (diag,) = check_finite_array(array, "profiling", layer="conv1")
+        assert diag.code == "non_finite"
+        assert diag.layer == "conv1"
+        assert "1 NaN" in diag.message and "2 Inf" in diag.message
+
+    def test_scalar_check(self):
+        assert check_finite_scalar(0.5, "sigma_search", "accuracy") == []
+        (diag,) = check_finite_scalar(
+            float("nan"), "sigma_search", "accuracy"
+        )
+        assert "accuracy" in diag.message
+
+
+class TestProfileFitChecks:
+    def test_clean_fit(self):
+        assert check_profile_fit("conv1", 2.0, 0.01, 0.99) == []
+
+    def test_non_positive_lambda(self):
+        codes = [d.code for d in check_profile_fit("conv1", -1.0, 0.0, 0.99)]
+        assert "non_positive_lambda" in codes
+
+    def test_low_r_squared(self):
+        (diag,) = check_profile_fit("fc", 2.0, 0.0, 0.01)
+        assert diag.code == "low_r_squared"
+        assert diag.layer == "fc"
+
+    def test_non_finite_short_circuits(self):
+        diags = check_profile_fit("fc", float("nan"), 0.0, 0.01)
+        assert all(d.code == "non_finite" for d in diags)
+
+
+class TestBracketChecks:
+    def test_clean_bracket(self):
+        assert check_sigma_bracket(0.5, 1.0, 4) == []
+
+    def test_inverted_bracket(self):
+        (diag,) = check_sigma_bracket(1.0, 0.5, 4)
+        assert diag.code == "inverted_bracket"
+
+    def test_non_finite_bracket(self):
+        diags = check_sigma_bracket(float("inf"), 0.5, 4)
+        assert diags and diags[0].code == "non_finite"
+
+
+class TestEnforce:
+    DIAG = Diagnostic(stage="regression", code="low_r_squared", message="x")
+    FATAL = Diagnostic(stage="profiling", code="non_finite", message="x")
+
+    def test_empty_is_silent(self):
+        assert enforce([], strict=True) == []
+
+    def test_strict_raises_with_diagnostics_attached(self):
+        with pytest.raises(NumericalGuardError) as excinfo:
+            enforce([self.DIAG], strict=True)
+        assert excinfo.value.diagnostics == [self.DIAG]
+
+    def test_permissive_warns_and_returns(self):
+        with pytest.warns(DegradedResultWarning):
+            out = enforce([self.DIAG], strict=False)
+        assert out == [self.DIAG]
+
+    def test_non_finite_always_raises(self):
+        with pytest.raises(NumericalGuardError):
+            enforce([self.FATAL], strict=False)

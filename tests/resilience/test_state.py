@@ -1,0 +1,140 @@
+"""Unit tests for the on-disk resumable run state."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiler import LayerErrorProfile
+from repro.analysis.sigma_search import SigmaSearchResult
+from repro.errors import ResumeError
+from repro.resilience import STATE_VERSION, RunState
+
+
+def make_profile(name="conv1", lam=2.5):
+    return LayerErrorProfile(
+        name=name,
+        lam=lam,
+        theta=-0.003,
+        r_squared=0.998,
+        max_relative_error=0.04,
+        deltas=np.geomspace(1e-4, 1e-1, 8),
+        sigmas=np.geomspace(1e-4, 1e-1, 8) / lam,
+    )
+
+
+def make_sigma_result():
+    return SigmaSearchResult(
+        sigma=0.125,
+        baseline_accuracy=0.75,
+        target_accuracy=0.7125,
+        achieved_accuracy=0.73,
+        evaluations=[(1.0, 0.5), (0.5, 0.7), (0.125, 0.73)],
+        elapsed_seconds=1.5,
+    )
+
+
+class TestManifest:
+    def test_bind_creates_layout(self, tmp_path):
+        state = RunState(tmp_path / "run")
+        manifest = state.bind("lenet")
+        assert manifest["version"] == STATE_VERSION
+        assert state.manifest_path.exists()
+        assert state.profiles_dir.is_dir()
+        assert state.sigma_dir.is_dir()
+
+    def test_rebind_same_network_ok(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        assert RunState(tmp_path).bind("lenet")["network"] == "lenet"
+
+    def test_bind_rejects_other_network(self, tmp_path):
+        RunState(tmp_path).bind("lenet")
+        with pytest.raises(ResumeError):
+            RunState(tmp_path).bind("alexnet")
+
+    def test_bind_rejects_version_mismatch(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        payload = json.loads(state.manifest_path.read_text())
+        payload["version"] = 999
+        state.manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ResumeError):
+            RunState(tmp_path).bind("lenet")
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.manifest_path.write_text("{not json")
+        with pytest.raises(ResumeError):
+            RunState(tmp_path).bind("lenet")
+
+
+class TestLayerProfiles:
+    def test_roundtrip(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        original = make_profile()
+        state.save_layer_profile(original)
+        loaded = state.load_layer_profiles()["conv1"]
+        assert loaded.lam == original.lam
+        assert loaded.theta == original.theta
+        assert loaded.r_squared == original.r_squared
+        np.testing.assert_array_equal(loaded.deltas, original.deltas)
+        np.testing.assert_array_equal(loaded.sigmas, original.sigmas)
+
+    def test_empty_state_loads_nothing(self, tmp_path):
+        assert RunState(tmp_path / "nowhere").load_layer_profiles() == {}
+
+    def test_multiple_layers(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        for name in ("conv1", "conv2", "fc"):
+            state.save_layer_profile(make_profile(name))
+        assert set(state.load_layer_profiles()) == {"conv1", "conv2", "fc"}
+
+    def test_corrupt_profile_raises(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.save_layer_profile(make_profile())
+        path = next(state.profiles_dir.glob("*.npz"))
+        path.write_bytes(b"garbage")
+        with pytest.raises(ResumeError):
+            state.load_layer_profiles()
+
+    def test_odd_layer_names_are_slugged(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.save_layer_profile(make_profile("block/3x3:a"))
+        assert "block/3x3:a" in state.load_layer_profiles()
+
+
+class TestSigmaResults:
+    def test_roundtrip(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.save_sigma_result(0.05, make_sigma_result())
+        loaded = state.load_sigma_result(0.05)
+        assert loaded.sigma == 0.125
+        assert loaded.evaluations == [(1.0, 0.5), (0.5, 0.7), (0.125, 0.73)]
+        assert loaded.num_evaluations == 3
+
+    def test_missing_returns_none(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        assert state.load_sigma_result(0.01) is None
+
+    def test_distinct_drops_stored_separately(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.save_sigma_result(0.05, make_sigma_result())
+        assert state.load_sigma_result(0.01) is None
+        assert state.load_sigma_result(0.05) is not None
+
+    def test_corrupt_sigma_raises(self, tmp_path):
+        state = RunState(tmp_path)
+        state.bind("lenet")
+        state.save_sigma_result(0.05, make_sigma_result())
+        state._sigma_path(0.05).write_text("{broken")
+        with pytest.raises(ResumeError):
+            state.load_sigma_result(0.05)

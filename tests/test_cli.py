@@ -41,6 +41,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "--scheme", "scheme9"])
 
+    def test_resilience_flags_default_off(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.resume == ""
+        assert args.strict is False
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            ["optimize", "--resume", "/tmp/run", "--strict"]
+        )
+        assert args.resume == "/tmp/run"
+        assert args.strict is True
+
 
 class TestCommands:
     def test_zoo(self, capsys):
@@ -58,6 +70,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "constraint met" in out
+
+    def test_optimize_with_resume_populates_state(self, capsys, tmp_path):
+        state = tmp_path / "run-state"
+        args = ["optimize", "--drop", "0.05", "--resume", str(state)] + FAST
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert (state / "manifest.json").exists()
+        assert list((state / "profiles").glob("*.npz"))
+        assert list((state / "sigma").glob("drop_*.json"))
+        # a second run resumes from the checkpoints and agrees
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
 
     def test_fig2(self, capsys):
         assert main(["fig2"] + FAST) == 0

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.optimize",
     "repro.pipeline",
     "repro.quant",
+    "repro.resilience",
     "repro.weights",
 ]
 
