@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full suite examples clean
+.PHONY: install test test-all bench bench-full suite examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,19 @@ suite:           ## regenerate every table/figure as JSON artifacts
 
 examples:        ## run every example script
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+check:           ## static analysis: self-lint (always) + ruff/mypy (if installed)
+	PYTHONPATH=src $(PYTHON) -m repro.check --self
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/check src/repro/nn; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results results

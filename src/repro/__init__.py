@@ -15,6 +15,8 @@ method end to end on a pure-numpy substrate:
 * :mod:`repro.weights` — weight bitwidth search (Sec. V-E).
 * :mod:`repro.resilience` — guardrails, solver fallback chain,
   resumable run state, and the chaos-testing harness.
+* :mod:`repro.check` — static analysis: graph/allocation verifier
+  (shape, dtype, range, overflow, xi audits) and numerical linter.
 * :mod:`repro.pipeline` — the end-to-end :class:`PrecisionOptimizer`.
 * :mod:`repro.experiments` — drivers for every paper table and figure.
 

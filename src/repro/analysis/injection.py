@@ -31,7 +31,13 @@ def uniform_noise_tap(
     def tap(x: np.ndarray) -> np.ndarray:
         noise = rng.uniform(-delta, delta, size=x.shape)
         if preserve_zeros:
-            noise = np.where(x == 0.0, 0.0, noise)
+            # Tolerance mask, not == 0.0: denormal activations (below
+            # the smallest normal float64) are "zero as far as any
+            # fixed-point format is concerned" and must not receive
+            # unmasked noise, or the profiled error overstates sigma.
+            noise = np.where(
+                np.abs(x) < np.finfo(np.float64).tiny, 0.0, noise
+            )
         return x + noise
 
     return tap

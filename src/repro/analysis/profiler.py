@@ -267,7 +267,12 @@ class ErrorProfiler:
         for name in names:
             sigmas = np.sqrt(sq_sums[name] / np.maximum(counts[name], 1.0))
             deltas = grids[name]
-            if np.all(sigmas == 0.0):
+            # Guards the disconnected-layer case: injections that never
+            # reach the output leave every sigma at (numerically) zero.
+            # Tolerance instead of == 0.0: float64 underflow in the
+            # squared-error accumulation can leave denormal residue that
+            # is equally unusable for the regression.
+            if np.all(sigmas <= np.finfo(np.float64).tiny):
                 raise ProfilingError(
                     f"layer {name!r} never perturbed the output; it may be "
                     "disconnected from the network output"

@@ -57,7 +57,11 @@ def fit_line(
             f"({bad_x} bad x values, {bad_y} bad y values); an upstream "
             "measurement produced NaN/Inf"
         )
-    if float(x.std()) == 0.0:
+    # Guards the degenerate all-identical-x case: with no spread in x the
+    # normal equations are singular and lstsq returns an arbitrary slope.
+    # A relative tolerance (not == 0.0) also catches x vectors whose
+    # spread is pure float rounding noise, which is just as singular.
+    if float(x.std()) <= 1e-15 * max(float(np.abs(x).max()), 1.0):
         raise ProfilingError("cannot fit a line: x values are all identical")
     if weighting == "relative":
         weights = 1.0 / np.maximum(np.abs(y), 1e-300)

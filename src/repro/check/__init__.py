@@ -1,0 +1,68 @@
+"""Static analysis for the precision-optimization pipeline.
+
+Two passes, no data execution required:
+
+* **Pass 1 — graph & allocation verifier**
+  (:mod:`~repro.check.graph_verifier`, :mod:`~repro.check.intervals`,
+  :mod:`~repro.check.allocation_audit`): structural DAG checks, shape
+  re-inference, dtype audit, interval-arithmetic range propagation, and
+  the bitwidth-allocation audits (overflow, negative-F feasibility, xi
+  invariants, Eq. 5 fit gates).
+* **Pass 2 — numerical linter** (:mod:`~repro.check.linter`): AST
+  checkers for unseeded randomness, exact float comparison, dtype
+  literals off the substrate, in-place cache mutation, and overbroad
+  exception handlers.
+
+Run ``python -m repro.check --help`` (or ``repro check --help``) for
+the CLI; see ``docs/static-analysis.md`` for every rule, the paper
+precondition it protects, and how to suppress a finding.
+"""
+
+from .allocation_audit import (
+    LAMBDA_FLOOR,
+    XI_SUM_TOLERANCE,
+    audit_allocation,
+    audit_allocation_result,
+    audit_profiles,
+    audit_xi,
+)
+from .findings import CheckReport, Finding, Severity
+from .graph_verifier import (
+    LayerDecl,
+    decls_of,
+    verify_dtypes,
+    verify_graph_decls,
+    verify_network,
+    verify_shapes,
+)
+from .intervals import (
+    Interval,
+    RangeAnalysis,
+    input_range_of,
+    propagate_ranges,
+)
+from .linter import lint_paths, lint_source
+
+__all__ = [
+    "LAMBDA_FLOOR",
+    "XI_SUM_TOLERANCE",
+    "CheckReport",
+    "Finding",
+    "Interval",
+    "LayerDecl",
+    "RangeAnalysis",
+    "Severity",
+    "audit_allocation",
+    "audit_allocation_result",
+    "audit_profiles",
+    "audit_xi",
+    "decls_of",
+    "input_range_of",
+    "lint_paths",
+    "lint_source",
+    "propagate_ranges",
+    "verify_dtypes",
+    "verify_graph_decls",
+    "verify_network",
+    "verify_shapes",
+]

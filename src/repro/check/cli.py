@@ -1,0 +1,172 @@
+"""CLI for the static-analysis subsystem (``python -m repro.check``).
+
+Two modes:
+
+* **Pipeline check** (default): build the quickstart pipeline for a zoo
+  model, then run every Pass-1 audit — graph structure, shape
+  re-inference, dtype audit, interval propagation, measured-range
+  overflow, negative-F feasibility, xi invariants, and Eq. 5 fit gates
+  — over the network and the allocation the pipeline produces.
+* **Lint** (``--self`` or ``--lint PATH...``): run the Pass-2 AST
+  checkers over source files, no models involved.
+
+Exit code 0 when clean; 1 when any error-severity finding exists, or —
+with ``--strict`` — any warning.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .findings import CheckReport, Severity
+from .intervals import input_range_of, propagate_ranges
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``check`` options on a parser."""
+    parser.add_argument(
+        "--model", default="lenet", help="zoo model for the pipeline check"
+    )
+    parser.add_argument("--seed", type=int, default=20190325)
+    parser.add_argument("--train-count", type=int, default=256)
+    parser.add_argument("--test-count", type=int, default=128)
+    parser.add_argument("--profile-images", type=int, default=16)
+    parser.add_argument("--profile-points", type=int, default=6)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the check (exit 1)",
+    )
+    parser.add_argument(
+        "--graph-only",
+        action="store_true",
+        help="skip profiling/allocation; verify structure, shapes, "
+        "dtypes, and ranges only",
+    )
+    parser.add_argument(
+        "--worst-case",
+        action="store_true",
+        help="audit integer bits against statically propagated input "
+        "bounds, not just the measured ranges (conservative; may warn "
+        "on allocations that are fine for the calibration data)",
+    )
+    parser.add_argument(
+        "--lint",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="lint the given files/directories instead of checking a model",
+    )
+    parser.add_argument(
+        "--self",
+        dest="lint_self",
+        action="store_true",
+        help="lint this package's own source tree (the CI hygiene gate)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also show info-level findings"
+    )
+
+
+def run_lint(paths: List[str], args: argparse.Namespace) -> int:
+    from .linter import lint_paths
+
+    report, num_files = lint_paths(paths)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render(verbose=args.verbose))
+        print(f"linted {num_files} file(s)")
+    return report.exit_code(args.strict)
+
+
+def run_pipeline_check(args: argparse.Namespace) -> int:
+    # Imports are deferred so `--lint` mode never touches scipy/models.
+    from ..config import ProfileSettings
+    from ..models import pretrained_model
+    from ..pipeline import PrecisionOptimizer
+    from .allocation_audit import audit_allocation_result, audit_profiles
+    from .graph_verifier import verify_network
+
+    report = CheckReport()
+    network, train, test, info = pretrained_model(
+        args.model,
+        train_count=args.train_count,
+        test_count=args.test_count,
+        seed=args.seed,
+    )
+    report.extend(verify_network(network))
+
+    input_range = input_range_of(test.images)
+    analysis = propagate_ranges(network, input_range)
+    report.extend(analysis.report)
+    for name, interval in analysis.analyzed_inputs.items():
+        report.add(
+            "static-range-info",
+            Severity.INFO,
+            f"statically propagated input bound {interval}",
+            layer=name,
+        )
+
+    if not args.graph_only:
+        optimizer = PrecisionOptimizer(
+            network,
+            test,
+            profile_settings=ProfileSettings(
+                num_images=args.profile_images,
+                num_delta_points=args.profile_points,
+            ),
+            strict=False,
+            verify=False,  # this run *is* the verification
+        )
+        report.extend(audit_profiles(optimizer.profile().profiles))
+        outcome = optimizer.optimize(
+            "input", accuracy_drop=0.02, validate=False
+        )
+        report.extend(
+            audit_allocation_result(
+                outcome.result,
+                stats=optimizer.stats(),
+                network=network,
+                input_range=input_range if args.worst_case else None,
+            )
+        )
+        if outcome.degraded:
+            report.add(
+                "degraded-allocation",
+                Severity.WARNING,
+                "the xi solve degraded to the equal-share fallback",
+            )
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render(verbose=args.verbose))
+        status = "CLEAN" if report.ok(args.strict) else "FAILED"
+        print(f"{args.model}: static check {status}")
+    return report.exit_code(args.strict)
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``check`` invocation (shared with ``repro check``)."""
+    if args.lint_self:
+        package_root = Path(__file__).resolve().parents[1]
+        return run_lint([str(package_root)], args)
+    if args.lint:
+        return run_lint(args.lint, args)
+    return run_pipeline_check(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(argv))

@@ -1,0 +1,187 @@
+"""Finding and report types shared by every static-analysis pass.
+
+A :class:`Finding` is one verifier or linter result: a machine-readable
+rule id, a severity, a human-readable message, and enough location
+information (layer name for graph findings, ``path:line`` for lint
+findings) to act on it.  A :class:`CheckReport` aggregates findings
+across passes and decides the process exit code, mirroring the
+strict/permissive split of the resilience layer: errors always fail,
+warnings fail only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..resilience.guards import Diagnostic
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (INFO < ERROR)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis result."""
+
+    rule: str  #: machine-readable rule id ("overflow", "float-equality", ...)
+    severity: Severity
+    message: str  #: human-readable description with the offending values
+    layer: Optional[str] = None  #: graph findings: the layer concerned
+    path: Optional[str] = None  #: lint findings: source file
+    line: Optional[int] = None  #: lint findings: 1-based source line
+    #: Which part of the paper the violated precondition comes from
+    #: ("Eq. 5", "Sec. II-A", ...); empty for code-hygiene rules.
+    reference: str = ""
+
+    def location(self) -> str:
+        """``path:line`` or ``[layer]`` or empty."""
+        if self.path is not None:
+            where = self.path
+            if self.line is not None:
+                where += f":{self.line}"
+            return where
+        if self.layer is not None:
+            return f"[{self.layer}]"
+        return ""
+
+    def __str__(self) -> str:
+        where = self.location()
+        prefix = f"{where}: " if where else ""
+        ref = f" ({self.reference})" if self.reference else ""
+        return f"{prefix}{self.severity}: {self.message} [{self.rule}]{ref}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "layer": self.layer,
+            "path": self.path,
+            "line": self.line,
+            "reference": self.reference,
+        }
+
+
+@dataclass
+class CheckReport:
+    """Findings from one or more passes, with exit-code policy."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        layer: Optional[str] = None,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+        reference: str = "",
+    ) -> Finding:
+        finding = Finding(
+            rule=rule,
+            severity=severity,
+            message=message,
+            layer=layer,
+            path=path,
+            line=line,
+            reference=reference,
+        )
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "CheckReport") -> "CheckReport":
+        self.findings.extend(other.findings)
+        return self
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __bool__(self) -> bool:
+        """Truthy when there is anything to report (do not use for pass/fail)."""
+        return bool(self.findings)
+
+    # ------------------------------------------------------------------
+    def at_least(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when nothing fails: no errors, and (strict) no warnings."""
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        return not self.at_least(threshold)
+
+    def exit_code(self, strict: bool = False) -> int:
+        return 0 if self.ok(strict) else 1
+
+    # ------------------------------------------------------------------
+    def render(self, verbose: bool = False) -> str:
+        """Multi-line human-readable report (INFO lines only if verbose)."""
+        shown = [
+            f
+            for f in self.findings
+            if verbose or f.severity > Severity.INFO
+        ]
+        lines = [str(f) for f in shown]
+        num_err = len(self.errors)
+        num_warn = len(self.warnings)
+        lines.append(
+            f"{num_err} error(s), {num_warn} warning(s), "
+            f"{len(self.findings) - num_err - num_warn} info"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.as_dict() for f in self.findings],
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            indent=2,
+        )
+
+    def to_diagnostics(self, stage: str = "static_check") -> List["Diagnostic"]:
+        """Project WARNING+ findings onto resilience Diagnostic records.
+
+        This is the bridge the pipeline uses: pre-run verification
+        findings flow through the same :func:`repro.resilience.enforce`
+        machinery as every other guardrail (strict raises, default
+        warns), so callers see one diagnostic vocabulary.
+        """
+        from ..resilience.guards import Diagnostic
+
+        return [
+            Diagnostic(
+                stage=stage,
+                code=f.rule,
+                message=str(f),
+                layer=f.layer,
+            )
+            for f in self.at_least(Severity.WARNING)
+        ]

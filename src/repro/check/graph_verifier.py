@@ -1,0 +1,290 @@
+"""Pass 1a — structural, shape, and dtype verification of network DAGs.
+
+Everything here is *static*: no data flows through the network.  Two
+entry points:
+
+* :func:`verify_graph_decls` checks a raw ``(name, inputs)`` edge list
+  — the form a graph takes *before* :class:`~repro.nn.graph.Network`
+  construction, where cycles and dangling producers can still exist.
+  :meth:`Network.add` rejects these eagerly at build time; this pass
+  exists so declarative sources (specs, serialized graphs, generated
+  architectures) can be validated without attempting a build.
+* :func:`verify_network` checks a built :class:`Network`: structural
+  invariants, shape re-inference (every layer's recorded output shape
+  must still follow from its producers' shapes — catches stale bindings
+  after weight surgery), and dtype audit (parameter arrays that drifted
+  off the float64 substrate would silently promote or truncate
+  activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..config import DTYPE
+from ..errors import ReproError
+from ..nn.graph import INPUT, Network
+from .findings import CheckReport, Severity
+
+
+@dataclass(frozen=True)
+class LayerDecl:
+    """A declared layer: just wiring, no parameters.
+
+    The minimal projection of a layer a structural pass needs.  Built
+    from a :class:`Network` via :func:`decls_of`, or by hand for graphs
+    that cannot (yet) be built.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+
+
+def decls_of(network: Network) -> List[LayerDecl]:
+    """Project a built network onto its declaration list."""
+    return [
+        LayerDecl(name=layer.name, inputs=tuple(layer.inputs))
+        for layer in network.layers
+    ]
+
+
+# ----------------------------------------------------------------------
+# Structural pass (works on declarations, so it can reject bad graphs)
+# ----------------------------------------------------------------------
+def verify_graph_decls(
+    decls: Sequence[LayerDecl],
+    output: str = "",
+) -> CheckReport:
+    """Structural audit: names, dangling producers, cycles, reachability.
+
+    ``output`` defaults to the last declared layer (the same convention
+    :class:`Network` uses).
+    """
+    report = CheckReport()
+    if not decls:
+        report.add(
+            "empty-graph", Severity.ERROR, "graph declares no layers"
+        )
+        return report
+    names: Set[str] = set()
+    for decl in decls:
+        if decl.name == INPUT:
+            report.add(
+                "reserved-name",
+                Severity.ERROR,
+                f"layer name {INPUT!r} is reserved for the network input",
+                layer=decl.name,
+            )
+        elif decl.name in names:
+            report.add(
+                "duplicate-layer",
+                Severity.ERROR,
+                f"layer {decl.name!r} is declared more than once",
+                layer=decl.name,
+            )
+        names.add(decl.name)
+        if not decl.inputs:
+            report.add(
+                "no-inputs",
+                Severity.ERROR,
+                f"layer {decl.name!r} declares no inputs",
+                layer=decl.name,
+            )
+        if decl.name in decl.inputs:
+            report.add(
+                "self-loop",
+                Severity.ERROR,
+                f"layer {decl.name!r} consumes its own output",
+                layer=decl.name,
+            )
+
+    declared = names | {INPUT}
+    for decl in decls:
+        for producer in decl.inputs:
+            if producer not in declared:
+                report.add(
+                    "dangling-producer",
+                    Severity.ERROR,
+                    f"layer {decl.name!r} consumes unknown producer "
+                    f"{producer!r}",
+                    layer=decl.name,
+                )
+
+    # Cycle detection via Kahn's algorithm over declared edges only.
+    in_degree: Dict[str, int] = {}
+    consumers: Dict[str, List[str]] = {}
+    for decl in decls:
+        known_inputs = [p for p in decl.inputs if p in declared]
+        in_degree[decl.name] = len(known_inputs)
+        for producer in known_inputs:
+            consumers.setdefault(producer, []).append(decl.name)
+    queue = [INPUT]
+    visited: Set[str] = set()
+    while queue:
+        node = queue.pop()
+        visited.add(node)
+        for consumer in consumers.get(node, ()):
+            in_degree[consumer] -= 1
+            if in_degree[consumer] == 0:
+                queue.append(consumer)
+    cyclic = sorted(
+        name for name, degree in in_degree.items()
+        if degree > 0 and name not in visited
+    )
+    if cyclic:
+        report.add(
+            "cycle",
+            Severity.ERROR,
+            "graph contains a cycle (or layers fed only by a cycle): "
+            + ", ".join(repr(n) for n in cyclic),
+        )
+
+    out = output or decls[-1].name
+    if out not in names:
+        report.add(
+            "unknown-output",
+            Severity.ERROR,
+            f"declared output {out!r} is not a layer",
+        )
+    elif out in visited or not cyclic:
+        # Reachability from the input: walk producers backwards.
+        by_name = {d.name: d for d in decls}
+        frontier = [out]
+        seen: Set[str] = set()
+        reaches_input = False
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node == INPUT:
+                reaches_input = True
+                continue
+            decl = by_name.get(node)
+            if decl is not None:
+                frontier.extend(decl.inputs)
+        if not reaches_input:
+            report.add(
+                "unreachable-output",
+                Severity.ERROR,
+                f"output {out!r} is not reachable from the network input",
+                layer=out,
+            )
+        dead = sorted(names - seen)
+        if dead:
+            report.add(
+                "dead-layers",
+                Severity.INFO,
+                f"{len(dead)} layer(s) do not feed the output: "
+                + ", ".join(repr(n) for n in dead[:8])
+                + ("..." if len(dead) > 8 else ""),
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shape and dtype passes (need a built network, still no data)
+# ----------------------------------------------------------------------
+def verify_shapes(network: Network) -> CheckReport:
+    """Re-run shape inference and compare with the bound shapes.
+
+    :meth:`Network.add` binds shapes once; nothing re-checks them if a
+    layer's parameters are later replaced (weight surgery, calibration
+    bugs).  Re-inferring from the producers' *current* recorded shapes
+    catches exactly that drift, without a forward pass.
+    """
+    report = CheckReport()
+    shapes: Dict[str, Tuple[int, ...]] = {INPUT: tuple(network.input_shape)}
+    for layer in network.layers:
+        producer_shapes = []
+        for producer in layer.inputs:
+            if producer not in shapes:
+                report.add(
+                    "dangling-producer",
+                    Severity.ERROR,
+                    f"layer {layer.name!r} consumes {producer!r}, which is "
+                    "not produced upstream of it",
+                    layer=layer.name,
+                )
+                break
+            producer_shapes.append(shapes[producer])
+        else:
+            try:
+                inferred = tuple(layer.infer_shape(producer_shapes))
+            except ReproError as exc:
+                report.add(
+                    "shape-mismatch",
+                    Severity.ERROR,
+                    f"shape inference failed: {exc}",
+                    layer=layer.name,
+                )
+                shapes[layer.name] = tuple(layer.output_shape or ())
+                continue
+            bound = tuple(layer.output_shape or ())
+            if bound != inferred:
+                report.add(
+                    "stale-shape",
+                    Severity.ERROR,
+                    f"bound output shape {bound} no longer follows from the "
+                    f"producers (re-inference gives {inferred}); the layer "
+                    "was mutated after being added to the network",
+                    layer=layer.name,
+                )
+            shapes[layer.name] = inferred
+            continue
+        # Broken producer chain: trust the bound shape to keep going.
+        shapes.setdefault(layer.name, tuple(layer.output_shape or ()))
+    return report
+
+
+#: Parameter-array attributes audited by the dtype pass.
+_PARAM_ATTRS = ("weight", "bias", "scale", "shift")
+
+
+def verify_dtypes(network: Network) -> CheckReport:
+    """Audit parameter dtypes against the float64 activation substrate.
+
+    The engine computes in ``config.DTYPE`` (float64: injected deltas go
+    down to 2**-20, far below float32 resolution at activation scale
+    ~400).  A parameter array in any other float dtype silently
+    *promotes* (float32 -> float64: precision the profile never had) or
+    *demotes* (float128 etc.) the layer's arithmetic relative to every
+    other layer, skewing the per-layer error model of Eq. 5.
+    """
+    report = CheckReport()
+    expected = np.dtype(DTYPE)
+    for layer in network.layers:
+        for attr in _PARAM_ATTRS:
+            value = getattr(layer, attr, None)
+            if not isinstance(value, np.ndarray):
+                continue
+            if value.dtype != expected:
+                report.add(
+                    "dtype-promotion",
+                    Severity.ERROR,
+                    f"parameter {attr!r} has dtype {value.dtype}, but the "
+                    f"activation substrate is {expected}; mixed dtypes "
+                    "promote/demote this layer's arithmetic relative to "
+                    "the profiled error model",
+                    layer=layer.name,
+                    reference="Eq. 5",
+                )
+            if not np.isfinite(value).all():
+                report.add(
+                    "non-finite-parameter",
+                    Severity.ERROR,
+                    f"parameter {attr!r} contains NaN/Inf entries",
+                    layer=layer.name,
+                )
+    return report
+
+
+def verify_network(network: Network) -> CheckReport:
+    """Full Pass-1a audit of a built network: structure, shapes, dtypes."""
+    report = verify_graph_decls(decls_of(network), output=network.output_name)
+    report.extend(verify_shapes(network))
+    report.extend(verify_dtypes(network))
+    return report

@@ -1,0 +1,218 @@
+"""Pass 1b — static activation-range propagation by interval arithmetic.
+
+Judd et al. (arXiv:1511.05236) showed per-layer range analysis is
+enough to bound the values a fixed-point format must represent; Lauter
+& Volkova (arXiv:2002.03869) check such precision properties entirely
+from layer metadata.  This module does the same for this substrate:
+given an interval ``[lo, hi]`` bounding the network input, it derives a
+sound bound on every layer's output — and therefore on every analyzed
+layer's *input*, the quantity the integer bitwidth ``I`` of Sec. II-A
+must cover — without running any data.
+
+For dot-product layers the bound splits each weight into its positive
+and negative parts: ``y = W x + b`` with ``x in [lo, hi]`` gives
+``y in [W+ lo + W- hi + b,  W+ hi + W- lo + b]`` per output unit.  This
+is exact for a single matmul under elementwise input bounds (no
+relaxation), so the propagated ranges are tight enough to be useful and
+conservative enough to be sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn.graph import INPUT, Network
+from ..nn.layer import Layer
+from ..nn.layers import (
+    Add,
+    AvgPool2D,
+    ChannelAffine,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    LRN,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from .findings import CheckReport, Severity
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed scalar interval ``[lo, hi]`` bounding every tensor entry."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.lo) and math.isfinite(self.hi)):
+            raise ValueError(f"interval bounds must be finite: {self}")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def max_abs(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def with_zero(self) -> "Interval":
+        """Widen to include 0 (zero padding contributes exact zeros)."""
+        return Interval(min(self.lo, 0.0), max(self.hi, 0.0))
+
+    def relu(self) -> "Interval":
+        return Interval(max(self.lo, 0.0), max(self.hi, 0.0))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo:.4g}, {self.hi:.4g}]"
+
+
+def _dot_product_bound(
+    weight2d: np.ndarray, x: Interval, bias: "np.ndarray | None" = None
+) -> Interval:
+    """Bound ``W x (+ b)`` for x bounded elementwise by an interval.
+
+    ``weight2d`` is ``(out_units, fan_in)``; the returned interval is
+    the hull over output units.
+    """
+    positive = np.maximum(weight2d, 0.0).sum(axis=1)
+    negative = np.minimum(weight2d, 0.0).sum(axis=1)
+    lo = positive * x.lo + negative * x.hi
+    hi = positive * x.hi + negative * x.lo
+    if bias is not None:
+        lo = lo + bias
+        hi = hi + bias
+    return Interval(float(lo.min()), float(hi.max()))
+
+
+def _propagate_layer(
+    layer: Layer, inputs: List[Interval], report: CheckReport
+) -> Interval:
+    """Output interval of one layer from its input intervals."""
+    x = inputs[0]
+    if isinstance(layer, Conv2D):
+        if layer.padding > 0:
+            x = x.with_zero()
+        # Each output channel sees only its own group's kernel, so the
+        # (out_c, fan_in) reshape is the exact per-unit weight row for
+        # dense, grouped, and depthwise convolutions alike.
+        w2d = layer.weight.reshape(layer.weight.shape[0], -1)
+        return _dot_product_bound(w2d, x, layer.bias)
+    if isinstance(layer, Dense):
+        return _dot_product_bound(layer.weight, x, layer.bias)
+    if isinstance(layer, ReLU):
+        return x.relu()
+    if isinstance(layer, Softmax):
+        return Interval(0.0, 1.0)
+    if isinstance(layer, MaxPool2D):
+        # Output values are a subsample of input values (padding uses
+        # -inf sentinels and never wins), so the bound passes through.
+        return x
+    if isinstance(layer, (AvgPool2D, GlobalAvgPool)):
+        # A mean is a convex combination of the inputs; with zero
+        # padding the combination may include exact zeros.
+        if isinstance(layer, AvgPool2D) and layer.padding > 0:
+            return x.with_zero()
+        return x
+    if isinstance(layer, Flatten):
+        return x
+    if isinstance(layer, Add):
+        total = inputs[0]
+        for other in inputs[1:]:
+            total = total + other
+        return total
+    if isinstance(layer, Concat):
+        hull = inputs[0]
+        for other in inputs[1:]:
+            hull = hull.hull(other)
+        return hull
+    if isinstance(layer, ChannelAffine):
+        candidates = np.stack(
+            [layer.scale * x.lo, layer.scale * x.hi]
+        ) + layer.shift
+        return Interval(float(candidates.min()), float(candidates.max()))
+    if isinstance(layer, LRN):
+        # denom = (k + alpha/n * sum x^2)^beta >= k^beta, so
+        # |y| <= |x| / k^beta for any k > 0.
+        scale = layer.k ** (-layer.beta)
+        bound = x.max_abs * scale
+        lo = 0.0 if x.lo >= 0 else -bound
+        return Interval(lo, bound)
+    report.add(
+        "unsupported-layer",
+        Severity.WARNING,
+        f"no interval rule for layer type {type(layer).__name__}; "
+        "passing the input bound through unchanged (potentially unsound)",
+        layer=layer.name,
+    )
+    return x
+
+
+@dataclass
+class RangeAnalysis:
+    """Result of interval propagation over a network."""
+
+    #: Bound on each layer's *output* values (keyed by layer name;
+    #: :data:`~repro.nn.graph.INPUT` maps to the input bound itself).
+    outputs: Dict[str, Interval]
+    #: Bound on each *analyzed* layer's primary input — the value range
+    #: an integer bitwidth ``I`` must cover (Sec. II-A).
+    analyzed_inputs: Dict[str, Interval]
+    #: Findings emitted during propagation (unsupported layer types).
+    report: CheckReport
+
+    def max_abs(self, name: str) -> float:
+        return self.analyzed_inputs[name].max_abs
+
+
+def propagate_ranges(
+    network: Network,
+    input_range: Interval,
+    analyzed: Sequence[str] = (),
+) -> RangeAnalysis:
+    """Propagate an input bound through every layer of the network.
+
+    ``input_range`` typically comes from the dataset's pixel scale (the
+    calibration batch's ``[min, max]``); the result statically bounds
+    each analyzed layer's input — what ``max|X_K|`` can ever reach, not
+    just what the calibration set happened to produce.
+    """
+    report = CheckReport()
+    outputs: Dict[str, Interval] = {INPUT: input_range}
+    names = list(analyzed) or network.analyzed_layer_names
+    analyzed_inputs: Dict[str, Interval] = {}
+    for layer in network.layers:
+        inputs = [outputs[name] for name in layer.inputs]
+        if layer.name in names:
+            analyzed_inputs[layer.name] = inputs[0]
+        outputs[layer.name] = _propagate_layer(layer, inputs, report)
+    return RangeAnalysis(
+        outputs=outputs, analyzed_inputs=analyzed_inputs, report=report
+    )
+
+
+def input_range_of(images: np.ndarray, margin: float = 0.0) -> Interval:
+    """Interval covering a calibration batch, with an optional margin.
+
+    ``margin`` widens the bound symmetrically by that fraction of the
+    half-width, covering test-time inputs slightly outside the
+    calibration batch.
+    """
+    lo = float(np.min(images))
+    hi = float(np.max(images))
+    if margin > 0.0:
+        half = 0.5 * (hi - lo) * margin
+        lo -= half
+        hi += half
+    return Interval(lo, hi)

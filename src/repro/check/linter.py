@@ -1,0 +1,380 @@
+"""Pass 2 — AST-based numerical lint for this codebase's footguns.
+
+Five checkers, each targeting a bug class that has a concrete failure
+mode on the pure-numpy substrate:
+
+``unseeded-random``
+    Use of the legacy ``np.random.*`` global API, or
+    ``np.random.default_rng()`` without a seed.  Every measurement in
+    the pipeline (profiles, sigma searches, accuracy trials) must be
+    reproducible from ``config.DEFAULT_SEED``; one unseeded draw makes
+    Table II/III rows unrepeatable.
+``float-equality``
+    ``==`` / ``!=`` against a float literal.  Exact float comparison
+    guards degenerate cases (zero std, zero sigma) that near-misses
+    slip past — e.g. a denormal activation is not ``== 0.0`` but
+    carries no usable precision.
+``dtype-mismatch``
+    A hardcoded float dtype literal that disagrees with the substrate
+    dtype (``repro.config.DTYPE``).  A stray ``float32`` array silently
+    demotes one layer's arithmetic below the injected-delta resolution.
+``cache-mutation``
+    In-place mutation of values held by an ``ActivationCache`` (name
+    heuristic: receivers named ``cache`` / ``*_cache``).  Cached clean
+    activations are shared by every partial replay; mutating one
+    corrupts all later sigma measurements for the batch.
+``overbroad-except``
+    A bare ``except:`` or ``except Exception:`` handler that never
+    re-raises.  Such handlers swallow the structured ``Diagnostic``
+    errors of the resilience layer, turning strict-mode failures into
+    silent garbage.
+
+Suppression: append ``# repro-check: ignore`` (all rules) or
+``# repro-check: ignore[rule-id]`` to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..config import DTYPE
+from .findings import CheckReport, Finding, Severity
+
+#: Legacy numpy global-RNG functions (always unseeded process state).
+_LEGACY_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "uniform", "normal", "standard_normal", "choice",
+    "shuffle", "permutation", "poisson", "binomial", "beta", "gamma",
+    "exponential", "laplace", "lognormal", "seed", "get_state",
+    "set_state",
+}
+
+_FLOAT_DTYPES = {"float16", "float32", "float64", "float128"}
+
+#: ndarray methods that mutate in place (no copy).
+_MUTATING_METHODS = {
+    "fill", "sort", "partition", "put", "setfield", "resize", "itemset",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-check:\s*ignore(?:\[([a-z0-9_,\s-]+)\])?"
+)
+
+_CACHE_NAME_RE = re.compile(r"(^|_)cache$")
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppression map: line -> None (all rules) or rule set."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return table
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the numpy package (np, numpy, ...)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return aliases
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _is_cache_receiver(node: ast.expr) -> bool:
+    """Heuristic: expression names an ActivationCache-like object."""
+    if isinstance(node, ast.Name):
+        return bool(_CACHE_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_CACHE_NAME_RE.search(node.attr))
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, numpy_aliases: Set[str]):
+        self.path = path
+        self.numpy_aliases = numpy_aliases
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self, rule: str, node: ast.AST, message: str, reference: str = ""
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", None),
+                reference=reference,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # unseeded-random
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if len(chain) == 3 and chain[0] in self.numpy_aliases:
+            _, module, fn = chain
+            if module == "random" and fn in _LEGACY_RANDOM:
+                self._emit(
+                    "unseeded-random",
+                    node,
+                    f"legacy global-RNG call np.random.{fn}(); use a "
+                    "seeded np.random.default_rng(seed) Generator",
+                )
+            elif module == "random" and fn in ("default_rng", "RandomState"):
+                seeded = bool(node.args) and not (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                seeded = seeded or any(
+                    kw.arg == "seed" and not (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is None
+                    )
+                    for kw in node.keywords
+                )
+                if not seeded:
+                    self._emit(
+                        "unseeded-random",
+                        node,
+                        f"np.random.{fn}() constructed without a seed; "
+                        "results are unrepeatable across runs",
+                    )
+        self._check_dtype_args(node)
+        self._check_cache_method(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # float-equality
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    self._emit(
+                        "float-equality",
+                        node,
+                        f"exact comparison against float literal "
+                        f"{operand.value!r}; use np.isclose / an explicit "
+                        "tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # dtype-mismatch
+    # ------------------------------------------------------------------
+    def _check_dtype_value(self, value: ast.expr) -> None:
+        dtype_name: Optional[str] = None
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            if value.value in _FLOAT_DTYPES:
+                dtype_name = value.value
+        else:
+            chain = _attr_chain(value)
+            if (
+                len(chain) == 2
+                and chain[0] in self.numpy_aliases
+                and chain[1] in _FLOAT_DTYPES
+            ):
+                dtype_name = chain[1]
+        if dtype_name is not None and dtype_name != DTYPE:
+            self._emit(
+                "dtype-mismatch",
+                value,
+                f"hardcoded dtype {dtype_name!r} disagrees with the "
+                f"activation substrate dtype {DTYPE!r} "
+                "(repro.config.DTYPE); mixed-precision paths skew the "
+                "profiled error model",
+                reference="Eq. 5",
+            )
+
+    def _check_dtype_args(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                self._check_dtype_value(kw.value)
+        # x.astype("float32") / x.astype(np.float32)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            self._check_dtype_value(node.args[0])
+
+    # ------------------------------------------------------------------
+    # cache-mutation
+    # ------------------------------------------------------------------
+    def _is_cache_item(self, node: ast.expr) -> bool:
+        """True for ``cache[...]`` (possibly through nested subscripts)."""
+        while isinstance(node, ast.Subscript):
+            if _is_cache_receiver(node.value):
+                return True
+            node = node.value
+        return False
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Subscript) and self._is_cache_item(
+            node.target
+        ):
+            self._emit(
+                "cache-mutation",
+                node,
+                "in-place update of a cached activation; clean cache "
+                "values are shared by every partial replay — copy first",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            # cache[k][...] = v mutates the cached array; cache[k] = v
+            # (rebinding the slot) is the dict-building idiom and fine.
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Subscript)
+                and self._is_cache_item(target.value)
+            ):
+                self._emit(
+                    "cache-mutation",
+                    node,
+                    "element store into a cached activation; clean cache "
+                    "values are shared by every partial replay — copy first",
+                )
+        self.generic_visit(node)
+
+    def _check_cache_method(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Subscript)
+            and self._is_cache_item(func.value)
+        ):
+            self._emit(
+                "cache-mutation",
+                node,
+                f"mutating method .{func.attr}() on a cached activation",
+            )
+
+    # ------------------------------------------------------------------
+    # overbroad-except
+    # ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = False
+        what = ""
+        if node.type is None:
+            broad = True
+            what = "bare except:"
+        else:
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            names = {
+                t.id for t in types if isinstance(t, ast.Name)
+            }
+            if names & {"Exception", "BaseException"}:
+                broad = True
+                what = f"except {' | '.join(sorted(names))}"
+        if broad:
+            reraises = any(
+                isinstance(n, ast.Raise) for n in ast.walk(node)
+            )
+            if not reraises:
+                self._emit(
+                    "overbroad-except",
+                    node,
+                    f"{what} swallows everything (including resilience "
+                    "Diagnostic errors) without re-raising; catch "
+                    "ReproError subclasses or re-raise",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                message=str(exc.msg),
+                path=path,
+                line=exc.lineno,
+            )
+        ]
+    visitor = _Visitor(path, _numpy_aliases(tree))
+    visitor.visit(tree)
+    table = _suppressions(source)
+    kept: List[Finding] = []
+    for finding in visitor.findings:
+        if finding.line in table:
+            rules = table[finding.line]
+            if rules is None or finding.rule in rules:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def iter_python_files(
+    paths: Iterable[Union[str, Path]]
+) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]]
+) -> Tuple[CheckReport, int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns the report and the number of files examined.
+    """
+    report = CheckReport()
+    files = iter_python_files(paths)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        report.findings.extend(lint_source(source, str(file)))
+    return report, len(files)

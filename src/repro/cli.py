@@ -5,6 +5,7 @@ framework ... integrated into Caffe"; this CLI is the equivalent entry
 point for the substrate replica.  Subcommands:
 
 ``zoo``       list the model zoo and analyzed-layer counts
+``check``     static graph/allocation verifier + numerical lint pass
 ``profile``   measure lambda/theta for every analyzed layer (Sec. V-A)
 ``optimize``  full pipeline for one objective + accuracy constraint
 ``table2``    regenerate Table II (AlexNet, two objectives)
@@ -28,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .check.cli import add_check_arguments, run_check
 from .experiments import (
     ExperimentConfig,
     make_context,
@@ -270,6 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("zoo", help="list the model zoo")
     p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser(
+        "check",
+        help="static graph/allocation verifier + numerical lint pass",
+        description="Static analysis: verify a model pipeline (graph "
+        "structure, shapes, dtypes, ranges, allocation audits) or lint "
+        "source files.  See docs/static-analysis.md.",
+    )
+    add_check_arguments(p)
+    p.set_defaults(func=run_check)
 
     p = sub.add_parser("profile", help="measure lambda/theta (Sec. V-A)")
     _add_common(p)

@@ -14,7 +14,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from .graph import Network
+from .graph import Network, Tap
 
 
 @dataclass
@@ -70,7 +70,7 @@ def measure_ranges(
     stats = static_stats(network)
     maxima: Dict[str, float] = {name: 0.0 for name in stats}
 
-    def make_tap(name: str):
+    def make_tap(name: str) -> Tap:
         def tap(x: np.ndarray) -> np.ndarray:
             maxima[name] = max(maxima[name], float(np.max(np.abs(x))))
             return x

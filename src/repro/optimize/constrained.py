@@ -20,7 +20,7 @@ discretization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 import numpy as np
 from scipy import optimize as sciopt

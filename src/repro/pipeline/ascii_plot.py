@@ -7,7 +7,7 @@ shows the *shape* of Fig. 2-4, not just their numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 

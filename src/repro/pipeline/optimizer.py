@@ -95,6 +95,7 @@ class PrecisionOptimizer:
         fallback: bool = True,
         transient_retries: int = 2,
         xi_solver: Optional[Callable] = None,
+        verify: bool = True,
     ):
         if scheme not in ("scheme1", "scheme2"):
             raise ReproError('scheme must be "scheme1" or "scheme2"')
@@ -131,6 +132,14 @@ class PrecisionOptimizer:
                 else RunState(state_dir)
             )
             self.state.bind(network.name)
+        #: Pre-run static verification (graph structure, shape
+        #: re-inference, parameter dtypes) and post-allocation audits
+        #: (overflow, negative-F, xi invariants, Eq. 5 fit gates).
+        #: Strict mode escalates findings to errors; the default routes
+        #: them through the resilience diagnostics as warnings.
+        self.verify = verify
+        if verify:
+            self._verify_network()
         self._stats: Optional[Dict[str, LayerStats]] = None
         self._profiles: Optional[ProfileReport] = None
         self._refined: Dict[float, ProfileReport] = {}
@@ -329,6 +338,54 @@ class PrecisionOptimizer:
         return outcome
 
     # ------------------------------------------------------------------
+    def _verify_network(self) -> None:
+        """Pass-1 static verification before any data is executed.
+
+        Structure, shape re-inference, and parameter dtypes (see
+        :mod:`repro.check`).  Findings flow through the resilience
+        :func:`~repro.resilience.enforce` machinery: strict mode
+        raises :class:`~repro.errors.NumericalGuardError`, the default
+        emits :class:`~repro.errors.DegradedResultWarning`.
+        """
+        from ..check import verify_network
+        from ..resilience.guards import enforce
+
+        diagnostics = verify_network(self.network).to_diagnostics(
+            stage="static_check"
+        )
+        if diagnostics:
+            enforce(
+                diagnostics,
+                strict=self.strict,
+                context=(
+                    f"pre-run static verification of network "
+                    f"{self.network.name!r}"
+                ),
+            )
+
+    def _audit_allocation(self, result: AllocationResult) -> None:
+        """Static audit of a finished allocation (overflow, xi, widths).
+
+        Eq. 5 fit quality is already gated during profiling
+        (:func:`~repro.resilience.check_profile_fit`), so only the
+        format and xi audits run here.
+        """
+        from ..check import audit_allocation_result
+        from ..resilience.guards import enforce
+
+        report = audit_allocation_result(
+            result, stats=self.stats(), network=self.network
+        )
+        diagnostics = report.to_diagnostics(stage="allocation_audit")
+        if diagnostics:
+            enforce(
+                diagnostics,
+                strict=self.strict,
+                context=f"static audit of the {result.objective.name!r} "
+                "allocation",
+            )
+
+    # ------------------------------------------------------------------
     def _finish(
         self,
         result: AllocationResult,
@@ -347,6 +404,8 @@ class PrecisionOptimizer:
         """
         from ..errors import SearchError
 
+        if self.verify:
+            self._audit_allocation(result)
         validated = None
         if validate:
             validated = top1_accuracy(

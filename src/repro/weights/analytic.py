@@ -117,7 +117,11 @@ class WeightErrorProfiler:
                         sq_sums[j] += float((err * err).sum())
                         counts[j] += err.size
             sigmas = np.sqrt(sq_sums / np.maximum(counts, 1.0))
-            if np.all(sigmas == 0.0):
+            # Guards the dead-weight case (e.g. a layer whose output is
+            # fully masked downstream): tolerance instead of == 0.0 so
+            # denormal accumulation residue counts as "no perturbation"
+            # rather than feeding the regression garbage.
+            if np.all(sigmas <= np.finfo(np.float64).tiny):
                 raise ProfilingError(
                     f"weight noise at {name!r} never perturbed the output"
                 )

@@ -1,0 +1,117 @@
+"""The ``python -m repro.check`` entry point and pipeline integration."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.check.cli import main
+from repro.errors import DegradedResultWarning, NumericalGuardError
+from repro.models import build_model
+from repro.pipeline import PrecisionOptimizer
+
+TEST_SEED = 1234
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "violations.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            x = np.random.uniform(-1, 1, size=4)
+            ok = x.std() == 0.0
+            y = x.astype(np.float32)
+            """
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(20190325)
+            x = rng.uniform(-1, 1, size=4)
+            degenerate = float(x.std()) <= 1e-15
+            """
+        )
+    )
+    return path
+
+
+class TestLintCli:
+    def test_seeded_violations_exit_nonzero(self, bad_file, capsys):
+        code = main(["--lint", str(bad_file)])
+        out = capsys.readouterr().out
+        assert code == 1
+        for rule in ("unseeded-random", "float-equality", "dtype-mismatch"):
+            assert rule in out
+
+    def test_strict_also_fails(self, bad_file, capsys):
+        assert main(["--lint", str(bad_file), "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["--lint", str(clean_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_json_output(self, bad_file, capsys):
+        code = main(["--lint", str(bad_file), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] >= 3
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "unseeded-random" in rules
+
+    def test_self_lint_is_clean(self, capsys):
+        """The package's own source passes its own linter (CI gate)."""
+        assert main(["--self"]) == 0
+        capsys.readouterr()
+
+
+class TestPipelineIntegration:
+    def test_verify_rejects_corrupted_network_strict(self, datasets):
+        __, test = datasets
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.astype("float32")  # repro-check: ignore[dtype-mismatch]
+        with pytest.raises(NumericalGuardError, match="static"):
+            PrecisionOptimizer(network, test, strict=True)
+
+    def test_verify_warns_by_default(self, datasets):
+        __, test = datasets
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.astype("float32")  # repro-check: ignore[dtype-mismatch]
+        with pytest.warns(DegradedResultWarning, match="static"):
+            PrecisionOptimizer(network, test, strict=False)
+
+    def test_verify_opt_out(self, datasets):
+        __, test = datasets
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.astype("float32")  # repro-check: ignore[dtype-mismatch]
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PrecisionOptimizer(network, test, verify=False)
+
+    def test_clean_network_constructs_silently(self, datasets):
+        __, test = datasets
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PrecisionOptimizer(network, test)

@@ -1,0 +1,155 @@
+"""Pass 1a: structural, shape, and dtype verification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.check import (
+    LayerDecl,
+    Severity,
+    decls_of,
+    verify_dtypes,
+    verify_graph_decls,
+    verify_network,
+    verify_shapes,
+)
+from repro.models import build_model
+from repro.nn.layers import Dense
+
+TEST_SEED = 1234
+
+
+def rules(report):
+    return {f.rule for f in report}
+
+
+# ----------------------------------------------------------------------
+# Declaration-level structural pass
+# ----------------------------------------------------------------------
+class TestGraphDecls:
+    def test_clean_chain(self):
+        decls = [
+            LayerDecl("a", ("input",)),
+            LayerDecl("b", ("a",)),
+            LayerDecl("c", ("b", "a")),
+        ]
+        report = verify_graph_decls(decls)
+        assert report.ok()
+        assert not report.errors
+
+    def test_cycle_rejected(self):
+        decls = [
+            LayerDecl("a", ("input",)),
+            LayerDecl("b", ("c",)),
+            LayerDecl("c", ("b",)),
+        ]
+        report = verify_graph_decls(decls, output="a")
+        assert "cycle" in rules(report)
+        assert not report.ok()
+        assert report.exit_code() == 1
+
+    def test_dangling_producer_rejected(self):
+        decls = [LayerDecl("a", ("input",)), LayerDecl("b", ("ghost",))]
+        report = verify_graph_decls(decls, output="a")
+        assert "dangling-producer" in rules(report)
+        assert not report.ok()
+
+    def test_self_loop_rejected(self):
+        decls = [LayerDecl("a", ("input", "a"))]
+        report = verify_graph_decls(decls)
+        assert "self-loop" in rules(report)
+
+    def test_duplicate_and_reserved_names(self):
+        decls = [
+            LayerDecl("a", ("input",)),
+            LayerDecl("a", ("input",)),
+            LayerDecl("input", ("a",)),
+        ]
+        found = rules(verify_graph_decls(decls, output="a"))
+        assert "duplicate-layer" in found
+        assert "reserved-name" in found
+
+    def test_unreachable_output(self):
+        # b only consumes a constant-less orphan chain: output cannot
+        # be traced back to the network input.
+        decls = [
+            LayerDecl("a", ("input",)),
+            LayerDecl("b", ("b2",)),
+            LayerDecl("b2", ("b",)),
+        ]
+        report = verify_graph_decls(decls, output="b")
+        assert not report.ok()
+
+    def test_dead_layers_reported_as_info(self):
+        decls = [
+            LayerDecl("a", ("input",)),
+            LayerDecl("dead", ("input",)),
+        ]
+        report = verify_graph_decls(decls, output="a")
+        dead = report.by_rule("dead-layers")
+        assert dead and dead[0].severity == Severity.INFO
+        assert report.ok()  # info findings never fail the check
+
+    def test_empty_graph(self):
+        assert not verify_graph_decls([]).ok()
+
+
+# ----------------------------------------------------------------------
+# Built-network passes
+# ----------------------------------------------------------------------
+class TestVerifyNetwork:
+    def test_zoo_model_is_clean(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        report = verify_network(network)
+        assert report.ok(strict=True), report.render(verbose=True)
+
+    def test_decls_projection(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        decls = decls_of(network)
+        assert len(decls) == len(network)
+        assert decls[0].inputs == ("input",)
+
+    def test_stale_shape_after_weight_surgery(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        dense = next(
+            layer for layer in network.layers if isinstance(layer, Dense)
+        )
+        # Replace the weight with one producing a different output
+        # width; the bound shape is now stale.
+        dense.weight = np.zeros((dense.out_features + 3, dense.in_features))
+        report = verify_shapes(network)
+        assert "stale-shape" in rules(report)
+        assert not report.ok()
+
+    def test_incompatible_weight_shape(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        dense = next(
+            layer for layer in network.layers if isinstance(layer, Dense)
+        )
+        dense.weight = np.zeros((dense.out_features, dense.in_features + 1))
+        report = verify_shapes(network)
+        assert "shape-mismatch" in rules(report)
+
+    def test_dtype_promotion_flagged(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.astype("float32")  # repro-check: ignore[dtype-mismatch]
+        report = verify_dtypes(network)
+        assert "dtype-promotion" in rules(report)
+        offender = report.by_rule("dtype-promotion")[0]
+        assert offender.layer == conv.name
+
+    def test_non_finite_parameter_flagged(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.copy()
+        conv.weight.flat[0] = np.nan
+        report = verify_dtypes(network)
+        assert "non-finite-parameter" in rules(report)
+
+    def test_full_verify_combines_passes(self):
+        network = build_model("lenet", num_classes=8, seed=TEST_SEED)
+        conv = network.layers[0]
+        conv.weight = conv.weight.astype("float32")  # repro-check: ignore[dtype-mismatch]
+        report = verify_network(network)
+        assert "dtype-promotion" in rules(report)

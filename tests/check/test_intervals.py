@@ -1,0 +1,108 @@
+"""Pass 1b: static activation-range propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import Interval, input_range_of, propagate_ranges
+from repro.models import build_model
+from repro.nn.builder import NetworkBuilder
+
+TEST_SEED = 1234
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(-2.0, 3.0)
+        assert iv.max_abs == 3.0
+        assert iv.with_zero() == iv
+        assert Interval(1.0, 2.0).with_zero() == Interval(0.0, 2.0)
+        assert Interval(-3.0, -1.0).relu() == Interval(0.0, 0.0)
+        assert (Interval(-1.0, 1.0) + Interval(2.0, 3.0)) == Interval(1.0, 4.0)
+        assert Interval(-1.0, 0.5).hull(Interval(0.0, 2.0)) == Interval(-1.0, 2.0)
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_input_range_of(self):
+        images = np.array([[-3.0, 7.0], [1.0, 2.0]])
+        assert input_range_of(images) == Interval(-3.0, 7.0)
+        widened = input_range_of(images, margin=0.2)
+        assert widened.lo < -3.0 and widened.hi > 7.0
+
+
+def _forward_bound_network(builder_fn, batch):
+    """Propagate intervals and compare with an actual forward pass."""
+    network = builder_fn()
+    analysis = propagate_ranges(network, input_range_of(batch))
+    cache = network.run_all(batch)
+    return network, analysis, cache
+
+
+class TestPropagation:
+    def test_dense_bound_is_sound_and_attained(self):
+        rng = np.random.default_rng(TEST_SEED)
+        weight = rng.normal(size=(4, 6))
+        builder = NetworkBuilder("tiny", (6,), seed=TEST_SEED)
+        builder.dense("fc", 4)
+        network = builder.build()
+        network["fc"].weight = weight
+        network["fc"].bias = np.zeros(4)
+
+        lo, hi = -1.5, 2.0
+        analysis = propagate_ranges(network, Interval(lo, hi))
+        bound = analysis.outputs["fc"]
+
+        # Sound: every sampled input stays inside the bound.
+        x = rng.uniform(lo, hi, size=(512, 6))
+        y = x @ weight.T
+        assert y.min() >= bound.lo - 1e-9
+        assert y.max() <= bound.hi + 1e-9
+
+        # Attained: the vertex input realizes the upper bound exactly.
+        best = np.where(weight > 0, hi, lo)
+        attained = (best * weight).sum(axis=1).max()
+        assert attained == pytest.approx(bound.hi)
+
+    def test_relu_softmax_and_merge_bounds(self):
+        builder = NetworkBuilder("merge", (4,), seed=TEST_SEED)
+        builder.dense("fc1", 4, relu=True)
+        network = builder.build()
+        analysis = propagate_ranges(network, Interval(-1.0, 1.0))
+        relu_name = network.output_name
+        out = analysis.outputs[relu_name]
+        assert out.lo >= 0.0
+
+    def test_zoo_bound_covers_measured_ranges(
+        self, lenet, lenet_stats, datasets
+    ):
+        """Static bounds must dominate anything the data produced."""
+        __, test = datasets
+        analysis = propagate_ranges(lenet, input_range_of(test.images))
+        assert not analysis.report.findings  # every layer type supported
+        for name, stat in lenet_stats.items():
+            bound = analysis.analyzed_inputs[name]
+            assert stat.max_abs_input <= bound.max_abs * (1 + 1e-12), name
+
+    def test_all_zoo_layer_types_supported(self):
+        # GoogleNet exercises concat/LRN/global-pool; ResNet exercises
+        # add/batch-norm affine.
+        for model in ("googlenet", "resnet50"):
+            network = build_model(model, num_classes=8, seed=TEST_SEED)
+            analysis = propagate_ranges(network, Interval(-100.0, 100.0))
+            assert not analysis.report.findings, model
+            assert set(analysis.analyzed_inputs) == set(
+                network.analyzed_layer_names
+            )
+
+    def test_deeper_layers_widen(self, lenet, datasets):
+        __, test = datasets
+        analysis = propagate_ranges(lenet, input_range_of(test.images))
+        names = lenet.analyzed_layer_names
+        first = analysis.analyzed_inputs[names[0]]
+        last = analysis.analyzed_inputs[names[-1]]
+        assert last.max_abs >= first.max_abs

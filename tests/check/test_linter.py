@@ -1,0 +1,207 @@
+"""Pass 2: AST numerical linter — one positive + one negative per rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import lint_paths, lint_source
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), path="snippet.py")
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestUnseededRandom:
+    def test_legacy_global_rng_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            x = np.random.uniform(-1, 1, size=8)
+            """
+        )
+        assert rules(findings) == {"unseeded-random"}
+        assert findings[0].line == 3
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert rules(findings) == {"unseeded-random"}
+
+    def test_seeded_generator_is_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng(20190325)
+            x = rng.uniform(-1, 1, size=8)
+            """
+        )
+        assert not findings
+
+    def test_non_numpy_random_ignored(self):
+        # `random` here is some other module; only numpy aliases count.
+        findings = lint(
+            """
+            import mylib as np2
+            x = np2.random.uniform(0, 1)
+            """
+        )
+        assert not findings
+
+
+class TestFloatEquality:
+    def test_equality_against_float_literal_flagged(self):
+        findings = lint("ok = sigma == 0.0\n")
+        assert rules(findings) == {"float-equality"}
+
+    def test_inequality_flagged(self):
+        findings = lint("bad = x != 1.5\n")
+        assert rules(findings) == {"float-equality"}
+
+    def test_integer_and_ordering_comparisons_clean(self):
+        findings = lint(
+            """
+            a = n == 0
+            b = x <= 0.0
+            c = x < 1.5
+            """
+        )
+        assert not findings
+
+
+class TestDtypeMismatch:
+    def test_dtype_kwarg_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype="float32")
+            """
+        )
+        assert rules(findings) == {"dtype-mismatch"}
+
+    def test_astype_attribute_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            y = x.astype(np.float32)
+            """
+        )
+        assert rules(findings) == {"dtype-mismatch"}
+
+    def test_substrate_dtype_clean(self):
+        findings = lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype="float64")
+            y = x.astype(np.float64)
+            """
+        )
+        assert not findings
+
+
+class TestCacheMutation:
+    def test_augassign_on_cache_item_flagged(self):
+        findings = lint("cache['conv1'] += noise\n")
+        assert rules(findings) == {"cache-mutation"}
+
+    def test_element_store_flagged(self):
+        findings = lint("activation_cache['conv1'][0] = 0.0\n")
+        assert rules(findings) == {"cache-mutation"}
+
+    def test_mutating_method_flagged(self):
+        findings = lint("cache['conv1'].fill(0.0)\n")
+        assert rules(findings) == {"cache-mutation"}
+
+    def test_slot_rebinding_is_clean(self):
+        # The dict-building idiom: assigning a fresh array to a slot.
+        findings = lint("cache['conv1'] = outputs\n")
+        assert not findings
+
+    def test_non_cache_receiver_is_clean(self):
+        findings = lint("weights['conv1'] += noise\n")
+        assert not findings
+
+
+class TestOverbroadExcept:
+    def test_bare_except_flagged(self):
+        findings = lint(
+            """
+            try:
+                run()
+            except:
+                pass
+            """
+        )
+        assert rules(findings) == {"overbroad-except"}
+
+    def test_swallowing_exception_flagged(self):
+        findings = lint(
+            """
+            try:
+                run()
+            except Exception:
+                log()
+            """
+        )
+        assert rules(findings) == {"overbroad-except"}
+
+    def test_reraising_handler_is_clean(self):
+        findings = lint(
+            """
+            try:
+                run()
+            except Exception:
+                cleanup()
+                raise
+            """
+        )
+        assert not findings
+
+    def test_narrow_handler_is_clean(self):
+        findings = lint(
+            """
+            try:
+                run()
+            except ValueError:
+                recover()
+            """
+        )
+        assert not findings
+
+
+class TestSuppressionAndDriver:
+    def test_targeted_suppression(self):
+        findings = lint(
+            "ok = sigma == 0.0  # repro-check: ignore[float-equality]\n"
+        )
+        assert not findings
+
+    def test_blanket_suppression(self):
+        findings = lint("ok = sigma == 0.0  # repro-check: ignore\n")
+        assert not findings
+
+    def test_wrong_rule_suppression_does_not_hide(self):
+        findings = lint(
+            "ok = sigma == 0.0  # repro-check: ignore[cache-mutation]\n"
+        )
+        assert rules(findings) == {"float-equality"}
+
+    def test_syntax_error_becomes_finding(self):
+        findings = lint("def broken(:\n")
+        assert rules(findings) == {"syntax-error"}
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "bad.py").write_text("x = y == 0.5\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("y == 0.5 not python\n")
+        report, num_files = lint_paths([tmp_path])
+        assert num_files == 2
+        assert {f.rule for f in report} == {"float-equality"}
+        assert report.exit_code() == 1
