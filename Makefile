@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full suite examples check clean
+.PHONY: install test test-all bench bench-full bench-profiler suite examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench:           ## default benchmark subset (one network per family)
 
 bench-full:      ## all eight paper networks (long)
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+bench-profiler:  ## profiler scaling: legacy vs engine vs --jobs (writes BENCH_profiler.json)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_profiler_scaling.py
 
 suite:           ## regenerate every table/figure as JSON artifacts
 	$(PYTHON) -m repro suite --output results/

@@ -10,6 +10,8 @@ method end to end on a pure-numpy substrate:
 * :mod:`repro.quant` — fixed-point formats and bit accounting.
 * :mod:`repro.hardware` — MAC energy / bandwidth / accelerator models.
 * :mod:`repro.analysis` — lambda/theta profiling and sigma search.
+* :mod:`repro.engine` — vectorized, optionally parallel injection
+  campaigns (replay plans, trial batching, worker pools).
 * :mod:`repro.optimize` — multi-objective xi optimization (Eq. 8).
 * :mod:`repro.baselines` — uniform / equal-scheme / search baselines.
 * :mod:`repro.weights` — weight bitwidth search (Sec. V-E).
@@ -35,6 +37,7 @@ from .config import (
     DEFAULT_SEED,
     FAST_PROFILE,
     FAST_SEARCH,
+    ParallelSettings,
     ProfileSettings,
     SearchSettings,
 )
@@ -67,6 +70,7 @@ __all__ = [
     "NumericalGuardError",
     "OptimizationError",
     "OptimizationOutcome",
+    "ParallelSettings",
     "PrecisionOptimizer",
     "ProfileSettings",
     "ProfilingError",

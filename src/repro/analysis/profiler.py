@@ -21,7 +21,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..config import ProfileSettings
+from ..config import ParallelSettings, ProfileSettings
+from ..engine.campaign import InjectionEngine, enforce_finite_trial
+from ..engine.rng import trial_rng
 from ..errors import ProfilingError
 from ..nn.graph import Network
 from ..resilience.guards import (
@@ -70,6 +72,15 @@ class ProfileReport:
     profiles: Dict[str, LayerErrorProfile]
     num_images: int
     elapsed_seconds: float
+    #: Per-stage wall-clock seconds (plan/reference/replay/reduce/fit)
+    #: from the engine's instrumentation; empty for reports assembled
+    #: outside a campaign (e.g. resumed from disk).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Fraction of total network MACs each layer's replay recomputes
+    #: (``graphutils.replay_cost_fraction``).
+    replay_fractions: Dict[str, float] = field(default_factory=dict)
+    #: Worker count the campaign ran with (1 = serial).
+    jobs: int = 1
 
     def __getitem__(self, name: str) -> LayerErrorProfile:
         return self.profiles[name]
@@ -104,11 +115,21 @@ class ErrorProfiler:
         batch_size: int = 32,
         delta_relative: bool = True,
         strict: bool = False,
+        parallel: Optional[ParallelSettings] = None,
+        use_engine: bool = True,
     ):
         self.network = network
         self.images = np.asarray(images, dtype=np.float64)
         self.settings = settings or ProfileSettings()
         self.batch_size = batch_size
+        #: Engine execution knobs (jobs, backend, trial batching).
+        self.parallel = parallel or ParallelSettings()
+        #: Route the campaign through the vectorized injection engine
+        #: (the default).  ``False`` keeps the one-trial-at-a-time
+        #: replay loop — same per-trial RNG streams, same bits — and
+        #: exists as the benchmark baseline and a differential oracle
+        #: for the engine.
+        self.use_engine = use_engine
         #: When true, each layer's delta grid spans a fixed fraction of
         #: that layer's input scale (keeps the regression in the regime
         #: where the linear model holds for layers of any magnitude).
@@ -217,52 +238,31 @@ class ErrorProfiler:
         settings = self.settings
         num_images = min(settings.num_images, self.images.shape[0])
         images = self.images[:num_images]
-        rng = np.random.default_rng(settings.seed)
 
-        sq_sums = {name: np.zeros(settings.num_delta_points) for name in names}
-        counts = {name: np.zeros(settings.num_delta_points) for name in names}
-        output_name = self.network.output_name
-        for batch_start in range(0, num_images, self.batch_size):
-            batch = images[batch_start : batch_start + self.batch_size]
-            cache = self.network.run_all(batch)
-            reference = cache[output_name]
-            for name in names:
-                grid = grids[name]
-                for j, delta in enumerate(grid):
-                    for __ in range(settings.num_repeats):
-                        tap = uniform_noise_tap(float(delta), rng)
-                        perturbed = self.network.forward_from(cache, name, tap)
-                        err = perturbed - reference
-                        sq_sum = float((err * err).sum())
-                        if not np.isfinite(sq_sum):
-                            enforce(
-                                check_finite_array(
-                                    perturbed, "profiling", layer=name
-                                )
-                                or [
-                                    Diagnostic(
-                                        stage="profiling",
-                                        code="non_finite",
-                                        message=(
-                                            "squared-error sum overflowed "
-                                            f"at delta={delta:.4g}"
-                                        ),
-                                        layer=name,
-                                        value=float(delta),
-                                    )
-                                ],
-                                strict=True,
-                                context=(
-                                    f"error injection at layer {name!r}, "
-                                    f"delta={delta:.4g}"
-                                ),
-                            )
-                        sq_sums[name][j] += sq_sum
-                        counts[name][j] += err.size
-            if progress:  # pragma: no cover - console nicety
-                done = min(batch_start + self.batch_size, num_images)
-                print(f"  profiled {done}/{num_images} images")
+        timings: Dict[str, float] = {}
+        replay_fractions: Dict[str, float] = {}
+        jobs = 1
+        if self.use_engine:
+            engine = InjectionEngine(self.network, self.parallel)
+            campaign = engine.run(
+                images,
+                grids,
+                num_repeats=settings.num_repeats,
+                seed=settings.seed,
+                batch_size=self.batch_size,
+                progress=progress,
+            )
+            sq_sums = campaign.sq_sums
+            counts = campaign.counts
+            timings = campaign.timings.as_dict()
+            replay_fractions = campaign.replay_fractions
+            jobs = campaign.jobs
+        else:
+            sq_sums, counts = self._profile_serial(
+                images, grids, names, num_images, progress
+            )
 
+        fit_start = time.perf_counter()
         profiles: Dict[str, LayerErrorProfile] = {}
         for name in names:
             sigmas = np.sqrt(sq_sums[name] / np.maximum(counts[name], 1.0))
@@ -295,7 +295,65 @@ class ErrorProfiler:
                 sigmas=sigmas,
                 diagnostics=diagnostics,
             )
+        timings["fit"] = time.perf_counter() - fit_start
         elapsed = time.perf_counter() - start_time
         return ProfileReport(
-            profiles=profiles, num_images=num_images, elapsed_seconds=elapsed
+            profiles=profiles,
+            num_images=num_images,
+            elapsed_seconds=elapsed,
+            timings=timings,
+            replay_fractions=replay_fractions,
+            jobs=jobs,
         )
+
+    def _profile_serial(
+        self,
+        images: np.ndarray,
+        grids: Dict[str, np.ndarray],
+        names: Sequence[str],
+        num_images: int,
+        progress: bool,
+    ):
+        """The pre-engine trial-at-a-time loop (benchmark baseline).
+
+        Uses the same per-trial ``SeedSequence``-spawned RNG streams as
+        the engine (coordinate-keyed, not loop-order-coupled), so its
+        sigmas are bitwise identical to the engine's for any execution
+        strategy — the engine's differential test oracle.
+        """
+        settings = self.settings
+        positions = {
+            layer.name: index
+            for index, layer in enumerate(self.network.layers)
+        }
+        sq_sums = {name: np.zeros(settings.num_delta_points) for name in names}
+        counts = {name: np.zeros(settings.num_delta_points) for name in names}
+        output_name = self.network.output_name
+        for batch_start in range(0, num_images, self.batch_size):
+            batch = images[batch_start : batch_start + self.batch_size]
+            batch_index = batch_start // self.batch_size
+            cache = self.network.run_all(batch)
+            reference = cache[output_name]
+            for name in names:
+                grid = grids[name]
+                for j, delta in enumerate(grid):
+                    for repeat in range(settings.num_repeats):
+                        rng = trial_rng(
+                            settings.seed,
+                            positions[name],
+                            batch_index,
+                            j,
+                            repeat,
+                        )
+                        tap = uniform_noise_tap(float(delta), rng)
+                        perturbed = self.network.forward_from(cache, name, tap)
+                        err = perturbed - reference
+                        sq_sum = float((err * err).sum())
+                        if not np.isfinite(sq_sum):
+                            enforce_finite_trial(perturbed, name, float(delta))
+                        sq_sums[name][j] += sq_sum
+                        counts[name][j] += err.size
+            if progress:  # pragma: no cover - console nicety
+                done = min(batch_start + self.batch_size, num_images)
+                print(f"  profiled {done}/{num_images} images")
+        return sq_sums, counts

@@ -58,7 +58,17 @@ def deltas_for_sigma(
 
 
 class Scheme1Evaluator:
-    """Accuracy under equal-scheme uniform injection at every layer."""
+    """Accuracy under equal-scheme uniform injection at every layer.
+
+    Evaluations are memoized on ``(sigma, scheme, seed)``: the doubling
+    phase and bisection of consecutive searches re-probe identical
+    sigmas (every search starts from the same ``initial_upper``), and
+    each re-probe costs a full noisy dataset pass.  The evaluator is
+    seeded deterministically per (sigma, trial), so the cached value is
+    exactly what a re-evaluation would measure.
+    """
+
+    scheme = "scheme1"
 
     def __init__(
         self,
@@ -75,8 +85,15 @@ class Scheme1Evaluator:
         self.batch_size = batch_size
         self.num_trials = num_trials
         self.seed = seed
+        self._cache: Dict[Tuple[float, str, int], float] = {}
+        self.cache_hits = 0
 
     def accuracy(self, sigma: float) -> float:
+        key = (float(sigma), self.scheme, self.seed)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
         deltas = deltas_for_sigma(self.profiles, sigma)
         correct = 0
         total = 0
@@ -88,11 +105,20 @@ class Scheme1Evaluator:
                 pred = np.argmax(logits.reshape(logits.shape[0], -1), axis=1)
                 correct += int((pred == labels).sum())
                 total += labels.size
-        return correct / max(total, 1)
+        value = correct / max(total, 1)
+        self._cache[key] = value
+        return value
 
 
 class Scheme2Evaluator:
-    """Accuracy under Gaussian noise on cached clean logits (fast)."""
+    """Accuracy under Gaussian noise on cached clean logits (fast).
+
+    Memoized on ``(sigma, scheme, seed)`` like
+    :class:`Scheme1Evaluator` — cheaper per evaluation, but searches at
+    several accuracy drops still share the doubling-phase probes.
+    """
+
+    scheme = "scheme2"
 
     def __init__(
         self,
@@ -105,6 +131,8 @@ class Scheme2Evaluator:
         self.dataset = dataset
         self.num_trials = num_trials
         self.seed = seed
+        self._cache: Dict[Tuple[float, str, int], float] = {}
+        self.cache_hits = 0
         logits = []
         for images, __ in dataset.batches(batch_size):
             out = network.forward(images)
@@ -112,6 +140,11 @@ class Scheme2Evaluator:
         self._logits = np.concatenate(logits, axis=0)
 
     def accuracy(self, sigma: float) -> float:
+        key = (float(sigma), self.scheme, self.seed)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
         labels = self.dataset.labels
         correct = 0
         total = 0
@@ -121,7 +154,9 @@ class Scheme2Evaluator:
             pred = np.argmax(noisy, axis=1)
             correct += int((pred == labels).sum())
             total += labels.size
-        return correct / max(total, 1)
+        value = correct / max(total, 1)
+        self._cache[key] = value
+        return value
 
 
 @dataclass

@@ -42,7 +42,7 @@ from .experiments import (
     run_table3,
 )
 from .models import MODEL_NAMES, PAPER_LAYER_COUNTS, build_model
-from .pipeline import format_table
+from .pipeline import describe_profile_timings, format_table
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -57,6 +57,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=["scheme1", "scheme2"],
         default="scheme1",
         help="accuracy test for the sigma search (Sec. V-C)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker count for the injection engine's layer-level pool "
+            "(results are bit-identical for any N; see "
+            "docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="engine pool backend (process = shared-memory workers)",
     )
     parser.add_argument(
         "--resume",
@@ -89,6 +106,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         strict=args.strict,
         state_dir=args.resume,
+        jobs=args.jobs,
+        parallel_backend=args.parallel_backend,
     )
 
 
@@ -129,6 +148,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{report.elapsed_seconds:.1f}s; worst fit "
         f"{report.worst_fit().max_relative_error:.1%}"
     )
+    print(describe_profile_timings(report))
     return 0
 
 

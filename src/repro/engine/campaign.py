@@ -1,0 +1,398 @@
+"""The vectorized, optionally parallel injection-campaign runner.
+
+:class:`InjectionEngine` executes the paper's Sec. V-A measurement —
+for every analyzed layer, inject ``U[-delta, delta]`` noise at each
+grid point x repeat and accumulate the squared output error — with
+three structural speedups over the naive loop:
+
+1. **Replay plans** (:meth:`Network.replay_plan`): the downstream
+   closure of each start layer is computed once, not per trial.
+2. **Multi-trial batching** (:meth:`Network.forward_from_many`):
+   ``trial_batch`` noise draws stack along the batch axis and replay in
+   one pass through bitwise-faithful fast kernels
+   (:mod:`repro.engine.kernels`), so R replays share each layer's
+   im2col/GEMM setup.
+3. **A worker pool across layers** (thread by default, shared-memory
+   processes optionally) — see :mod:`repro.engine.parallel`.
+
+Determinism contract: every trial owns a coordinate
+``(layer_position, batch, delta, repeat)`` and draws noise from its own
+:func:`~repro.engine.rng.trial_rng` stream; per-trial squared errors
+land in a preallocated cell array and are reduced in a fixed order.
+Fitted lambda/theta are therefore **bit-identical** for any ``jobs``,
+``backend``, ``trial_batch``, or traversal order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ParallelSettings
+from ..errors import ProfilingError, ReproError, RetryExhaustedError, TransientError
+from ..nn.graph import ActivationCache, Network
+from ..resilience.guards import Diagnostic, check_finite_array, enforce
+from .alloc import tune_allocator
+from .kernels import KernelScratch, fast_forward, make_forward_fn
+from .rng import trial_rng
+from .timing import StageTimings
+
+
+def enforce_finite_trial(
+    perturbed: np.ndarray, name: str, delta: float
+) -> None:
+    """Raise the standard structured error for a non-finite trial.
+
+    Shared by the engine and the legacy profiler loop so both surfaces
+    report numerical blowups identically.
+    """
+    enforce(
+        check_finite_array(perturbed, "profiling", layer=name)
+        or [
+            Diagnostic(
+                stage="profiling",
+                code="non_finite",
+                message=(
+                    "squared-error sum overflowed "
+                    f"at delta={delta:.4g}"
+                ),
+                layer=name,
+                value=float(delta),
+            )
+        ],
+        strict=True,
+        context=f"error injection at layer {name!r}, delta={delta:.4g}",
+    )
+
+
+@dataclass
+class LayerCells:
+    """Per-trial squared-error sums for one start layer.
+
+    ``cells[b, j, r]`` is the squared-error sum of the trial at batch
+    ``b``, delta index ``j``, repeat ``r``; ``counts[j]`` the number of
+    output elements accumulated at delta index ``j``.
+    """
+
+    name: str
+    cells: np.ndarray
+    counts: np.ndarray
+
+
+def run_layer_campaign(
+    network: Network,
+    caches: Sequence[ActivationCache],
+    *,
+    name: str,
+    layer_position: int,
+    grid: np.ndarray,
+    num_repeats: int,
+    seed: int,
+    trial_batch: int,
+    fast_kernels: bool,
+) -> LayerCells:
+    """The full delta-grid injection campaign for one start layer.
+
+    Pure function of its arguments (each trial's RNG stream is derived
+    from its coordinate), so it can run in any worker, in any order,
+    and produce the same bits.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    num_deltas = len(grid)
+    # One scratch per campaign: every replay chunk rewrites the same
+    # per-layer buffers, which kills allocator churn on the hot path.
+    scratch = KernelScratch() if fast_kernels else None
+    output = network.output_name
+    start_input = network[name].inputs[0]
+    tiny = np.finfo(np.float64).tiny
+    cells = np.zeros((len(caches), num_deltas, num_repeats))
+    counts = np.zeros(num_deltas)
+    coordinates = [
+        (j, r) for j in range(num_deltas) for r in range(num_repeats)
+    ]
+    for batch_index, cache in enumerate(caches):
+        source = cache[start_input]
+        reference = cache[output]
+        # Exact zeros stay exact under any fixed-point format (Fig. 1),
+        # so they receive no noise; the mask depends only on the clean
+        # input and is shared across all of this batch's trials.
+        zero_mask = np.abs(source) < tiny
+        mask_zeros = bool(zero_mask.any())
+        for chunk_start in range(0, len(coordinates), trial_batch):
+            chunk = coordinates[chunk_start : chunk_start + trial_batch]
+            perturbed_inputs: List[np.ndarray] = []
+            for j, r in chunk:
+                delta = float(grid[j])
+                rng = trial_rng(seed, layer_position, batch_index, j, r)
+                noise = rng.uniform(-delta, delta, size=source.shape)
+                if mask_zeros:
+                    noise[zero_mask] = 0.0
+                perturbed_inputs.append(source + noise)
+            taps = [
+                (lambda value: (lambda _x: value))(p)
+                for p in perturbed_inputs
+            ]
+            # trial_groups tells the kernels how many trials the batch
+            # axis stacks, so each GEMM runs at unstacked shapes and
+            # the result cannot depend on the trial_batch setting.
+            forward_fn = (
+                make_forward_fn(scratch, trial_groups=len(chunk))
+                if fast_kernels
+                else None
+            )
+            outputs = network.forward_from_many(
+                cache, name, taps, forward_fn=forward_fn
+            )
+            for position, (j, r) in enumerate(chunk):
+                err = outputs[position] - reference
+                sq_sum = float((err * err).sum())
+                if not np.isfinite(sq_sum):
+                    enforce_finite_trial(
+                        outputs[position], name, float(grid[j])
+                    )
+                cells[batch_index, j, r] = sq_sum
+                counts[j] += err.size
+    return LayerCells(name=name, cells=cells, counts=counts)
+
+
+@dataclass
+class CampaignResult:
+    """Reduced campaign output plus instrumentation."""
+
+    #: Fixed-order reduced squared-error sums per layer, shape (D,).
+    sq_sums: Dict[str, np.ndarray]
+    #: Accumulated output-element counts per layer, shape (D,).
+    counts: Dict[str, np.ndarray]
+    num_images: int
+    timings: StageTimings = field(default_factory=StageTimings)
+    #: Fraction of total network MACs each layer's replay recomputes.
+    replay_fractions: Dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
+
+
+class InjectionEngine:
+    """Runs injection campaigns with batching and worker pools."""
+
+    def __init__(
+        self,
+        network: Network,
+        parallel: Optional[ParallelSettings] = None,
+    ):
+        self.network = network
+        self.parallel = parallel or ParallelSettings()
+        if self.parallel.tune_allocator:
+            tune_allocator()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        images: np.ndarray,
+        grids: Dict[str, np.ndarray],
+        num_repeats: int,
+        seed: int,
+        batch_size: int = 32,
+        progress: bool = False,
+    ) -> CampaignResult:
+        """Execute the campaign for every layer in ``grids``."""
+        names = list(grids)
+        timings = StageTimings()
+        settings = self.parallel
+        # The stateless variant allocates fresh outputs per call: the
+        # reference activations live in the caches for the whole
+        # campaign, so they must never alias a reused scratch buffer.
+        forward_fn = fast_forward if settings.fast_kernels else None
+        positions = {
+            layer.name: index
+            for index, layer in enumerate(self.network.layers)
+        }
+        with timings.stage("reference"):
+            caches = [
+                self.network.run_all(
+                    images[start : start + batch_size], forward_fn=forward_fn
+                )
+                for start in range(0, images.shape[0], batch_size)
+            ]
+        with timings.stage("plan"):
+            for name in names:
+                self.network.replay_plan(name)
+            replay_fractions = self._replay_fractions(names)
+        tasks = [
+            dict(
+                name=name,
+                layer_position=positions[name],
+                grid=np.asarray(grids[name], dtype=np.float64),
+                num_repeats=num_repeats,
+                seed=seed,
+                trial_batch=settings.trial_batch,
+                fast_kernels=settings.fast_kernels,
+            )
+            for name in names
+        ]
+        with timings.stage("replay"):
+            if settings.jobs == 1:
+                results = [
+                    self._run_serial_task(caches, task, progress)
+                    for task in tasks
+                ]
+            elif settings.backend == "process":
+                results = self._run_process_pool(caches, tasks)
+            else:
+                results = self._run_thread_pool(caches, tasks)
+        with timings.stage("reduce"):
+            sq_sums: Dict[str, np.ndarray] = {}
+            counts: Dict[str, np.ndarray] = {}
+            for task, layer_cells in zip(tasks, results):
+                name = task["name"]
+                cells = layer_cells.cells
+                num_deltas = cells.shape[1]
+                totals = np.zeros(num_deltas)
+                # Fixed reduction order (batches outer, repeats inner)
+                # keeps float addition identical to the serial loop for
+                # every worker count and chunking.
+                for j in range(num_deltas):
+                    total = 0.0
+                    for b in range(cells.shape[0]):
+                        for r in range(cells.shape[2]):
+                            total += cells[b, j, r]
+                    totals[j] = total
+                sq_sums[name] = totals
+                counts[name] = layer_cells.counts.copy()
+        return CampaignResult(
+            sq_sums=sq_sums,
+            counts=counts,
+            num_images=int(images.shape[0]),
+            timings=timings,
+            replay_fractions=replay_fractions,
+            jobs=settings.jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def _replay_fractions(self, names: Sequence[str]) -> Dict[str, float]:
+        from ..nn.graphutils import replay_cost_fraction
+
+        fractions: Dict[str, float] = {}
+        for name in names:
+            try:
+                fractions[name] = replay_cost_fraction(self.network, name)
+            except ReproError:  # networks with no MAC work
+                pass
+        return fractions
+
+    def _run_serial_task(
+        self, caches, task: Dict[str, object], progress: bool
+    ) -> LayerCells:
+        result = run_layer_campaign(self.network, caches, **task)
+        if progress:  # pragma: no cover - console nicety
+            print(f"  profiled layer {task['name']}")
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect(self, tasks, submit) -> List[LayerCells]:
+        """Gather results in task order, with transient retries.
+
+        ``submit(task)`` returns a future.  All tasks launch up front;
+        a task failing with :class:`TransientError` is resubmitted up
+        to ``transient_retries`` times (the resilience layer's retry
+        semantics), any other failure aborts the campaign as a
+        :class:`ProfilingError` naming the layer, original chained.
+        """
+        retries = self.parallel.transient_retries
+        futures = [submit(task) for task in tasks]
+        results: List[LayerCells] = []
+        for task, future in zip(tasks, futures):
+            name = task["name"]
+            failures: List[str] = []
+            while True:
+                try:
+                    results.append(future.result())
+                    break
+                except TransientError as exc:
+                    failures.append(
+                        f"attempt {len(failures) + 1}: {exc}"
+                    )
+                    if len(failures) > retries:
+                        raise RetryExhaustedError(
+                            f"injection campaign for layer {name!r} failed "
+                            f"{len(failures)} times; last error: "
+                            f"{failures[-1]}",
+                            attempts=failures,
+                        ) from exc
+                    future = submit(task)
+                except ReproError:
+                    raise
+                except BaseException as exc:
+                    raise ProfilingError(
+                        f"injection worker for layer {name!r} crashed: "
+                        f"{exc!r}"
+                    ) from exc
+        return results
+
+    def _effective_workers(self) -> int:
+        """``jobs`` capped at the cores actually available to us.
+
+        Oversubscribing a smaller CPU quota only adds contention, and
+        results are bit-identical for any worker count, so the cap is
+        free; ``jobs`` is an upper bound on concurrency, not a demand.
+        """
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            available = len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux
+            available = os.cpu_count() or 1
+        return max(1, min(self.parallel.jobs, available))
+
+    def _run_thread_pool(self, caches, tasks) -> List[LayerCells]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=self._effective_workers(),
+            thread_name_prefix="repro-engine",
+        ) as pool:
+
+            def submit(task):
+                return pool.submit(
+                    run_layer_campaign, self.network, caches, **task
+                )
+
+            return self._collect(tasks, submit)
+
+    def _run_process_pool(self, caches, tasks) -> List[LayerCells]:
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        from .parallel import (
+            SharedCaches,
+            _process_worker_init,
+            _process_worker_run,
+        )
+
+        network_bytes = pickle.dumps(self.network)
+        shared = SharedCaches.create(caches)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self._effective_workers(),
+                mp_context=get_context("spawn"),
+                initializer=_process_worker_init,
+                initargs=(
+                    network_bytes,
+                    shared.shm_name,
+                    shared.descriptors,
+                ),
+            ) as pool:
+
+                def submit(task):
+                    return pool.submit(
+                        _process_worker_run, pickle.dumps(task)
+                    )
+
+                raw = self._collect(tasks, submit)
+        finally:
+            shared.release()
+        return [
+            item if isinstance(item, LayerCells) else pickle.loads(item)
+            for item in raw
+        ]

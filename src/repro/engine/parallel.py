@@ -1,0 +1,155 @@
+"""Worker-pool plumbing for the injection engine.
+
+The campaign parallelizes across start layers: each worker runs the
+full delta-grid injection for one layer and returns that layer's
+per-(batch, delta, repeat) squared-error cells.  Determinism needs no
+locks — every trial owns a seed-sequence stream and the main process
+reduces cells in a fixed order — so the pool is pure fan-out.
+
+Two backends:
+
+* ``thread`` (default): workers share the network and the clean
+  activation caches directly.  numpy releases the GIL inside BLAS and
+  large ufunc kernels, so replay work genuinely overlaps on multicore
+  hosts, and there is no serialization cost.
+* ``process``: workers run in spawned interpreters.  The activation
+  caches — the bulky read-only state — are shipped once through
+  :class:`SharedCaches` (``multiprocessing.shared_memory``), not
+  pickled per task; the network is pickled once per worker at
+  initializer time.
+
+Worker failures surface through the resilience layer:
+:class:`~repro.errors.TransientError` raised inside a worker is retried
+per layer task (``ParallelSettings.transient_retries``); any other
+exception aborts the campaign as a :class:`~repro.errors.ProfilingError`
+naming the layer, with the original exception chained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.graph import INPUT, ActivationCache
+
+#: Descriptor of one cached array inside the shared segment:
+#: (batch_index, layer_name, dtype_str, shape, byte_offset).
+ArrayDescriptor = Tuple[int, str, str, Tuple[int, ...], int]
+
+
+@dataclass
+class SharedCaches:
+    """Clean activation caches copied into one shared-memory segment."""
+
+    shm_name: str
+    descriptors: List[ArrayDescriptor]
+    _shm: Optional[object] = None
+
+    @classmethod
+    def create(cls, caches: Sequence[ActivationCache]) -> "SharedCaches":
+        from multiprocessing import shared_memory
+
+        descriptors: List[ArrayDescriptor] = []
+        offset = 0
+        arrays: List[Tuple[ArrayDescriptor, np.ndarray]] = []
+        for index, cache in enumerate(caches):
+            for name in cache.names():
+                value = np.ascontiguousarray(cache[name])
+                descriptor = (
+                    index,
+                    name,
+                    value.dtype.str,
+                    tuple(value.shape),
+                    offset,
+                )
+                descriptors.append(descriptor)
+                arrays.append((descriptor, value))
+                offset += value.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (index, name, dtype, shape, start), value in arrays:
+            target = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=start
+            )
+            target[...] = value
+        return cls(shm_name=shm.name, descriptors=descriptors, _shm=shm)
+
+    @staticmethod
+    def attach(
+        shm_name: str, descriptors: Sequence[ArrayDescriptor]
+    ) -> Tuple[List[ActivationCache], object]:
+        """Rebuild the cache list from the shared segment (worker side).
+
+        On Linux the POSIX segment is mapped read-only straight from
+        ``/dev/shm`` — zero copies, and no interaction with the
+        multiprocessing resource tracker (whose per-attach registration
+        double-unlinks parent-owned segments on Python < 3.13).  Other
+        platforms fall back to a ``SharedMemory`` attach.
+        """
+        import mmap
+        from pathlib import Path
+
+        holder: object
+        path = Path("/dev/shm") / shm_name.lstrip("/")
+        if path.exists():
+            handle = path.open("rb")
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            buffer: object = mapped
+            holder = (handle, mapped)
+        else:  # pragma: no cover - non-Linux fallback
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=shm_name)
+            buffer = shm.buf
+            holder = shm
+        per_batch: Dict[int, Dict[str, np.ndarray]] = {}
+        for index, name, dtype, shape, offset in descriptors:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=buffer, offset=offset
+            )
+            per_batch.setdefault(index, {})[name] = view
+        caches = [
+            ActivationCache(per_batch[index])
+            for index in sorted(per_batch)
+        ]
+        return caches, holder
+
+    def release(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+#: Per-worker state for the process backend, set by the initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _process_worker_init(
+    network_bytes: bytes,
+    shm_name: str,
+    descriptors: List[ArrayDescriptor],
+) -> None:
+    import pickle
+
+    caches, shm = SharedCaches.attach(shm_name, descriptors)
+    _WORKER_STATE["network"] = pickle.loads(network_bytes)
+    _WORKER_STATE["caches"] = caches
+    _WORKER_STATE["shm"] = shm
+
+
+def _process_worker_run(task_bytes: bytes) -> bytes:
+    """Run one layer campaign inside a process-pool worker."""
+    import pickle
+
+    from .campaign import run_layer_campaign
+
+    task = pickle.loads(task_bytes)
+    result = run_layer_campaign(
+        _WORKER_STATE["network"], _WORKER_STATE["caches"], **task
+    )
+    return pickle.dumps(result)

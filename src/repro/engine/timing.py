@@ -1,0 +1,43 @@
+"""Per-stage timing instrumentation for injection campaigns.
+
+The engine accounts wall-clock time to four stages so a slow profiling
+run can be diagnosed at a glance (and so ``docs/performance.md`` can
+report where the speedups come from):
+
+``plan``       replay-plan construction (memoized; near-zero after warmup)
+``reference``  clean forward passes that build the activation caches
+``replay``     the injection trials themselves (the dominant stage)
+``fit``        per-layer regression + diagnostics
+
+Timings are cumulative across workers, measured on whichever thread
+runs the stage; with a pool the ``replay`` figure is summed CPU-side
+work, while ``total`` stays wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class StageTimings:
+    """Cumulative seconds per campaign stage."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - begin)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.seconds)

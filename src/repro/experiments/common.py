@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..config import DEFAULT_SEED, ProfileSettings, SearchSettings
+from ..config import (
+    DEFAULT_SEED,
+    ParallelSettings,
+    ProfileSettings,
+    SearchSettings,
+)
 from ..data import Dataset, SyntheticImageNet
 from ..models import pretrained_model
 from ..nn import Network
@@ -40,6 +45,11 @@ class ExperimentConfig:
     strict: bool = False
     #: Directory for resumable run state ("" disables checkpointing).
     state_dir: str = ""
+    #: Worker count for the injection engine's layer-level pool
+    #: (``--jobs``; 1 = serial, deterministic either way).
+    jobs: int = 1
+    #: Engine pool backend: "thread" or "process".
+    parallel_backend: str = "thread"
 
     def profile_settings(self) -> ProfileSettings:
         return ProfileSettings(
@@ -54,6 +64,11 @@ class ExperimentConfig:
             num_images=self.test_count,
             num_trials=self.search_trials,
             seed=self.seed,
+        )
+
+    def parallel_settings(self) -> ParallelSettings:
+        return ParallelSettings(
+            jobs=self.jobs, backend=self.parallel_backend
         )
 
 
@@ -100,6 +115,7 @@ def make_context(
         scheme=config.scheme,
         strict=config.strict,
         state_dir=config.state_dir or None,
+        parallel=config.parallel_settings(),
     )
     context = ExperimentContext(
         config=config,

@@ -6,7 +6,7 @@ used by the model zoo, and per-layer statistics collection.
 """
 
 from .builder import NetworkBuilder
-from .graph import INPUT, ActivationCache, Network
+from .graph import INPUT, ActivationCache, ForwardFn, Network, ReplayPlan
 from .graphutils import (
     downstream_layers,
     layer_depths,
@@ -48,6 +48,7 @@ __all__ = [
     "Conv2D",
     "Dense",
     "Flatten",
+    "ForwardFn",
     "GlobalAvgPool",
     "INPUT",
     "LRN",
@@ -59,6 +60,7 @@ __all__ = [
     "NetworkBuilder",
     "NetworkSpec",
     "ReLU",
+    "ReplayPlan",
     "Softmax",
     "build_from_spec",
     "downstream_layers",

@@ -19,6 +19,7 @@ Two capabilities here carry the whole reproduction:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,8 +30,40 @@ from .tensor import assert_batched
 
 Tap = Callable[[np.ndarray], np.ndarray]
 
+#: Forward override hook: ``(layer, arrays) -> output``.  Used by the
+#: injection engine to substitute bitwise-faithful fast kernels for
+#: ``layer.forward`` during replay (see :mod:`repro.engine.kernels`).
+ForwardFn = Callable[[Layer, Sequence[np.ndarray]], np.ndarray]
+
 #: Reserved producer name for the network input tensor.
 INPUT = "input"
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Precomputed downstream closure of one start layer.
+
+    ``forward_from`` used to re-derive this per call (an O(L) scan plus
+    set bookkeeping per trial); the profiler replays from the same
+    handful of start layers tens of thousands of times, so the plan is
+    computed once per start layer and memoized on the network
+    (invalidated whenever the graph mutates).
+    """
+
+    #: Layer the replay starts from (the injection point).
+    start: str
+    #: Indices (into ``Network.layers``) of the closure members, in
+    #: topological order.  Every one of these layers consumes at least
+    #: one dirty value and must be recomputed; no other layer does.
+    layer_indices: Tuple[int, ...] = field(repr=False)
+    #: Last layer index consuming each dirty value (for memory reuse).
+    last_use: Mapping[str, int] = field(repr=False)
+    #: Whether the closure contains the network output: a replay from
+    #: ``start`` can change the output at all.
+    reaches_output: bool = True
+
+    def __len__(self) -> int:
+        return len(self.layer_indices)
 
 
 class ActivationCache:
@@ -77,6 +110,9 @@ class Network:
         self._by_name: Dict[str, Layer] = {}
         self._output: Optional[str] = None
         self._analyzed: Optional[List[str]] = None
+        #: Memoized replay plans keyed by start layer; any structural
+        #: mutation (``add``, ``set_output``) clears the cache.
+        self._plan_cache: Dict[str, ReplayPlan] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,6 +135,7 @@ class Network:
         self._layers.append(layer)
         self._by_name[layer.name] = layer
         self._output = layer.name
+        self._plan_cache.clear()
         return layer
 
     def set_output(self, name: str) -> None:
@@ -106,6 +143,7 @@ class Network:
         if name not in self._by_name:
             raise GraphError(f"unknown output layer {name!r}")
         self._output = name
+        self._plan_cache.clear()
 
     def set_analyzed_layers(self, names: Sequence[str]) -> None:
         """Restrict which dot-product layers the paper's method analyzes.
@@ -195,60 +233,163 @@ class Network:
         assert result is not None
         return result
 
-    def run_all(self, x: np.ndarray) -> ActivationCache:
+    def run_all(
+        self, x: np.ndarray, forward_fn: Optional[ForwardFn] = None
+    ) -> ActivationCache:
         """Run the network and keep every activation (for partial replay)."""
         self._check_input(x)
         values: Dict[str, np.ndarray] = {INPUT: np.asarray(x, dtype=np.float64)}
         for layer in self._layers:
             arrays = [values[n] for n in layer.inputs]
-            values[layer.name] = layer.forward(arrays)
+            if forward_fn is None:
+                values[layer.name] = layer.forward(arrays)
+            else:
+                values[layer.name] = forward_fn(layer, arrays)
         return ActivationCache(values)
+
+    def replay_plan(self, start: str) -> ReplayPlan:
+        """Memoized downstream-closure plan for replays from ``start``.
+
+        The plan (closure member indices, last-use map, whether the
+        output is reachable) is computed once and cached; ``add`` and
+        ``set_output`` invalidate the cache.
+        """
+        plan = self._plan_cache.get(start)
+        if plan is None:
+            self[start]  # raises GraphError for unknown layers
+            output = self.output_name
+            dirty = {start}
+            indices: List[int] = []
+            last: Dict[str, int] = {}
+            for index, layer in enumerate(self._layers):
+                if layer.name == start or any(n in dirty for n in layer.inputs):
+                    dirty.add(layer.name)
+                    indices.append(index)
+                    for producer in layer.inputs:
+                        if producer in dirty:
+                            last[producer] = index
+            plan = ReplayPlan(
+                start=start,
+                layer_indices=tuple(indices),
+                last_use=last,
+                reaches_output=output in dirty,
+            )
+            self._plan_cache[start] = plan
+        return plan
 
     def forward_from(
         self,
         cache: ActivationCache,
         start: str,
         tap: Tap,
+        forward_fn: Optional[ForwardFn] = None,
     ) -> np.ndarray:
         """Replay from layer ``start`` with ``tap`` applied to its input.
 
         Only layers in the downstream closure of ``start`` are
-        recomputed; every other consumed value comes from ``cache``.
-        Returns the (perturbed) network output.
+        recomputed (following the memoized :meth:`replay_plan`); every
+        other consumed value comes from ``cache``.  Returns the
+        (perturbed) network output.
         """
-        start_layer = self[start]
-        dirty: Dict[str, np.ndarray] = {}
-        last_use = self._dirty_last_use(start)
+        plan = self.replay_plan(start)
         output = self.output_name
+        if not plan.reaches_output:
+            # start is not upstream of the output layer; output unchanged.
+            return cache[output]
+        dirty: Dict[str, np.ndarray] = {}
+        last_use = plan.last_use
         result: Optional[np.ndarray] = None
-        started = False
-        for index, layer in enumerate(self._layers):
-            if layer.name == start:
-                started = True
-            if not started:
-                continue
-            touches_dirty = layer.name == start or any(
-                n in dirty for n in layer.inputs
-            )
-            if not touches_dirty:
-                continue
+        for index in plan.layer_indices:
+            layer = self._layers[index]
             arrays = [
                 dirty[n] if n in dirty else cache[n] for n in layer.inputs
             ]
             if layer.name == start:
                 arrays[0] = tap(arrays[0])
-            out = layer.forward(arrays)
+            if forward_fn is None:
+                out = layer.forward(arrays)
+            else:
+                out = forward_fn(layer, arrays)
             dirty[layer.name] = out
             if layer.name == output:
                 result = out
             for name in list(dirty):
                 if last_use.get(name, -1) <= index and name != output:
                     del dirty[name]
-        if result is None:
-            # start is not upstream of the output layer; output unchanged.
-            result = cache[output]
-        del start_layer
+        assert result is not None
         return result
+
+    def forward_from_many(
+        self,
+        cache: ActivationCache,
+        start: str,
+        taps: Sequence[Tap],
+        forward_fn: Optional[ForwardFn] = None,
+    ) -> np.ndarray:
+        """Vectorized replay: R tapped draws in one batched pass.
+
+        Stacks ``len(taps)`` perturbed copies of ``start``'s input along
+        the batch axis and replays the downstream closure once, tiling
+        only the clean values the closure consumes.  Because every layer
+        operates per-sample, the result is bitwise identical to calling
+        :meth:`forward_from` once per tap — but R replays share each
+        layer's im2col/GEMM setup, which is what makes dense injection
+        campaigns affordable (see ``docs/performance.md``).
+
+        Returns an array of shape ``(R, B, *output_shape)`` where ``B``
+        is the cache's batch size: ``result[i]`` is the output for
+        ``taps[i]``.
+        """
+        if not taps:
+            raise GraphError("forward_from_many needs at least one tap")
+        plan = self.replay_plan(start)
+        output = self.output_name
+        repeats = len(taps)
+        batch = cache.batch_size
+        if not plan.reaches_output:
+            clean = cache[output]
+            tiled = np.broadcast_to(
+                clean, (repeats,) + clean.shape
+            )
+            return np.ascontiguousarray(tiled)
+        dirty: Dict[str, np.ndarray] = {}
+        last_use = plan.last_use
+        tiled_clean: Dict[str, np.ndarray] = {}
+
+        def tile(name: str) -> np.ndarray:
+            value = tiled_clean.get(name)
+            if value is None:
+                value = np.concatenate([cache[name]] * repeats, axis=0)
+                tiled_clean[name] = value
+            return value
+
+        result: Optional[np.ndarray] = None
+        for index in plan.layer_indices:
+            layer = self._layers[index]
+            if layer.name == start:
+                source = cache[layer.inputs[0]]
+                arrays = [
+                    np.concatenate([tap(source) for tap in taps], axis=0)
+                ] + [
+                    dirty[n] if n in dirty else tile(n)
+                    for n in layer.inputs[1:]
+                ]
+            else:
+                arrays = [
+                    dirty[n] if n in dirty else tile(n) for n in layer.inputs
+                ]
+            if forward_fn is None:
+                out = layer.forward(arrays)
+            else:
+                out = forward_fn(layer, arrays)
+            dirty[layer.name] = out
+            if layer.name == output:
+                result = out
+            for name in list(dirty):
+                if last_use.get(name, -1) <= index and name != output:
+                    del dirty[name]
+        assert result is not None
+        return result.reshape((repeats, batch) + result.shape[1:])
 
     # ------------------------------------------------------------------
     # Internals
@@ -276,16 +417,12 @@ class Network:
         return last
 
     def _dirty_last_use(self, start: str) -> Dict[str, int]:
-        """Last-use indices restricted to the downstream closure of start."""
-        dirty = {start}
-        last: Dict[str, int] = {}
-        for index, layer in enumerate(self._layers):
-            if layer.name == start or any(n in dirty for n in layer.inputs):
-                dirty.add(layer.name)
-                for producer in layer.inputs:
-                    if producer in dirty:
-                        last[producer] = index
-        return last
+        """Last-use indices restricted to the downstream closure of start.
+
+        Kept for backward compatibility; the computation now lives in
+        (and is memoized by) :meth:`replay_plan`.
+        """
+        return dict(self.replay_plan(start).last_use)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

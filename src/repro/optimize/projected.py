@@ -89,14 +89,28 @@ def optimize_xi_projected(
     xi = project_to_simplex(np.full(len(names), 1.0 / len(names)), floors)
     value = objective_fn(xi)
     iterations = 0
+    step = learning_rate
     for iterations in range(1, max_iterations + 1):
-        step = learning_rate / np.sqrt(iterations)
-        candidate = project_to_simplex(xi - step * gradient(xi), floors)
-        new_value = objective_fn(candidate)
-        if abs(value - new_value) < tolerance and iterations > 10:
-            xi, value = candidate, new_value
-            break
+        # Backtracking (Armijo-style) along the projection arc: the
+        # gradient blows up as 1/sqrt(xi) near the floors, and an
+        # unconditionally accepted step can fling the iterate into a
+        # simplex corner it never escapes.  Monotone descent plus the
+        # convexity of Eq. 8 guarantees convergence to the optimum.
+        grad = gradient(xi)
+        trial = step
+        while True:
+            candidate = project_to_simplex(xi - trial * grad, floors)
+            new_value = objective_fn(candidate)
+            if new_value <= value or trial < 1e-14:
+                break
+            trial *= 0.5
+        if new_value > value:
+            break  # no descent step left: converged
+        converged = abs(value - new_value) < tolerance and iterations > 10
         xi, value = candidate, new_value
+        if converged:
+            break
+        step = min(trial * 2.0, learning_rate)
     return XiSolution(
         xi={name: float(x) for name, x in zip(names, xi)},
         objective_value=value,

@@ -2,7 +2,13 @@
 
 from .ascii_plot import bar_chart, grouped_bar_chart, scatter_plot
 from .optimizer import OptimizationOutcome, PrecisionOptimizer
-from .report import bitwidth_row, describe_outcome, format_table, savings_row
+from .report import (
+    bitwidth_row,
+    describe_outcome,
+    describe_profile_timings,
+    format_table,
+    savings_row,
+)
 
 __all__ = [
     "OptimizationOutcome",
@@ -10,6 +16,7 @@ __all__ = [
     "bar_chart",
     "bitwidth_row",
     "describe_outcome",
+    "describe_profile_timings",
     "format_table",
     "grouped_bar_chart",
     "savings_row",

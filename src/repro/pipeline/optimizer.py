@@ -35,7 +35,7 @@ from ..analysis.sigma_search import (
     SigmaSearchResult,
     find_sigma,
 )
-from ..config import ProfileSettings, SearchSettings
+from ..config import ParallelSettings, ProfileSettings, SearchSettings
 from ..data import Dataset
 from ..errors import ReproError
 from ..models.evaluate import top1_accuracy
@@ -96,6 +96,7 @@ class PrecisionOptimizer:
         transient_retries: int = 2,
         xi_solver: Optional[Callable] = None,
         verify: bool = True,
+        parallel: Optional[ParallelSettings] = None,
     ):
         if scheme not in ("scheme1", "scheme2"):
             raise ReproError('scheme must be "scheme1" or "scheme2"')
@@ -105,6 +106,9 @@ class PrecisionOptimizer:
         self.search_settings = search_settings or SearchSettings()
         self.scheme = scheme
         self.batch_size = batch_size
+        #: Injection-engine execution knobs (jobs, backend, batching)
+        #: for both profiling campaigns; None keeps engine defaults.
+        self.parallel = parallel or ParallelSettings()
         #: Re-profile around the operating Deltas once sigma is known
         #: (the paper's iterative Delta guessing, Sec. V-A).
         self.refine = refine
@@ -145,6 +149,7 @@ class PrecisionOptimizer:
         self._refined: Dict[float, ProfileReport] = {}
         self._baseline_accuracy: Optional[float] = None
         self._sigma_cache: Dict[float, SigmaSearchResult] = {}
+        self._scheme1_evaluator: Optional[Scheme1Evaluator] = None
         self._scheme2_evaluator: Optional[Scheme2Evaluator] = None
 
     # ------------------------------------------------------------------
@@ -185,6 +190,7 @@ class PrecisionOptimizer:
                 settings=self.profile_settings,
                 batch_size=min(self.batch_size, 32),
                 strict=self.strict,
+                parallel=self.parallel,
             )
             if self.state is not None:
                 from ..resilience.state import resumable_profile
@@ -219,15 +225,19 @@ class PrecisionOptimizer:
                     )
                 accuracy_fn = self._scheme2_evaluator.accuracy
             else:
-                evaluator = Scheme1Evaluator(
-                    self.network,
-                    self.dataset,
-                    self.profile().profiles,
-                    batch_size=self.batch_size,
-                    num_trials=self.search_settings.num_trials,
-                    seed=self.search_settings.seed,
-                )
-                accuracy_fn = evaluator.accuracy
+                # One evaluator across all accuracy drops: its
+                # (sigma, scheme, seed) memo makes the shared
+                # doubling-phase probes free after the first search.
+                if self._scheme1_evaluator is None:
+                    self._scheme1_evaluator = Scheme1Evaluator(
+                        self.network,
+                        self.dataset,
+                        self.profile().profiles,
+                        batch_size=self.batch_size,
+                        num_trials=self.search_settings.num_trials,
+                        seed=self.search_settings.seed,
+                    )
+                accuracy_fn = self._scheme1_evaluator.accuracy
             self._sigma_cache[accuracy_drop] = find_sigma(
                 accuracy_fn,
                 self.baseline_accuracy(),
@@ -268,6 +278,7 @@ class PrecisionOptimizer:
                 settings=self.profile_settings,
                 batch_size=min(self.batch_size, 32),
                 strict=self.strict,
+                parallel=self.parallel,
             )
             self._refined[accuracy_drop] = profiler.profile_around(floor)
         return self._refined[accuracy_drop].profiles

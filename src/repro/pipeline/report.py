@@ -69,6 +69,35 @@ def savings_row(
     return row
 
 
+def describe_profile_timings(report) -> str:
+    """One-paragraph stage/cost breakdown of a ProfileReport.
+
+    Shows the engine's per-stage wall-clock split (reference forward,
+    replay planning, injection replay, reduction, line fitting) and the
+    per-layer replay-cost fractions that explain where the injection
+    budget goes; see ``docs/performance.md``.
+    """
+    lines: List[str] = []
+    if report.timings:
+        total = sum(report.timings.values())
+        parts = "  ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in report.timings.items()
+        )
+        jobs = f", jobs={report.jobs}" if getattr(report, "jobs", 1) != 1 else ""
+        lines.append(f"stages ({total:.2f}s total{jobs}): {parts}")
+    if report.replay_fractions:
+        parts = "  ".join(
+            f"{name} {fraction:.0%}"
+            for name, fraction in sorted(
+                report.replay_fractions.items(),
+                key=lambda item: -item[1],
+            )
+        )
+        lines.append(f"replay cost fractions: {parts}")
+    return "\n".join(lines) if lines else "(no stage timings recorded)"
+
+
 def describe_outcome(outcome, stats=None) -> str:
     """Multi-line human-readable report of an OptimizationOutcome.
 

@@ -84,7 +84,10 @@ class ChaosNetwork:
     """A :class:`~repro.nn.graph.Network` wrapper that injects faults.
 
     Each forward-style call (``forward``, ``run_all``, ``forward_from``)
-    counts as one event against the schedules:
+    counts as one event against the schedules; a vectorized
+    ``forward_from_many`` counts one event *per stacked trial*, so the
+    injection engine and the legacy trial-at-a-time loop consume the
+    schedule identically and fault at the same trial:
 
     * ``nan_schedule`` — corrupt a slice of the output with NaN,
     * ``transient_schedule`` — raise :class:`~repro.errors.TransientError`,
@@ -128,14 +131,31 @@ class ChaosNetwork:
         out = self._network.forward(x, taps=taps)
         return self._corrupt(out) if poison else out
 
-    def run_all(self, x):
+    def run_all(self, x, forward_fn=None):
         self._pre_call()
-        return self._network.run_all(x)
+        return self._network.run_all(x, forward_fn=forward_fn)
 
-    def forward_from(self, cache, layer, tap):
+    def forward_from(self, cache, layer, tap, forward_fn=None):
         poison = self._pre_call()
-        out = self._network.forward_from(cache, layer, tap)
+        out = self._network.forward_from(
+            cache, layer, tap, forward_fn=forward_fn
+        )
         return self._corrupt(out) if poison else out
+
+    def forward_from_many(self, cache, layer, taps, forward_fn=None):
+        # One schedule event per trial (crash/transient faults raise
+        # here, before any replay work, just as the serial loop would
+        # fault before that trial's forward_from).
+        poison = [self._pre_call() for __ in taps]
+        out = self._network.forward_from_many(
+            cache, layer, taps, forward_fn=forward_fn
+        )
+        if any(poison):
+            out = np.array(out, dtype=np.float64, copy=True)
+            for index, hit in enumerate(poison):
+                if hit:
+                    out[index] = self._corrupt(out[index])
+        return out
 
     # -- transparent delegation ----------------------------------------
     def __getattr__(self, name: str):

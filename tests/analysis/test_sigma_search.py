@@ -147,6 +147,30 @@ class TestEvaluatorsOnLenet:
         ev = Scheme1Evaluator(lenet, test, lenet_profiles.profiles)
         assert ev.accuracy(50.0) < ev.accuracy(0.0)
 
+    def test_scheme2_memoizes_repeated_sigmas(self, lenet, datasets):
+        """The binary search revisits sigmas; evaluations are cached."""
+        __, test = datasets
+        ev = Scheme2Evaluator(lenet, test, num_trials=2)
+        first = ev.accuracy(0.5)
+        assert ev.cache_hits == 0
+        again = ev.accuracy(0.5)
+        assert again == first
+        assert ev.cache_hits == 1
+        ev.accuracy(0.25)  # a new sigma is a miss
+        assert ev.cache_hits == 1
+        ev.accuracy(0.25)
+        assert ev.cache_hits == 2
+
+    def test_scheme1_memoizes_repeated_sigmas(
+        self, lenet, datasets, lenet_profiles
+    ):
+        __, test = datasets
+        ev = Scheme1Evaluator(lenet, test, lenet_profiles.profiles)
+        first = ev.accuracy(0.3)
+        again = ev.accuracy(0.3)
+        assert again == first
+        assert ev.cache_hits == 1
+
     def test_schemes_agree_on_found_sigma(self, lenet, datasets, lenet_profiles):
         """Fig. 3's premise: the two schemes find similar budgets."""
         __, test = datasets

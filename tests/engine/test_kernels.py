@@ -1,0 +1,165 @@
+"""Bitwise-identity tests for the engine's fast kernels.
+
+Every fast path must reproduce ``layer.forward`` exactly (same bits,
+``np.array_equal``), both through a reused :class:`KernelScratch` and
+through the stateless :func:`fast_forward` wrapper — the engine's whole
+determinism contract rests on this.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import KernelScratch, fast_forward, make_forward_fn
+from repro.nn import LRN, Conv2D, Dense, MaxPool2D, ReLU
+
+rng = np.random.default_rng(7)
+
+
+def assert_kernel_bitwise(layer, x, reps=3):
+    """Fast path == layer.forward bitwise, across scratch reuse."""
+    layer.output_shape = layer.infer_shape([x.shape[1:]])
+    want = layer.forward([x])
+    fwd = make_forward_fn(KernelScratch())
+    for _ in range(reps):  # repeated calls exercise buffer reuse
+        got = fwd(layer, [x])
+        assert np.array_equal(want, got)
+    assert np.array_equal(want, fast_forward(layer, [x]))
+
+
+class TestConvKernel:
+    @pytest.mark.parametrize(
+        "out_c,in_c,kernel,stride,padding,groups",
+        [
+            (16, 3, 5, 2, 2, 1),  # stride-2, positions not % 8: fallback
+            (32, 16, 5, 1, 2, 2),  # grouped with padding
+            (48, 32, 3, 1, 1, 1),  # aligned dense conv (P = 144)
+            (24, 12, 3, 1, 1, 4),  # four groups
+            (8, 16, 1, 1, 0, 1),  # 1x1 direct-matmul path
+        ],
+    )
+    def test_matches_forward(self, out_c, in_c, kernel, stride, padding, groups):
+        weight = rng.standard_normal((out_c, in_c // groups, kernel, kernel))
+        bias = rng.standard_normal(out_c)
+        x = rng.standard_normal((5, in_c, 12, 12))
+        layer = Conv2D(
+            "c", ["i"], weight, bias, stride=stride, padding=padding, groups=groups
+        )
+        assert_kernel_bitwise(layer, x)
+
+    def test_no_bias(self):
+        weight = rng.standard_normal((12, 4, 3, 3))
+        x = rng.standard_normal((3, 4, 8, 8))
+        layer = Conv2D("c", ["i"], weight, None, stride=1, padding=1)
+        assert_kernel_bitwise(layer, x)
+
+    def test_depthwise_falls_back(self):
+        weight = rng.standard_normal((16, 1, 3, 3))
+        x = rng.standard_normal((3, 16, 8, 8))
+        layer = Conv2D("dw", ["i"], weight, None, stride=1, padding=1, groups=16)
+        assert_kernel_bitwise(layer, x)
+
+
+class TestDenseKernel:
+    def test_flat_input(self):
+        layer = Dense(
+            "fc", ["i"], rng.standard_normal((5, 20)), rng.standard_normal(5)
+        )
+        assert_kernel_bitwise(layer, rng.standard_normal((6, 20)))
+
+    def test_nchw_input_flattened(self):
+        layer = Dense("fc", ["i"], rng.standard_normal((7, 48)))
+        assert_kernel_bitwise(layer, rng.standard_normal((5, 3, 4, 4)))
+
+
+class TestLRNKernel:
+    @pytest.mark.parametrize(
+        "channels,n,hw,local_size",
+        [(16, 9, 16, 5), (32, 4, 8, 5), (3, 2, 6, 3), (96, 2, 7, 5)],
+    )
+    def test_matches_forward(self, channels, n, hw, local_size):
+        x = rng.standard_normal((n, channels, hw, hw))
+        x[x < -1.2] = 0.0  # exact zeros mixed in, like masked trials
+        layer = LRN("lrn", ["i"], local_size=local_size)
+        assert_kernel_bitwise(layer, x)
+
+
+class TestPoolAndActivation:
+    def test_maxpool_2x2(self):
+        layer = MaxPool2D("p", ["i"], kernel=2, stride=2)
+        assert_kernel_bitwise(layer, rng.standard_normal((4, 8, 12, 12)))
+
+    def test_maxpool_3x3_falls_back(self):
+        layer = MaxPool2D("p", ["i"], kernel=3, stride=2)
+        assert_kernel_bitwise(layer, rng.standard_normal((4, 8, 13, 13)))
+
+    def test_relu(self):
+        assert_kernel_bitwise(ReLU("r", ["i"]), rng.standard_normal((4, 8, 12, 12)))
+
+
+class TestTrialGroupSlicing:
+    """Stacked trial batches must reproduce per-trial bits exactly.
+
+    ``make_forward_fn(scratch, trial_groups=T)`` slices every GEMM into
+    per-trial-group calls so each BLAS invocation runs at unstacked
+    shapes — the result of a stacked replay is the concatenation of the
+    individual trials' results, bit for bit.
+    """
+
+    def _stacked_equals_per_trial(self, layer, per_trial_inputs):
+        shape = per_trial_inputs[0].shape[1:]
+        layer.output_shape = layer.infer_shape([shape])
+        want = np.concatenate([layer.forward([x]) for x in per_trial_inputs])
+        stacked = np.concatenate(per_trial_inputs)
+        fwd = make_forward_fn(
+            KernelScratch(), trial_groups=len(per_trial_inputs)
+        )
+        assert np.array_equal(want, fwd(layer, [stacked]))
+
+    def test_conv_stacked(self):
+        layer = Conv2D(
+            "c",
+            ["i"],
+            rng.standard_normal((8, 4, 3, 3)),
+            rng.standard_normal(8),
+            stride=1,
+            padding=1,
+        )
+        trials = [rng.standard_normal((3, 4, 12, 12)) for _ in range(4)]
+        self._stacked_equals_per_trial(layer, trials)
+
+    def test_grouped_conv_stacked(self):
+        layer = Conv2D(
+            "cg",
+            ["i"],
+            rng.standard_normal((8, 2, 3, 3)),
+            rng.standard_normal(8),
+            stride=1,
+            padding=1,
+            groups=2,
+        )
+        trials = [rng.standard_normal((2, 4, 12, 12)) for _ in range(3)]
+        self._stacked_equals_per_trial(layer, trials)
+
+    def test_dense_stacked(self):
+        layer = Dense(
+            "fc", ["i"], rng.standard_normal((6, 16)), rng.standard_normal(6)
+        )
+        trials = [rng.standard_normal((4, 16)) for _ in range(5)]
+        self._stacked_equals_per_trial(layer, trials)
+
+    def test_indivisible_batch_keeps_single_group(self):
+        # trial_groups that does not divide the batch degrades to one
+        # group — still bitwise equal to forward on the whole batch.
+        layer = Conv2D(
+            "c",
+            ["i"],
+            rng.standard_normal((8, 4, 3, 3)),
+            rng.standard_normal(8),
+            stride=1,
+            padding=1,
+        )
+        x = rng.standard_normal((5, 4, 12, 12))
+        layer.output_shape = layer.infer_shape([x.shape[1:]])
+        want = layer.forward([x])
+        fwd = make_forward_fn(KernelScratch(), trial_groups=3)
+        assert np.array_equal(want, fwd(layer, [x]))
