@@ -36,7 +36,7 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/check src/repro/nn; \
+		$(PYTHON) -m mypy src/repro/check src/repro/nn src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi

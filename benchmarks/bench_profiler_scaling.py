@@ -46,8 +46,10 @@ from repro.analysis import ErrorProfiler  # noqa: E402
 from repro.config import ParallelSettings, ProfileSettings  # noqa: E402
 from repro.data import SyntheticImageNet  # noqa: E402
 from repro.models import build_model, lsuv_calibrate  # noqa: E402
+from repro.telemetry import build_manifest  # noqa: E402
 
 SEED = 20190325
+BACKEND = "thread"
 
 
 def profile_once(
@@ -99,7 +101,7 @@ def bench_model(
         "vectorized": dict(use_engine=True, parallel=ParallelSettings()),
         f"jobs{jobs}": dict(
             use_engine=True,
-            parallel=ParallelSettings(jobs=jobs, backend="thread"),
+            parallel=ParallelSettings(jobs=jobs, backend=BACKEND),
         ),
     }
     times: Dict[str, float] = {}
@@ -127,10 +129,12 @@ def bench_model(
     )
     return {
         "model": model,
+        "seed": SEED,
         "num_images": num_images,
         "num_delta_points": num_points,
         "num_repeats": num_repeats,
         "jobs": jobs,
+        "backend": BACKEND,
         "timing_repeats": timing_repeats,
         "seconds": times,
         "speedup_vectorized": vector_speedup,
@@ -192,9 +196,24 @@ def main(argv=None) -> int:
                 timing_repeats=args.repeats,
             )
         )
+    manifest = build_manifest(
+        config={
+            "benchmark": "profiler_scaling",
+            "models": args.models,
+            "images": args.images,
+            "points": args.points,
+            "num_repeats": args.num_repeats,
+            "jobs": args.jobs,
+            "backend": BACKEND,
+            "timing_repeats": args.repeats,
+            "smoke": args.smoke,
+        },
+        seed=SEED,
+    )
     payload = {
         "benchmark": "profiler_scaling",
         "smoke": args.smoke,
+        "manifest": manifest.as_dict(),
         "results": results,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

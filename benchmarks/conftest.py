@@ -13,7 +13,9 @@ import os
 
 import pytest
 
+from repro.config import DEFAULT_SEED
 from repro.experiments import ExperimentConfig
+from repro.telemetry import build_manifest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -58,3 +60,21 @@ def bench_config(model: str) -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def models():
     return bench_models()
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Embed the run-provenance manifest in ``--benchmark-json`` output.
+
+    Every saved benchmark payload then records the config hash, git
+    SHA, seed, and package versions that produced its numbers (see
+    ``docs/observability.md``).
+    """
+    manifest = build_manifest(
+        config={
+            "benchmark_suite": "repro",
+            "full": FULL,
+            "models": bench_models(),
+        },
+        seed=DEFAULT_SEED,
+    )
+    output_json["manifest"] = manifest.as_dict()

@@ -19,6 +19,8 @@ method end to end on a pure-numpy substrate:
   resumable run state, and the chaos-testing harness.
 * :mod:`repro.check` — static analysis: graph/allocation verifier
   (shape, dtype, range, overflow, xi audits) and numerical linter.
+* :mod:`repro.telemetry` — zero-dependency observability: tracing
+  spans, metrics, run manifests, JSONL traces (``docs/observability.md``).
 * :mod:`repro.pipeline` — the end-to-end :class:`PrecisionOptimizer`.
 * :mod:`repro.experiments` — drivers for every paper table and figure.
 
@@ -40,6 +42,7 @@ from .config import (
     ParallelSettings,
     ProfileSettings,
     SearchSettings,
+    TelemetrySettings,
 )
 from .errors import (
     DegradedResultWarning,
@@ -57,6 +60,7 @@ from .errors import (
     TransientError,
 )
 from .pipeline import OptimizationOutcome, PrecisionOptimizer
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -81,6 +85,8 @@ __all__ = [
     "SearchError",
     "SearchSettings",
     "ShapeError",
+    "Telemetry",
+    "TelemetrySettings",
     "TransientError",
     "__version__",
 ]

@@ -32,6 +32,7 @@ from ..resilience.guards import (
     check_profile_fit,
     enforce,
 )
+from ..telemetry.session import Telemetry
 from .injection import uniform_noise_tap
 from .regression import LinearFit, fit_line
 
@@ -117,6 +118,7 @@ class ErrorProfiler:
         strict: bool = False,
         parallel: Optional[ParallelSettings] = None,
         use_engine: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
         self.images = np.asarray(images, dtype=np.float64)
@@ -124,6 +126,9 @@ class ErrorProfiler:
         self.batch_size = batch_size
         #: Engine execution knobs (jobs, backend, trial batching).
         self.parallel = parallel or ParallelSettings()
+        #: Observability session shared with the engine (spans/metrics
+        #: only; never feeds back into the measurements).
+        self.telemetry = Telemetry.create(telemetry)
         #: Route the campaign through the vectorized injection engine
         #: (the default).  ``False`` keeps the one-trial-at-a-time
         #: replay loop — same per-trial RNG streams, same bits — and
@@ -239,63 +244,89 @@ class ErrorProfiler:
         num_images = min(settings.num_images, self.images.shape[0])
         images = self.images[:num_images]
 
-        timings: Dict[str, float] = {}
-        replay_fractions: Dict[str, float] = {}
-        jobs = 1
-        if self.use_engine:
-            engine = InjectionEngine(self.network, self.parallel)
-            campaign = engine.run(
-                images,
-                grids,
-                num_repeats=settings.num_repeats,
-                seed=settings.seed,
-                batch_size=self.batch_size,
-                progress=progress,
-            )
-            sq_sums = campaign.sq_sums
-            counts = campaign.counts
-            timings = campaign.timings.as_dict()
-            replay_fractions = campaign.replay_fractions
-            jobs = campaign.jobs
-        else:
-            sq_sums, counts = self._profile_serial(
-                images, grids, names, num_images, progress
-            )
-
-        fit_start = time.perf_counter()
-        profiles: Dict[str, LayerErrorProfile] = {}
-        for name in names:
-            sigmas = np.sqrt(sq_sums[name] / np.maximum(counts[name], 1.0))
-            deltas = grids[name]
-            # Guards the disconnected-layer case: injections that never
-            # reach the output leave every sigma at (numerically) zero.
-            # Tolerance instead of == 0.0: float64 underflow in the
-            # squared-error accumulation can leave denormal residue that
-            # is equally unusable for the regression.
-            if np.all(sigmas <= np.finfo(np.float64).tiny):
-                raise ProfilingError(
-                    f"layer {name!r} never perturbed the output; it may be "
-                    "disconnected from the network output"
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            "profiler.profile",
+            num_layers=len(names),
+            num_images=num_images,
+            num_delta_points=settings.num_delta_points,
+            num_repeats=settings.num_repeats,
+            use_engine=self.use_engine,
+            jobs=self.parallel.jobs,
+            backend=self.parallel.backend,
+        ):
+            timings: Dict[str, float] = {}
+            replay_fractions: Dict[str, float] = {}
+            jobs = 1
+            if self.use_engine:
+                engine = InjectionEngine(
+                    self.network, self.parallel, telemetry=self.telemetry
                 )
-            fit = fit_line(sigmas, deltas)
-            diagnostics = enforce(
-                check_profile_fit(
-                    name, fit.slope, fit.intercept, fit.r_squared
-                ),
-                strict=self.strict,
-                context=f"profiling regression for layer {name!r}",
-            )
-            profiles[name] = LayerErrorProfile(
-                name=name,
-                lam=fit.slope,
-                theta=fit.intercept,
-                r_squared=fit.r_squared,
-                max_relative_error=fit.max_relative_error,
-                deltas=deltas,
-                sigmas=sigmas,
-                diagnostics=diagnostics,
-            )
-        timings["fit"] = time.perf_counter() - fit_start
+                campaign = engine.run(
+                    images,
+                    grids,
+                    num_repeats=settings.num_repeats,
+                    seed=settings.seed,
+                    batch_size=self.batch_size,
+                    progress=progress,
+                )
+                sq_sums = campaign.sq_sums
+                counts = campaign.counts
+                timings = campaign.timings.as_dict()
+                replay_fractions = campaign.replay_fractions
+                jobs = campaign.jobs
+            else:
+                sq_sums, counts = self._profile_serial(
+                    images, grids, names, num_images, progress
+                )
+
+            fit_start = time.perf_counter()
+            profiles: Dict[str, LayerErrorProfile] = {}
+            with tracer.span("profiler.fit", num_layers=len(names)):
+                for name in names:
+                    with tracer.span("profiler.fit_layer", layer=name) as fs:
+                        sigmas = np.sqrt(
+                            sq_sums[name] / np.maximum(counts[name], 1.0)
+                        )
+                        deltas = grids[name]
+                        # Guards the disconnected-layer case: injections
+                        # that never reach the output leave every sigma at
+                        # (numerically) zero.  Tolerance instead of == 0.0:
+                        # float64 underflow in the squared-error
+                        # accumulation can leave denormal residue that is
+                        # equally unusable for the regression.
+                        if np.all(sigmas <= np.finfo(np.float64).tiny):
+                            raise ProfilingError(
+                                f"layer {name!r} never perturbed the "
+                                "output; it may be disconnected from the "
+                                "network output"
+                            )
+                        fit = fit_line(sigmas, deltas)
+                        fs.set(
+                            lam=float(fit.slope),
+                            theta=float(fit.intercept),
+                            r_squared=float(fit.r_squared),
+                        )
+                        diagnostics = enforce(
+                            check_profile_fit(
+                                name, fit.slope, fit.intercept, fit.r_squared
+                            ),
+                            strict=self.strict,
+                            context=(
+                                f"profiling regression for layer {name!r}"
+                            ),
+                        )
+                        profiles[name] = LayerErrorProfile(
+                            name=name,
+                            lam=fit.slope,
+                            theta=fit.intercept,
+                            r_squared=fit.r_squared,
+                            max_relative_error=fit.max_relative_error,
+                            deltas=deltas,
+                            sigmas=sigmas,
+                            diagnostics=diagnostics,
+                        )
+            timings["fit"] = time.perf_counter() - fit_start
         elapsed = time.perf_counter() - start_time
         return ProfileReport(
             profiles=profiles,

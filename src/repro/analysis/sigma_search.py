@@ -28,6 +28,7 @@ from ..config import SearchSettings
 from ..data import Dataset
 from ..errors import SearchError
 from ..nn.graph import Network
+from ..telemetry.session import Telemetry
 from .injection import multi_layer_uniform_taps, perturb_logits
 from .profiler import LayerErrorProfile
 
@@ -57,6 +58,25 @@ def deltas_for_sigma(
     return deltas
 
 
+def _eval_span(
+    telemetry: Telemetry, scheme: str, sigma: float, cached: Optional[float]
+):
+    """Open a ``sigma.eval`` span, recording the memo hit/miss counter."""
+    memo_hit = cached is not None
+    name = "repro_memo_hits_total" if memo_hit else "repro_memo_misses_total"
+    telemetry.metrics.counter(name).inc()
+    return telemetry.tracer.span(
+        "sigma.eval", scheme=scheme, sigma=float(sigma), memo_hit=memo_hit
+    )
+
+
+def _observe_eval(telemetry: Telemetry, span) -> None:
+    """Record a completed (non-memoized) evaluation's duration."""
+    telemetry.metrics.histogram("repro_sigma_eval_seconds").observe(
+        span.duration
+    )
+
+
 class Scheme1Evaluator:
     """Accuracy under equal-scheme uniform injection at every layer.
 
@@ -78,6 +98,7 @@ class Scheme1Evaluator:
         batch_size: int = 64,
         num_trials: int = 1,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
         self.dataset = dataset
@@ -85,28 +106,34 @@ class Scheme1Evaluator:
         self.batch_size = batch_size
         self.num_trials = num_trials
         self.seed = seed
+        self.telemetry = Telemetry.create(telemetry)
         self._cache: Dict[Tuple[float, str, int], float] = {}
         self.cache_hits = 0
 
     def accuracy(self, sigma: float) -> float:
         key = (float(sigma), self.scheme, self.seed)
         cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        deltas = deltas_for_sigma(self.profiles, sigma)
-        correct = 0
-        total = 0
-        for trial in range(self.num_trials):
-            rng = np.random.default_rng((self.seed, trial, 1))
-            for images, labels in self.dataset.batches(self.batch_size):
-                taps = multi_layer_uniform_taps(deltas, rng)
-                logits = self.network.forward(images, taps=taps)
-                pred = np.argmax(logits.reshape(logits.shape[0], -1), axis=1)
-                correct += int((pred == labels).sum())
-                total += labels.size
-        value = correct / max(total, 1)
-        self._cache[key] = value
+        with _eval_span(self.telemetry, self.scheme, sigma, cached) as span:
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            deltas = deltas_for_sigma(self.profiles, sigma)
+            correct = 0
+            total = 0
+            for trial in range(self.num_trials):
+                rng = np.random.default_rng((self.seed, trial, 1))
+                for images, labels in self.dataset.batches(self.batch_size):
+                    taps = multi_layer_uniform_taps(deltas, rng)
+                    logits = self.network.forward(images, taps=taps)
+                    pred = np.argmax(
+                        logits.reshape(logits.shape[0], -1), axis=1
+                    )
+                    correct += int((pred == labels).sum())
+                    total += labels.size
+            value = correct / max(total, 1)
+            self._cache[key] = value
+            span.set(accuracy=value)
+        _observe_eval(self.telemetry, span)
         return value
 
 
@@ -127,10 +154,12 @@ class Scheme2Evaluator:
         batch_size: int = 64,
         num_trials: int = 3,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.dataset = dataset
         self.num_trials = num_trials
         self.seed = seed
+        self.telemetry = Telemetry.create(telemetry)
         self._cache: Dict[Tuple[float, str, int], float] = {}
         self.cache_hits = 0
         logits = []
@@ -142,20 +171,23 @@ class Scheme2Evaluator:
     def accuracy(self, sigma: float) -> float:
         key = (float(sigma), self.scheme, self.seed)
         cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        labels = self.dataset.labels
-        correct = 0
-        total = 0
-        for trial in range(self.num_trials):
-            rng = np.random.default_rng((self.seed, trial, 2))
-            noisy = perturb_logits(self._logits, sigma, rng)
-            pred = np.argmax(noisy, axis=1)
-            correct += int((pred == labels).sum())
-            total += labels.size
-        value = correct / max(total, 1)
-        self._cache[key] = value
+        with _eval_span(self.telemetry, self.scheme, sigma, cached) as span:
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            labels = self.dataset.labels
+            correct = 0
+            total = 0
+            for trial in range(self.num_trials):
+                rng = np.random.default_rng((self.seed, trial, 2))
+                noisy = perturb_logits(self._logits, sigma, rng)
+                pred = np.argmax(noisy, axis=1)
+                correct += int((pred == labels).sum())
+                total += labels.size
+            value = correct / max(total, 1)
+            self._cache[key] = value
+            span.set(accuracy=value)
+        _observe_eval(self.telemetry, span)
         return value
 
 
@@ -182,6 +214,7 @@ def find_sigma(
     max_relative_drop: float,
     settings: Optional[SearchSettings] = None,
     transient_retries: int = 2,
+    telemetry: Optional[Telemetry] = None,
 ) -> SigmaSearchResult:
     """Largest sigma_YL whose accuracy stays within the allowed drop.
 
@@ -211,64 +244,84 @@ def find_sigma(
             f"baseline accuracy is {baseline_accuracy!r}; cannot derive "
             "a target"
         )
+    session = Telemetry.create(telemetry)
+    tracer = session.tracer
     start_time = time.perf_counter()
     target = baseline_accuracy * (1.0 - max_relative_drop)
     evaluations: List[Tuple[float, float]] = []
 
-    def passes(sigma: float) -> bool:
-        acc = call_with_retries(
-            accuracy_fn,
-            sigma,
-            retries=transient_retries,
-            label=f"accuracy evaluation at sigma={sigma:.4g}",
-        )
-        if not np.isfinite(acc):
-            raise SearchError(
-                f"accuracy evaluation at sigma={sigma:.4g} returned "
-                f"{acc!r} after {len(evaluations)} evaluations; the "
-                "evaluator is numerically broken"
+    def passes(sigma: float, phase: str) -> bool:
+        with tracer.span(
+            "sigma.step", phase=phase, sigma=float(sigma)
+        ) as step:
+            acc = call_with_retries(
+                accuracy_fn,
+                sigma,
+                retries=transient_retries,
+                label=f"accuracy evaluation at sigma={sigma:.4g}",
             )
-        evaluations.append((sigma, acc))
-        return acc >= target
+            if not np.isfinite(acc):
+                raise SearchError(
+                    f"accuracy evaluation at sigma={sigma:.4g} returned "
+                    f"{acc!r} after {len(evaluations)} evaluations; the "
+                    "evaluator is numerically broken"
+                )
+            evaluations.append((sigma, acc))
+            ok = acc >= target
+            step.set(accuracy=float(acc), passed=ok)
+        return ok
 
-    upper = settings.initial_upper
-    lower = 0.0
-    doublings = 0
-    while passes(upper):
-        lower = upper
-        upper *= 2.0
-        doublings += 1
-        if doublings >= settings.max_doublings:
-            # Accuracy never violated: the network tolerates any sigma
-            # we can reach; return the last passing value.
-            return SigmaSearchResult(
-                sigma=lower,
-                baseline_accuracy=baseline_accuracy,
-                target_accuracy=target,
-                achieved_accuracy=evaluations[-1][1],
-                evaluations=evaluations,
-                elapsed_seconds=time.perf_counter() - start_time,
-            )
-    enforce(
-        check_sigma_bracket(lower, upper, len(evaluations)),
-        strict=True,
-        context="sigma search bracket",
-    )
-    while upper - lower > settings.tolerance:
-        mid = 0.5 * (lower + upper)
-        if passes(mid):
-            lower = mid
-        else:
-            upper = mid
-    achieved = next(
-        (acc for s, acc in reversed(evaluations) if s == lower),
-        baseline_accuracy,
-    )
-    # The search cannot resolve budgets below its tolerance; when even
-    # the first probe fails (constraint inside measurement noise), the
-    # tolerance itself is returned as the smallest meaningful budget —
-    # the resulting Deltas are tiny, i.e. near-lossless formats.
-    sigma = max(lower, settings.tolerance)
+    with tracer.span(
+        "sigma.search",
+        max_relative_drop=float(max_relative_drop),
+        tolerance=float(settings.tolerance),
+        baseline_accuracy=float(baseline_accuracy),
+    ) as search_span:
+        upper = settings.initial_upper
+        lower = 0.0
+        doublings = 0
+        while passes(upper, "doubling"):
+            lower = upper
+            upper *= 2.0
+            doublings += 1
+            if doublings >= settings.max_doublings:
+                # Accuracy never violated: the network tolerates any
+                # sigma we can reach; return the last passing value.
+                search_span.set(
+                    sigma=float(lower), num_evaluations=len(evaluations)
+                )
+                return SigmaSearchResult(
+                    sigma=lower,
+                    baseline_accuracy=baseline_accuracy,
+                    target_accuracy=target,
+                    achieved_accuracy=evaluations[-1][1],
+                    evaluations=evaluations,
+                    elapsed_seconds=time.perf_counter() - start_time,
+                )
+        enforce(
+            check_sigma_bracket(lower, upper, len(evaluations)),
+            strict=True,
+            context="sigma search bracket",
+        )
+        while upper - lower > settings.tolerance:
+            mid = 0.5 * (lower + upper)
+            if passes(mid, "bisect"):
+                lower = mid
+            else:
+                upper = mid
+        achieved = next(
+            (acc for s, acc in reversed(evaluations) if s == lower),
+            baseline_accuracy,
+        )
+        # The search cannot resolve budgets below its tolerance; when
+        # even the first probe fails (constraint inside measurement
+        # noise), the tolerance itself is returned as the smallest
+        # meaningful budget — the resulting Deltas are tiny, i.e.
+        # near-lossless formats.
+        sigma = max(lower, settings.tolerance)
+        search_span.set(
+            sigma=float(sigma), num_evaluations=len(evaluations)
+        )
     return SigmaSearchResult(
         sigma=sigma,
         baseline_accuracy=baseline_accuracy,

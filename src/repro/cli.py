@@ -42,7 +42,7 @@ from .experiments import (
     run_table3,
 )
 from .models import MODEL_NAMES, PAPER_LAYER_COUNTS, build_model
-from .pipeline import describe_profile_timings, format_table
+from .pipeline import describe_manifest, describe_profile_timings, format_table
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -93,6 +93,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "degradation to hard errors (no equal-xi fallback)"
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "collect tracing spans and metrics for this run (numerical "
+            "results stay bit-identical; see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="PATH",
+        help=(
+            "write the run's JSONL trace (spans + manifest + metrics) "
+            "to PATH; implies --telemetry"
+        ),
+    )
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -108,7 +125,16 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         state_dir=args.resume,
         jobs=args.jobs,
         parallel_backend=args.parallel_backend,
+        telemetry=args.telemetry,
+        trace_out=args.trace_out,
     )
+
+
+def _export_trace(context) -> None:
+    """Write the optimizer's trace when ``--trace-out`` was given."""
+    path = context.optimizer.telemetry.export()
+    if path is not None:
+        print(f"trace written to {path}")
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +175,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{report.worst_fit().max_relative_error:.1%}"
     )
     print(describe_profile_timings(report))
+    _export_trace(context)
     return 0
 
 
@@ -198,6 +225,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             outcome.result.allocation, args.output, provenance=provenance
         )
         print(f"allocation written to {path}")
+    if outcome.manifest:
+        print(describe_manifest(outcome.manifest))
+    _export_trace(context)
     return 0 if outcome.meets_constraint else 1
 
 
@@ -266,6 +296,22 @@ def cmd_suite(args: argparse.Namespace) -> int:
     print(f"suite finished: {len(timings)} experiments in {total:.1f}s")
     if args.output:
         print(f"artifacts in {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize or validate a JSONL trace file (``--trace-out``)."""
+    from .telemetry import summarize_path, validate_path
+
+    if args.action == "validate":
+        problems = validate_path(args.trace)
+        if problems:
+            for problem in problems:
+                print(problem)
+            return 1
+        print(f"{args.trace}: all events valid")
+        return 0
+    print(summarize_path(args.trace, max_depth=args.max_depth or None))
     return 0
 
 
@@ -343,6 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--drop", type=float, default=0.05)
     p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize or validate a JSONL telemetry trace",
+        description="Inspect a trace produced with --trace-out: "
+        "'summarize' renders the span tree with total/self times; "
+        "'validate' schema-checks every event.  See "
+        "docs/observability.md.",
+    )
+    p.add_argument("action", choices=["summarize", "validate"])
+    p.add_argument("trace", help="path to the .jsonl trace file")
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=0,
+        help="limit the rendered span tree depth (0 = unlimited)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("cost", help="analytic vs search cost (Sec. VI-A)")
     _add_common(p)

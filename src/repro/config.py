@@ -134,6 +134,29 @@ class ParallelSettings:
             raise ValueError("transient_retries must be >= 0")
 
 
+@dataclass(frozen=True)
+class TelemetrySettings:
+    """Observability knobs (see ``docs/observability.md``).
+
+    Run manifests are default-on and independent of these settings;
+    tracing spans and the metrics registry are opt-in via ``enabled``
+    because they buffer events for the lifetime of a run.  Telemetry
+    never changes numerical results: fitted lambda/theta and allocator
+    outputs are bit-identical with tracing on or off.
+    """
+
+    #: Collect tracing spans and metrics for this run.
+    enabled: bool = False
+    #: Write the JSONL trace here when the run finishes ("" = no file;
+    #: a non-empty path implies ``enabled``).
+    trace_path: str = ""
+
+    @property
+    def active(self) -> bool:
+        """True when any telemetry collection should happen."""
+        return self.enabled or bool(self.trace_path)
+
+
 #: Fast settings used by the test-suite and quick examples.
 FAST_PROFILE = ProfileSettings(num_images=16, num_delta_points=8)
 FAST_SEARCH = SearchSettings(num_images=64, tolerance=0.02)

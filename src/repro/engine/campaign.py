@@ -35,6 +35,9 @@ from ..config import ParallelSettings
 from ..errors import ProfilingError, ReproError, RetryExhaustedError, TransientError
 from ..nn.graph import ActivationCache, Network
 from ..resilience.guards import Diagnostic, check_finite_array, enforce
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.session import Telemetry
+from ..telemetry.spans import NULL_TRACER, Tracer
 from .alloc import tune_allocator
 from .kernels import KernelScratch, fast_forward, make_forward_fn
 from .rng import trial_rng
@@ -93,13 +96,20 @@ def run_layer_campaign(
     seed: int,
     trial_batch: int,
     fast_kernels: bool,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    parent_id: Optional[str] = None,
 ) -> LayerCells:
     """The full delta-grid injection campaign for one start layer.
 
     Pure function of its arguments (each trial's RNG stream is derived
     from its coordinate), so it can run in any worker, in any order,
-    and produce the same bits.
+    and produce the same bits.  ``tracer``/``metrics``/``parent_id``
+    only observe the run (``engine.layer`` and ``engine.injection_batch``
+    spans, trial and kernel-dispatch counters); they never touch the
+    trial math, so results stay bit-identical with telemetry on or off.
     """
+    tracer = tracer or NULL_TRACER
     grid = np.asarray(grid, dtype=np.float64)
     num_deltas = len(grid)
     # One scratch per campaign: every replay chunk rewrites the same
@@ -113,48 +123,81 @@ def run_layer_campaign(
     coordinates = [
         (j, r) for j in range(num_deltas) for r in range(num_repeats)
     ]
-    for batch_index, cache in enumerate(caches):
-        source = cache[start_input]
-        reference = cache[output]
-        # Exact zeros stay exact under any fixed-point format (Fig. 1),
-        # so they receive no noise; the mask depends only on the clean
-        # input and is shared across all of this batch's trials.
-        zero_mask = np.abs(source) < tiny
-        mask_zeros = bool(zero_mask.any())
-        for chunk_start in range(0, len(coordinates), trial_batch):
-            chunk = coordinates[chunk_start : chunk_start + trial_batch]
-            perturbed_inputs: List[np.ndarray] = []
-            for j, r in chunk:
-                delta = float(grid[j])
-                rng = trial_rng(seed, layer_position, batch_index, j, r)
-                noise = rng.uniform(-delta, delta, size=source.shape)
-                if mask_zeros:
-                    noise[zero_mask] = 0.0
-                perturbed_inputs.append(source + noise)
-            taps = [
-                (lambda value: (lambda _x: value))(p)
-                for p in perturbed_inputs
-            ]
-            # trial_groups tells the kernels how many trials the batch
-            # axis stacks, so each GEMM runs at unstacked shapes and
-            # the result cannot depend on the trial_batch setting.
-            forward_fn = (
-                make_forward_fn(scratch, trial_groups=len(chunk))
-                if fast_kernels
-                else None
-            )
-            outputs = network.forward_from_many(
-                cache, name, taps, forward_fn=forward_fn
-            )
-            for position, (j, r) in enumerate(chunk):
-                err = outputs[position] - reference
-                sq_sum = float((err * err).sum())
-                if not np.isfinite(sq_sum):
-                    enforce_finite_trial(
-                        outputs[position], name, float(grid[j])
+    dispatches = 0
+    with tracer.span(
+        "engine.layer",
+        parent_id=parent_id,
+        layer=name,
+        layer_position=layer_position,
+        num_deltas=num_deltas,
+        num_repeats=num_repeats,
+        trial_batch=trial_batch,
+        fast_kernels=fast_kernels,
+    ) as layer_span:
+        for batch_index, cache in enumerate(caches):
+            with tracer.span(
+                "engine.injection_batch", layer=name, batch=batch_index
+            ) as batch_span:
+                source = cache[start_input]
+                reference = cache[output]
+                # Exact zeros stay exact under any fixed-point format
+                # (Fig. 1), so they receive no noise; the mask depends
+                # only on the clean input and is shared across all of
+                # this batch's trials.
+                zero_mask = np.abs(source) < tiny
+                mask_zeros = bool(zero_mask.any())
+                for chunk_start in range(0, len(coordinates), trial_batch):
+                    chunk = coordinates[chunk_start : chunk_start + trial_batch]
+                    perturbed_inputs: List[np.ndarray] = []
+                    for j, r in chunk:
+                        delta = float(grid[j])
+                        rng = trial_rng(
+                            seed, layer_position, batch_index, j, r
+                        )
+                        noise = rng.uniform(-delta, delta, size=source.shape)
+                        if mask_zeros:
+                            noise[zero_mask] = 0.0
+                        perturbed_inputs.append(source + noise)
+                    taps = [
+                        (lambda value: (lambda _x: value))(p)
+                        for p in perturbed_inputs
+                    ]
+                    # trial_groups tells the kernels how many trials the
+                    # batch axis stacks, so each GEMM runs at unstacked
+                    # shapes and the result cannot depend on the
+                    # trial_batch setting.
+                    forward_fn = (
+                        make_forward_fn(scratch, trial_groups=len(chunk))
+                        if fast_kernels
+                        else None
                     )
-                cells[batch_index, j, r] = sq_sum
-                counts[j] += err.size
+                    outputs = network.forward_from_many(
+                        cache, name, taps, forward_fn=forward_fn
+                    )
+                    dispatches += 1
+                    for position, (j, r) in enumerate(chunk):
+                        err = outputs[position] - reference
+                        sq_sum = float((err * err).sum())
+                        if not np.isfinite(sq_sum):
+                            enforce_finite_trial(
+                                outputs[position], name, float(grid[j])
+                            )
+                        cells[batch_index, j, r] = sq_sum
+                        counts[j] += err.size
+                batch_span.incr("trials", len(coordinates))
+        layer_span.incr("trials", len(coordinates) * len(caches))
+        layer_span.incr("dispatches", dispatches)
+    if metrics is not None:
+        metrics.counter("repro_trials_injected_total").inc(
+            len(coordinates) * len(caches)
+        )
+        kernel_path = "fast" if fast_kernels else "legacy"
+        metrics.counter(
+            f"repro_kernel_{kernel_path}_dispatch_total"
+        ).inc(dispatches)
+        metrics.histogram("repro_layer_campaign_seconds").observe(
+            layer_span.duration
+        )
     return LayerCells(name=name, cells=cells, counts=counts)
 
 
@@ -180,9 +223,11 @@ class InjectionEngine:
         self,
         network: Network,
         parallel: Optional[ParallelSettings] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
         self.parallel = parallel or ParallelSettings()
+        self.telemetry = Telemetry.create(telemetry)
         if self.parallel.tune_allocator:
             tune_allocator()
 
@@ -198,7 +243,10 @@ class InjectionEngine:
     ) -> CampaignResult:
         """Execute the campaign for every layer in ``grids``."""
         names = list(grids)
-        timings = StageTimings()
+        telemetry = self.telemetry
+        timings = StageTimings(
+            tracer=telemetry.tracer if telemetry.enabled else None
+        )
         settings = self.parallel
         # The stateless variant allocates fresh outputs per call: the
         # reference activations live in the caches for the whole
@@ -231,16 +279,22 @@ class InjectionEngine:
             )
             for name in names
         ]
-        with timings.stage("replay"):
+        with timings.stage(
+            "replay",
+            jobs=settings.jobs,
+            backend=settings.backend,
+            num_layers=len(names),
+        ) as replay_span:
+            replay_id = replay_span.span_id if replay_span else None
             if settings.jobs == 1:
                 results = [
                     self._run_serial_task(caches, task, progress)
                     for task in tasks
                 ]
             elif settings.backend == "process":
-                results = self._run_process_pool(caches, tasks)
+                results = self._run_process_pool(caches, tasks, replay_id)
             else:
-                results = self._run_thread_pool(caches, tasks)
+                results = self._run_thread_pool(caches, tasks, replay_id)
         with timings.stage("reduce"):
             sq_sums: Dict[str, np.ndarray] = {}
             counts: Dict[str, np.ndarray] = {}
@@ -284,7 +338,15 @@ class InjectionEngine:
     def _run_serial_task(
         self, caches, task: Dict[str, object], progress: bool
     ) -> LayerCells:
-        result = run_layer_campaign(self.network, caches, **task)
+        # Same thread as the replay span, so the thread-local span
+        # stack parents the layer span without an explicit parent_id.
+        result = run_layer_campaign(
+            self.network,
+            caches,
+            tracer=self.telemetry.tracer,
+            metrics=self.telemetry.metrics,
+            **task,
+        )
         if progress:  # pragma: no cover - console nicety
             print(f"  profiled layer {task['name']}")
         return result
@@ -300,7 +362,10 @@ class InjectionEngine:
         :class:`ProfilingError` naming the layer, original chained.
         """
         retries = self.parallel.transient_retries
+        metrics = self.telemetry.metrics
+        depth = metrics.gauge("repro_worker_queue_depth")
         futures = [submit(task) for task in tasks]
+        depth.set(len(futures))
         results: List[LayerCells] = []
         for task, future in zip(tasks, futures):
             name = task["name"]
@@ -308,8 +373,10 @@ class InjectionEngine:
             while True:
                 try:
                     results.append(future.result())
+                    depth.dec()
                     break
                 except TransientError as exc:
+                    metrics.counter("repro_engine_retries_total").inc()
                     failures.append(
                         f"attempt {len(failures) + 1}: {exc}"
                     )
@@ -345,7 +412,9 @@ class InjectionEngine:
             available = os.cpu_count() or 1
         return max(1, min(self.parallel.jobs, available))
 
-    def _run_thread_pool(self, caches, tasks) -> List[LayerCells]:
+    def _run_thread_pool(
+        self, caches, tasks, parent_id: Optional[str] = None
+    ) -> List[LayerCells]:
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(
@@ -354,13 +423,23 @@ class InjectionEngine:
         ) as pool:
 
             def submit(task):
+                # Pool threads start with an empty span stack, so the
+                # replay span's id is threaded through explicitly.
                 return pool.submit(
-                    run_layer_campaign, self.network, caches, **task
+                    run_layer_campaign,
+                    self.network,
+                    caches,
+                    tracer=self.telemetry.tracer,
+                    metrics=self.telemetry.metrics,
+                    parent_id=parent_id,
+                    **task,
                 )
 
             return self._collect(tasks, submit)
 
-    def _run_process_pool(self, caches, tasks) -> List[LayerCells]:
+    def _run_process_pool(
+        self, caches, tasks, parent_id: Optional[str] = None
+    ) -> List[LayerCells]:
         from concurrent.futures import ProcessPoolExecutor
         from multiprocessing import get_context
 
@@ -386,13 +465,28 @@ class InjectionEngine:
 
                 def submit(task):
                     return pool.submit(
-                        _process_worker_run, pickle.dumps(task)
+                        _process_worker_run,
+                        pickle.dumps(task),
+                        self.telemetry.enabled,
                     )
 
                 raw = self._collect(tasks, submit)
         finally:
             shared.release()
-        return [
-            item if isinstance(item, LayerCells) else pickle.loads(item)
-            for item in raw
-        ]
+        results: List[LayerCells] = []
+        for item in raw:
+            cells, spans, snapshot = (
+                item
+                if isinstance(item, tuple)
+                else pickle.loads(item)
+            )
+            if spans:
+                # Worker-root spans (parent None in the worker's local
+                # tracer) re-parent under the replay span; perf_counter
+                # is system-wide monotonic on Linux, so starts stay
+                # comparable for the merge sort.
+                self.telemetry.tracer.absorb(spans, parent_id=parent_id)
+            if snapshot:
+                self.telemetry.metrics.merge(snapshot)
+            results.append(cells)
+        return results

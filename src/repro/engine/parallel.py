@@ -142,14 +142,38 @@ def _process_worker_init(
     _WORKER_STATE["shm"] = shm
 
 
-def _process_worker_run(task_bytes: bytes) -> bytes:
-    """Run one layer campaign inside a process-pool worker."""
+def _process_worker_run(
+    task_bytes: bytes, telemetry_enabled: bool = False
+) -> bytes:
+    """Run one layer campaign inside a process-pool worker.
+
+    Returns pickled ``(cells, spans, metrics_snapshot)``.  When
+    telemetry is on, the worker records into a local tracer/registry
+    (span ids are namespaced by pid + layer so re-used pool workers
+    can't collide) and ships the buffers back with the result; the
+    parent re-parents the spans under its replay span and merges the
+    snapshot at join.  Spans/snapshot are empty when telemetry is off.
+    """
+    import os
     import pickle
 
+    from ..telemetry.metrics import MetricsRegistry
+    from ..telemetry.spans import Tracer
     from .campaign import run_layer_campaign
 
     task = pickle.loads(task_bytes)
+    tracer = None
+    metrics = None
+    if telemetry_enabled:
+        tracer = Tracer(worker=f"pid{os.getpid()}:{task['name']}")
+        metrics = MetricsRegistry()
     result = run_layer_campaign(
-        _WORKER_STATE["network"], _WORKER_STATE["caches"], **task
+        _WORKER_STATE["network"],
+        _WORKER_STATE["caches"],
+        tracer=tracer,
+        metrics=metrics,
+        **task,
     )
-    return pickle.dumps(result)
+    spans = tracer.events() if tracer is not None else []
+    snapshot = metrics.snapshot() if metrics is not None else {}
+    return pickle.dumps((result, spans, snapshot))

@@ -17,6 +17,7 @@ from ..config import (
     ParallelSettings,
     ProfileSettings,
     SearchSettings,
+    TelemetrySettings,
 )
 from ..data import Dataset, SyntheticImageNet
 from ..models import pretrained_model
@@ -50,6 +51,12 @@ class ExperimentConfig:
     jobs: int = 1
     #: Engine pool backend: "thread" or "process".
     parallel_backend: str = "thread"
+    #: Collect tracing spans and metrics (``--telemetry``); numerical
+    #: results are bit-identical on or off.
+    telemetry: bool = False
+    #: Write the JSONL trace here when set (``--trace-out``; implies
+    #: telemetry collection).
+    trace_out: str = ""
 
     def profile_settings(self) -> ProfileSettings:
         return ProfileSettings(
@@ -69,6 +76,11 @@ class ExperimentConfig:
     def parallel_settings(self) -> ParallelSettings:
         return ParallelSettings(
             jobs=self.jobs, backend=self.parallel_backend
+        )
+
+    def telemetry_settings(self) -> TelemetrySettings:
+        return TelemetrySettings(
+            enabled=self.telemetry, trace_path=self.trace_out
         )
 
 
@@ -116,6 +128,7 @@ def make_context(
         strict=config.strict,
         state_dir=config.state_dir or None,
         parallel=config.parallel_settings(),
+        telemetry=config.telemetry_settings(),
     )
     context = ExperimentContext(
         config=config,

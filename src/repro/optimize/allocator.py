@@ -15,6 +15,7 @@ from ..analysis.profiler import LayerErrorProfile
 from ..analysis.sigma_search import deltas_for_sigma
 from ..nn.statistics import LayerStats
 from ..quant.allocation import BitwidthAllocation
+from ..telemetry.session import Telemetry
 from .objective import Objective, resolve_objective
 from .sqp import XiSolution, equal_xi, optimize_xi
 
@@ -54,6 +55,7 @@ def allocate_optimized(
     strict: bool = False,
     seed: int = 0,
     solver: Optional[Callable[..., XiSolution]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> AllocationResult:
     """Optimize xi for an objective and emit the bitwidth allocation.
 
@@ -63,22 +65,32 @@ def allocate_optimized(
     :class:`~repro.errors.RetryExhaustedError` instead of degrading).
     ``solver`` overrides the Eq. 8 solver — the chaos harness's hook.
     """
+    session = Telemetry.create(telemetry)
     names = list(ordered_names or profiles)
     objective = resolve_objective(objective, stats)
     report = None
-    if fallback:
-        from ..resilience.fallback import solve_xi_with_fallback
+    with session.tracer.span(
+        "allocator.allocate",
+        objective=objective.name,
+        sigma=float(sigma),
+        fallback=fallback,
+    ):
+        if fallback:
+            from ..resilience.fallback import solve_xi_with_fallback
 
-        solution, report = solve_xi_with_fallback(
-            objective, profiles, sigma, strict=strict, seed=seed,
-            solver=solver,
+            solution, report = solve_xi_with_fallback(
+                objective, profiles, sigma, strict=strict, seed=seed,
+                solver=solver, telemetry=session,
+            )
+        else:
+            with session.tracer.span(
+                "solver.solve", objective=objective.name, sigma=float(sigma)
+            ):
+                solution = (solver or optimize_xi)(objective, profiles, sigma)
+        deltas = deltas_for_sigma(profiles, sigma, xi=solution.xi)
+        allocation = BitwidthAllocation.from_deltas(
+            [stats[name] for name in names], deltas
         )
-    else:
-        solution = (solver or optimize_xi)(objective, profiles, sigma)
-    deltas = deltas_for_sigma(profiles, sigma, xi=solution.xi)
-    allocation = BitwidthAllocation.from_deltas(
-        [stats[name] for name in names], deltas
-    )
     return AllocationResult(
         allocation=allocation,
         xi=solution.xi,

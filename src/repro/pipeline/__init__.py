@@ -4,6 +4,7 @@ from .ascii_plot import bar_chart, grouped_bar_chart, scatter_plot
 from .optimizer import OptimizationOutcome, PrecisionOptimizer
 from .report import (
     bitwidth_row,
+    describe_manifest,
     describe_outcome,
     describe_profile_timings,
     format_table,
@@ -15,6 +16,7 @@ __all__ = [
     "PrecisionOptimizer",
     "bar_chart",
     "bitwidth_row",
+    "describe_manifest",
     "describe_outcome",
     "describe_profile_timings",
     "format_table",

@@ -25,8 +25,9 @@ tagged ``degraded=True``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..analysis.profiler import ErrorProfiler, ProfileReport
 from ..analysis.sigma_search import (
@@ -35,7 +36,12 @@ from ..analysis.sigma_search import (
     SigmaSearchResult,
     find_sigma,
 )
-from ..config import ParallelSettings, ProfileSettings, SearchSettings
+from ..config import (
+    ParallelSettings,
+    ProfileSettings,
+    SearchSettings,
+    TelemetrySettings,
+)
 from ..data import Dataset
 from ..errors import ReproError
 from ..models.evaluate import top1_accuracy
@@ -46,6 +52,8 @@ from ..optimize.allocator import (
     allocate_equal_scheme,
     allocate_optimized,
 )
+from ..telemetry.manifest import build_manifest
+from ..telemetry.session import Telemetry
 from ..weights.search import WeightSearchResult, search_weight_bitwidth
 
 
@@ -61,6 +69,10 @@ class OptimizationOutcome:
     #: Times the sigma budget was shrunk because true-quantization
     #: validation came in below target (0 on the common path).
     backoff_steps: int = 0
+    #: Run provenance (config hash, git SHA, seeds, versions) — see
+    #: :func:`repro.telemetry.build_manifest`.  Default-on; attached by
+    #: :class:`PrecisionOptimizer` regardless of telemetry settings.
+    manifest: Optional[Dict[str, Any]] = None
 
     @property
     def bitwidths(self) -> Dict[str, int]:
@@ -97,6 +109,7 @@ class PrecisionOptimizer:
         xi_solver: Optional[Callable] = None,
         verify: bool = True,
         parallel: Optional[ParallelSettings] = None,
+        telemetry: Union[None, TelemetrySettings, Telemetry] = None,
     ):
         if scheme not in ("scheme1", "scheme2"):
             raise ReproError('scheme must be "scheme1" or "scheme2"')
@@ -106,6 +119,11 @@ class PrecisionOptimizer:
         self.search_settings = search_settings or SearchSettings()
         self.scheme = scheme
         self.batch_size = batch_size
+        #: Observability session (spans + metrics, opt-in via
+        #: ``TelemetrySettings``) shared by every stage of this
+        #: pipeline.  The run manifest is default-on: it is built here
+        #: and attached to every outcome even with tracing disabled.
+        self.telemetry = Telemetry.create(telemetry)
         #: Injection-engine execution knobs (jobs, backend, batching)
         #: for both profiling campaigns; None keeps engine defaults.
         self.parallel = parallel or ParallelSettings()
@@ -144,6 +162,12 @@ class PrecisionOptimizer:
         self.verify = verify
         if verify:
             self._verify_network()
+        if self.telemetry.manifest is None:
+            self.telemetry.manifest = build_manifest(
+                config=self._manifest_config(),
+                seed=self.search_settings.seed,
+                model=network.name,
+            )
         self._stats: Optional[Dict[str, LayerStats]] = None
         self._profiles: Optional[ProfileReport] = None
         self._refined: Dict[float, ProfileReport] = {}
@@ -153,6 +177,20 @@ class PrecisionOptimizer:
         self._scheme2_evaluator: Optional[Scheme2Evaluator] = None
 
     # ------------------------------------------------------------------
+    def _manifest_config(self) -> Dict[str, Any]:
+        """The knobs that determine this run's numerical outputs."""
+        return {
+            "network": self.network.name,
+            "scheme": self.scheme,
+            "batch_size": self.batch_size,
+            "refine": self.refine,
+            "strict": self.strict,
+            "fallback": self.fallback,
+            "profile": dataclasses.asdict(self.profile_settings),
+            "search": dataclasses.asdict(self.search_settings),
+            "parallel": dataclasses.asdict(self.parallel),
+        }
+
     @property
     def layer_names(self) -> List[str]:
         return self.network.analyzed_layer_names
@@ -191,6 +229,7 @@ class PrecisionOptimizer:
                 batch_size=min(self.batch_size, 32),
                 strict=self.strict,
                 parallel=self.parallel,
+                telemetry=self.telemetry,
             )
             if self.state is not None:
                 from ..resilience.state import resumable_profile
@@ -222,6 +261,7 @@ class PrecisionOptimizer:
                         batch_size=self.batch_size,
                         num_trials=self.search_settings.num_trials,
                         seed=self.search_settings.seed,
+                        telemetry=self.telemetry,
                     )
                 accuracy_fn = self._scheme2_evaluator.accuracy
             else:
@@ -236,6 +276,7 @@ class PrecisionOptimizer:
                         batch_size=self.batch_size,
                         num_trials=self.search_settings.num_trials,
                         seed=self.search_settings.seed,
+                        telemetry=self.telemetry,
                     )
                 accuracy_fn = self._scheme1_evaluator.accuracy
             self._sigma_cache[accuracy_drop] = find_sigma(
@@ -244,6 +285,7 @@ class PrecisionOptimizer:
                 accuracy_drop,
                 self.search_settings,
                 transient_retries=self.transient_retries,
+                telemetry=self.telemetry,
             )
             if self.state is not None:
                 self.state.save_sigma_result(
@@ -279,6 +321,7 @@ class PrecisionOptimizer:
                 batch_size=min(self.batch_size, 32),
                 strict=self.strict,
                 parallel=self.parallel,
+                telemetry=self.telemetry,
             )
             self._refined[accuracy_drop] = profiler.profile_around(floor)
         return self._refined[accuracy_drop].profiles
@@ -300,36 +343,53 @@ class PrecisionOptimizer:
         allocation recomputed, a few times at most — keeping the
         paper's "no accuracy criterion was violated" guarantee.
         """
-        sigma_result = self.sigma_for_drop(accuracy_drop)
-        profiles = self.profiles_for_drop(accuracy_drop)
-        sigma = sigma_result.sigma
-        backoff = 0
-        max_backoffs = 6 if validate else 0
-        while True:
-            result = allocate_optimized(
-                objective,
-                profiles,
-                self.stats(),
-                sigma,
-                ordered_names=self.layer_names,
-                fallback=self.fallback,
-                strict=self.strict,
-                seed=self.search_settings.seed,
-                solver=self.xi_solver,
-            )
-            outcome, weight_search_failed = self._finish(
-                result, sigma_result, validate, search_weights,
-                weight_start_bits, accuracy_drop,
-            )
-            outcome.backoff_steps = backoff
-            acceptable = (
-                not validate
-                or (outcome.meets_constraint and not weight_search_failed)
-            )
-            if acceptable or backoff >= max_backoffs:
-                return outcome
-            sigma *= 0.93
-            backoff += 1
+        objective_label = (
+            objective
+            if isinstance(objective, str)
+            else getattr(objective, "name", str(objective))
+        )
+        with self.telemetry.tracer.span(
+            "pipeline.optimize",
+            objective=objective_label,
+            accuracy_drop=float(accuracy_drop),
+            scheme=self.scheme,
+        ) as pipeline_span:
+            sigma_result = self.sigma_for_drop(accuracy_drop)
+            profiles = self.profiles_for_drop(accuracy_drop)
+            sigma = sigma_result.sigma
+            backoff = 0
+            max_backoffs = 6 if validate else 0
+            while True:
+                result = allocate_optimized(
+                    objective,
+                    profiles,
+                    self.stats(),
+                    sigma,
+                    ordered_names=self.layer_names,
+                    fallback=self.fallback,
+                    strict=self.strict,
+                    seed=self.search_settings.seed,
+                    solver=self.xi_solver,
+                    telemetry=self.telemetry,
+                )
+                outcome, weight_search_failed = self._finish(
+                    result, sigma_result, validate, search_weights,
+                    weight_start_bits, accuracy_drop,
+                )
+                outcome.backoff_steps = backoff
+                acceptable = (
+                    not validate
+                    or (outcome.meets_constraint and not weight_search_failed)
+                )
+                if acceptable or backoff >= max_backoffs:
+                    pipeline_span.set(
+                        sigma=float(sigma),
+                        backoff_steps=backoff,
+                        degraded=outcome.degraded,
+                    )
+                    return outcome
+                sigma *= 0.93
+                backoff += 1
 
     def equal_scheme(
         self,
@@ -419,12 +479,16 @@ class PrecisionOptimizer:
             self._audit_allocation(result)
         validated = None
         if validate:
-            validated = top1_accuracy(
-                self.network,
-                self.dataset,
-                taps=result.allocation.taps(self.network),
-                batch_size=self.batch_size,
-            )
+            with self.telemetry.tracer.span(
+                "pipeline.validate", objective=result.objective.name
+            ) as validate_span:
+                validated = top1_accuracy(
+                    self.network,
+                    self.dataset,
+                    taps=result.allocation.taps(self.network),
+                    batch_size=self.batch_size,
+                )
+                validate_span.set(accuracy=float(validated))
         weight_search = None
         weight_search_failed = False
         if search_weights:
@@ -440,11 +504,13 @@ class PrecisionOptimizer:
                 )
             except SearchError:
                 weight_search_failed = True
+        manifest = self.telemetry.manifest
         outcome = OptimizationOutcome(
             result=result,
             sigma_result=sigma_result,
             baseline_accuracy=self.baseline_accuracy(),
             validated_accuracy=validated,
             weight_search=weight_search,
+            manifest=manifest.as_dict() if manifest is not None else None,
         )
         return outcome, weight_search_failed

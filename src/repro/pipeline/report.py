@@ -98,15 +98,34 @@ def describe_profile_timings(report) -> str:
     return "\n".join(lines) if lines else "(no stage timings recorded)"
 
 
-def describe_outcome(outcome, stats=None) -> str:
+def describe_manifest(manifest: Mapping[str, object]) -> str:
+    """One provenance line from an outcome's manifest dict."""
+    git = str(manifest.get("git_sha") or "n/a")[:12]
+    versions = manifest.get("versions") or {}
+    numpy_version = (
+        versions.get("numpy", "?") if isinstance(versions, Mapping) else "?"
+    )
+    return (
+        f"manifest: config {manifest.get('config_hash', '?')}  git {git}  "
+        f"seed {manifest.get('seed')}  model {manifest.get('model') or 'n/a'}"
+        f"  numpy {numpy_version}"
+    )
+
+
+def describe_outcome(outcome, stats=None, profile_report=None) -> str:
     """Multi-line human-readable report of an OptimizationOutcome.
 
     Includes the sigma search evidence, per-layer formats (with xi
-    shares), validation results, and — when ``stats`` is given — the
-    effective bitwidths under both of the paper's objectives.
+    shares), validation results, the run-provenance manifest, and —
+    when ``stats`` is given — the effective bitwidths under both of the
+    paper's objectives.  Pass the ``ProfileReport`` as
+    ``profile_report`` to also include the per-stage timing breakdown.
     """
     lines: List[str] = []
     allocation = outcome.result.allocation
+    manifest = getattr(outcome, "manifest", None)
+    if manifest:
+        lines.append(describe_manifest(manifest))
     lines.append(
         f"objective: {outcome.result.objective.name}  "
         f"sigma_YL: {outcome.result.sigma:.4f} "
@@ -160,4 +179,6 @@ def describe_outcome(outcome, stats=None) -> str:
             f"weight bitwidth (Sec. V-E): {outcome.weight_search.bits} "
             f"({outcome.weight_search.evaluations} evaluations)"
         )
+    if profile_report is not None:
+        lines.append(describe_profile_timings(profile_report))
     return "\n".join(lines)

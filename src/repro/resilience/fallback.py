@@ -33,6 +33,7 @@ from ..errors import (
 )
 from ..optimize.objective import Objective
 from ..optimize.sqp import XI_FLOOR, XiSolution, equal_xi, optimize_xi
+from ..telemetry.session import Telemetry
 
 T = TypeVar("T")
 
@@ -109,6 +110,7 @@ def solve_xi_with_fallback(
     strict: bool = False,
     seed: int = 0,
     solver: Optional[Callable[..., XiSolution]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[XiSolution, FallbackReport]:
     """Solve Eq. 8 with multi-start retries and equal-xi degradation.
 
@@ -116,61 +118,82 @@ def solve_xi_with_fallback(
     chaos harness injects failing solvers through it to exercise every
     branch of the chain.
     """
+    session = Telemetry.create(telemetry)
+    tracer = session.tracer
+    metrics = session.metrics
     solver = solver or optimize_xi
     names = [name for name in profiles if name in objective.rho]
     report = FallbackReport()
     rng = np.random.default_rng(seed)
 
-    for attempt in range(max_retries + 1):
-        report.attempts = attempt + 1
-        floor = XI_FLOOR * (FLOOR_TIGHTEN_FACTOR ** attempt)
-        kwargs = {}
-        if attempt > 0:
-            # Retry knobs: perturbed start + tightened floor.  Floors
-            # are recomputed inside the solver; we only pass overrides
-            # the baseline call would not use.
-            count = len(names)
-            kwargs["start"] = _perturbed_start(
-                count, np.full(count, floor), rng
+    with tracer.span(
+        "solver.solve",
+        objective=objective.name,
+        sigma=float(sigma),
+        num_layers=len(names),
+    ) as solve_span:
+        for attempt in range(max_retries + 1):
+            report.attempts = attempt + 1
+            floor = XI_FLOOR * (FLOOR_TIGHTEN_FACTOR ** attempt)
+            kwargs = {}
+            if attempt > 0:
+                metrics.counter("repro_solver_retries_total").inc()
+                # Retry knobs: perturbed start + tightened floor.
+                # Floors are recomputed inside the solver; we only pass
+                # overrides the baseline call would not use.
+                count = len(names)
+                kwargs["start"] = _perturbed_start(
+                    count, np.full(count, floor), rng
+                )
+                kwargs["xi_floor"] = floor
+            with tracer.span(
+                "solver.attempt", attempt=attempt + 1, xi_floor=float(floor)
+            ) as attempt_span:
+                try:
+                    solution = solver(objective, profiles, sigma, **kwargs)
+                except OptimizationError as exc:
+                    attempt_span.set(outcome="error")
+                    report.failures.append(f"attempt {attempt + 1}: {exc}")
+                    continue
+                if solution.success:
+                    attempt_span.set(outcome="success")
+                    solve_span.set(
+                        attempts=report.attempts, degraded=False
+                    )
+                    return solution, report
+                attempt_span.set(outcome="reported_failure")
+                report.failures.append(
+                    f"attempt {attempt + 1}: solver reported failure "
+                    f"({solution.message})"
+                )
+
+        if strict:
+            raise RetryExhaustedError(
+                f"xi optimization failed after {report.attempts} attempts "
+                f"for objective {objective.name!r}",
+                attempts=report.failures,
             )
-            kwargs["xi_floor"] = floor
-        try:
-            solution = solver(objective, profiles, sigma, **kwargs)
-        except OptimizationError as exc:
-            report.failures.append(f"attempt {attempt + 1}: {exc}")
-            continue
-        if solution.success:
-            return solution, report
-        report.failures.append(
-            f"attempt {attempt + 1}: solver reported failure "
-            f"({solution.message})"
-        )
 
-    if strict:
-        raise RetryExhaustedError(
-            f"xi optimization failed after {report.attempts} attempts "
-            f"for objective {objective.name!r}",
-            attempts=report.failures,
+        # Graceful degradation: the analytic equal scheme is always
+        # feasible and conservative — every layer gets the same share.
+        report.degraded = True
+        metrics.counter("repro_solver_fallbacks_total").inc()
+        solve_span.set(attempts=report.attempts, degraded=True)
+        warnings.warn(
+            f"xi optimization degraded to equal-xi for objective "
+            f"{objective.name!r} after {report.attempts} failed attempts",
+            DegradedResultWarning,
+            stacklevel=2,
         )
-
-    # Graceful degradation: the analytic equal scheme is always
-    # feasible and conservative — every layer gets the same share.
-    report.degraded = True
-    warnings.warn(
-        f"xi optimization degraded to equal-xi for objective "
-        f"{objective.name!r} after {report.attempts} failed attempts",
-        DegradedResultWarning,
-        stacklevel=2,
-    )
-    xi = equal_xi(names)
-    solution = XiSolution(
-        xi=xi,
-        objective_value=float("nan"),
-        success=False,
-        message=(
-            "degraded to equal-xi after retry exhaustion: "
-            + "; ".join(report.failures)
-        ),
-        num_iterations=0,
-    )
+        xi = equal_xi(names)
+        solution = XiSolution(
+            xi=xi,
+            objective_value=float("nan"),
+            success=False,
+            message=(
+                "degraded to equal-xi after retry exhaustion: "
+                + "; ".join(report.failures)
+            ),
+            num_iterations=0,
+        )
     return solution, report

@@ -1,0 +1,97 @@
+"""Zero-dependency observability: tracing, metrics, manifests, sinks.
+
+The package is stdlib-only by design — it must import (and lint) in
+environments without the numeric stack.  Entry points:
+
+- :class:`Telemetry` — the per-run session bundling a tracer, a
+  metrics registry, and a run manifest; built from
+  :class:`repro.config.TelemetrySettings`.
+- :class:`Tracer` / :func:`~Tracer.span` — nested spans with
+  monotonic timing, attributes, and per-span counters.
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket
+  histograms; Prometheus text export.
+- :mod:`~repro.telemetry.sinks` — JSONL event sink + schema
+  validation; :mod:`~repro.telemetry.summarize` — span-tree reports.
+- :func:`build_manifest` — config hash, git SHA, seeds, versions.
+"""
+
+from ..config import TelemetrySettings
+from .clock import ClockFn, FakeClock, monotonic_clock, wall_time
+from .manifest import (
+    RunManifest,
+    build_manifest,
+    config_hash,
+    git_revision,
+    package_versions,
+)
+from .metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .session import Telemetry
+from .sinks import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    manifest_event,
+    metrics_event,
+    read_events,
+    span_event,
+    spans_to_events,
+    validate_event,
+    validate_events,
+    validate_path,
+    write_events,
+)
+from .spans import NULL_TRACER, NullTracer, Span, Tracer, merge_spans
+from .summarize import (
+    build_tree,
+    render_summary,
+    render_tree,
+    self_time,
+    split_events,
+    summarize_path,
+)
+
+__all__ = [
+    "ClockFn",
+    "FakeClock",
+    "monotonic_clock",
+    "wall_time",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "merge_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Telemetry",
+    "TelemetrySettings",
+    "RunManifest",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+    "package_versions",
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "span_event",
+    "manifest_event",
+    "metrics_event",
+    "spans_to_events",
+    "write_events",
+    "read_events",
+    "validate_event",
+    "validate_events",
+    "validate_path",
+    "build_tree",
+    "render_summary",
+    "render_tree",
+    "self_time",
+    "split_events",
+    "summarize_path",
+]

@@ -1,0 +1,53 @@
+"""Injectable clocks for the telemetry layer.
+
+Every timestamp the tracer records flows through a ``ClockFn`` so tests
+can drive spans with a :class:`FakeClock` and assert exact durations.
+Production tracers default to :func:`time.perf_counter`, which on Linux
+reads ``CLOCK_MONOTONIC`` — a *system-wide* monotonic clock, so span
+start times recorded in different worker processes are directly
+comparable when the per-worker buffers are merged at join.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Any zero-argument callable returning monotonic seconds.
+ClockFn = Callable[[], float]
+
+#: The production clock (system-wide monotonic on Linux).
+monotonic_clock: ClockFn = time.perf_counter
+
+
+def wall_time() -> float:
+    """Unix wall-clock seconds (manifests only, never span math)."""
+    return time.time()
+
+
+class FakeClock:
+    """A deterministic clock for tests.
+
+    Each call returns the current value and then advances by ``tick``
+    (0 by default, i.e. frozen until :meth:`advance` is called).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self._tick
+        return now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("FakeClock cannot move backwards")
+        self._now += float(seconds)
+
+    @property
+    def now(self) -> float:
+        """Current reading without advancing."""
+        return self._now

@@ -1,0 +1,96 @@
+"""The per-run telemetry session: tracer + metrics + manifest + export.
+
+One :class:`Telemetry` object travels through a pipeline run —
+``PrecisionOptimizer`` builds it from :class:`repro.config.
+TelemetrySettings` and hands the same instance to the profiler, the
+injection engine, the sigma search, and the solver chain, so every
+span lands in one buffer and every counter in one registry.
+
+Disabled sessions (the default) carry the shared :data:`~repro.
+telemetry.spans.NULL_TRACER` and an inert registry, so instrumented
+code never branches on "is telemetry on" and never perturbs numerics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..config import TelemetrySettings
+from .clock import ClockFn
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+from .sinks import (
+    manifest_event,
+    metrics_event,
+    spans_to_events,
+    write_events,
+)
+from .spans import NULL_TRACER, Tracer
+
+
+class Telemetry:
+    """Bundles the tracer, metrics registry, and manifest for one run."""
+
+    def __init__(
+        self,
+        settings: Optional[TelemetrySettings] = None,
+        clock: Optional[ClockFn] = None,
+        manifest: Optional[RunManifest] = None,
+    ) -> None:
+        self.settings = settings or TelemetrySettings()
+        self.manifest = manifest
+        if self.settings.active:
+            self.tracer: Tracer = Tracer(clock=clock)
+        else:
+            self.tracer = NULL_TRACER
+        #: Always a live registry: callers increment unconditionally;
+        #: a disabled session simply never exports the numbers.
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when spans and metrics are being collected."""
+        return self.settings.active
+
+    @classmethod
+    def create(
+        cls,
+        telemetry: Union[None, TelemetrySettings, "Telemetry"],
+        clock: Optional[ClockFn] = None,
+    ) -> "Telemetry":
+        """Coerce a user-facing knob into a session.
+
+        Accepts an existing session (passed through unchanged, so one
+        session spans a whole pipeline), a ``TelemetrySettings``, or
+        None (a fresh disabled session).
+        """
+        if isinstance(telemetry, Telemetry):
+            return telemetry
+        return cls(settings=telemetry, clock=clock)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """The full export: manifest, merge-sorted spans, metrics."""
+        out: List[Dict[str, Any]] = []
+        if self.manifest is not None:
+            out.append(manifest_event(self.manifest.as_dict()))
+        out.extend(spans_to_events(self.tracer.events()))
+        out.append(metrics_event(self.metrics.snapshot()))
+        return out
+
+    def export(self, path: Optional[str] = None) -> Optional[Path]:
+        """Write the JSONL trace; returns the path (None if nowhere).
+
+        ``path`` overrides ``settings.trace_path``.  A disabled session
+        exports nothing.
+        """
+        target = path or self.settings.trace_path
+        if not target or not self.enabled:
+            return None
+        return write_events(target, self.events())
+
+    def render_prometheus(self) -> str:
+        """The metrics registry in Prometheus text format."""
+        return self.metrics.render_prometheus()

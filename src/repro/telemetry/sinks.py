@@ -1,0 +1,224 @@
+"""Event schema, JSONL sink, and validation.
+
+A trace file is JSON Lines: one event object per line, in merge-sorted
+span-start order.  Three event types share a ``schema`` version tag:
+
+``span``
+    One record per span close — name, ids, monotonic start/end,
+    duration, attributes, counters, status, and the worker label that
+    produced it.
+``manifest``
+    The run manifest (config hash, git SHA, seed material, package
+    versions); written first when present.
+``metrics``
+    The final metrics-registry snapshot; written last.
+
+:func:`validate_event` checks any decoded event against this schema —
+the CI telemetry smoke runs it over every line of a real trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from .spans import Span, merge_spans
+
+#: Bumped whenever the event layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+_EVENT_TYPES = ("span", "manifest", "metrics")
+_SPAN_STATUSES = ("ok", "error")
+
+
+def _plain(value: Any) -> Any:
+    """Coerce attribute values to JSON-native types.
+
+    numpy scalars leak into span attributes (fit slopes, sigmas); they
+    are detected by their ``item()`` method so this module keeps its
+    zero-dependency contract.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _plain(item())
+        except (TypeError, ValueError):
+            return str(value)
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return str(value)
+
+
+def span_event(span: Span) -> Dict[str, Any]:
+    """The JSONL record for one closed span."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": float(span.start),
+        "end": float(span.end if span.end is not None else span.start),
+        "duration": float(span.duration),
+        "attributes": {k: _plain(v) for k, v in span.attributes.items()},
+        "counters": {k: int(v) for k, v in span.counters.items()},
+        "status": span.status,
+        "worker": span.worker,
+    }
+
+
+def manifest_event(manifest: Mapping[str, Any]) -> Dict[str, Any]:
+    """The JSONL record carrying the run manifest."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "type": "manifest",
+        "manifest": _plain(dict(manifest)),
+    }
+
+
+def metrics_event(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """The JSONL record carrying the final metrics snapshot."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "type": "metrics",
+        "metrics": _plain(dict(snapshot)),
+    }
+
+
+def spans_to_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Merge-sort spans (start, id) and convert to event records."""
+    return [span_event(span) for span in merge_spans(spans)]
+
+
+class JsonlSink:
+    """Writes events to a ``.jsonl`` file, one object per line."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self.emitted = 0
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_events(path: PathLike, events: Sequence[Mapping[str, Any]]) -> Path:
+    """Write a full event sequence as one JSONL file."""
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.emit(event)
+    return Path(path)
+
+
+def read_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Decode every event line of a trace file."""
+    events: List[Dict[str, Any]] = []
+    with open(Path(path)) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+    return events
+
+
+def _check_mapping(event: Mapping[str, Any], key: str, errors: List[str]) -> None:
+    if not isinstance(event.get(key), Mapping):
+        errors.append(f"{key!r} must be an object")
+
+
+def validate_event(event: Any) -> List[str]:
+    """Schema-check one decoded event; returns problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(event, Mapping):
+        return ["event is not a JSON object"]
+    if event.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {SCHEMA_VERSION}, got {event.get('schema')!r}"
+        )
+    kind = event.get("type")
+    if kind not in _EVENT_TYPES:
+        errors.append(f"type must be one of {_EVENT_TYPES}, got {kind!r}")
+        return errors
+    if kind == "span":
+        _validate_span(event, errors)
+    elif kind == "manifest":
+        _check_mapping(event, "manifest", errors)
+    elif kind == "metrics":
+        _check_mapping(event, "metrics", errors)
+    return errors
+
+
+def _validate_span(event: Mapping[str, Any], errors: List[str]) -> None:
+    for key in ("name", "span_id", "worker"):
+        value = event.get(key)
+        if not isinstance(value, str) or not value:
+            errors.append(f"{key!r} must be a non-empty string")
+    parent = event.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        errors.append("'parent_id' must be a string or null")
+    for key in ("start", "end", "duration"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{key!r} must be a number")
+    start, end = event.get("start"), event.get("end")
+    if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+        if end < start:
+            errors.append("'end' precedes 'start'")
+    if event.get("status") not in _SPAN_STATUSES:
+        errors.append(
+            f"'status' must be one of {_SPAN_STATUSES}, "
+            f"got {event.get('status')!r}"
+        )
+    _check_mapping(event, "attributes", errors)
+    counters = event.get("counters")
+    if not isinstance(counters, Mapping):
+        errors.append("'counters' must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"counter {name!r} must be an integer")
+
+
+def validate_events(events: Sequence[Any]) -> List[str]:
+    """Validate a whole trace; error strings are prefixed by index."""
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        for error in validate_event(event):
+            problems.append(f"event {index}: {error}")
+    return problems
+
+
+def validate_path(path: PathLike) -> List[str]:
+    """Read and validate a trace file end to end."""
+    try:
+        events = read_events(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not events:
+        return [f"{path}: trace contains no events"]
+    return validate_events(events)

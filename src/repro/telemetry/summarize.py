@@ -1,0 +1,154 @@
+"""Human-readable span-tree summaries of JSONL traces.
+
+Backs the ``repro trace summarize`` CLI: reconstructs the span tree
+from a trace file (or an in-memory event list) and renders each span's
+**total** time (close minus open) and **self** time (total minus the
+sum of direct children), plus the run manifest and metrics counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .sinks import PathLike, read_events
+
+
+def split_events(
+    events: Sequence[Mapping[str, Any]],
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """(manifest, spans, metrics) from a decoded event stream."""
+    manifest: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            spans.append(dict(event))
+        elif kind == "manifest" and manifest is None:
+            manifest = dict(event.get("manifest", {}))
+        elif kind == "metrics":
+            metrics = dict(event.get("metrics", {}))
+    return manifest, spans, metrics
+
+
+def build_tree(
+    spans: Sequence[Mapping[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, List[Dict[str, Any]]]]:
+    """Roots and a parent-id -> children map, both in start order.
+
+    A span whose ``parent_id`` never closed (crash mid-run) is
+    promoted to a root rather than dropped — partial traces must still
+    summarize.
+    """
+    by_id = {s["span_id"]: s for s in spans if s.get("span_id")}
+    roots: List[Dict[str, Any]] = []
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(dict(span))
+        else:
+            roots.append(dict(span))
+    order = lambda s: (float(s.get("start", 0.0)), str(s.get("span_id")))  # noqa: E731
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+def self_time(
+    span: Mapping[str, Any],
+    children: Mapping[str, Sequence[Mapping[str, Any]]],
+) -> float:
+    """Span duration minus the summed durations of direct children."""
+    total = float(span.get("duration", 0.0))
+    direct = children.get(str(span.get("span_id")), [])
+    spent = sum(float(c.get("duration", 0.0)) for c in direct)
+    return max(0.0, total - spent)
+
+
+def _describe_extras(span: Mapping[str, Any]) -> str:
+    parts: List[str] = []
+    attributes = span.get("attributes") or {}
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    counters = span.get("counters") or {}
+    for key in sorted(counters):
+        parts.append(f"{key}+{counters[key]}")
+    if span.get("status") == "error":
+        parts.append("status=ERROR")
+    text = "  ".join(parts)
+    if len(text) > 100:
+        text = text[:97] + "..."
+    return text
+
+
+def render_tree(
+    spans: Sequence[Mapping[str, Any]], max_depth: Optional[int] = None
+) -> List[str]:
+    """Indented span-tree lines with total/self seconds."""
+    roots, children = build_tree(spans)
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, Any], depth: int) -> None:
+        total = float(span.get("duration", 0.0))
+        own = self_time(span, children)
+        extras = _describe_extras(span)
+        indent = "  " * depth
+        line = (
+            f"{indent}{span.get('name')}  "
+            f"total {total:.4f}s  self {own:.4f}s"
+        )
+        if extras:
+            line += f"  [{extras}]"
+        lines.append(line)
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        for child in children.get(str(span.get("span_id")), []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def render_summary(
+    events: Sequence[Mapping[str, Any]], max_depth: Optional[int] = None
+) -> str:
+    """Full trace report: manifest header, span tree, metric counters."""
+    manifest, spans, metrics = split_events(events)
+    lines: List[str] = []
+    if manifest is not None:
+        git = str(manifest.get("git_sha") or "n/a")[:12]
+        lines.append(
+            f"manifest: config {manifest.get('config_hash', '?')}  "
+            f"git {git}  seed {manifest.get('seed')}  "
+            f"model {manifest.get('model') or 'n/a'}"
+        )
+    if spans:
+        roots, children = build_tree(spans)
+        root_total = sum(float(r.get("duration", 0.0)) for r in roots)
+        lines.append(
+            f"{len(spans)} spans, {len(roots)} root(s), "
+            f"root total {root_total:.4f}s"
+        )
+        lines.extend(render_tree(spans, max_depth=max_depth))
+    else:
+        lines.append("(no spans recorded)")
+    if metrics is not None:
+        counters = metrics.get("counters") or {}
+        if counters:
+            rendered = "  ".join(
+                f"{name}={counters[name]}" for name in sorted(counters)
+            )
+            lines.append(f"counters: {rendered}")
+    return "\n".join(lines)
+
+
+def summarize_path(path: PathLike, max_depth: Optional[int] = None) -> str:
+    """Render the summary for a trace file."""
+    return render_summary(read_events(path), max_depth=max_depth)

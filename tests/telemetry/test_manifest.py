@@ -1,0 +1,92 @@
+"""Run manifests: hash stability, field lifting, description."""
+
+from repro.telemetry import (
+    RunManifest,
+    build_manifest,
+    config_hash,
+    git_revision,
+    package_versions,
+)
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_sixteen_hex_chars(self):
+        digest = config_hash({"model": "lenet"})
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_exotic_values_fall_back_to_str(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+
+        value = Weird()
+        assert config_hash({"x": value}) == config_hash({"x": value})
+
+
+class TestBuildManifest:
+    def test_lifts_seed_and_model_into_config(self):
+        manifest = build_manifest(
+            config={"drop": 0.01}, seed=321, model="lenet", include_git=False
+        )
+        assert manifest.seed == 321
+        assert manifest.model == "lenet"
+        assert manifest.config["seed"] == 321
+        assert manifest.config["model"] == "lenet"
+        assert manifest.git_sha is None
+
+    def test_explicit_config_seed_wins(self):
+        manifest = build_manifest(
+            config={"seed": 999}, seed=321, include_git=False
+        )
+        assert manifest.config["seed"] == 999
+
+    def test_same_inputs_same_hash(self):
+        kwargs = dict(config={"drop": 0.01}, seed=1, model="nin", include_git=False)
+        assert (
+            build_manifest(**kwargs).config_hash
+            == build_manifest(**kwargs).config_hash
+        )
+
+    def test_versions_include_python(self):
+        versions = package_versions()
+        assert "python" in versions
+        assert "numpy" in versions  # the substrate always has numpy
+
+    def test_as_dict_json_shape(self):
+        data = build_manifest(config={"a": 1}, include_git=False).as_dict()
+        for key in ("config_hash", "seed", "model", "git_sha", "versions",
+                    "created_at", "config"):
+            assert key in data
+
+    def test_describe_one_liner(self):
+        manifest = RunManifest(
+            config_hash="deadbeef00112233",
+            seed=7,
+            model="alexnet",
+            git_sha="0123456789abcdef0123",
+            versions={"numpy": "2.0"},
+        )
+        line = manifest.describe()
+        assert "config deadbeef00112233" in line
+        assert "git 0123456789ab" in line  # truncated to 12 chars
+        assert "seed 7" in line
+        assert "model alexnet" in line
+        assert "\n" not in line
+
+
+class TestGitRevision:
+    def test_inside_repo_returns_sha(self):
+        sha = git_revision()
+        # The test suite runs from the repo; outside one None is fine.
+        if sha is not None:
+            assert len(sha) == 40
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) is None

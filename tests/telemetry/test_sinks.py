@@ -1,0 +1,165 @@
+"""JSONL sink, event schema, and validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    FakeClock,
+    JsonlSink,
+    Span,
+    Tracer,
+    manifest_event,
+    metrics_event,
+    read_events,
+    span_event,
+    spans_to_events,
+    validate_event,
+    validate_events,
+    validate_path,
+    write_events,
+)
+
+
+def closed_span(**overrides):
+    span = Span(
+        name="work",
+        span_id="main-1",
+        parent_id=None,
+        start=1.0,
+        end=2.5,
+        attributes={"layer": "conv1"},
+        counters={"trials": 4},
+    )
+    for key, value in overrides.items():
+        setattr(span, key, value)
+    return span
+
+
+class TestSpanEvent:
+    def test_round_trips_all_fields(self):
+        event = span_event(closed_span())
+        assert event["schema"] == SCHEMA_VERSION
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["duration"] == pytest.approx(1.5)
+        assert event["attributes"] == {"layer": "conv1"}
+        assert event["counters"] == {"trials": 4}
+        assert validate_event(event) == []
+
+    def test_numpy_attributes_coerced(self):
+        span = closed_span(
+            attributes={
+                "sigma": np.float64(0.25),
+                "count": np.int32(7),
+                "flag": np.bool_(True),
+            }
+        )
+        event = span_event(span)
+        # Must be JSON-native so json.dumps never sees numpy scalars.
+        text = json.dumps(event)
+        decoded = json.loads(text)["attributes"]
+        assert decoded == {"sigma": 0.25, "count": 7, "flag": True}
+
+    def test_open_span_gets_zero_duration(self):
+        event = span_event(closed_span(end=None))
+        assert event["end"] == event["start"]
+        assert event["duration"] == 0.0
+
+    def test_spans_to_events_merge_sorted(self):
+        spans = [
+            closed_span(span_id="main-2", start=5.0, end=6.0),
+            closed_span(span_id="main-1", start=1.0, end=2.0),
+        ]
+        events = spans_to_events(spans)
+        assert [e["span_id"] for e in events] == ["main-1", "main-2"]
+
+
+class TestJsonlRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            manifest_event({"config_hash": "abc", "seed": 1}),
+            span_event(closed_span()),
+            metrics_event({"counters": {"hits": 2}}),
+        ]
+        write_events(path, events)
+        assert read_events(path) == events
+        assert validate_path(path) == []
+
+    def test_sink_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"schema": SCHEMA_VERSION, "type": "manifest", "manifest": {}})
+        assert sink.emitted == 1
+        assert path.exists()
+
+    def test_deterministic_bytes(self, tmp_path):
+        events = [span_event(closed_span())]
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_events(a, events)
+        write_events(b, events)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_read_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            read_events(path)
+
+
+class TestValidation:
+    def test_wrong_schema_version(self):
+        event = span_event(closed_span())
+        event["schema"] = 99
+        assert any("schema" in e for e in validate_event(event))
+
+    def test_unknown_type(self):
+        assert validate_event({"schema": SCHEMA_VERSION, "type": "bogus"})
+
+    def test_non_object_event(self):
+        assert validate_event([1, 2, 3]) == ["event is not a JSON object"]
+
+    def test_end_before_start(self):
+        event = span_event(closed_span())
+        event["end"] = 0.5
+        assert any("precedes" in e for e in validate_event(event))
+
+    def test_bad_status(self):
+        event = span_event(closed_span())
+        event["status"] = "meh"
+        assert any("status" in e for e in validate_event(event))
+
+    def test_non_integer_counter(self):
+        event = span_event(closed_span())
+        event["counters"] = {"trials": 1.5}
+        assert any("integer" in e for e in validate_event(event))
+
+    def test_validate_events_prefixes_index(self):
+        good = span_event(closed_span())
+        bad = {"schema": SCHEMA_VERSION, "type": "bogus"}
+        problems = validate_events([good, bad])
+        assert problems and all(p.startswith("event 1:") for p in problems)
+
+    def test_empty_trace_is_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        problems = validate_path(path)
+        assert problems and "no events" in problems[0]
+
+    def test_missing_file_reported(self, tmp_path):
+        problems = validate_path(tmp_path / "nope.jsonl")
+        assert len(problems) == 1
+
+    def test_real_tracer_output_validates(self, tmp_path):
+        clock = FakeClock(start=0.0, tick=0.25)
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", model="lenet"):
+            with tracer.span("inner") as inner:
+                inner.incr("trials", 2)
+        events = spans_to_events(tracer.events())
+        path = write_events(tmp_path / "t.jsonl", events)
+        assert validate_path(path) == []

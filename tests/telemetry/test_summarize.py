@@ -1,0 +1,161 @@
+"""Trace summaries: tree building, self time, rendered report."""
+
+import pytest
+
+from repro.telemetry import (
+    FakeClock,
+    Tracer,
+    build_tree,
+    manifest_event,
+    metrics_event,
+    render_summary,
+    render_tree,
+    self_time,
+    spans_to_events,
+    split_events,
+    summarize_path,
+    write_events,
+)
+
+
+def trace_events():
+    """A tiny realistic trace: root with two children, one grandchild."""
+    clock = FakeClock(start=0.0)
+    tracer = Tracer(clock=clock)
+    with tracer.span("profiler.profile", model="lenet"):
+        with tracer.span("engine.reference"):
+            clock.advance(1.0)
+        with tracer.span("engine.replay") as replay:
+            replay.incr("trials", 8)
+            with tracer.span("engine.layer"):
+                clock.advance(2.0)
+            clock.advance(1.0)
+    spans = spans_to_events(tracer.events())
+    manifest = manifest_event({"config_hash": "abc123", "seed": 7, "model": "lenet"})
+    metrics = metrics_event({"counters": {"repro_trials_injected_total": 8}})
+    return [manifest] + spans + [metrics]
+
+
+class TestSplitEvents:
+    def test_partitions_by_type(self):
+        manifest, spans, metrics = split_events(trace_events())
+        assert manifest["config_hash"] == "abc123"
+        assert len(spans) == 4
+        assert metrics["counters"] == {"repro_trials_injected_total": 8}
+
+    def test_missing_sections_are_none(self):
+        manifest, spans, metrics = split_events([])
+        assert manifest is None and metrics is None and spans == []
+
+
+class TestBuildTree:
+    def test_single_root_and_children(self):
+        _, spans, _ = split_events(trace_events())
+        roots, children = build_tree(spans)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "profiler.profile"
+        kids = children[root["span_id"]]
+        assert [k["name"] for k in kids] == ["engine.reference", "engine.replay"]
+
+    def test_orphan_promoted_to_root(self):
+        spans = [
+            {"span_id": "a", "parent_id": "never-closed", "name": "x",
+             "start": 0.0, "duration": 1.0},
+        ]
+        roots, _ = build_tree(spans)
+        assert len(roots) == 1
+
+    def test_children_sorted_by_start(self):
+        spans = [
+            {"span_id": "r", "parent_id": None, "name": "root",
+             "start": 0.0, "duration": 3.0},
+            {"span_id": "b", "parent_id": "r", "name": "late",
+             "start": 2.0, "duration": 1.0},
+            {"span_id": "a", "parent_id": "r", "name": "early",
+             "start": 1.0, "duration": 1.0},
+        ]
+        _, children = build_tree(spans)
+        assert [c["name"] for c in children["r"]] == ["early", "late"]
+
+
+class TestSelfTime:
+    def test_total_minus_direct_children(self):
+        _, spans, _ = split_events(trace_events())
+        roots, children = build_tree(spans)
+        root = roots[0]
+        # Root total 4s; children reference (1s) + replay (3s) → self 0.
+        assert float(root["duration"]) == pytest.approx(4.0)
+        assert self_time(root, children) == pytest.approx(0.0)
+        replay = next(s for s in spans if s["name"] == "engine.replay")
+        # Replay 3s, its layer child 2s → 1s of own work.
+        assert self_time(replay, children) == pytest.approx(1.0)
+
+    def test_clamped_at_zero(self):
+        # Absorbed worker spans can overlap; self time never goes negative.
+        spans = [
+            {"span_id": "r", "parent_id": None, "name": "root",
+             "start": 0.0, "duration": 1.0},
+            {"span_id": "w1", "parent_id": "r", "name": "w",
+             "start": 0.0, "duration": 0.8},
+            {"span_id": "w2", "parent_id": "r", "name": "w",
+             "start": 0.0, "duration": 0.8},
+        ]
+        _, children = build_tree(spans)
+        assert self_time(spans[0], children) == 0.0
+
+
+class TestRendering:
+    def test_tree_lines_indent_and_times(self):
+        _, spans, _ = split_events(trace_events())
+        lines = render_tree(spans)
+        assert lines[0].startswith("profiler.profile  total 4.0000s")
+        assert lines[1].startswith("  engine.reference")
+        assert any(line.startswith("    engine.layer") for line in lines)
+
+    def test_max_depth_truncates(self):
+        _, spans, _ = split_events(trace_events())
+        lines = render_tree(spans, max_depth=1)
+        assert len(lines) == 1
+
+    def test_counters_shown_in_extras(self):
+        _, spans, _ = split_events(trace_events())
+        replay_line = next(
+            line for line in render_tree(spans) if "engine.replay" in line
+        )
+        assert "trials+8" in replay_line
+
+    def test_summary_sections(self):
+        text = render_summary(trace_events())
+        assert text.splitlines()[0] == (
+            "manifest: config abc123  git n/a  seed 7  model lenet"
+        )
+        assert "4 spans, 1 root(s), root total 4.0000s" in text
+        assert "counters: repro_trials_injected_total=8" in text
+
+    def test_summary_without_spans(self):
+        assert "(no spans recorded)" in render_summary([])
+
+    def test_summarize_path_round_trip(self, tmp_path):
+        path = write_events(tmp_path / "t.jsonl", trace_events())
+        assert render_summary(trace_events()) == summarize_path(path)
+
+
+class TestRootTotalCoversStageSum:
+    def test_root_total_at_least_95_percent_of_stage_sum(self):
+        """ISSUE 4 acceptance: the root span subsumes the stage spans."""
+        events = trace_events()
+        _, spans, _ = split_events(events)
+        roots, children = build_tree(spans)
+        root_total = sum(float(r["duration"]) for r in roots)
+        stage_sum = sum(
+            float(c["duration"]) for c in children[roots[0]["span_id"]]
+        )
+        assert root_total >= 0.95 * stage_sum
+
+    def test_span_event_durations_consistent(self):
+        _, spans, _ = split_events(trace_events())
+        for span in spans:
+            assert span["duration"] == pytest.approx(
+                span["end"] - span["start"]
+            )
