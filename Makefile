@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler suite examples check clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache suite examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,9 @@ bench-full:      ## all eight paper networks (long)
 bench-profiler:  ## profiler scaling: legacy vs engine vs --jobs (writes BENCH_profiler.json)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_profiler_scaling.py
 
+bench-cache:     ## persistent cache: cold vs warm vs sweep (writes BENCH_cache.json)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cache_sweep.py
+
 suite:           ## regenerate every table/figure as JSON artifacts
 	$(PYTHON) -m repro suite --output results/
 
@@ -36,7 +39,7 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/check src/repro/nn src/repro/telemetry; \
+		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/nn src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi

@@ -1,0 +1,325 @@
+"""Persistent-cache benchmark (ISSUE 5 acceptance evidence).
+
+Measures the two effects of the content-addressed result cache
+(``repro.cache``) and writes ``BENCH_cache.json``:
+
+* **cold vs warm pipeline** — the same ``optimize()`` run twice
+  against one cache directory, each time through a *fresh*
+  ``PrecisionOptimizer`` (no in-process memo can help).  The warm run
+  must be at least ``--min-warm-speedup`` (default 5x) faster and
+  bit-identical: bitwidths, xi, sigma, and accuracies are compared
+  with exact float equality.  A third run with the cache disabled
+  re-checks that caching never changes results.
+
+* **scheduler vs naive cold sweep** — a Table-III-style grid executed
+  by ``repro.experiments.run_sweep`` (one optimizer per model, cells
+  sharing profiles/stats/baseline/sigma memos, persistent cache on)
+  against the naive loop a user would write: a fresh no-cache
+  optimizer per cell.  Both sides share the pre-built pretrained
+  contexts, so the comparison isolates scheduling, not model setup.
+  Cell results must match exactly.
+
+The script exits non-zero on any identity mismatch or a warm speedup
+below the floor — CI runs it at smoke sizes for exactly that
+regression check.  ``make bench-cache`` runs the full configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import (  # noqa: E402
+    ExperimentConfig,
+    SweepSpec,
+    make_context,
+    run_sweep,
+)
+from repro.pipeline import PrecisionOptimizer  # noqa: E402
+from repro.telemetry import build_manifest  # noqa: E402
+
+SEED = 20190325
+
+
+def fresh_optimizer(context, cache: Optional[str]) -> PrecisionOptimizer:
+    """A brand-new optimizer over a context's network/dataset.
+
+    Fresh per call so no in-process memo (profiles, stats, sigma
+    evaluations) survives between timed runs — only the persistent
+    cache can make the second run fast.
+    """
+    config = context.config
+    return PrecisionOptimizer(
+        context.network,
+        context.test,
+        profile_settings=config.profile_settings(),
+        search_settings=config.search_settings(),
+        scheme=config.scheme,
+        parallel=config.parallel_settings(),
+        cache=cache,
+    )
+
+
+def outcome_fingerprint(outcome) -> Dict[str, object]:
+    """Everything that must be bit-identical across cache states."""
+    return {
+        "bitwidths": dict(outcome.bitwidths),
+        "xi": dict(outcome.result.xi),
+        "deltas": dict(outcome.result.deltas),
+        "sigma": outcome.result.sigma,
+        "achieved_accuracy": outcome.sigma_result.achieved_accuracy,
+        "baseline_accuracy": outcome.baseline_accuracy,
+        "validated_accuracy": outcome.validated_accuracy,
+        "degraded": outcome.degraded,
+    }
+
+
+def bench_cold_warm(
+    config: ExperimentConfig,
+    drop: float,
+    objective: str,
+    min_warm_speedup: float,
+) -> Dict[str, object]:
+    """Cold/warm/no-cache runs of one pipeline; asserts bit-identity."""
+    context = make_context(replace(config, model=config.model))
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        runs: Dict[str, Dict[str, object]] = {}
+        times: Dict[str, float] = {}
+        for label, cache in (
+            ("cold", cache_dir),
+            ("warm", cache_dir),
+            ("no_cache", None),
+        ):
+            optimizer = fresh_optimizer(context, cache)
+            start = time.perf_counter()
+            outcome = optimizer.optimize(objective, accuracy_drop=drop)
+            times[label] = time.perf_counter() - start
+            runs[label] = outcome_fingerprint(outcome)
+            counters = (
+                optimizer.cache.counters.as_dict()
+                if optimizer.cache is not None
+                else {}
+            )
+            print(
+                f"  {config.model}/{label:<9} {times[label]:8.3f}s"
+                + (
+                    f"  ({counters.get('hits', 0)} hits, "
+                    f"{counters.get('misses', 0)} misses)"
+                    if counters
+                    else ""
+                )
+            )
+        warm_speedup = times["cold"] / times["warm"]
+        identical = runs["cold"] == runs["warm"] == runs["no_cache"]
+        print(
+            f"  {config.model}: warm speedup {warm_speedup:.1f}x "
+            f"(floor {min_warm_speedup:.0f}x), results "
+            f"{'BIT-IDENTICAL' if identical else 'MISMATCH'}"
+        )
+        return {
+            "model": config.model,
+            "objective": objective,
+            "accuracy_drop": drop,
+            "seconds": times,
+            "warm_speedup": warm_speedup,
+            "min_warm_speedup": min_warm_speedup,
+            "bit_identical": identical,
+            "passed": identical and warm_speedup >= min_warm_speedup,
+            "fingerprint": runs["cold"],
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def cell_fingerprint(cell) -> Dict[str, object]:
+    return {
+        "model": cell.model,
+        "drop": cell.accuracy_drop,
+        "objective": cell.objective,
+        "sigma": cell.sigma,
+        "bitwidths": cell.bitwidths,
+        "baseline_accuracy": cell.baseline_accuracy,
+        "validated_accuracy": cell.validated_accuracy,
+    }
+
+
+def bench_sweep(config: ExperimentConfig, spec: SweepSpec) -> Dict[str, object]:
+    """Cold incremental sweep vs the naive fresh-pipeline-per-cell loop."""
+    # Pre-build every model's pretrained context so neither side is
+    # charged for model setup; run_sweep reuses these via the context
+    # cache (its configs match exactly).
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    sweep_config = replace(config, cache_dir=cache_dir)
+    contexts = {
+        model: make_context(replace(sweep_config, model=model))
+        for model in spec.models
+    }
+    try:
+        naive: List[Dict[str, object]] = []
+        naive_start = time.perf_counter()
+        for model, drop, objective in spec.cells():
+            optimizer = fresh_optimizer(contexts[model], cache=None)
+            outcome = optimizer.optimize(objective, accuracy_drop=drop)
+            naive.append(
+                {
+                    "model": model,
+                    "drop": drop,
+                    "objective": objective,
+                    "sigma": outcome.result.sigma,
+                    "bitwidths": dict(outcome.bitwidths),
+                    "baseline_accuracy": outcome.baseline_accuracy,
+                    "validated_accuracy": outcome.validated_accuracy,
+                }
+            )
+        naive_seconds = time.perf_counter() - naive_start
+        print(f"  naive loop: {len(naive)} cells in {naive_seconds:.3f}s")
+
+        report = run_sweep(spec, sweep_config)
+        sweep_seconds = report.elapsed_seconds
+        for line in report.lines():
+            print(f"  {line}")
+
+        scheduled = [cell_fingerprint(cell) for cell in report.cells]
+        identical = scheduled == naive
+        speedup = naive_seconds / sweep_seconds
+        print(
+            f"  sweep speedup vs naive {speedup:.2f}x, cells "
+            f"{'BIT-IDENTICAL' if identical else 'MISMATCH'}"
+        )
+        return {
+            "models": list(spec.models),
+            "accuracy_drops": list(spec.accuracy_drops),
+            "objectives": list(spec.objectives),
+            "num_cells": spec.num_cells,
+            "naive_seconds": naive_seconds,
+            "sweep_seconds": sweep_seconds,
+            "sweep_speedup": speedup,
+            "cache_counters": report.cache_counters,
+            "bit_identical": identical,
+            "passed": identical and speedup > 1.0,
+            "cells": scheduled,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="alexnet", help="cold/warm model")
+    parser.add_argument(
+        "--sweep-models",
+        default="lenet,alexnet",
+        help="comma-separated models for the sweep comparison",
+    )
+    parser.add_argument("--drops", default="0.01,0.05")
+    parser.add_argument("--objectives", default="input,mac")
+    parser.add_argument("--train-count", type=int, default=256)
+    parser.add_argument("--test-count", type=int, default=128)
+    parser.add_argument("--profile-images", type=int, default=16)
+    parser.add_argument("--profile-points", type=int, default=6)
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=5.0,
+        help="fail below this cold/warm ratio",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI configuration: lenet only, small grid",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_cache.json"),
+        help="result JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.model = "lenet"
+        args.sweep_models = "lenet"
+        args.objectives = "input"
+        args.train_count = 96
+        args.test_count = 48
+        args.profile_images = 8
+        args.profile_points = 4
+
+    config = ExperimentConfig(
+        model=args.model,
+        num_classes=8,
+        train_count=args.train_count,
+        test_count=args.test_count,
+        profile_images=args.profile_images,
+        profile_points=args.profile_points,
+        seed=SEED,
+    )
+    drops = tuple(float(d) for d in args.drops.split(","))
+    objectives = tuple(o.strip() for o in args.objectives.split(","))
+
+    print("== cold vs warm pipeline ==")
+    cold_warm = bench_cold_warm(
+        config, drops[0], objectives[0], args.min_warm_speedup
+    )
+    print("== scheduler vs naive cold sweep ==")
+    spec = SweepSpec(
+        models=tuple(m.strip() for m in args.sweep_models.split(",")),
+        accuracy_drops=drops,
+        objectives=objectives,
+    )
+    sweep = bench_sweep(config, spec)
+
+    manifest = build_manifest(
+        config={
+            "benchmark": "cache_sweep",
+            "model": args.model,
+            "sweep_models": args.sweep_models,
+            "drops": args.drops,
+            "objectives": args.objectives,
+            "train_count": args.train_count,
+            "test_count": args.test_count,
+            "profile_images": args.profile_images,
+            "profile_points": args.profile_points,
+            "min_warm_speedup": args.min_warm_speedup,
+            "smoke": args.smoke,
+        },
+        seed=SEED,
+    )
+    payload = {
+        "benchmark": "cache_sweep",
+        "smoke": args.smoke,
+        "manifest": manifest.as_dict(),
+        "cold_warm": cold_warm,
+        "sweep": sweep,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if not cold_warm["bit_identical"]:
+        failures.append("cold/warm/no-cache results differ")
+    if cold_warm["warm_speedup"] < args.min_warm_speedup:
+        failures.append(
+            f"warm speedup {cold_warm['warm_speedup']:.1f}x below "
+            f"{args.min_warm_speedup:.0f}x floor"
+        )
+    if not sweep["bit_identical"]:
+        failures.append("sweep cells differ from the naive loop")
+    if sweep["sweep_speedup"] <= 1.0:
+        failures.append("incremental sweep not faster than naive loop")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

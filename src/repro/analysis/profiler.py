@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache import ResultCache, array_digest, make_key, network_digest
 from ..config import ParallelSettings, ProfileSettings
 from ..engine.campaign import InjectionEngine, enforce_finite_trial
 from ..engine.rng import trial_rng
@@ -82,6 +83,9 @@ class ProfileReport:
     replay_fractions: Dict[str, float] = field(default_factory=dict)
     #: Worker count the campaign ran with (1 = serial).
     jobs: int = 1
+    #: Layers whose (sq_sums, counts) came from the persistent result
+    #: cache instead of a fresh injection campaign.
+    cache_hits: int = 0
 
     def __getitem__(self, name: str) -> LayerErrorProfile:
         return self.profiles[name]
@@ -119,6 +123,7 @@ class ErrorProfiler:
         parallel: Optional[ParallelSettings] = None,
         use_engine: bool = True,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.network = network
         self.images = np.asarray(images, dtype=np.float64)
@@ -126,6 +131,13 @@ class ErrorProfiler:
         self.batch_size = batch_size
         #: Engine execution knobs (jobs, backend, trial batching).
         self.parallel = parallel or ParallelSettings()
+        #: Persistent result cache (None = off).  Each layer's raw
+        #: (sq_sums, counts) campaign output is cached independently, so
+        #: adding one layer to a profiled network only pays for the
+        #: delta.  Keys exclude jobs/backend/trial batching: the engine
+        #: guarantees bit-identical sums across those knobs.
+        self.cache = cache
+        self._net_digest: Optional[str] = None
         #: Observability session shared with the engine (spans/metrics
         #: only; never feeds back into the measurements).
         self.telemetry = Telemetry.create(telemetry)
@@ -153,6 +165,39 @@ class ErrorProfiler:
         )
 
     # ------------------------------------------------------------------
+    def _network_digest(self) -> str:
+        if self._net_digest is None:
+            self._net_digest = network_digest(self.network)
+        return self._net_digest
+
+    def _layer_key(
+        self,
+        name: str,
+        position: int,
+        grid: np.ndarray,
+        images_digest: str,
+    ) -> str:
+        """Cache key for one layer's campaign sums.
+
+        Everything that determines the bits of (sq_sums, counts) is
+        here: the trial RNG streams are keyed on (seed, layer position,
+        batch index, grid index, repeat), so ``batch_size`` belongs in
+        the key while worker counts and backends do not.
+        """
+        return make_key(
+            {
+                "kind": "profile-layer",
+                "network": self._network_digest(),
+                "images": images_digest,
+                "seed": self.settings.seed,
+                "num_repeats": self.settings.num_repeats,
+                "batch_size": self.batch_size,
+                "layer": name,
+                "position": position,
+                "grid": grid,
+            }
+        )
+
     def _delta_grid(self, input_scale: float) -> np.ndarray:
         s = self.settings
         if self.delta_relative:
@@ -244,6 +289,31 @@ class ErrorProfiler:
         num_images = min(settings.num_images, self.images.shape[0])
         images = self.images[:num_images]
 
+        # Per-layer persistent cache lookup: a layer's campaign sums are
+        # independent of which other layers share the campaign, so each
+        # (layer, grid) pair restores separately and only the missing
+        # layers pay for an injection run.
+        cached_sums: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        layer_keys: Dict[str, str] = {}
+        if self.cache is not None:
+            images_digest = array_digest(images)
+            positions = {
+                layer.name: index
+                for index, layer in enumerate(self.network.layers)
+            }
+            for name in names:
+                layer_keys[name] = self._layer_key(
+                    name, positions[name], grids[name], images_digest
+                )
+                entry = self.cache.get_arrays("profile", layer_keys[name])
+                if (
+                    entry is not None
+                    and "sq_sums" in entry
+                    and "counts" in entry
+                ):
+                    cached_sums[name] = (entry["sq_sums"], entry["counts"])
+        missing = [name for name in names if name not in cached_sums]
+
         tracer = self.telemetry.tracer
         with tracer.span(
             "profiler.profile",
@@ -254,31 +324,52 @@ class ErrorProfiler:
             use_engine=self.use_engine,
             jobs=self.parallel.jobs,
             backend=self.parallel.backend,
+            cache_hits=len(cached_sums),
         ):
             timings: Dict[str, float] = {}
             replay_fractions: Dict[str, float] = {}
             jobs = 1
-            if self.use_engine:
-                engine = InjectionEngine(
-                    self.network, self.parallel, telemetry=self.telemetry
-                )
-                campaign = engine.run(
-                    images,
-                    grids,
-                    num_repeats=settings.num_repeats,
-                    seed=settings.seed,
-                    batch_size=self.batch_size,
-                    progress=progress,
-                )
-                sq_sums = campaign.sq_sums
-                counts = campaign.counts
-                timings = campaign.timings.as_dict()
-                replay_fractions = campaign.replay_fractions
-                jobs = campaign.jobs
-            else:
-                sq_sums, counts = self._profile_serial(
-                    images, grids, names, num_images, progress
-                )
+            sq_sums = {name: cached_sums[name][0] for name in cached_sums}
+            counts = {name: cached_sums[name][1] for name in cached_sums}
+            if missing:
+                missing_grids = {name: grids[name] for name in missing}
+                if self.use_engine:
+                    engine = InjectionEngine(
+                        self.network,
+                        self.parallel,
+                        telemetry=self.telemetry,
+                        cache=self.cache,
+                    )
+                    campaign = engine.run(
+                        images,
+                        missing_grids,
+                        num_repeats=settings.num_repeats,
+                        seed=settings.seed,
+                        batch_size=self.batch_size,
+                        progress=progress,
+                    )
+                    sq_sums.update(campaign.sq_sums)
+                    counts.update(campaign.counts)
+                    timings = campaign.timings.as_dict()
+                    replay_fractions = campaign.replay_fractions
+                    jobs = campaign.jobs
+                else:
+                    fresh_sums, fresh_counts = self._profile_serial(
+                        images, missing_grids, missing, num_images, progress
+                    )
+                    sq_sums.update(fresh_sums)
+                    counts.update(fresh_counts)
+                if self.cache is not None:
+                    for name in missing:
+                        self.cache.put_arrays(
+                            "profile",
+                            layer_keys[name],
+                            {
+                                "sq_sums": sq_sums[name],
+                                "counts": counts[name],
+                            },
+                            meta={"layer": name},
+                        )
 
             fit_start = time.perf_counter()
             profiles: Dict[str, LayerErrorProfile] = {}
@@ -335,6 +426,7 @@ class ErrorProfiler:
             timings=timings,
             replay_fractions=replay_fractions,
             jobs=jobs,
+            cache_hits=len(cached_sums),
         )
 
     def _profile_serial(

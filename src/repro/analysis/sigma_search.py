@@ -24,6 +24,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..cache import (
+    ResultCache,
+    array_digest,
+    dataset_digest,
+    make_key,
+    network_digest,
+    profiles_digest,
+)
 from ..config import SearchSettings
 from ..data import Dataset
 from ..errors import SearchError
@@ -99,6 +107,7 @@ class Scheme1Evaluator:
         num_trials: int = 1,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.network = network
         self.dataset = dataset
@@ -109,10 +118,46 @@ class Scheme1Evaluator:
         self.telemetry = Telemetry.create(telemetry)
         self._cache: Dict[Tuple[float, str, int], float] = {}
         self.cache_hits = 0
+        #: Persistent memo behind the in-memory one (None = off).  The
+        #: key pins everything the measurement depends on — including
+        #: the fitted (lambda, theta) pairs and ``batch_size``, because
+        #: the per-batch noise stream advances one RNG across batches.
+        self.result_cache = cache
+        self._context: Optional[Dict[str, object]] = None
+        if cache is not None:
+            self._context = {
+                "kind": "sigma-eval",
+                "scheme": self.scheme,
+                "network": network_digest(network),
+                "dataset": dataset_digest(dataset),
+                "profiles": profiles_digest(self.profiles),
+                "num_trials": num_trials,
+                "batch_size": batch_size,
+                "seed": seed,
+            }
+
+    def _persistent_get(self, sigma: float) -> Optional[float]:
+        if self.result_cache is None or self._context is None:
+            return None
+        key = make_key({**self._context, "sigma": float(sigma)})
+        stored = self.result_cache.get_json("sigma_eval", key)
+        if isinstance(stored, dict) and "accuracy" in stored:
+            return float(stored["accuracy"])
+        return None
+
+    def _persistent_put(self, sigma: float, value: float) -> None:
+        if self.result_cache is None or self._context is None:
+            return
+        key = make_key({**self._context, "sigma": float(sigma)})
+        self.result_cache.put_json("sigma_eval", key, {"accuracy": value})
 
     def accuracy(self, sigma: float) -> float:
         key = (float(sigma), self.scheme, self.seed)
         cached = self._cache.get(key)
+        if cached is None:
+            cached = self._persistent_get(sigma)
+            if cached is not None:
+                self._cache[key] = cached
         with _eval_span(self.telemetry, self.scheme, sigma, cached) as span:
             if cached is not None:
                 self.cache_hits += 1
@@ -132,6 +177,7 @@ class Scheme1Evaluator:
                     total += labels.size
             value = correct / max(total, 1)
             self._cache[key] = value
+            self._persistent_put(sigma, value)
             span.set(accuracy=value)
         _observe_eval(self.telemetry, span)
         return value
@@ -155,6 +201,7 @@ class Scheme2Evaluator:
         num_trials: int = 3,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.dataset = dataset
         self.num_trials = num_trials
@@ -167,10 +214,43 @@ class Scheme2Evaluator:
             out = network.forward(images)
             logits.append(out.reshape(out.shape[0], -1))
         self._logits = np.concatenate(logits, axis=0)
+        #: Persistent memo (None = off).  Keyed on the clean logits
+        #: themselves (not the network), so any batching effect on
+        #: their bits is captured exactly.
+        self.result_cache = cache
+        self._context: Optional[Dict[str, object]] = None
+        if cache is not None:
+            self._context = {
+                "kind": "sigma-eval",
+                "scheme": self.scheme,
+                "logits": array_digest(self._logits),
+                "labels": array_digest(dataset.labels),
+                "num_trials": num_trials,
+                "seed": seed,
+            }
+
+    def _persistent_get(self, sigma: float) -> Optional[float]:
+        if self.result_cache is None or self._context is None:
+            return None
+        key = make_key({**self._context, "sigma": float(sigma)})
+        stored = self.result_cache.get_json("sigma_eval", key)
+        if isinstance(stored, dict) and "accuracy" in stored:
+            return float(stored["accuracy"])
+        return None
+
+    def _persistent_put(self, sigma: float, value: float) -> None:
+        if self.result_cache is None or self._context is None:
+            return
+        key = make_key({**self._context, "sigma": float(sigma)})
+        self.result_cache.put_json("sigma_eval", key, {"accuracy": value})
 
     def accuracy(self, sigma: float) -> float:
         key = (float(sigma), self.scheme, self.seed)
         cached = self._cache.get(key)
+        if cached is None:
+            cached = self._persistent_get(sigma)
+            if cached is not None:
+                self._cache[key] = cached
         with _eval_span(self.telemetry, self.scheme, sigma, cached) as span:
             if cached is not None:
                 self.cache_hits += 1
@@ -186,6 +266,7 @@ class Scheme2Evaluator:
                 total += labels.size
             value = correct / max(total, 1)
             self._cache[key] = value
+            self._persistent_put(sigma, value)
             span.set(accuracy=value)
         _observe_eval(self.telemetry, span)
         return value
@@ -201,6 +282,10 @@ class SigmaSearchResult:
     achieved_accuracy: float
     evaluations: List[Tuple[float, float]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Accuracy tests answered from the evaluator's memo instead of a
+    #: real dataset pass (populated when ``evaluations_saved_fn`` is
+    #: given to :func:`find_sigma`).
+    num_evaluations_saved: int = 0
 
     @property
     def num_evaluations(self) -> int:
@@ -215,6 +300,7 @@ def find_sigma(
     settings: Optional[SearchSettings] = None,
     transient_retries: int = 2,
     telemetry: Optional[Telemetry] = None,
+    evaluations_saved_fn: Optional[Callable[[], int]] = None,
 ) -> SigmaSearchResult:
     """Largest sigma_YL whose accuracy stays within the allowed drop.
 
@@ -230,6 +316,14 @@ def find_sigma(
     and a non-finite accuracy measurement raises a structured
     :class:`SearchError` immediately instead of silently poisoning the
     bracket.
+
+    A final **confirmation** evaluation measures accuracy at the sigma
+    actually returned whenever the search never probed it directly (the
+    tolerance-floor edge case); against a memoizing evaluator it is
+    free in every other case because the value is already cached.
+    ``evaluations_saved_fn`` — typically the evaluator's ``cache_hits``
+    reader — is sampled before and after the search, and the difference
+    is reported as :attr:`SigmaSearchResult.num_evaluations_saved`.
     """
     from ..resilience.fallback import call_with_retries
     from ..resilience.guards import check_sigma_bracket, enforce
@@ -249,6 +343,12 @@ def find_sigma(
     start_time = time.perf_counter()
     target = baseline_accuracy * (1.0 - max_relative_drop)
     evaluations: List[Tuple[float, float]] = []
+    saved_start = evaluations_saved_fn() if evaluations_saved_fn else 0
+
+    def evaluations_saved() -> int:
+        if evaluations_saved_fn is None:
+            return 0
+        return max(0, evaluations_saved_fn() - saved_start)
 
     def passes(sigma: float, phase: str) -> bool:
         with tracer.span(
@@ -288,7 +388,9 @@ def find_sigma(
                 # Accuracy never violated: the network tolerates any
                 # sigma we can reach; return the last passing value.
                 search_span.set(
-                    sigma=float(lower), num_evaluations=len(evaluations)
+                    sigma=float(lower),
+                    num_evaluations=len(evaluations),
+                    num_evaluations_saved=evaluations_saved(),
                 )
                 return SigmaSearchResult(
                     sigma=lower,
@@ -297,6 +399,7 @@ def find_sigma(
                     achieved_accuracy=evaluations[-1][1],
                     evaluations=evaluations,
                     elapsed_seconds=time.perf_counter() - start_time,
+                    num_evaluations_saved=evaluations_saved(),
                 )
         enforce(
             check_sigma_bracket(lower, upper, len(evaluations)),
@@ -309,18 +412,27 @@ def find_sigma(
                 lower = mid
             else:
                 upper = mid
-        achieved = next(
-            (acc for s, acc in reversed(evaluations) if s == lower),
-            baseline_accuracy,
-        )
         # The search cannot resolve budgets below its tolerance; when
         # even the first probe fails (constraint inside measurement
         # noise), the tolerance itself is returned as the smallest
         # meaningful budget — the resulting Deltas are tiny, i.e.
         # near-lossless formats.
         sigma = max(lower, settings.tolerance)
+        # Confirmation: the reported accuracy is a measurement at the
+        # returned sigma.  With a memoizing evaluator this re-probe is
+        # free whenever the bisection already landed on sigma (the
+        # common case); it only costs a pass in the tolerance-floor
+        # branch above, where no probe at sigma exists yet.
+        achieved = next(
+            (acc for s, acc in reversed(evaluations) if s == sigma), None
+        )
+        if achieved is None:
+            passes(sigma, "confirm")
+            achieved = evaluations[-1][1]
         search_span.set(
-            sigma=float(sigma), num_evaluations=len(evaluations)
+            sigma=float(sigma),
+            num_evaluations=len(evaluations),
+            num_evaluations_saved=evaluations_saved(),
         )
     return SigmaSearchResult(
         sigma=sigma,
@@ -329,4 +441,5 @@ def find_sigma(
         achieved_accuracy=achieved,
         evaluations=evaluations,
         elapsed_seconds=time.perf_counter() - start_time,
+        num_evaluations_saved=evaluations_saved(),
     )

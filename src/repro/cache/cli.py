@@ -1,0 +1,68 @@
+"""``repro cache {stats,gc,verify}`` — operate on a cache directory."""
+
+from __future__ import annotations
+
+import argparse
+
+from . import resolve_cache_dir
+from .maintenance import DEFAULT_MAX_BYTES, cache_stats, gc, verify
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """``'500M'`` -> bytes; bare integers are bytes."""
+    text = text.strip().lower().rstrip("b")
+    if text and text[-1] in _SUFFIXES:
+        return int(float(text[:-1]) * _SUFFIXES[text[-1]])
+    return int(text)
+
+
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "action",
+        choices=["stats", "gc", "verify"],
+        help=(
+            "stats: entry/byte counts per namespace; gc: LRU-evict down "
+            "to --max-bytes; verify: checksum every entry"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help=(
+            "cache directory (default: $REPRO_CACHE_DIR, else .repro-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes",
+        default="",
+        metavar="SIZE",
+        help=(
+            "gc budget, e.g. 500M or 2G "
+            f"(default {DEFAULT_MAX_BYTES // 1024**2} MB)"
+        ),
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="verify only: delete entries that fail their checksum",
+    )
+
+
+def run_cache(args: argparse.Namespace) -> int:
+    directory = resolve_cache_dir(args.cache_dir or None)
+    if args.action == "stats":
+        for line in cache_stats(directory).lines():
+            print(line)
+        return 0
+    if args.action == "gc":
+        budget = parse_size(args.max_bytes) if args.max_bytes else DEFAULT_MAX_BYTES
+        print(gc(directory, max_bytes=budget).describe())
+        return 0
+    report = verify(directory, prune=args.prune)
+    print(report.describe())
+    for path in report.corrupt:
+        print(f"  corrupt: {path}")
+    return 0 if report.clean else 1

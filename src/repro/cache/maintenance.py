@@ -1,0 +1,190 @@
+"""Cache maintenance: stats, size-budgeted LRU GC, integrity verify.
+
+These back the ``repro cache {stats,gc,verify}`` CLI but are plain
+functions so tests and long-running services can call them directly.
+All three walk the on-disk store only through its public layout
+(``objects/<namespace>/<shard>/<key>.<ext>``); they never need the key
+material that produced an entry.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .store import PathLike, ResultCache, _JSON_EXT, _sha256
+
+#: Default GC budget: plenty for every experiment in the repo while
+#: bounding an unattended cache directory.
+DEFAULT_MAX_BYTES = 2 * 1024**3
+
+
+def _entries(directory: Path) -> List[Path]:
+    objects = directory / "objects"
+    if not objects.is_dir():
+        return []
+    return [p for p in sorted(objects.rglob("*")) if p.is_file()]
+
+
+@dataclass
+class CacheStatsReport:
+    """Aggregate view of a cache directory."""
+
+    directory: Path
+    num_entries: int = 0
+    total_bytes: int = 0
+    #: (entry count, bytes) per namespace.
+    namespaces: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def lines(self) -> List[str]:
+        out = [
+            f"{self.directory}: {self.num_entries} entries, "
+            f"{self.total_bytes / 1e6:.2f} MB"
+        ]
+        for name in sorted(self.namespaces):
+            count, nbytes = self.namespaces[name]
+            out.append(f"  {name:<12} {count:>6} entries  {nbytes / 1e6:>10.2f} MB")
+        return out
+
+
+def cache_stats(directory: PathLike) -> CacheStatsReport:
+    """Entry/byte counts per namespace for a cache directory."""
+    directory = Path(directory)
+    report = CacheStatsReport(directory=directory)
+    for path in _entries(directory):
+        size = path.stat().st_size
+        namespace = path.parent.parent.name
+        report.num_entries += 1
+        report.total_bytes += size
+        count, nbytes = report.namespaces.get(namespace, (0, 0))
+        report.namespaces[namespace] = (count + 1, nbytes + size)
+    return report
+
+
+@dataclass
+class GCReport:
+    """What one GC pass deleted and what remains."""
+
+    directory: Path
+    max_bytes: int
+    deleted_entries: int = 0
+    deleted_bytes: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
+    #: Orphaned temporaries from interrupted writes, also removed.
+    deleted_tmp_files: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"gc {self.directory}: deleted {self.deleted_entries} entries "
+            f"({self.deleted_bytes / 1e6:.2f} MB) + "
+            f"{self.deleted_tmp_files} stale tmp files; "
+            f"{self.remaining_entries} entries "
+            f"({self.remaining_bytes / 1e6:.2f} MB) <= budget "
+            f"{self.max_bytes / 1e6:.2f} MB"
+        )
+
+
+def gc(directory: PathLike, max_bytes: int = DEFAULT_MAX_BYTES) -> GCReport:
+    """Evict least-recently-used entries until the store fits the budget.
+
+    Access time is the entry's mtime (touched by every cache hit), so
+    eviction order is true LRU regardless of when an entry was written.
+    Interrupted-write temporaries (``.tmp-*``) are always removed.
+    """
+    directory = Path(directory)
+    report = GCReport(directory=directory, max_bytes=int(max_bytes))
+    survivors: List[Tuple[float, int, Path]] = []
+    for path in _entries(directory):
+        if path.name.startswith(".tmp-"):
+            try:
+                path.unlink()
+                report.deleted_tmp_files += 1
+            except OSError:  # pragma: no cover - raced away
+                pass
+            continue
+        stat = path.stat()
+        survivors.append((stat.st_mtime, stat.st_size, path))
+    total = sum(size for __, size, __p in survivors)
+    survivors.sort()  # oldest access first
+    index = 0
+    while total > report.max_bytes and index < len(survivors):
+        __, size, path = survivors[index]
+        try:
+            path.unlink()
+            report.deleted_entries += 1
+            report.deleted_bytes += size
+            total -= size
+        except OSError:  # pragma: no cover - raced away
+            pass
+        index += 1
+    report.remaining_entries = len(survivors) - report.deleted_entries
+    report.remaining_bytes = total
+    return report
+
+
+@dataclass
+class VerifyReport:
+    """Integrity sweep over every stored entry."""
+
+    directory: Path
+    checked: int = 0
+    ok: int = 0
+    corrupt: List[Path] = field(default_factory=list)
+    #: True when corrupt entries were deleted (``prune=True``).
+    pruned: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def describe(self) -> str:
+        status = "OK" if self.clean else f"{len(self.corrupt)} CORRUPT"
+        return f"verify {self.directory}: {self.checked} entries checked, {status}"
+
+
+def _entry_is_valid(path: Path) -> bool:
+    """Full checksum validation of one entry file."""
+    try:
+        if path.suffix == _JSON_EXT:
+            envelope = json.loads(path.read_bytes())
+            body = envelope["payload"]
+            return bool(_sha256(body.encode("utf-8")) == envelope["checksum"])
+        with path.open("rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        ok = False
+        try:
+            ResultCache._decode_arrays(mapped)
+            ok = True
+        except (ValueError, KeyError, TypeError, IndexError):
+            # Leave the except block before closing the map: the
+            # traceback pins frame locals that still view the buffer.
+            pass
+        mapped.close()
+        return ok
+    except (OSError, ValueError, KeyError, TypeError, IndexError):
+        return False
+
+
+def verify(directory: PathLike, prune: bool = False) -> VerifyReport:
+    """Checksum every entry; optionally delete the damaged ones."""
+    directory = Path(directory)
+    report = VerifyReport(directory=directory, pruned=prune)
+    for path in _entries(directory):
+        if path.name.startswith(".tmp-"):
+            continue
+        report.checked += 1
+        if _entry_is_valid(path):
+            report.ok += 1
+        else:
+            report.corrupt.append(path)
+            if prune:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - raced away
+                    pass
+    return report

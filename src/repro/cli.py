@@ -14,6 +14,13 @@ point for the substrate replica.  Subcommands:
 ``fig3``      accuracy vs sigma under both schemes (Fig. 3)
 ``fig4``      NiN per-layer energy anatomy (Fig. 4)
 ``cost``      analytic vs search cost comparison (Sec. VI-A)
+``sweep``     incremental grid sweep with cross-cell work sharing
+``cache``     persistent result-cache stats / GC / integrity verify
+
+Every subcommand accepts ``--cache-dir DIR`` (persist expensive results
+content-addressed under DIR and reuse them across runs; also enabled by
+``$REPRO_CACHE_DIR``) and ``--no-cache`` (force it off); see
+``docs/caching.md``.
 
 Every subcommand accepts ``--resume DIR`` (checkpoint/resume the
 expensive stages under DIR) and ``--strict`` (escalate guardrail
@@ -29,15 +36,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .cache.cli import add_cache_arguments, run_cache
 from .check.cli import add_check_arguments, run_check
 from .experiments import (
     ExperimentConfig,
+    SweepSpec,
     make_context,
     run_cost_comparison,
     run_fig2,
     run_fig3,
     run_fig4,
     run_suite,
+    run_sweep,
     run_table2,
     run_table3,
 )
@@ -110,6 +120,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "to PATH; implies --telemetry"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="DIR",
+        help=(
+            "persist expensive results (activations, fits, sigma "
+            "evaluations, outcomes) content-addressed under DIR and "
+            "reuse them across runs; $REPRO_CACHE_DIR also enables "
+            "this (see docs/caching.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force the persistent result cache off",
+    )
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -127,6 +153,8 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         parallel_backend=args.parallel_backend,
         telemetry=args.telemetry,
         trace_out=args.trace_out,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
     )
 
 
@@ -135,6 +163,13 @@ def _export_trace(context) -> None:
     path = context.optimizer.telemetry.export()
     if path is not None:
         print(f"trace written to {path}")
+
+
+def _print_cache_summary(context) -> None:
+    """One-line hit/miss accounting when the persistent cache is on."""
+    cache = context.optimizer.cache
+    if cache is not None:
+        print(cache.describe())
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +210,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{report.worst_fit().max_relative_error:.1%}"
     )
     print(describe_profile_timings(report))
+    _print_cache_summary(context)
     _export_trace(context)
     return 0
 
@@ -227,8 +263,41 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print(f"allocation written to {path}")
     if outcome.manifest:
         print(describe_manifest(outcome.manifest))
+    _print_cache_summary(context)
     _export_trace(context)
     return 0 if outcome.meets_constraint else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    models = args.models.split(",") if args.models else [args.model]
+    spec = SweepSpec(
+        models=tuple(models),
+        accuracy_drops=tuple(float(d) for d in args.drops.split(",")),
+        objectives=tuple(args.objectives.split(",")),
+    )
+    report = run_sweep(spec, config=_config(args), progress=False)
+    for line in report.lines():
+        print(line)
+    if args.output:
+        import json
+
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "cells": report.rows(),
+                    "elapsed_seconds": report.elapsed_seconds,
+                    "cache_counters": report.cache_counters,
+                    "cache_dir": report.cache_dir,
+                },
+                indent=2,
+            )
+        )
+        print(f"sweep results written to {path}")
+    return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -412,6 +481,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--drop", type=float, default=0.05)
     p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "sweep",
+        help="incremental grid sweep with cross-cell work sharing",
+        description="Run a (model x drop x objective) grid through one "
+        "optimizer per model, sharing profiles, stats, and sigma "
+        "evaluations across cells — and across runs with --cache-dir.  "
+        "Bit-identical to looping `repro optimize` per cell.  See "
+        "docs/caching.md.",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--models",
+        default="",
+        help="comma-separated zoo names (default: --model)",
+    )
+    p.add_argument("--drops", default="0.01,0.05")
+    p.add_argument("--objectives", default="input,mac")
+    p.add_argument("--output", default="", help="write cell JSON here")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache",
+        help="persistent result-cache stats / GC / verify",
+        description="Operate on a persistent result cache directory: "
+        "'stats' prints entry/byte counts per namespace, 'gc' evicts "
+        "least-recently-used entries down to --max-bytes, 'verify' "
+        "re-checksums every entry (exit 1 on corruption).  See "
+        "docs/caching.md.",
+    )
+    add_cache_arguments(p)
+    p.set_defaults(func=run_cache)
 
     p = sub.add_parser("suite", help="run the full evaluation suite")
     _add_common(p)

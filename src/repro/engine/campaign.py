@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..cache import ResultCache, array_digest, make_key, network_digest
 from ..config import ParallelSettings
 from ..errors import ProfilingError, ReproError, RetryExhaustedError, TransientError
 from ..nn.graph import ActivationCache, Network
@@ -224,10 +225,15 @@ class InjectionEngine:
         network: Network,
         parallel: Optional[ParallelSettings] = None,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.network = network
         self.parallel = parallel or ParallelSettings()
         self.telemetry = Telemetry.create(telemetry)
+        #: Persistent result cache for the reference stage: clean
+        #: activation caches keyed by (network, batch images).  Restored
+        #: entries are mmap'd read-only views — no materialized copies.
+        self.cache = cache
         if self.parallel.tune_allocator:
             tune_allocator()
 
@@ -257,12 +263,7 @@ class InjectionEngine:
             for index, layer in enumerate(self.network.layers)
         }
         with timings.stage("reference"):
-            caches = [
-                self.network.run_all(
-                    images[start : start + batch_size], forward_fn=forward_fn
-                )
-                for start in range(0, images.shape[0], batch_size)
-            ]
+            caches = self._reference_caches(images, batch_size, forward_fn)
         with timings.stage("plan"):
             for name in names:
                 self.network.replay_plan(name)
@@ -324,6 +325,49 @@ class InjectionEngine:
         )
 
     # ------------------------------------------------------------------
+    def _reference_caches(
+        self, images: np.ndarray, batch_size: int, forward_fn
+    ) -> List[ActivationCache]:
+        """Clean per-batch activation caches, persisted when caching.
+
+        A batch's activations are a pure function of (network bits,
+        batch images) — the fast kernels are bitwise-faithful, so the
+        kernel path stays out of the key.  Cache hits return read-only
+        mmap views; downstream replay only reads reference activations,
+        so zero-copy restore is safe.
+        """
+        batches = [
+            images[start : start + batch_size]
+            for start in range(0, images.shape[0], batch_size)
+        ]
+        if self.cache is None:
+            return [
+                self.network.run_all(batch, forward_fn=forward_fn)
+                for batch in batches
+            ]
+        net_digest = network_digest(self.network)
+        caches: List[ActivationCache] = []
+        for batch in batches:
+            key = make_key(
+                {
+                    "kind": "activations",
+                    "network": net_digest,
+                    "images": array_digest(batch),
+                }
+            )
+            entry = self.cache.get_arrays("activations", key)
+            if entry is not None:
+                caches.append(ActivationCache(dict(entry)))
+                continue
+            cache = self.network.run_all(batch, forward_fn=forward_fn)
+            self.cache.put_arrays(
+                "activations",
+                key,
+                {name: cache[name] for name in cache.names()},
+            )
+            caches.append(cache)
+        return caches
+
     def _replay_fractions(self, names: Sequence[str]) -> Dict[str, float]:
         from ..nn.graphutils import replay_cost_fraction
 
@@ -449,17 +493,21 @@ class InjectionEngine:
             _process_worker_run,
         )
 
-        network_bytes = pickle.dumps(self.network)
-        shared = SharedCaches.create(caches)
+        # The network pickle rides in the shared segment next to the
+        # caches: W spawned workers map one copy instead of each
+        # receiving its own serialized copy through initargs.
+        shared = SharedCaches.create(
+            caches, blobs={"network": pickle.dumps(self.network)}
+        )
         try:
             with ProcessPoolExecutor(
                 max_workers=self._effective_workers(),
                 mp_context=get_context("spawn"),
                 initializer=_process_worker_init,
                 initargs=(
-                    network_bytes,
                     shared.shm_name,
                     shared.descriptors,
+                    shared.blob_descriptors,
                 ),
             ) as pool:
 

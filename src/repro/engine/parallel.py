@@ -15,8 +15,9 @@ Two backends:
 * ``process``: workers run in spawned interpreters.  The activation
   caches — the bulky read-only state — are shipped once through
   :class:`SharedCaches` (``multiprocessing.shared_memory``), not
-  pickled per task; the network is pickled once per worker at
-  initializer time.
+  pickled per task; the network is pickled **once into the same shared
+  segment** (a named blob) so spawning W workers maps one copy instead
+  of shipping W copies through initializer arguments.
 
 Worker failures surface through the resilience layer:
 :class:`~repro.errors.TransientError` raised inside a worker is retried
@@ -27,8 +28,8 @@ naming the layer, with the original exception chained.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,17 +39,31 @@ from ..nn.graph import INPUT, ActivationCache
 #: (batch_index, layer_name, dtype_str, shape, byte_offset).
 ArrayDescriptor = Tuple[int, str, str, Tuple[int, ...], int]
 
+#: Descriptor of one opaque byte blob inside the shared segment:
+#: (blob_name, byte_offset, length).
+BlobDescriptor = Tuple[str, int, int]
+
 
 @dataclass
 class SharedCaches:
-    """Clean activation caches copied into one shared-memory segment."""
+    """Clean activation caches copied into one shared-memory segment.
+
+    Besides the activation arrays the segment can carry named byte
+    blobs (``blobs=``) — used to ship the pickled network to process
+    workers through one shared mapping instead of per-worker pickles.
+    """
 
     shm_name: str
     descriptors: List[ArrayDescriptor]
+    blob_descriptors: List[BlobDescriptor] = field(default_factory=list)
     _shm: Optional[object] = None
 
     @classmethod
-    def create(cls, caches: Sequence[ActivationCache]) -> "SharedCaches":
+    def create(
+        cls,
+        caches: Sequence[ActivationCache],
+        blobs: Optional[Mapping[str, bytes]] = None,
+    ) -> "SharedCaches":
         from multiprocessing import shared_memory
 
         descriptors: List[ArrayDescriptor] = []
@@ -67,18 +82,31 @@ class SharedCaches:
                 descriptors.append(descriptor)
                 arrays.append((descriptor, value))
                 offset += value.nbytes
+        blob_descriptors: List[BlobDescriptor] = []
+        for blob_name, payload in (blobs or {}).items():
+            blob_descriptors.append((blob_name, offset, len(payload)))
+            offset += len(payload)
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
         for (index, name, dtype, shape, start), value in arrays:
             target = np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=start
             )
             target[...] = value
-        return cls(shm_name=shm.name, descriptors=descriptors, _shm=shm)
+        for blob_name, start, length in blob_descriptors:
+            shm.buf[start : start + length] = (blobs or {})[blob_name]
+        return cls(
+            shm_name=shm.name,
+            descriptors=descriptors,
+            blob_descriptors=blob_descriptors,
+            _shm=shm,
+        )
 
     @staticmethod
     def attach(
-        shm_name: str, descriptors: Sequence[ArrayDescriptor]
-    ) -> Tuple[List[ActivationCache], object]:
+        shm_name: str,
+        descriptors: Sequence[ArrayDescriptor],
+        blob_descriptors: Sequence[BlobDescriptor] = (),
+    ) -> Tuple[List[ActivationCache], Dict[str, bytes], object]:
         """Rebuild the cache list from the shared segment (worker side).
 
         On Linux the POSIX segment is mapped read-only straight from
@@ -113,7 +141,13 @@ class SharedCaches:
             ActivationCache(per_batch[index])
             for index in sorted(per_batch)
         ]
-        return caches, holder
+        blobs: Dict[str, bytes] = {}
+        for blob_name, offset, length in blob_descriptors:
+            view = np.ndarray(
+                (length,), dtype=np.uint8, buffer=buffer, offset=offset
+            )
+            blobs[blob_name] = view.tobytes()
+        return caches, blobs, holder
 
     def release(self) -> None:
         if self._shm is not None:
@@ -130,14 +164,16 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _process_worker_init(
-    network_bytes: bytes,
     shm_name: str,
     descriptors: List[ArrayDescriptor],
+    blob_descriptors: List[BlobDescriptor],
 ) -> None:
     import pickle
 
-    caches, shm = SharedCaches.attach(shm_name, descriptors)
-    _WORKER_STATE["network"] = pickle.loads(network_bytes)
+    caches, blobs, shm = SharedCaches.attach(
+        shm_name, descriptors, blob_descriptors
+    )
+    _WORKER_STATE["network"] = pickle.loads(blobs["network"])
     _WORKER_STATE["caches"] = caches
     _WORKER_STATE["shm"] = shm
 

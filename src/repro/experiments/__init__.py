@@ -30,6 +30,7 @@ from .common import (
 )
 from .cost import CostComparison, run_cost_comparison
 from .export import export_csv, export_json, load_json
+from .scheduler import SweepCellResult, SweepReport, SweepSpec, run_sweep
 from .fig1 import ErrorShape, Fig1Result, run_fig1
 from .suite import SUITE_EXPERIMENTS, run_suite
 from .sweeps import DropSweepPoint, DropSweepResult, run_drop_sweep
@@ -59,6 +60,9 @@ __all__ = [
     "SUITE_EXPERIMENTS",
     "SchemeAgreementResult",
     "StabilityResult",
+    "SweepCellResult",
+    "SweepReport",
+    "SweepSpec",
     "Table2Result",
     "Table3Row",
     "XiAblationResult",
@@ -82,6 +86,7 @@ __all__ = [
     "run_profile_stability",
     "run_scheme_agreement",
     "run_suite",
+    "run_sweep",
     "run_table2",
     "run_table3",
     "run_table3_row",

@@ -57,6 +57,12 @@ class ExperimentConfig:
     #: Write the JSONL trace here when set (``--trace-out``; implies
     #: telemetry collection).
     trace_out: str = ""
+    #: Persistent result-cache directory (``--cache-dir``).  "" means
+    #: "use $REPRO_CACHE_DIR if set, else no persistent cache".
+    cache_dir: str = ""
+    #: Force the persistent cache off even if a directory or the
+    #: environment names one (``--no-cache``).
+    no_cache: bool = False
 
     def profile_settings(self) -> ProfileSettings:
         return ProfileSettings(
@@ -82,6 +88,24 @@ class ExperimentConfig:
         return TelemetrySettings(
             enabled=self.telemetry, trace_path=self.trace_out
         )
+
+    def resolved_cache_dir(self) -> Optional[str]:
+        """The cache directory to use, or None for no persistent cache.
+
+        Precedence: ``no_cache`` kills it outright; an explicit
+        ``cache_dir`` wins; otherwise ``$REPRO_CACHE_DIR`` opts in.
+        Note the *library* default is off — only an explicit flag or
+        the environment enables persistence.
+        """
+        if self.no_cache:
+            return None
+        if self.cache_dir:
+            return self.cache_dir
+        import os
+
+        from ..cache import CACHE_DIR_ENV
+
+        return os.environ.get(CACHE_DIR_ENV) or None
 
 
 @dataclass
@@ -129,6 +153,7 @@ def make_context(
         state_dir=config.state_dir or None,
         parallel=config.parallel_settings(),
         telemetry=config.telemetry_settings(),
+        cache=config.resolved_cache_dir(),
     )
     context = ExperimentContext(
         config=config,

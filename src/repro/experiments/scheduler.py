@@ -1,0 +1,193 @@
+"""Incremental sweep scheduler: Table-III-style grids without rework.
+
+A sweep is a grid of cells ``(model, accuracy_drop, objective)``.  Run
+naively — one fresh pipeline per cell — most of the work is repeated:
+every cell of a model re-profiles the same lambda/theta, re-measures
+the same baseline accuracy, and re-probes the same doubling-phase
+sigmas.  The scheduler removes that rework on two levels:
+
+* **In-process sharing**: cells are grouped by model and executed
+  against *one* :class:`~repro.pipeline.PrecisionOptimizer`, whose
+  profile report, layer stats, baseline accuracy, and sigma-evaluator
+  memos are shared across every drop and objective of that model.
+* **Persistent sharing** (``cache_dir``): all cache-aware surfaces read
+  and write the content-addressed store (:mod:`repro.cache`), so a
+  re-run — or a sweep extended by one new grid point — only computes
+  what no earlier run has proven.  An interrupted sweep loses at most
+  the cell in flight.
+
+Results are bit-identical to the naive loop: nothing here changes the
+math, only when it runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..optimize import input_bandwidth_objective, mac_energy_objective
+from .common import ExperimentConfig, make_context
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The grid a sweep covers."""
+
+    models: Sequence[str] = ("lenet",)
+    accuracy_drops: Sequence[float] = (0.01, 0.05)
+    objectives: Sequence[str] = ("input", "mac")
+
+    def cells(self) -> Iterator[tuple]:
+        """Cells in execution order: model-major, then drop, objective.
+
+        Model-major order maximizes in-process sharing (one optimizer
+        per model); drops before objectives so each sigma search is
+        immediately reused by every objective at that drop.
+        """
+        for model in self.models:
+            for drop in self.accuracy_drops:
+                for objective in self.objectives:
+                    yield model, float(drop), objective
+
+    @property
+    def num_cells(self) -> int:
+        return (
+            len(self.models)
+            * len(self.accuracy_drops)
+            * len(self.objectives)
+        )
+
+
+@dataclass
+class SweepCellResult:
+    """One finished grid cell."""
+
+    model: str
+    accuracy_drop: float
+    objective: str
+    sigma: float
+    effective_input_bits: float
+    effective_mac_bits: float
+    baseline_accuracy: float
+    validated_accuracy: Optional[float]
+    target_accuracy: float
+    bitwidths: Dict[str, int]
+    degraded: bool
+    elapsed_seconds: float
+
+    @property
+    def meets_constraint(self) -> Optional[bool]:
+        if self.validated_accuracy is None:
+            return None
+        return self.validated_accuracy >= self.target_accuracy
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "drop": self.accuracy_drop,
+            "objective": self.objective,
+            "sigma": self.sigma,
+            "eff_input_bits": self.effective_input_bits,
+            "eff_mac_bits": self.effective_mac_bits,
+            "baseline_accuracy": self.baseline_accuracy,
+            "validated_accuracy": self.validated_accuracy,
+            "meets_constraint": self.meets_constraint,
+            "bitwidths": self.bitwidths,
+            "degraded": self.degraded,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Every cell of a finished sweep plus shared-work accounting."""
+
+    cells: List[SweepCellResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    #: Persistent-cache counters summed over every model's optimizer
+    #: (zeros when the sweep ran without a cache directory).
+    cache_counters: Dict[str, int] = field(default_factory=dict)
+    cache_dir: Optional[str] = None
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [cell.as_dict() for cell in self.cells]
+
+    def lines(self) -> List[str]:
+        out = []
+        for cell in self.cells:
+            status = {True: "ok", False: "MISS", None: "-"}[
+                cell.meets_constraint
+            ]
+            out.append(
+                f"{cell.model:<12} drop={cell.accuracy_drop:<6.3g} "
+                f"{cell.objective:<6} eff_in={cell.effective_input_bits:6.2f} "
+                f"eff_mac={cell.effective_mac_bits:6.2f} "
+                f"[{status}] {cell.elapsed_seconds:6.2f}s"
+            )
+        hits = self.cache_counters.get("hits", 0)
+        misses = self.cache_counters.get("misses", 0)
+        out.append(
+            f"{len(self.cells)} cells in {self.elapsed_seconds:.2f}s; "
+            f"cache: {hits} hits / {misses} misses"
+            + (f" ({self.cache_dir})" if self.cache_dir else " (off)")
+        )
+        return out
+
+
+def run_sweep(
+    spec: Optional[SweepSpec] = None,
+    config: Optional[ExperimentConfig] = None,
+    progress: bool = False,
+) -> SweepReport:
+    """Execute a sweep grid with cross-cell work sharing.
+
+    Equivalent to calling ``optimizer.optimize(objective, drop)`` for
+    every cell — the report's numbers are bit-identical to the naive
+    per-cell loop — but profiles, stats, baseline accuracies, and
+    sigma evaluations are computed at most once per model, and at most
+    once *ever* when a persistent cache directory is configured.
+    """
+    spec = spec or SweepSpec()
+    config = config or ExperimentConfig()
+    if spec.num_cells == 0:
+        raise ReproError("sweep spec has no cells")
+    report = SweepReport(cache_dir=config.resolved_cache_dir())
+    totals: Dict[str, int] = {}
+    start = time.perf_counter()
+    for model in spec.models:
+        context = make_context(replace(config, model=model))
+        optimizer = context.optimizer
+        stats = optimizer.stats()
+        rho_in = input_bandwidth_objective(stats).rho
+        rho_mac = mac_energy_objective(stats).rho
+        for cell_model, drop, objective in spec.cells():
+            if cell_model != model:
+                continue
+            cell_start = time.perf_counter()
+            outcome = optimizer.optimize(objective, accuracy_drop=drop)
+            allocation = outcome.result.allocation
+            cell = SweepCellResult(
+                model=model,
+                accuracy_drop=drop,
+                objective=objective,
+                sigma=outcome.result.sigma,
+                effective_input_bits=allocation.effective_bitwidth(rho_in),
+                effective_mac_bits=allocation.effective_bitwidth(rho_mac),
+                baseline_accuracy=outcome.baseline_accuracy,
+                validated_accuracy=outcome.validated_accuracy,
+                target_accuracy=outcome.sigma_result.target_accuracy,
+                bitwidths=outcome.bitwidths,
+                degraded=outcome.degraded,
+                elapsed_seconds=time.perf_counter() - cell_start,
+            )
+            report.cells.append(cell)
+            if progress:  # pragma: no cover - console nicety
+                print("  " + report.lines()[len(report.cells) - 1])
+        if optimizer.cache is not None:
+            for key, value in optimizer.cache.counters.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+    report.elapsed_seconds = time.perf_counter() - start
+    report.cache_counters = totals
+    return report

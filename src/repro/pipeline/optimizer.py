@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..analysis.profiler import ErrorProfiler, ProfileReport
 from ..analysis.sigma_search import (
@@ -36,6 +37,7 @@ from ..analysis.sigma_search import (
     SigmaSearchResult,
     find_sigma,
 )
+from ..cache import ResultCache, dataset_digest, make_key, network_digest, open_cache
 from ..config import (
     ParallelSettings,
     ProfileSettings,
@@ -110,6 +112,7 @@ class PrecisionOptimizer:
         verify: bool = True,
         parallel: Optional[ParallelSettings] = None,
         telemetry: Union[None, TelemetrySettings, Telemetry] = None,
+        cache: Union[None, str, "Path", ResultCache] = None,
     ):
         if scheme not in ("scheme1", "scheme2"):
             raise ReproError('scheme must be "scheme1" or "scheme2"')
@@ -127,6 +130,14 @@ class PrecisionOptimizer:
         #: Injection-engine execution knobs (jobs, backend, batching)
         #: for both profiling campaigns; None keeps engine defaults.
         self.parallel = parallel or ParallelSettings()
+        #: Persistent content-addressed result cache (``repro.cache``):
+        #: a directory path or open :class:`ResultCache`, or None for
+        #: off (the default).  Feeds every expensive surface — clean
+        #: activations, per-layer fits, sigma evaluations, stats,
+        #: baseline accuracy, and whole optimization outcomes — and is
+        #: guaranteed bit-identical to recomputation.
+        self.cache = open_cache(cache, metrics=self.telemetry.metrics)
+        self._digests: Optional[Tuple[str, str]] = None
         #: Re-profile around the operating Deltas once sigma is known
         #: (the paper's iterative Delta guessing, Sec. V-A).
         self.refine = refine
@@ -191,12 +202,41 @@ class PrecisionOptimizer:
             "parallel": dataclasses.asdict(self.parallel),
         }
 
+    def _cache_digests(self) -> Tuple[str, str]:
+        """(network digest, dataset digest), computed once per instance."""
+        if self._digests is None:
+            self._digests = (
+                network_digest(self.network),
+                dataset_digest(self.dataset),
+            )
+        return self._digests
+
     @property
     def layer_names(self) -> List[str]:
         return self.network.analyzed_layer_names
 
     def baseline_accuracy(self) -> float:
         """Float (exact) top-1 accuracy on the evaluation dataset."""
+        if self._baseline_accuracy is None and self.cache is not None:
+            net, data = self._cache_digests()
+            key = make_key(
+                {
+                    "kind": "baseline-accuracy",
+                    "network": net,
+                    "dataset": data,
+                    "batch_size": self.batch_size,
+                }
+            )
+            stored = self.cache.get_json("baseline", key)
+            if isinstance(stored, dict) and "accuracy" in stored:
+                self._baseline_accuracy = float(stored["accuracy"])
+            else:
+                self._baseline_accuracy = top1_accuracy(
+                    self.network, self.dataset, batch_size=self.batch_size
+                )
+                self.cache.put_json(
+                    "baseline", key, {"accuracy": self._baseline_accuracy}
+                )
         if self._baseline_accuracy is None:
             self._baseline_accuracy = top1_accuracy(
                 self.network, self.dataset, batch_size=self.batch_size
@@ -205,6 +245,45 @@ class PrecisionOptimizer:
 
     def stats(self) -> Dict[str, LayerStats]:
         """Per-layer statistics, measuring max|X_K| on the dataset."""
+        if self._stats is None and self.cache is not None:
+            net, data = self._cache_digests()
+            # Per-layer maxima are exact order-independent reductions,
+            # so batch_size stays out of the key.
+            key = make_key(
+                {"kind": "layer-stats", "network": net, "dataset": data}
+            )
+            stored = self.cache.get_json("stats", key)
+            if isinstance(stored, dict) and "layers" in stored:
+                self._stats = {
+                    entry["name"]: LayerStats(
+                        name=entry["name"],
+                        num_inputs=int(entry["num_inputs"]),
+                        num_macs=int(entry["num_macs"]),
+                        max_abs_input=float(entry["max_abs_input"]),
+                    )
+                    for entry in stored["layers"]
+                }
+            else:
+                self._stats = measure_ranges(
+                    self.network,
+                    self.dataset.images,
+                    batch_size=self.batch_size,
+                )
+                self.cache.put_json(
+                    "stats",
+                    key,
+                    {
+                        "layers": [
+                            {
+                                "name": s.name,
+                                "num_inputs": s.num_inputs,
+                                "num_macs": s.num_macs,
+                                "max_abs_input": s.max_abs_input,
+                            }
+                            for s in self._stats.values()
+                        ]
+                    },
+                )
         if self._stats is None:
             self._stats = measure_ranges(
                 self.network, self.dataset.images, batch_size=self.batch_size
@@ -230,6 +309,7 @@ class PrecisionOptimizer:
                 strict=self.strict,
                 parallel=self.parallel,
                 telemetry=self.telemetry,
+                cache=self.cache,
             )
             if self.state is not None:
                 from ..resilience.state import resumable_profile
@@ -262,8 +342,9 @@ class PrecisionOptimizer:
                         num_trials=self.search_settings.num_trials,
                         seed=self.search_settings.seed,
                         telemetry=self.telemetry,
+                        cache=self.cache,
                     )
-                accuracy_fn = self._scheme2_evaluator.accuracy
+                evaluator = self._scheme2_evaluator
             else:
                 # One evaluator across all accuracy drops: its
                 # (sigma, scheme, seed) memo makes the shared
@@ -277,15 +358,17 @@ class PrecisionOptimizer:
                         num_trials=self.search_settings.num_trials,
                         seed=self.search_settings.seed,
                         telemetry=self.telemetry,
+                        cache=self.cache,
                     )
-                accuracy_fn = self._scheme1_evaluator.accuracy
+                evaluator = self._scheme1_evaluator
             self._sigma_cache[accuracy_drop] = find_sigma(
-                accuracy_fn,
+                evaluator.accuracy,
                 self.baseline_accuracy(),
                 accuracy_drop,
                 self.search_settings,
                 transient_retries=self.transient_retries,
                 telemetry=self.telemetry,
+                evaluations_saved_fn=lambda: evaluator.cache_hits,
             )
             if self.state is not None:
                 self.state.save_sigma_result(
@@ -322,6 +405,7 @@ class PrecisionOptimizer:
                 strict=self.strict,
                 parallel=self.parallel,
                 telemetry=self.telemetry,
+                cache=self.cache,
             )
             self._refined[accuracy_drop] = profiler.profile_around(floor)
         return self._refined[accuracy_drop].profiles
@@ -348,6 +432,19 @@ class PrecisionOptimizer:
             if isinstance(objective, str)
             else getattr(objective, "name", str(objective))
         )
+        # Whole-outcome memoization: a named-objective run with the
+        # stock solver is a pure function of the key below, so a warm
+        # sweep restores the allocation without touching the pipeline.
+        # Custom objectives/solvers are opaque callables and bypass it.
+        outcome_key: Optional[str] = None
+        if isinstance(objective, str) and self.xi_solver is None:
+            outcome_key = self._outcome_key(
+                objective, accuracy_drop, validate, search_weights,
+                weight_start_bits,
+            )
+            restored = self._restore_outcome(outcome_key)
+            if restored is not None:
+                return restored
         with self.telemetry.tracer.span(
             "pipeline.optimize",
             objective=objective_label,
@@ -387,6 +484,8 @@ class PrecisionOptimizer:
                         backoff_steps=backoff,
                         degraded=outcome.degraded,
                     )
+                    if outcome_key is not None:
+                        self._store_outcome(outcome_key, outcome)
                     return outcome
                 sigma *= 0.93
                 backoff += 1
@@ -406,6 +505,167 @@ class PrecisionOptimizer:
         )
         outcome, __ = self._finish(result, sigma_result, validate, False, 16,
                                    accuracy_drop)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _outcome_key(
+        self,
+        objective: str,
+        accuracy_drop: float,
+        validate: bool,
+        search_weights: bool,
+        weight_start_bits: int,
+    ) -> str:
+        net, data = self._cache_digests()
+        return make_key(
+            {
+                "kind": "outcome",
+                "network": net,
+                "dataset": data,
+                "objective": objective,
+                "accuracy_drop": float(accuracy_drop),
+                "validate": validate,
+                "search_weights": search_weights,
+                "weight_start_bits": weight_start_bits,
+                "scheme": self.scheme,
+                "batch_size": self.batch_size,
+                "refine": self.refine,
+                "strict": self.strict,
+                "fallback": self.fallback,
+                "profile": dataclasses.asdict(self.profile_settings),
+                "search": dataclasses.asdict(self.search_settings),
+            }
+        )
+
+    def _store_outcome(
+        self, key: str, outcome: OptimizationOutcome
+    ) -> None:
+        if self.cache is None:
+            return
+        from ..quant.serialization import allocation_to_dict
+
+        result = outcome.result
+        sig = outcome.sigma_result
+        weight = outcome.weight_search
+        self.cache.put_json(
+            "outcome",
+            key,
+            {
+                "allocation": allocation_to_dict(result.allocation),
+                "xi": {k: float(v) for k, v in result.xi.items()},
+                "deltas": {k: float(v) for k, v in result.deltas.items()},
+                "sigma": float(result.sigma),
+                "objective": result.objective.name,
+                "degraded": bool(result.degraded),
+                "sigma_result": {
+                    "sigma": float(sig.sigma),
+                    "baseline_accuracy": float(sig.baseline_accuracy),
+                    "target_accuracy": float(sig.target_accuracy),
+                    "achieved_accuracy": float(sig.achieved_accuracy),
+                    "evaluations": [
+                        [float(s), float(a)] for s, a in sig.evaluations
+                    ],
+                    "elapsed_seconds": float(sig.elapsed_seconds),
+                    "num_evaluations_saved": int(sig.num_evaluations_saved),
+                },
+                "baseline_accuracy": float(outcome.baseline_accuracy),
+                "validated_accuracy": (
+                    None
+                    if outcome.validated_accuracy is None
+                    else float(outcome.validated_accuracy)
+                ),
+                "backoff_steps": int(outcome.backoff_steps),
+                "weight_search": (
+                    None
+                    if weight is None
+                    else {
+                        "bits": int(weight.bits),
+                        "accuracy": float(weight.accuracy),
+                        "evaluations": int(weight.evaluations),
+                    }
+                ),
+            },
+        )
+
+    def _restore_outcome(self, key: str) -> Optional[OptimizationOutcome]:
+        """Rebuild a finished optimization from its cached JSON form.
+
+        The restored allocation goes through the same static audit as
+        a fresh one (``verify=True``) before it is handed back — a
+        damaged or stale entry can therefore never return silently.
+        """
+        if self.cache is None:
+            return None
+        from ..optimize.objective import resolve_objective
+        from ..quant.serialization import allocation_from_dict
+
+        stored = self.cache.get_json("outcome", key)
+        if not isinstance(stored, dict):
+            return None
+        try:
+            allocation = allocation_from_dict(stored["allocation"])
+            result = AllocationResult(
+                allocation=allocation,
+                xi={k: float(v) for k, v in stored["xi"].items()},
+                deltas={k: float(v) for k, v in stored["deltas"].items()},
+                sigma=float(stored["sigma"]),
+                objective=resolve_objective(
+                    stored["objective"], self.stats()
+                ),
+                solution=None,
+                degraded=bool(stored["degraded"]),
+            )
+            sig = stored["sigma_result"]
+            sigma_result = SigmaSearchResult(
+                sigma=float(sig["sigma"]),
+                baseline_accuracy=float(sig["baseline_accuracy"]),
+                target_accuracy=float(sig["target_accuracy"]),
+                achieved_accuracy=float(sig["achieved_accuracy"]),
+                evaluations=[
+                    (float(s), float(a)) for s, a in sig["evaluations"]
+                ],
+                elapsed_seconds=float(sig["elapsed_seconds"]),
+                num_evaluations_saved=int(
+                    sig.get("num_evaluations_saved", 0)
+                ),
+            )
+            weight = stored.get("weight_search")
+            weight_search = (
+                None
+                if weight is None
+                else WeightSearchResult(
+                    bits=int(weight["bits"]),
+                    accuracy=float(weight["accuracy"]),
+                    evaluations=int(weight["evaluations"]),
+                )
+            )
+            outcome = OptimizationOutcome(
+                result=result,
+                sigma_result=sigma_result,
+                baseline_accuracy=float(stored["baseline_accuracy"]),
+                validated_accuracy=(
+                    None
+                    if stored.get("validated_accuracy") is None
+                    else float(stored["validated_accuracy"])
+                ),
+                weight_search=weight_search,
+                backoff_steps=int(stored.get("backoff_steps", 0)),
+                manifest=(
+                    self.telemetry.manifest.as_dict()
+                    if self.telemetry.manifest is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError, ReproError):
+            # Malformed or schema-drifted entry: behave exactly like a
+            # miss and let the pipeline recompute (then overwrite it).
+            return None
+        if self.verify:
+            # Same allocation audit a fresh run gets (overflow, xi
+            # invariants, format sanity) — cache restoration is not a
+            # verification bypass.
+            self._audit_allocation(result)
+        self.telemetry.metrics.counter("repro_outcome_restored_total").inc()
         return outcome
 
     # ------------------------------------------------------------------

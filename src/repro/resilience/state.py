@@ -176,6 +176,7 @@ class RunState:
             "achieved_accuracy": result.achieved_accuracy,
             "evaluations": [[s, a] for s, a in result.evaluations],
             "elapsed_seconds": result.elapsed_seconds,
+            "num_evaluations_saved": result.num_evaluations_saved,
         }
         self.sigma_dir.mkdir(parents=True, exist_ok=True)
         self._atomic_write_json(self._sigma_path(accuracy_drop), payload)
@@ -203,6 +204,9 @@ class RunState:
                     (float(s), float(a)) for s, a in payload["evaluations"]
                 ],
                 elapsed_seconds=float(payload["elapsed_seconds"]),
+                num_evaluations_saved=int(
+                    payload.get("num_evaluations_saved", 0)
+                ),
             )
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
             raise ResumeError(

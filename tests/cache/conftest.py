@@ -1,0 +1,8 @@
+"""Cache-test isolation: never let the environment opt caching in."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

@@ -1,0 +1,163 @@
+"""Cache maintenance: stats, size-budgeted LRU GC, verify, CLI."""
+
+import argparse
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultCache, cache_stats, gc, verify
+from repro.cache.cli import parse_size, run_cache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "store")
+
+
+def fill(cache, namespace, count, size=256):
+    paths = []
+    for index in range(count):
+        key = f"{index:02x}" + "0" * 62
+        paths.append(
+            cache.put_arrays(
+                namespace, key, {"x": np.full(size, float(index))}
+            )
+        )
+    return paths
+
+
+class TestStats:
+    def test_counts_per_namespace(self, cache):
+        fill(cache, "profile", 3)
+        fill(cache, "activations", 2)
+        report = cache_stats(cache.directory)
+        assert report.num_entries == 5
+        assert report.namespaces["profile"][0] == 3
+        assert report.namespaces["activations"][0] == 2
+        assert report.total_bytes == sum(
+            nbytes for __, nbytes in report.namespaces.values()
+        )
+        assert any("profile" in line for line in report.lines())
+
+    def test_empty_directory(self, tmp_path):
+        report = cache_stats(tmp_path / "nonexistent")
+        assert report.num_entries == 0
+
+
+class TestGC:
+    def test_within_budget_deletes_nothing(self, cache):
+        fill(cache, "profile", 3)
+        report = gc(cache.directory, max_bytes=10**9)
+        assert report.deleted_entries == 0
+        assert report.remaining_entries == 3
+
+    def test_evicts_down_to_budget(self, cache):
+        paths = fill(cache, "profile", 4, size=1024)
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        entry_size = paths[0].stat().st_size
+        report = gc(cache.directory, max_bytes=2 * entry_size)
+        assert report.deleted_entries == 2
+        assert report.remaining_bytes <= 2 * entry_size
+        # Oldest-accessed entries went first.
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+
+    def test_hit_refreshes_lru_position(self, cache):
+        paths = fill(cache, "profile", 2, size=1024)
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        # Touch the older entry via a cache hit; it should now survive.
+        old_key = "00" + "0" * 62
+        assert cache.get_arrays("profile", old_key) is not None
+        report = gc(cache.directory, max_bytes=paths[0].stat().st_size)
+        assert report.deleted_entries == 1
+        assert paths[0].exists()
+        assert not paths[1].exists()
+
+    def test_sweeps_interrupted_temporaries(self, cache):
+        fill(cache, "profile", 1)
+        shard = next(p for p in cache.objects_dir.rglob("*") if p.is_file())
+        stale = shard.parent / ".tmp-interrupted"
+        stale.write_bytes(b"partial")
+        report = gc(cache.directory, max_bytes=10**9)
+        assert report.deleted_tmp_files == 1
+        assert not stale.exists()
+        assert report.remaining_entries == 1
+
+
+class TestVerify:
+    def test_clean_store(self, cache):
+        fill(cache, "profile", 2)
+        cache.put_json("sigma_eval", "aa" + "0" * 62, {"accuracy": 0.5})
+        report = verify(cache.directory)
+        assert report.clean
+        assert report.checked == 3
+        assert report.ok == 3
+
+    def test_detects_and_prunes_corruption(self, cache):
+        paths = fill(cache, "profile", 2)
+        blob = bytearray(paths[0].read_bytes())
+        blob[-1] ^= 0xFF
+        paths[0].write_bytes(bytes(blob))
+        report = verify(cache.directory)
+        assert not report.clean
+        assert report.corrupt == [paths[0]]
+        assert paths[0].exists()  # prune=False only reports
+        pruned = verify(cache.directory, prune=True)
+        assert pruned.corrupt == [paths[0]]
+        assert not paths[0].exists()
+        assert verify(cache.directory).clean
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("10k", 10 * 1024),
+            ("500M", 500 * 1024**2),
+            ("2G", 2 * 1024**3),
+            ("1.5g", int(1.5 * 1024**3)),
+            ("500MB", 500 * 1024**2),
+        ],
+    )
+    def test_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestCli:
+    def run(self, cache, action, capsys, **overrides):
+        args = argparse.Namespace(
+            action=action,
+            cache_dir=str(cache.directory),
+            max_bytes=overrides.get("max_bytes", ""),
+            prune=overrides.get("prune", False),
+        )
+        code = run_cache(args)
+        return code, capsys.readouterr().out
+
+    def test_stats(self, cache, capsys):
+        fill(cache, "profile", 2)
+        code, out = self.run(cache, "stats", capsys)
+        assert code == 0
+        assert "profile" in out
+
+    def test_gc(self, cache, capsys):
+        fill(cache, "profile", 2)
+        code, out = self.run(cache, "gc", capsys, max_bytes="1k")
+        assert code == 0
+        assert "gc" in out
+
+    def test_verify_exit_code_signals_corruption(self, cache, capsys):
+        paths = fill(cache, "profile", 1)
+        assert self.run(cache, "verify", capsys)[0] == 0
+        paths[0].write_bytes(b"junk")
+        code, out = self.run(cache, "verify", capsys)
+        assert code == 1
+        assert "corrupt" in out.lower()

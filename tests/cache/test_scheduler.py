@@ -1,0 +1,109 @@
+"""Incremental sweep scheduler: grid semantics and naive-loop parity."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    SweepSpec,
+    clear_context_cache,
+    make_context,
+    run_sweep,
+)
+
+TINY = ExperimentConfig(
+    model="lenet",
+    num_classes=8,
+    train_count=96,
+    test_count=48,
+    profile_images=8,
+    profile_points=4,
+    search_trials=1,
+    seed=1234,
+)
+
+
+class TestSweepSpec:
+    def test_cell_order_is_model_major_drops_before_objectives(self):
+        spec = SweepSpec(
+            models=("a", "b"),
+            accuracy_drops=(0.01, 0.05),
+            objectives=("input", "mac"),
+        )
+        cells = list(spec.cells())
+        assert spec.num_cells == len(cells) == 8
+        assert cells[0] == ("a", 0.01, "input")
+        assert cells[1] == ("a", 0.01, "mac")
+        assert cells[2] == ("a", 0.05, "input")
+        assert cells[4] == ("b", 0.01, "input")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ReproError):
+            run_sweep(SweepSpec(models=()))
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        spec = SweepSpec(
+            models=("lenet",),
+            accuracy_drops=(0.05,),
+            objectives=("input", "mac"),
+        )
+        yield run_sweep(spec, TINY)
+        clear_context_cache()
+
+    def test_covers_every_cell(self, report):
+        assert [(c.accuracy_drop, c.objective) for c in report.cells] == [
+            (0.05, "input"),
+            (0.05, "mac"),
+        ]
+        assert all(c.elapsed_seconds >= 0 for c in report.cells)
+
+    def test_matches_naive_per_cell_loop(self, report):
+        """Scheduling only reorders work; every number is identical."""
+        context = make_context(TINY, use_cache=False)
+        for cell in report.cells:
+            outcome = context.optimizer.optimize(
+                cell.objective, accuracy_drop=cell.accuracy_drop
+            )
+            assert cell.bitwidths == outcome.bitwidths
+            assert cell.sigma == outcome.result.sigma
+            assert cell.baseline_accuracy == outcome.baseline_accuracy
+            assert cell.validated_accuracy == outcome.validated_accuracy
+
+    def test_report_rendering(self, report):
+        lines = report.lines()
+        assert len(lines) == len(report.cells) + 1
+        assert "2 cells" in lines[-1]
+        assert "(off)" in lines[-1]  # no cache directory configured
+        rows = report.rows()
+        assert rows[0]["model"] == "lenet"
+        assert rows[0]["meets_constraint"] in (True, False, None)
+
+    def test_cache_counters_empty_without_cache(self, report):
+        assert report.cache_counters == {}
+
+    def test_persistent_rerun_restores_every_cell(self, tmp_path):
+        clear_context_cache()
+        spec = SweepSpec(
+            models=("lenet",), accuracy_drops=(0.05,), objectives=("input",)
+        )
+        config = replace(TINY, cache_dir=str(tmp_path / "store"))
+        try:
+            cold = run_sweep(spec, config)
+            clear_context_cache()  # force a fresh optimizer
+            warm = run_sweep(spec, config)
+        finally:
+            clear_context_cache()
+        assert warm.cache_counters.get("hits", 0) > 0
+        assert warm.cache_counters.get("misses", 0) == 0
+        assert [c.as_dict() for c in cold.cells] != []
+        for cold_cell, warm_cell in zip(cold.cells, warm.cells):
+            cold_row = cold_cell.as_dict()
+            warm_row = warm_cell.as_dict()
+            cold_row.pop("elapsed_seconds")
+            warm_row.pop("elapsed_seconds")
+            assert cold_row == warm_row

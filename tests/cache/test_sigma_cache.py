@@ -1,0 +1,109 @@
+"""Persistent memoization of sigma-search accuracy evaluations."""
+
+import pytest
+
+from repro.analysis import find_sigma
+from repro.analysis.sigma_search import Scheme1Evaluator, Scheme2Evaluator
+from repro.cache import ResultCache
+from repro.config import SearchSettings
+
+TEST_SEED = 1234
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "store")
+
+
+@pytest.fixture(scope="module")
+def search_dataset(datasets):
+    __, test = datasets
+    return test.subset(48)
+
+
+def scheme1(lenet, dataset, profiles, cache):
+    return Scheme1Evaluator(
+        lenet,
+        dataset,
+        profiles,
+        num_trials=1,
+        seed=TEST_SEED,
+        cache=cache,
+    )
+
+
+class TestScheme1Persistence:
+    def test_fresh_evaluator_reuses_stored_value(
+        self, lenet, search_dataset, lenet_profiles, cache
+    ):
+        profiles = {p.name: p for p in lenet_profiles}
+        first = scheme1(lenet, search_dataset, profiles, cache)
+        value = first.accuracy(0.05)
+        assert first.cache_hits == 0
+        second = scheme1(lenet, search_dataset, profiles, cache)
+        assert second.accuracy(0.05) == value
+        assert second.cache_hits == 1
+
+    def test_sigma_bits_are_the_key(
+        self, lenet, search_dataset, lenet_profiles, cache
+    ):
+        profiles = {p.name: p for p in lenet_profiles}
+        scheme1(lenet, search_dataset, profiles, cache).accuracy(0.05)
+        fresh = scheme1(lenet, search_dataset, profiles, cache)
+        fresh.accuracy(0.06)
+        assert fresh.cache_hits == 0
+
+    def test_no_cache_evaluator_unaffected(
+        self, lenet, search_dataset, lenet_profiles, cache
+    ):
+        profiles = {p.name: p for p in lenet_profiles}
+        cached = scheme1(lenet, search_dataset, profiles, cache)
+        plain = scheme1(lenet, search_dataset, profiles, None)
+        assert plain.accuracy(0.05) == cached.accuracy(0.05)
+
+
+class TestScheme2Persistence:
+    def test_fresh_evaluator_reuses_stored_value(
+        self, lenet, search_dataset, cache
+    ):
+        first = Scheme2Evaluator(
+            lenet, search_dataset, seed=TEST_SEED, cache=cache
+        )
+        value = first.accuracy(0.3)
+        second = Scheme2Evaluator(
+            lenet, search_dataset, seed=TEST_SEED, cache=cache
+        )
+        assert second.accuracy(0.3) == value
+        assert second.cache_hits == 1
+
+
+class TestFindSigmaSavings:
+    def test_warm_search_reports_saved_evaluations(
+        self, lenet, search_dataset, cache
+    ):
+        settings = SearchSettings(
+            tolerance=0.05, num_trials=1, seed=TEST_SEED
+        )
+
+        def search():
+            evaluator = Scheme2Evaluator(
+                lenet, search_dataset, seed=TEST_SEED, cache=cache
+            )
+            baseline = evaluator.accuracy(0.0)
+            return find_sigma(
+                evaluator.accuracy,
+                baseline,
+                0.05,
+                settings,
+                evaluations_saved_fn=lambda: evaluator.cache_hits,
+            )
+
+        cold = search()
+        warm = search()
+        assert warm.sigma == cold.sigma
+        assert warm.achieved_accuracy == cold.achieved_accuracy
+        assert warm.evaluations == cold.evaluations
+        # Every unique probe of the warm search was answered by the
+        # persistent store.
+        assert warm.num_evaluations_saved >= len(warm.evaluations)
+        assert warm.num_evaluations_saved > cold.num_evaluations_saved
