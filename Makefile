@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler bench-cache suite examples check clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate ablate-smoke suite examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,24 @@ bench-profiler:  ## profiler scaling: legacy vs engine vs --jobs (writes BENCH_p
 bench-cache:     ## persistent cache: cold vs warm vs sweep (writes BENCH_cache.json)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cache_sweep.py
 
+bench-ablate:    ## ablation campaign: cells, cache sharing, importance (writes BENCH_ablate.json)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ablate.py
+
+ablate-smoke:    ## tiny lenet campaign with one injected chaos fault (CI gate)
+	PYTHONPATH=src $(PYTHON) -m repro ablate --model lenet --smoke \
+		--components fallback,xi,cache \
+		--chaos-cell component/cache:off/lenet \
+		--output ablate-smoke.json
+	@PYTHONPATH=src $(PYTHON) -c "import json; r = json.load(open('ablate-smoke.json')); \
+	assert r['schema_version'] == 1, r.get('schema_version'); \
+	rows = r['rows']; assert len(rows) == 5, len(rows); \
+	failed = [x for x in rows if x['status'] == 'failed']; \
+	assert [x['cell_id'] for x in failed] == ['component/cache:off/lenet'], failed; \
+	assert failed[0]['failure']['error_class'] == 'SimulatedCrash', failed[0]; \
+	assert r['importance'], 'importance ranking missing'; \
+	assert r['manifest'].get('config_hash'), 'manifest missing'; \
+	print('ablate smoke OK: %d cells, 1 injected failure isolated' % len(rows))"
+
 suite:           ## regenerate every table/figure as JSON artifacts
 	$(PYTHON) -m repro suite --output results/
 
@@ -39,7 +57,7 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/nn src/repro/telemetry; \
+		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/nn src/repro/robustness src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi

@@ -15,6 +15,8 @@ point for the substrate replica.  Subcommands:
 ``fig4``      NiN per-layer energy anatomy (Fig. 4)
 ``cost``      analytic vs search cost comparison (Sec. VI-A)
 ``sweep``     incremental grid sweep with cross-cell work sharing
+``ablate``    ablation & scenario-robustness campaign with
+              fault-isolated cells and measured component importance
 ``cache``     persistent result-cache stats / GC / integrity verify
 
 Every subcommand accepts ``--cache-dir DIR`` (persist expensive results
@@ -39,9 +41,11 @@ from typing import List, Optional
 from .cache.cli import add_cache_arguments, run_cache
 from .check.cli import add_check_arguments, run_check
 from .experiments import (
+    AblationSpec,
     ExperimentConfig,
     SweepSpec,
     make_context,
+    run_ablation_campaign,
     run_cost_comparison,
     run_fig2,
     run_fig3,
@@ -275,7 +279,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         accuracy_drops=tuple(float(d) for d in args.drops.split(",")),
         objectives=tuple(args.objectives.split(",")),
     )
-    report = run_sweep(spec, config=_config(args), progress=False)
+    report = run_sweep(
+        spec,
+        config=_config(args),
+        progress=False,
+        keep_going=args.keep_going,
+    )
     for line in report.lines():
         print(line)
     if args.output:
@@ -297,6 +306,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
         print(f"sweep results written to {path}")
+    return 0
+
+
+def cmd_ablate(args: argparse.Namespace) -> int:
+    models = args.models.split(",") if args.models else [args.model]
+    config = _config(args)
+    if args.smoke:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            num_classes=8,
+            train_count=96,
+            test_count=48,
+            profile_images=8,
+            profile_points=4,
+            search_trials=1,
+        )
+    spec = AblationSpec(
+        models=tuple(models),
+        accuracy_drop=args.drop,
+        objective=args.objective,
+        components=(
+            tuple(args.components.split(",")) if args.components else None
+        ),
+        scenarios=(
+            tuple(args.scenarios.split(",")) if args.scenarios else ()
+        ),
+        chaos_cells=tuple(args.chaos_cell),
+    )
+    report = run_ablation_campaign(
+        spec, config=config, state_dir=args.resume or None, progress=True
+    )
+    for line in report.lines():
+        print(line)
+    manifest = report.manifest
+    if manifest:
+        print(f"campaign config {manifest.get('config_hash', 'n/a')}")
+    if args.output:
+        import json
+
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"campaign report written to {path}")
     return 0
 
 
@@ -500,7 +556,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drops", default="0.01,0.05")
     p.add_argument("--objectives", default="input,mac")
     p.add_argument("--output", default="", help="write cell JSON here")
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "record a crashing cell as a structured failed row and run "
+            "the remaining cells instead of aborting the grid"
+        ),
+    )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "ablate",
+        help="ablation & scenario-robustness campaign",
+        description="Run the ablation matrix (baseline + one variant "
+        "per toggled component) and optional scenario cells for the "
+        "chosen models, with every cell fault-isolated: a crash "
+        "becomes a structured failed row and the rest of the campaign "
+        "completes.  --resume DIR re-runs only failed/missing cells; "
+        "--strict restores fail-fast.  See docs/robustness.md.",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--models",
+        default="",
+        help="comma-separated zoo names (default: --model)",
+    )
+    p.add_argument("--drop", type=float, default=0.05)
+    p.add_argument("--objective", choices=["input", "mac"], default="input")
+    p.add_argument(
+        "--components",
+        default="",
+        help=(
+            "comma-separated component toggles to ablate "
+            "(fallback,xi,kernels,cache,scheme,backend; default all)"
+        ),
+    )
+    p.add_argument(
+        "--scenarios",
+        default="",
+        help=(
+            "comma-separated scenario names to run "
+            "(e.g. input:noise,weights:noise,topology:tiny,drop:tight)"
+        ),
+    )
+    p.add_argument(
+        "--chaos-cell",
+        action="append",
+        default=[],
+        metavar="CELL_ID",
+        help=(
+            "inject a simulated crash into this cell (repeatable); "
+            "proves the fault-isolation contract end-to-end"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny substrate sizes for CI smoke runs",
+    )
+    p.add_argument(
+        "--output", default="", help="write the campaign report JSON here"
+    )
+    p.set_defaults(func=cmd_ablate)
 
     p = sub.add_parser(
         "cache",

@@ -30,7 +30,19 @@ from .common import (
 )
 from .cost import CostComparison, run_cost_comparison
 from .export import export_csv, export_json, load_json
-from .scheduler import SweepCellResult, SweepReport, SweepSpec, run_sweep
+from .scheduler import (
+    SweepCellFailure,
+    SweepCellResult,
+    SweepReport,
+    SweepSpec,
+    run_sweep,
+)
+from .ablate import (
+    AblationSpec,
+    build_campaign_cells,
+    campaign_fingerprint,
+    run_ablation_campaign,
+)
 from .fig1 import ErrorShape, Fig1Result, run_fig1
 from .suite import SUITE_EXPERIMENTS, run_suite
 from .sweeps import DropSweepPoint, DropSweepResult, run_drop_sweep
@@ -41,6 +53,7 @@ from .table2 import Table2Result, run_table2
 from .table3 import Table3Row, average_savings, run_table3, run_table3_row
 
 __all__ = [
+    "AblationSpec",
     "AdditivityResult",
     "ChannelwiseResult",
     "ClippingResult",
@@ -60,6 +73,7 @@ __all__ = [
     "SUITE_EXPERIMENTS",
     "SchemeAgreementResult",
     "StabilityResult",
+    "SweepCellFailure",
     "SweepCellResult",
     "SweepReport",
     "SweepSpec",
@@ -67,11 +81,14 @@ __all__ = [
     "Table3Row",
     "XiAblationResult",
     "average_savings",
+    "build_campaign_cells",
+    "campaign_fingerprint",
     "clear_context_cache",
     "export_csv",
     "export_json",
     "load_json",
     "make_context",
+    "run_ablation_campaign",
     "run_additivity_check",
     "run_budget_audit",
     "run_channelwise_ablation",

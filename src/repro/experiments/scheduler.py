@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..optimize import input_bandwidth_objective, mac_energy_objective
-from .common import ExperimentConfig, make_context
+from ..robustness.faults import FailureRecord, classify_failure
+from .common import ExperimentConfig, ExperimentContext, make_context
 
 
 @dataclass(frozen=True)
@@ -101,10 +102,35 @@ class SweepCellResult:
 
 
 @dataclass
+class SweepCellFailure:
+    """One grid cell that raised instead of finishing (``keep_going``)."""
+
+    model: str
+    accuracy_drop: Optional[float]
+    objective: Optional[str]
+    failure: FailureRecord
+    elapsed_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "model": self.model,
+            "drop": self.accuracy_drop,
+            "objective": self.objective,
+            "status": "failed",
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        row.update(self.failure.as_dict())
+        return row
+
+
+@dataclass
 class SweepReport:
     """Every cell of a finished sweep plus shared-work accounting."""
 
     cells: List[SweepCellResult] = field(default_factory=list)
+    #: Cells that raised, recorded instead of aborting the grid
+    #: (only populated when ``run_sweep(..., keep_going=True)``).
+    failures: List[SweepCellFailure] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     #: Persistent-cache counters summed over every model's optimizer
     #: (zeros when the sweep ran without a cache directory).
@@ -113,6 +139,9 @@ class SweepReport:
 
     def rows(self) -> List[Dict[str, object]]:
         return [cell.as_dict() for cell in self.cells]
+
+    def failure_rows(self) -> List[Dict[str, object]]:
+        return [failure.as_dict() for failure in self.failures]
 
     def lines(self) -> List[str]:
         out = []
@@ -126,20 +155,48 @@ class SweepReport:
                 f"eff_mac={cell.effective_mac_bits:6.2f} "
                 f"[{status}] {cell.elapsed_seconds:6.2f}s"
             )
+        for failure in self.failures:
+            out.append(
+                f"{failure.model:<12} drop={failure.accuracy_drop!s:<6} "
+                f"{str(failure.objective):<6} [FAILED] "
+                f"{failure.failure.error_class} at {failure.failure.stage} "
+                f"({failure.failure.traceback_digest})"
+            )
         hits = self.cache_counters.get("hits", 0)
         misses = self.cache_counters.get("misses", 0)
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         out.append(
-            f"{len(self.cells)} cells in {self.elapsed_seconds:.2f}s; "
-            f"cache: {hits} hits / {misses} misses"
+            f"{len(self.cells)} cells in {self.elapsed_seconds:.2f}s"
+            f"{failed}; cache: {hits} hits / {misses} misses"
             + (f" ({self.cache_dir})" if self.cache_dir else " (off)")
         )
         return out
+
+
+#: Builds the per-model context a sweep runs against; the default is
+#: :func:`~repro.experiments.common.make_context`.  The ablation runner
+#: substitutes factories that perturb the substrate or override
+#: optimizer construction (see :mod:`repro.robustness.runner`).
+ContextFactory = Callable[[ExperimentConfig], ExperimentContext]
+
+#: Executes one cell against a ready optimizer; the default calls
+#: ``optimizer.optimize(objective, accuracy_drop=drop)``.  Variants can
+#: substitute e.g. the equal-xi allocator while reusing the grid loop,
+#: fault isolation, and reporting.
+OptimizeFn = Callable[[object, str, float], object]
+
+
+def _default_optimize(optimizer, objective: str, drop: float):
+    return optimizer.optimize(objective, accuracy_drop=drop)
 
 
 def run_sweep(
     spec: Optional[SweepSpec] = None,
     config: Optional[ExperimentConfig] = None,
     progress: bool = False,
+    keep_going: bool = False,
+    context_factory: Optional[ContextFactory] = None,
+    optimize_fn: Optional[OptimizeFn] = None,
 ) -> SweepReport:
     """Execute a sweep grid with cross-cell work sharing.
 
@@ -148,25 +205,70 @@ def run_sweep(
     per-cell loop — but profiles, stats, baseline accuracies, and
     sigma evaluations are computed at most once per model, and at most
     once *ever* when a persistent cache directory is configured.
+
+    With ``keep_going`` a raising cell no longer aborts the grid: the
+    failure is classified (:func:`repro.robustness.classify_failure`)
+    and recorded in :attr:`SweepReport.failures`, and the remaining
+    cells run to completion.  A failure while *building a model's
+    context* records one failed row per cell of that model.  The
+    default (``keep_going=False``) keeps the historical fail-fast
+    behaviour.
     """
     spec = spec or SweepSpec()
     config = config or ExperimentConfig()
     if spec.num_cells == 0:
         raise ReproError("sweep spec has no cells")
+    make = context_factory or make_context
+    optimize = optimize_fn or _default_optimize
     report = SweepReport(cache_dir=config.resolved_cache_dir())
     totals: Dict[str, int] = {}
     start = time.perf_counter()
     for model in spec.models:
-        context = make_context(replace(config, model=model))
-        optimizer = context.optimizer
-        stats = optimizer.stats()
-        rho_in = input_bandwidth_objective(stats).rho
-        rho_mac = mac_energy_objective(stats).rho
+        model_start = time.perf_counter()
+        try:
+            context = make(replace(config, model=model))
+            optimizer = context.optimizer
+            stats = optimizer.stats()
+            rho_in = input_bandwidth_objective(stats).rho
+            rho_mac = mac_energy_objective(stats).rho
+        except Exception as exc:
+            if not keep_going:
+                raise
+            elapsed = time.perf_counter() - model_start
+            failure = classify_failure(exc, stage_hint="context")
+            for cell_model, drop, objective in spec.cells():
+                if cell_model != model:
+                    continue
+                report.failures.append(
+                    SweepCellFailure(
+                        model=model,
+                        accuracy_drop=drop,
+                        objective=objective,
+                        failure=failure,
+                        elapsed_seconds=elapsed,
+                    )
+                )
+                elapsed = 0.0  # charge the build once, to the first cell
+            continue
         for cell_model, drop, objective in spec.cells():
             if cell_model != model:
                 continue
             cell_start = time.perf_counter()
-            outcome = optimizer.optimize(objective, accuracy_drop=drop)
+            try:
+                outcome = optimize(optimizer, objective, drop)
+            except Exception as exc:
+                if not keep_going:
+                    raise
+                report.failures.append(
+                    SweepCellFailure(
+                        model=model,
+                        accuracy_drop=drop,
+                        objective=objective,
+                        failure=classify_failure(exc),
+                        elapsed_seconds=time.perf_counter() - cell_start,
+                    )
+                )
+                continue
             allocation = outcome.result.allocation
             cell = SweepCellResult(
                 model=model,

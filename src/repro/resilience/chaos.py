@@ -15,6 +15,7 @@ their own deployments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Set
 
@@ -37,8 +38,20 @@ class FaultSchedule:
     """Deterministic schedule over a monotonically counted event stream.
 
     Explicit indices (``at``) fire exactly at those 0-based event
-    counts; a ``rate`` adds seeded random faults on top.  One schedule
-    instance is consumed by one injector — its counter is its state.
+    counts; a ``rate`` adds seeded random faults on top.  The rate
+    stream draws one random number per *event* (not per miss), so the
+    same seed faults at the same event indices whatever ``at`` indices
+    or ``max_faults`` cap are combined with it.  ``max_faults`` caps
+    the *total* across both sources: an event where ``at`` and the
+    rate stream coincide counts as one fault, and once the cap is
+    reached no further event faults, including later ``at`` indices.
+
+    One schedule instance is consumed by exactly one injector in
+    exactly one process — its counters are its state.  Sending a
+    schedule into a process-pool worker would silently fork that state
+    (each process advancing its own copy), so consumption from a
+    second process raises :class:`~repro.errors.ReproError`; give each
+    worker its own schedule instead.
     """
 
     at: Set[int] = field(default_factory=set)
@@ -51,6 +64,7 @@ class FaultSchedule:
         self._rng = np.random.default_rng(self.seed)
         self._calls = 0
         self._fired = 0
+        self._consumer_pid: Optional[int] = None
 
     @classmethod
     def once(cls, at_call: int) -> "FaultSchedule":
@@ -68,13 +82,24 @@ class FaultSchedule:
 
     def should_fault(self) -> bool:
         """Advance the event counter; True when this event faults."""
+        pid = os.getpid()
+        if self._consumer_pid is None:
+            self._consumer_pid = pid
+        elif pid != self._consumer_pid:
+            raise ReproError(
+                "FaultSchedule is single-consumer: it started counting "
+                f"in process {self._consumer_pid} but was consumed from "
+                f"process {pid} (a pickled copy in a pool worker would "
+                "fork its counters); give each worker its own schedule"
+            )
         index = self._calls
         self._calls += 1
+        # Draw the rate stream unconditionally so its fault indices
+        # don't shift when `at` hits or the cap intervene.
+        rate_hit = self.rate > 0 and bool(self._rng.random() < self.rate)
         if self.max_faults is not None and self._fired >= self.max_faults:
             return False
-        hit = index in self.at or (
-            self.rate > 0 and self._rng.random() < self.rate
-        )
+        hit = index in self.at or rate_hit
         if hit:
             self._fired += 1
         return hit

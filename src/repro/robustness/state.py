@@ -1,0 +1,143 @@
+"""Resumable campaign state: persist finished cells, re-run the rest.
+
+A campaign over N cells can die in cell k — a genuine crash, an
+injected chaos fault, or an interrupt.  :class:`CampaignState`
+checkpoints every finished row under one directory so ``repro ablate
+--resume DIR`` re-executes only the cells that failed or never ran:
+
+``<dir>/manifest.json``       campaign identity + format version
+``<dir>/cells/<slug>.json``   one row per executed cell
+
+The manifest pins a *campaign fingerprint* — a hash over the cell grid
+and the base configuration (chaos injection excluded, so a campaign
+crashed by chaos resumes cleanly without it).  Binding a directory
+whose fingerprint differs raises :class:`~repro.errors.ResumeError`
+rather than silently mixing rows from two different campaigns.
+
+Rows are written atomically (tmp file + rename), following
+:mod:`repro.resilience.state`, so a crash mid-write never leaves a
+truncated row behind.  Only ``ok`` rows are reused on resume; ``failed``
+rows are loaded for reporting but their cells re-execute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Union
+
+from ..errors import ResumeError
+from .runner import CampaignRow
+
+PathLike = Union[str, Path]
+
+#: Bumped when the stored row/manifest format changes incompatibly.
+CAMPAIGN_STATE_VERSION = 1
+
+
+def _slug(cell_id: str) -> str:
+    """Filesystem-safe file stem for a cell id (ids contain ``/``)."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", cell_id)
+
+
+class CampaignState:
+    """Versioned on-disk state for one ablation/robustness campaign."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.cells_dir = self.directory / "cells"
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def bind(self, fingerprint: str) -> Dict[str, object]:
+        """Create (or validate) the manifest for this campaign.
+
+        A fresh directory gets a new manifest; an existing one must
+        match both the format version and the campaign fingerprint,
+        otherwise resuming would silently mix rows measured under a
+        different grid or configuration.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.cells_dir.mkdir(exist_ok=True)
+        if self.manifest_path.exists():
+            manifest = self._read_manifest()
+            if manifest.get("version") != CAMPAIGN_STATE_VERSION:
+                raise ResumeError(
+                    f"campaign state at {self.directory} has version "
+                    f"{manifest.get('version')}; expected "
+                    f"{CAMPAIGN_STATE_VERSION}"
+                )
+            if manifest.get("fingerprint") != fingerprint:
+                raise ResumeError(
+                    f"campaign state at {self.directory} belongs to "
+                    f"campaign {manifest.get('fingerprint')!r}, not "
+                    f"{fingerprint!r}; use a fresh --resume directory"
+                )
+            return manifest
+        manifest: Dict[str, object] = {
+            "version": CAMPAIGN_STATE_VERSION,
+            "fingerprint": fingerprint,
+        }
+        self._atomic_write_json(self.manifest_path, manifest)
+        return manifest
+
+    def _read_manifest(self) -> Dict[str, object]:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ResumeError(
+                f"campaign manifest {self.manifest_path} is unreadable: "
+                f"{exc}"
+            ) from exc
+        return dict(payload)
+
+    @staticmethod
+    def _atomic_write_json(path: Path, payload: Dict[str, object]) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    # -- rows ----------------------------------------------------------
+    def _row_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{_slug(cell_id)}.json"
+
+    def save_row(self, row: CampaignRow) -> None:
+        """Atomically persist one executed cell's row."""
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        payload = row.as_dict()
+        payload["version"] = CAMPAIGN_STATE_VERSION
+        self._atomic_write_json(self._row_path(row.cell_id), payload)
+
+    def load_rows(self) -> Dict[str, CampaignRow]:
+        """Every persisted row on disk, keyed by cell id."""
+        rows: Dict[str, CampaignRow] = {}
+        if not self.cells_dir.exists():
+            return rows
+        for path in sorted(self.cells_dir.glob("*.json")):
+            row = self._load_row_file(path)
+            rows[row.cell_id] = row
+        return rows
+
+    @staticmethod
+    def _load_row_file(path: Path) -> CampaignRow:
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != CAMPAIGN_STATE_VERSION:
+                raise ResumeError(
+                    f"campaign row {path} has version "
+                    f"{payload.get('version')}; expected "
+                    f"{CAMPAIGN_STATE_VERSION}"
+                )
+            return CampaignRow.from_dict(payload)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise ResumeError(
+                f"campaign row {path} is corrupt: {exc}"
+            ) from exc
+
+
+__all__ = ["CAMPAIGN_STATE_VERSION", "CampaignState"]

@@ -86,6 +86,67 @@ class TestRunSweep:
     def test_cache_counters_empty_without_cache(self, report):
         assert report.cache_counters == {}
 
+    def test_keep_going_records_failure_and_continues(self):
+        spec = SweepSpec(
+            models=("lenet",),
+            accuracy_drops=(0.05,),
+            objectives=("input", "mac"),
+        )
+
+        def explode_on_mac(optimizer, objective, drop):
+            if objective == "mac":
+                raise ValueError("injected cell failure")
+            return optimizer.optimize(objective, accuracy_drop=drop)
+
+        try:
+            report = run_sweep(
+                spec, TINY, keep_going=True, optimize_fn=explode_on_mac
+            )
+        finally:
+            clear_context_cache()
+        assert [c.objective for c in report.cells] == ["input"]
+        assert len(report.failures) == 1
+        failed = report.failures[0]
+        assert failed.objective == "mac"
+        assert failed.failure.error_class == "ValueError"
+        row = failed.as_dict()
+        assert row["status"] == "failed"
+        assert row["traceback_digest"]
+        lines = report.lines()
+        assert any("[FAILED]" in line for line in lines)
+        assert "1 failed" in lines[-1]
+
+    def test_fail_fast_remains_the_default(self):
+        spec = SweepSpec(
+            models=("lenet",), accuracy_drops=(0.05,), objectives=("mac",)
+        )
+
+        def explode(optimizer, objective, drop):
+            raise ValueError("injected cell failure")
+
+        try:
+            with pytest.raises(ValueError):
+                run_sweep(spec, TINY, optimize_fn=explode)
+        finally:
+            clear_context_cache()
+
+    def test_context_failure_fails_every_cell_of_that_model(self):
+        spec = SweepSpec(
+            models=("lenet",),
+            accuracy_drops=(0.01, 0.05),
+            objectives=("input",),
+        )
+
+        def broken_factory(config):
+            raise RuntimeError("no substrate for you")
+
+        report = run_sweep(
+            spec, TINY, keep_going=True, context_factory=broken_factory
+        )
+        assert report.cells == []
+        assert len(report.failures) == spec.num_cells
+        assert {f.failure.stage for f in report.failures} == {"context"}
+
     def test_persistent_rerun_restores_every_cell(self, tmp_path):
         clear_context_cache()
         spec = SweepSpec(

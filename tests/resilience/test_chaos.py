@@ -15,6 +15,7 @@ from repro.config import ProfileSettings, SearchSettings
 from repro.errors import (
     DegradedResultWarning,
     NumericalGuardError,
+    ReproError,
     RetryExhaustedError,
     TransientError,
 )
@@ -62,6 +63,38 @@ class TestFaultSchedule:
         assert [a.should_fault() for __ in range(20)] == [
             b.should_fault() for __ in range(20)
         ]
+
+    def test_max_faults_exact_when_at_and_rate_interleave(self):
+        # rate=1.0 fires on events 0,1,2; the cap must then silence the
+        # later explicit indices 5 and 9 — exactly max_faults total.
+        sched = FaultSchedule(at={0, 5, 9}, rate=1.0, max_faults=3)
+        hits = [sched.should_fault() for __ in range(20)]
+        assert hits == [True, True, True] + [False] * 17
+        assert sched.fired == 3
+
+    def test_coinciding_at_and_rate_count_as_one_fault(self):
+        sched = FaultSchedule(at={0}, rate=1.0, max_faults=2)
+        assert [sched.should_fault() for __ in range(5)] == [
+            True, True, False, False, False,
+        ]
+        assert sched.fired == 2
+
+    def test_at_hits_do_not_shift_the_rate_stream(self):
+        plain = FaultSchedule(rate=0.3, seed=7)
+        mixed = FaultSchedule(at={2}, rate=0.3, seed=7)
+        base = {i for i in range(50) if plain.should_fault()}
+        combined = {i for i in range(50) if mixed.should_fault()}
+        assert combined == base | {2}
+
+    def test_consumption_from_second_process_raises(self, monkeypatch):
+        import repro.resilience.chaos as chaos_mod
+
+        sched = FaultSchedule(at={1})
+        assert sched.should_fault() is False  # binds the consumer pid
+        elsewhere = chaos_mod.os.getpid() + 1
+        monkeypatch.setattr(chaos_mod.os, "getpid", lambda: elsewhere)
+        with pytest.raises(ReproError, match="single-consumer"):
+            sched.should_fault()
 
 
 class TestNaNGuardrail:

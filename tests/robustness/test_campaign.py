@@ -1,0 +1,235 @@
+"""Campaign engine end-to-end: cells, fault isolation, resume, strict.
+
+The acceptance tests for ``repro ablate``: an injected chaos crash in
+one matrix cell must become a structured ``failed`` row while every
+other cell completes bit-identically to a clean run, and ``--resume``
+must re-execute only the failed cell.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import DegradedResultWarning, ReproError
+from repro.experiments import (
+    AblationSpec,
+    ExperimentConfig,
+    build_campaign_cells,
+    campaign_fingerprint,
+    run_ablation_campaign,
+)
+from repro.resilience import SimulatedCrash
+
+TINY = ExperimentConfig(
+    model="lenet",
+    num_classes=8,
+    train_count=96,
+    test_count=48,
+    profile_images=8,
+    profile_points=4,
+    search_trials=1,
+    seed=1234,
+)
+
+SPEC = AblationSpec(models=("lenet",), components=("xi",))
+
+CHAOS_CELL = "component/xi:equal/lenet"
+
+
+def _comparable(row):
+    """Row payload minus fields that legitimately differ across runs."""
+    payload = row.as_dict()
+    payload.pop("elapsed_seconds")
+    payload.pop("cache_counters")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return run_ablation_campaign(SPEC, config=TINY)
+
+
+@pytest.fixture(scope="module")
+def chaos_state(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("campaign-state"))
+
+
+@pytest.fixture(scope="module")
+def chaos_report(chaos_state):
+    spec = replace(SPEC, chaos_cells=(CHAOS_CELL,))
+    return run_ablation_campaign(spec, config=TINY, state_dir=chaos_state)
+
+
+@pytest.fixture(scope="module")
+def resumed_report(chaos_report, chaos_state):
+    # Same campaign, chaos removed: only the crashed cell re-runs.
+    return run_ablation_campaign(SPEC, config=TINY, state_dir=chaos_state)
+
+
+class TestCellGrid:
+    def test_cell_ids_are_stable_and_matrix_major(self):
+        cells = build_campaign_cells(
+            AblationSpec(
+                models=("lenet",),
+                components=("xi",),
+                scenarios=("drop:loose",),
+            ),
+            TINY,
+        )
+        assert [c.cell_id for c in cells] == [
+            "component/baseline/lenet",
+            "component/xi:equal/lenet",
+            "scenario/drop:loose/lenet",
+        ]
+
+    def test_drop_scenario_overrides_the_campaign_drop(self):
+        cells = build_campaign_cells(
+            AblationSpec(
+                models=("lenet",), components=(), scenarios=("drop:loose",)
+            ),
+            TINY,
+        )
+        assert cells[-1].accuracy_drop == 0.5
+
+    def test_unknown_chaos_cell_rejected(self):
+        with pytest.raises(ReproError, match="chaos cells"):
+            build_campaign_cells(
+                replace(SPEC, chaos_cells=("component/nope/lenet",)), TINY
+            )
+
+    def test_fingerprint_ignores_chaos_and_state_dir(self):
+        base = campaign_fingerprint(SPEC, TINY)
+        with_chaos = campaign_fingerprint(
+            replace(SPEC, chaos_cells=(CHAOS_CELL,)), TINY
+        )
+        other_state = campaign_fingerprint(
+            SPEC, replace(TINY, state_dir="/elsewhere")
+        )
+        assert base == with_chaos == other_state
+
+    def test_fingerprint_tracks_the_grid_and_config(self):
+        base = campaign_fingerprint(SPEC, TINY)
+        assert base != campaign_fingerprint(
+            replace(SPEC, accuracy_drop=0.01), TINY
+        )
+        assert base != campaign_fingerprint(
+            SPEC, replace(TINY, seed=TINY.seed + 1)
+        )
+
+
+class TestCleanCampaign:
+    def test_every_cell_ok(self, clean_report):
+        assert [r.status for r in clean_report.rows] == ["ok", "ok"]
+        assert clean_report.num_failed == 0
+
+    def test_importance_measured_for_the_toggled_component(
+        self, clean_report
+    ):
+        assert [e.component for e in clean_report.importance] == ["xi"]
+        entry = clean_report.importance[0]
+        assert entry.cost_delta is not None
+        assert entry.accuracy_delta is not None
+        assert not entry.critical
+
+    def test_manifest_attached(self, clean_report):
+        assert clean_report.manifest.get("config_hash")
+        assert clean_report.manifest["config"]["num_cells"] == 2
+
+    def test_report_lines_render(self, clean_report):
+        text = "\n".join(clean_report.lines())
+        assert "component importance" in text
+        assert "2 cells" in text
+
+
+class TestChaosFaultIsolation:
+    def test_chaos_cell_becomes_structured_failed_row(self, chaos_report):
+        failed = {
+            r.cell_id: r for r in chaos_report.rows if r.status == "failed"
+        }
+        assert set(failed) == {CHAOS_CELL}
+        failure = failed[CHAOS_CELL].failure
+        assert failure is not None
+        assert failure.error_class == "SimulatedCrash"
+        assert failure.stage != ""
+        assert len(failure.traceback_digest) == 12
+
+    def test_other_cells_bit_identical_to_clean_run(
+        self, clean_report, chaos_report
+    ):
+        clean = {r.cell_id: r for r in clean_report.rows}
+        for row in chaos_report.rows:
+            if row.status == "failed":
+                continue
+            assert _comparable(row) == _comparable(clean[row.cell_id])
+
+    def test_failed_variant_reported_critical(self, chaos_report):
+        entry = chaos_report.importance[0]
+        assert entry.critical
+        assert entry.score == float("inf")
+
+
+class TestResume:
+    def test_only_the_failed_cell_reexecutes(
+        self, chaos_report, resumed_report
+    ):
+        assert chaos_report.executed_cell_ids == [
+            "component/baseline/lenet",
+            CHAOS_CELL,
+        ]
+        assert resumed_report.executed_cell_ids == [CHAOS_CELL]
+
+    def test_ok_rows_loaded_as_resumed(self, resumed_report):
+        by_id = {r.cell_id: r for r in resumed_report.rows}
+        assert by_id["component/baseline/lenet"].resumed
+        assert not by_id[CHAOS_CELL].resumed
+
+    def test_resumed_campaign_matches_the_clean_run(
+        self, clean_report, resumed_report
+    ):
+        assert resumed_report.num_failed == 0
+        clean = {r.cell_id: r for r in clean_report.rows}
+        for row in resumed_report.rows:
+            expected = dict(_comparable(clean[row.cell_id]))
+            actual = dict(_comparable(row))
+            # resume marks reused rows; the measurement must not move
+            actual.pop("resumed", None)
+            expected.pop("resumed", None)
+            assert actual == expected
+
+
+class TestStrictMode:
+    def test_strict_restores_fail_fast(self):
+        spec = replace(
+            SPEC, chaos_cells=("component/baseline/lenet",)
+        )
+        with pytest.raises(SimulatedCrash):
+            run_ablation_campaign(
+                spec, config=replace(TINY, strict=True)
+            )
+
+
+class TestScenarioAndFallbackCells:
+    def test_scenario_cells_execute_and_get_verdicts(self):
+        report = run_ablation_campaign(
+            AblationSpec(
+                models=("lenet",),
+                components=(),
+                scenarios=("topology:tiny", "drop:loose"),
+            ),
+            config=TINY,
+        )
+        assert [r.status for r in report.rows] == ["ok", "ok", "ok"]
+        verdicts = {e.scenario: e.verdict for e in report.scenarios}
+        assert set(verdicts) == {"topology:tiny", "drop:loose"}
+        assert verdicts["drop:loose"] in ("ok", "degraded")
+
+    def test_forced_solver_failure_degrades_not_crashes(self):
+        with pytest.warns(DegradedResultWarning):
+            report = run_ablation_campaign(
+                AblationSpec(models=("lenet",), components=("fallback",)),
+                config=TINY,
+            )
+        by_variant = {r.variant: r for r in report.rows}
+        forced = by_variant["fallback:forced"]
+        assert forced.status == "ok"
+        assert forced.degraded is True

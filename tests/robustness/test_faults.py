@@ -1,0 +1,90 @@
+"""Failure classification: stage attribution, digests, round-trips."""
+
+from repro.robustness import FailureRecord, classify_failure
+
+
+def _raise_and_classify(exc_type, message, stage_hint=""):
+    try:
+        raise exc_type(message)
+    except exc_type as exc:
+        return classify_failure(exc, stage_hint=stage_hint)
+
+
+class TestClassifyFailure:
+    def test_records_class_and_message(self):
+        record = _raise_and_classify(ValueError, "boom")
+        assert record.error_class == "ValueError"
+        assert record.message == "boom"
+
+    def test_stage_hint_used_without_repro_frames(self):
+        record = _raise_and_classify(RuntimeError, "x", stage_hint="context")
+        assert record.stage == "context"
+
+    def test_unknown_stage_without_hint_or_repro_frames(self):
+        record = _raise_and_classify(RuntimeError, "x")
+        assert record.stage == "unknown"
+
+    def test_deepest_repro_frame_decides_the_stage(self):
+        # resolve_scenario raises from repro/robustness/scenarios.py —
+        # not a marked stage — but the traceback digest still exists
+        # and the hint fills the stage.
+        from repro.errors import ReproError
+        from repro.robustness import resolve_scenario
+
+        try:
+            resolve_scenario("nope")
+        except ReproError as exc:
+            record = classify_failure(exc, stage_hint="campaign")
+        assert record.stage == "campaign"
+        assert len(record.traceback_digest) == 12
+
+    def test_allocation_stage_inferred_from_optimize_frames(self):
+        from repro.errors import OptimizationError
+        from repro.optimize import input_bandwidth_objective
+
+        try:
+            input_bandwidth_objective({})
+        except OptimizationError as exc:
+            record = classify_failure(exc)
+        assert record.stage == "allocation"
+
+    def test_digest_is_stable_across_identical_raises(self):
+        def trip():
+            raise ValueError("same path")
+
+        records = []
+        for __ in range(2):
+            try:
+                trip()
+            except ValueError as exc:
+                records.append(classify_failure(exc))
+        assert records[0].traceback_digest == records[1].traceback_digest
+
+    def test_digest_differs_for_different_raise_sites(self):
+        a = _raise_and_classify(ValueError, "x")
+
+        def other_site():
+            raise ValueError("x")
+
+        try:
+            other_site()
+        except ValueError as exc:
+            b = classify_failure(exc)
+        assert a.traceback_digest != b.traceback_digest
+
+    def test_long_messages_truncated(self):
+        record = _raise_and_classify(ValueError, "y" * 2000)
+        assert len(record.message) == 500
+        assert record.message.endswith("...")
+
+    def test_no_traceback_digest_placeholder(self):
+        record = classify_failure(ValueError("never raised"))
+        assert record.traceback_digest  # digest of "<no-traceback>"
+        assert record.stage == "unknown"
+
+
+class TestFailureRecordRoundTrip:
+    def test_as_dict_from_dict(self):
+        record = _raise_and_classify(KeyError, "'k'", stage_hint="cache")
+        clone = FailureRecord.from_dict(record.as_dict())
+        assert clone == record

@@ -1,0 +1,144 @@
+"""Scenario generators: deterministic perturbations, odd topologies."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageNet
+from repro.errors import ReproError
+from repro.models import build_model
+from repro.robustness import (
+    DEFAULT_SCENARIOS,
+    SCENARIOS,
+    build_scenario_network,
+    perturb_dataset,
+    perturb_network_weights,
+    resolve_scenario,
+)
+
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def test_set():
+    source = SyntheticImageNet(num_classes=8, seed=SEED)
+    __, test = source.train_test(32, 32)
+    return test
+
+
+class TestRegistry:
+    def test_every_default_scenario_resolves(self):
+        for name in DEFAULT_SCENARIOS:
+            assert resolve_scenario(name).name == name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            resolve_scenario("input:frogs")
+
+    def test_all_four_kinds_covered(self):
+        kinds = {s.kind for s in SCENARIOS.values()}
+        assert kinds == {"input", "weights", "topology", "drop"}
+
+
+class TestPerturbDataset:
+    def test_scale_and_shift_are_affine(self, test_set):
+        scaled = perturb_dataset(
+            test_set, resolve_scenario("input:scale"), seed=SEED
+        )
+        np.testing.assert_allclose(scaled.images, test_set.images * 1.5)
+        shifted = perturb_dataset(
+            test_set, resolve_scenario("input:shift"), seed=SEED
+        )
+        offset = 0.25 * float(np.asarray(test_set.images).std())
+        np.testing.assert_allclose(
+            shifted.images, np.asarray(test_set.images) + offset
+        )
+
+    def test_noise_is_deterministic_per_seed(self, test_set):
+        scenario = resolve_scenario("input:noise")
+        a = perturb_dataset(test_set, scenario, seed=SEED)
+        b = perturb_dataset(test_set, scenario, seed=SEED)
+        np.testing.assert_array_equal(a.images, b.images)
+        c = perturb_dataset(test_set, scenario, seed=SEED + 1)
+        assert not np.array_equal(a.images, c.images)
+
+    def test_labels_untouched(self, test_set):
+        noisy = perturb_dataset(
+            test_set, resolve_scenario("input:noise"), seed=SEED
+        )
+        np.testing.assert_array_equal(noisy.labels, test_set.labels)
+
+    def test_non_input_scenario_rejected(self, test_set):
+        with pytest.raises(ReproError, match="not an input scenario"):
+            perturb_dataset(
+                test_set, resolve_scenario("weights:noise"), seed=SEED
+            )
+
+
+class TestPerturbWeights:
+    def test_perturbation_is_small_deterministic_and_counted(self):
+        a = build_model("lenet", num_classes=8, seed=SEED)
+        b = build_model("lenet", num_classes=8, seed=SEED)
+        count_a = perturb_network_weights(a, rel_std=1e-3, seed=SEED)
+        count_b = perturb_network_weights(b, rel_std=1e-3, seed=SEED)
+        assert count_a == count_b > 0
+        moved = 0
+        for la, lb in zip(a.layers, b.layers):
+            for attr in ("weight", "bias"):
+                ta = getattr(la, attr, None)
+                tb = getattr(lb, attr, None)
+                if isinstance(ta, np.ndarray) and ta.size:
+                    np.testing.assert_array_equal(ta, tb)
+                    moved += 1
+        assert moved == count_a
+
+    def test_perturbation_actually_changes_weights(self):
+        clean = build_model("lenet", num_classes=8, seed=SEED)
+        noisy = build_model("lenet", num_classes=8, seed=SEED)
+        perturb_network_weights(noisy, rel_std=1e-3, seed=SEED)
+        diffs = [
+            float(np.abs(lc.weight - ln.weight).max())
+            for lc, ln in zip(clean.layers, noisy.layers)
+            if isinstance(getattr(lc, "weight", None), np.ndarray)
+            and lc.weight.size
+        ]
+        assert diffs and max(diffs) > 0
+
+    def test_nonpositive_rel_std_rejected(self):
+        network = build_model("lenet", num_classes=8, seed=SEED)
+        with pytest.raises(ReproError, match="rel_std"):
+            perturb_network_weights(network, rel_std=0.0, seed=SEED)
+
+
+class TestTopologyBuilders:
+    def test_tiny_has_single_analyzed_layer(self):
+        network = build_scenario_network(
+            resolve_scenario("topology:tiny"), num_classes=8, seed=SEED
+        )
+        assert network.analyzed_layer_names == ["fc"]
+
+    def test_deep_has_requested_depth_plus_head(self):
+        network = build_scenario_network(
+            resolve_scenario("topology:deep"), num_classes=8, seed=SEED
+        )
+        assert len(network.analyzed_layer_names) == 13  # 12 convs + fc
+
+    def test_narrow_contains_one_channel_bottleneck(self):
+        network = build_scenario_network(
+            resolve_scenario("topology:narrow"), num_classes=8, seed=SEED
+        )
+        assert "bottleneck" in network.analyzed_layer_names
+
+    def test_non_topology_scenario_rejected(self):
+        with pytest.raises(ReproError, match="not a topology scenario"):
+            build_scenario_network(
+                resolve_scenario("drop:tight"), num_classes=8, seed=SEED
+            )
+
+    def test_topology_networks_forward(self, test_set):
+        for name in ("topology:tiny", "topology:deep", "topology:narrow"):
+            network = build_scenario_network(
+                resolve_scenario(name), num_classes=8, seed=SEED
+            )
+            out = network.forward(np.asarray(test_set.images)[:2])
+            assert out.shape == (2, 8)
+            assert np.isfinite(out).all()

@@ -1,0 +1,153 @@
+"""Campaign state: atomic rows, fingerprint binding, corruption checks."""
+
+import json
+
+import pytest
+
+from repro.errors import ResumeError
+from repro.robustness import (
+    CAMPAIGN_STATE_VERSION,
+    CampaignRow,
+    CampaignState,
+    FailureRecord,
+)
+
+
+def _ok_row(cell_id="component/baseline/lenet"):
+    return CampaignRow(
+        cell_id=cell_id,
+        kind="component",
+        group="",
+        variant="baseline",
+        model="lenet",
+        accuracy_drop=0.05,
+        objective="input",
+        status="ok",
+        elapsed_seconds=1.25,
+        sigma=0.4,
+        effective_input_bits=5.5,
+        effective_mac_bits=6.0,
+        baseline_accuracy=0.9,
+        validated_accuracy=0.88,
+        target_accuracy=0.85,
+        meets_constraint=True,
+        degraded=False,
+        bitwidths={"conv1": 6, "fc": 5},
+        cache_counters={"hits": 2, "misses": 1},
+    )
+
+
+def _failed_row(cell_id="component/xi:equal/lenet"):
+    return CampaignRow(
+        cell_id=cell_id,
+        kind="component",
+        group="xi",
+        variant="xi:equal",
+        model="lenet",
+        accuracy_drop=0.05,
+        objective="input",
+        status="failed",
+        elapsed_seconds=0.3,
+        failure=FailureRecord(
+            error_class="SimulatedCrash",
+            message="chaos",
+            stage="profiling",
+            traceback_digest="abc123def456",
+        ),
+    )
+
+
+class TestCampaignState:
+    def test_bind_creates_versioned_manifest(self, tmp_path):
+        state = CampaignState(tmp_path / "campaign")
+        manifest = state.bind("fp-1")
+        assert manifest["version"] == CAMPAIGN_STATE_VERSION
+        assert manifest["fingerprint"] == "fp-1"
+        assert state.manifest_path.exists()
+
+    def test_rebind_same_fingerprint_ok(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp-1")
+        assert CampaignState(tmp_path).bind("fp-1")["fingerprint"] == "fp-1"
+
+    def test_rebind_other_fingerprint_rejected(self, tmp_path):
+        CampaignState(tmp_path).bind("fp-1")
+        with pytest.raises(ResumeError, match="belongs to campaign"):
+            CampaignState(tmp_path).bind("fp-2")
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp-1")
+        payload = json.loads(state.manifest_path.read_text())
+        payload["version"] = 999
+        state.manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ResumeError, match="version"):
+            CampaignState(tmp_path).bind("fp-1")
+
+    def test_unreadable_manifest_rejected(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp-1")
+        state.manifest_path.write_text("{not json")
+        with pytest.raises(ResumeError, match="unreadable"):
+            CampaignState(tmp_path).bind("fp-1")
+
+
+class TestRows:
+    def test_ok_row_round_trips(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        row = _ok_row()
+        state.save_row(row)
+        loaded = state.load_rows()
+        assert set(loaded) == {row.cell_id}
+        assert loaded[row.cell_id] == row
+
+    def test_failed_row_round_trips_with_failure_record(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        row = _failed_row()
+        state.save_row(row)
+        loaded = state.load_rows()[row.cell_id]
+        assert loaded.status == "failed"
+        assert loaded.failure == row.failure
+
+    def test_saving_again_overwrites_the_row(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        state.save_row(_failed_row("component/baseline/lenet"))
+        state.save_row(_ok_row("component/baseline/lenet"))
+        loaded = state.load_rows()
+        assert len(loaded) == 1
+        assert loaded["component/baseline/lenet"].status == "ok"
+
+    def test_corrupt_row_rejected(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        state.save_row(_ok_row())
+        path = next(state.cells_dir.glob("*.json"))
+        path.write_text("{broken")
+        with pytest.raises(ResumeError, match="corrupt"):
+            state.load_rows()
+
+    def test_row_version_mismatch_rejected(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        state.save_row(_ok_row())
+        path = next(state.cells_dir.glob("*.json"))
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResumeError, match="version"):
+            state.load_rows()
+
+    def test_no_cells_dir_means_no_rows(self, tmp_path):
+        assert CampaignState(tmp_path / "fresh").load_rows() == {}
+
+    def test_slugged_filenames_are_safe(self, tmp_path):
+        state = CampaignState(tmp_path)
+        state.bind("fp")
+        state.save_row(_ok_row("component/scheme:scheme2/lenet"))
+        files = list(state.cells_dir.glob("*.json"))
+        assert len(files) == 1
+        assert "/" not in files[0].name
+        assert ":" not in files[0].name

@@ -53,6 +53,33 @@ class TestParser:
         assert args.resume == "/tmp/run"
         assert args.strict is True
 
+    def test_sweep_keep_going_flag(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.keep_going is False
+        args = build_parser().parse_args(["sweep", "--keep-going"])
+        assert args.keep_going is True
+
+    def test_ablate_defaults(self):
+        args = build_parser().parse_args(["ablate"])
+        assert args.drop == 0.05
+        assert args.objective == "input"
+        assert args.components == ""
+        assert args.scenarios == ""
+        assert args.chaos_cell == []
+        assert args.smoke is False
+
+    def test_ablate_chaos_cell_repeatable(self):
+        args = build_parser().parse_args(
+            [
+                "ablate",
+                "--chaos-cell",
+                "component/baseline/lenet",
+                "--chaos-cell",
+                "component/xi:equal/lenet",
+            ]
+        )
+        assert len(args.chaos_cell) == 2
+
 
 class TestCommands:
     def test_zoo(self, capsys):
@@ -83,6 +110,57 @@ class TestCommands:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert first == second
+
+    def test_ablate_smoke_with_chaos_and_report(self, capsys, tmp_path):
+        out_path = tmp_path / "ablate.json"
+        code = main(
+            [
+                "ablate",
+                "--model",
+                "lenet",
+                "--smoke",
+                "--components",
+                "xi",
+                "--chaos-cell",
+                "component/xi:equal/lenet",
+                "--output",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "component importance" in out
+        assert "1 failed" in out
+        assert "SimulatedCrash" in out
+        assert out_path.exists()
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+        statuses = {r["cell_id"]: r["status"] for r in payload["rows"]}
+        assert statuses == {
+            "component/baseline/lenet": "ok",
+            "component/xi:equal/lenet": "failed",
+        }
+
+    def test_sweep_keep_going_completes(self, capsys):
+        # keep-going on a healthy grid is a no-op: same cells, no rows
+        # marked failed.
+        code = main(
+            [
+                "sweep",
+                "--keep-going",
+                "--drops",
+                "0.05",
+                "--objectives",
+                "input",
+            ]
+            + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 cells" in out
+        assert "FAILED" not in out
 
     def test_fig2(self, capsys):
         assert main(["fig2"] + FAST) == 0
