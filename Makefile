@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate ablate-smoke suite examples check clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate ablate-smoke suite examples check check-concurrency clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -57,10 +57,14 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/nn src/repro/robustness src/repro/telemetry; \
+		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/engine src/repro/experiments src/repro/nn src/repro/robustness src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
+
+check-concurrency:  ## concurrency + determinism analyzers against the committed baseline
+	PYTHONPATH=src $(PYTHON) -m repro.check --self --concurrency --determinism \
+		--baseline check-baseline.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results results

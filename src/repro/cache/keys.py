@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Dict, Mapping
 
 import numpy as np
+
+from ..sanitize import sanitize_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..analysis.profiler import LayerErrorProfile
@@ -40,6 +42,98 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: alters the *bits* of any cached quantity (kernel numerics, RNG
 #: layout, reduction order); bumping invalidates every existing entry.
 CODE_SALT = "repro-cache-v1"
+
+# ----------------------------------------------------------------------
+# Key-field registry: the determinism contract, machine-readable.
+# ----------------------------------------------------------------------
+
+#: The field is (directly or via a digest) part of every cache key that
+#: its value can influence; changing it must miss.
+KEYED = "keyed"
+#: The field can change *how* a result is computed but never its bits —
+#: the engine's determinism contract (``docs/performance.md``) covers
+#: it, so keying it would only fragment the cache.
+EXCLUDED_BY_CONTRACT = "excluded-by-contract"
+#: The field never reaches a numeric code path (observability,
+#: persistence, and policy knobs); exclusion needs no contract.
+NON_NUMERIC = "non-numeric"
+
+#: Every legal disposition a registry entry may carry.
+KEY_FIELD_DISPOSITIONS = frozenset(
+    {KEYED, EXCLUDED_BY_CONTRACT, NON_NUMERIC}
+)
+
+#: Machine-readable determinism contract for every configuration
+#: dataclass whose fields can reach a cached computation: class name ->
+#: field name -> disposition.  The determinism analyzer
+#: (:mod:`repro.check.determinism`) statically cross-checks this table
+#: against the dataclass definitions — a field added to any of these
+#: classes without a registry entry (the stale-cache hazard: it changes
+#: results but old keys still hit) fails ``repro check --determinism``,
+#: as does a registry entry whose field no longer exists.
+KEY_FIELD_REGISTRY: Dict[str, Dict[str, str]] = {
+    "ProfileSettings": {
+        "num_images": KEYED,
+        "num_delta_points": KEYED,
+        "delta_min": KEYED,
+        "delta_max": KEYED,
+        "num_repeats": KEYED,
+        "seed": KEYED,
+    },
+    "SearchSettings": {
+        "tolerance": KEYED,
+        "initial_upper": KEYED,
+        "max_doublings": KEYED,
+        "num_images": KEYED,
+        "num_trials": KEYED,
+        "seed": KEYED,
+    },
+    "ParallelSettings": {
+        "jobs": EXCLUDED_BY_CONTRACT,
+        "backend": EXCLUDED_BY_CONTRACT,
+        "trial_batch": EXCLUDED_BY_CONTRACT,
+        "transient_retries": NON_NUMERIC,
+        "fast_kernels": EXCLUDED_BY_CONTRACT,
+        "tune_allocator": EXCLUDED_BY_CONTRACT,
+    },
+    "TelemetrySettings": {
+        "enabled": NON_NUMERIC,
+        "trace_path": NON_NUMERIC,
+    },
+    "ExperimentConfig": {
+        "model": KEYED,
+        "num_classes": KEYED,
+        "train_count": KEYED,
+        "test_count": KEYED,
+        "profile_images": KEYED,
+        "profile_points": KEYED,
+        "profile_repeats": KEYED,
+        "search_trials": KEYED,
+        "scheme": KEYED,
+        "seed": KEYED,
+        "strict": KEYED,
+        "state_dir": NON_NUMERIC,
+        "jobs": EXCLUDED_BY_CONTRACT,
+        "parallel_backend": EXCLUDED_BY_CONTRACT,
+        "telemetry": NON_NUMERIC,
+        "trace_out": NON_NUMERIC,
+        "cache_dir": NON_NUMERIC,
+        "no_cache": NON_NUMERIC,
+    },
+    "SweepSpec": {
+        "models": KEYED,
+        "accuracy_drops": KEYED,
+        "objectives": KEYED,
+    },
+    "AblationSpec": {
+        "models": KEYED,
+        "accuracy_drop": KEYED,
+        "objective": KEYED,
+        "components": KEYED,
+        "scenarios": KEYED,
+        "chaos_cells": EXCLUDED_BY_CONTRACT,
+    },
+}
 
 
 def _hasher() -> "hashlib._Hash":
@@ -85,6 +179,21 @@ def make_key(parts: Mapping[str, Any]) -> str:
     payload = dict(parts)
     payload["__salt__"] = CODE_SALT
     canonical = json.dumps(_canonical(payload), sort_keys=True)
+    if sanitize_enabled():
+        # Key recomputation tripwire: the canonical text must be a
+        # fixed point of encode -> decode -> encode, and a second
+        # canonicalization pass over the same payload must agree.  An
+        # iteration-order-dependent or non-canonical encoding makes
+        # keys drift between runs — exactly the stale-cache hazard the
+        # determinism analyzer hunts statically.
+        roundtrip = json.dumps(json.loads(canonical), sort_keys=True)
+        second = json.dumps(_canonical(payload), sort_keys=True)
+        if canonical != roundtrip or canonical != second:
+            raise RuntimeError(
+                "REPRO_SANITIZE: cache-key payload is not canonically "
+                "stable (encoding differs between passes); keys built "
+                "from it would drift between runs"
+            )
     h = _hasher()
     h.update(canonical.encode("utf-8"))
     return h.hexdigest()

@@ -39,6 +39,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from ..sanitize import sanitize_enabled
 from ..telemetry.metrics import MetricsRegistry
 
 PathLike = Union[str, Path]
@@ -177,6 +178,8 @@ class ResultCache:
         }
         path = self.entry_path(namespace, key, _JSON_EXT)
         self._write_atomic(path, json.dumps(envelope).encode("utf-8"))
+        if sanitize_enabled():
+            self._verify_written_json(path)
         return path
 
     def get_json(self, namespace: str, key: str) -> Optional[Any]:
@@ -243,6 +246,8 @@ class ResultCache:
         )
         path = self.entry_path(namespace, key, _ARRAY_EXT)
         self._write_atomic(path, blob)
+        if sanitize_enabled():
+            self._verify_written_arrays(path)
         return path
 
     def get_arrays(
@@ -318,6 +323,49 @@ class ResultCache:
             ).reshape(shape)
             views[str(descriptor["name"])] = view
         return views
+
+    # -- sanitizer write verification ----------------------------------
+    def _verify_written_json(self, path: Path) -> None:
+        """REPRO_SANITIZE: re-read + re-checksum the entry just written.
+
+        Counters and the LRU mtime clock are left untouched — this is a
+        tripwire, not a read.  A failure here is a hard error: the
+        corrupt-as-miss policy exists for entries damaged *later*, not
+        for writes that were wrong from the start.
+        """
+        raw = path.read_bytes()
+        envelope = json.loads(raw)
+        body = envelope["payload"]
+        if (
+            envelope.get("version") != STORE_VERSION
+            or _sha256(body.encode("utf-8")) != envelope["checksum"]
+        ):
+            raise RuntimeError(
+                f"REPRO_SANITIZE: store write verification failed for "
+                f"{path} (checksum/version mismatch on read-back)"
+            )
+        json.loads(body)
+
+    def _verify_written_arrays(self, path: Path) -> None:
+        """REPRO_SANITIZE: decode + checksum the array entry on write."""
+        with path.open("rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        error: Optional[str] = None
+        try:
+            self._decode_arrays(mapped)
+        except (ValueError, KeyError, TypeError, IndexError) as exc:
+            # Leave the except block before closing: the traceback pins
+            # frame locals that still view the buffer (see get_arrays).
+            error = str(exc)
+        try:
+            mapped.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+        if error is not None:
+            raise RuntimeError(
+                f"REPRO_SANITIZE: store write verification failed for "
+                f"{path}: {error}"
+            )
 
     # -- misc ----------------------------------------------------------
     def describe(self) -> str:

@@ -41,9 +41,20 @@ from .intervals import (
     input_range_of,
     propagate_ranges,
 )
+from .concurrency import analyze_concurrency
+from .determinism import analyze_determinism
 from .linter import lint_paths, lint_source
+from .registry import (
+    ANALYZERS,
+    apply_baseline,
+    baseline_digests,
+    load_baseline,
+    run_analyzers,
+    write_baseline,
+)
 
 __all__ = [
+    "ANALYZERS",
     "LAMBDA_FLOOR",
     "XI_SUM_TOLERANCE",
     "CheckReport",
@@ -52,7 +63,11 @@ __all__ = [
     "LayerDecl",
     "RangeAnalysis",
     "Severity",
+    "analyze_concurrency",
+    "analyze_determinism",
+    "apply_baseline",
     "audit_allocation",
+    "baseline_digests",
     "audit_allocation_result",
     "audit_profiles",
     "audit_xi",
@@ -60,9 +75,12 @@ __all__ = [
     "input_range_of",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "propagate_ranges",
+    "run_analyzers",
     "verify_dtypes",
     "verify_graph_decls",
     "verify_network",
     "verify_shapes",
+    "write_baseline",
 ]

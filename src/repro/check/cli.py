@@ -7,21 +7,33 @@ Two modes:
   re-inference, dtype audit, interval propagation, measured-range
   overflow, negative-F feasibility, xi invariants, and Eq. 5 fit gates
   — over the network and the allocation the pipeline produces.
-* **Lint** (``--self`` or ``--lint PATH...``): run the Pass-2 AST
-  checkers over source files, no models involved.
+* **Static analysis** (``--self`` or ``--lint PATH...``, optionally
+  with ``--concurrency`` / ``--determinism``): run the AST passes over
+  source files, no models involved.  With no pass flags the Pass-2
+  numerical lint runs; each pass flag selects that analyzer instead
+  (flags combine).  ``--baseline FILE`` filters the committed accepted
+  findings out so the gate fails only on *new* ones;
+  ``--write-baseline FILE`` regenerates the file.
 
-Exit code 0 when clean; 1 when any error-severity finding exists, or —
-with ``--strict`` — any warning.
+Exit code 0 when clean; 1 when any error-severity finding exists (or —
+with ``--strict`` — any warning); 2 when an analyzer itself crashed.
+The 0/1/2 contract holds for every mode, so CI can distinguish "found
+violations" from "the checker is broken".
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+import traceback
 from pathlib import Path
 from typing import List, Optional
 
 from .findings import CheckReport, Severity
 from .intervals import input_range_of, propagate_ranges
+
+#: Exit code for "the analyzer itself failed" (vs. 1 = findings).
+EXIT_CRASH = 2
 
 
 def add_check_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +78,31 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="lint this package's own source tree (the CI hygiene gate)",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the Pass-3 concurrency analyzer (shared-state races, "
+        "fork-unsafe captures, unpicklable process-pool tasks)",
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help="run the Pass-4 determinism analyzer (RNG discipline, "
+        "key-field registry drift, CODE_SALT, iteration order)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="filter findings whose digest appears in this baseline "
+        "file; fail only on new ones (stale digests warn)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings' digests to FILE and exit 0",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
     parser.add_argument(
@@ -73,15 +110,45 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def run_lint(paths: List[str], args: argparse.Namespace) -> int:
-    from .linter import lint_paths
+def _selected_passes(args: argparse.Namespace) -> List[str]:
+    passes: List[str] = []
+    if getattr(args, "concurrency", False):
+        passes.append("concurrency")
+    if getattr(args, "determinism", False):
+        passes.append("determinism")
+    return passes or ["lint"]
 
-    report, num_files = lint_paths(paths)
+
+def run_lint(paths: List[str], args: argparse.Namespace) -> int:
+    """Run the selected static passes over ``paths`` (default: lint)."""
+    from .registry import (
+        apply_baseline,
+        load_baseline,
+        run_analyzers,
+        write_baseline,
+    )
+
+    passes = _selected_passes(args)
+    root = Path.cwd()
+    report, num_files = run_analyzers(paths, passes, root=root)
+    if getattr(args, "write_baseline", None):
+        write_baseline(args.write_baseline, report, root=root)
+        print(
+            f"wrote {len(report.at_least(Severity.WARNING))} digest(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+    if getattr(args, "baseline", None):
+        report = apply_baseline(
+            report, load_baseline(args.baseline), root=root
+        )
     if args.json:
         print(report.to_json())
     else:
         print(report.render(verbose=args.verbose))
-        print(f"linted {num_files} file(s)")
+        print(
+            f"ran {'+'.join(passes)} over {num_files} file(s)"
+        )
     return report.exit_code(args.strict)
 
 
@@ -153,13 +220,35 @@ def run_pipeline_check(args: argparse.Namespace) -> int:
 
 
 def run_check(args: argparse.Namespace) -> int:
-    """Dispatch a parsed ``check`` invocation (shared with ``repro check``)."""
-    if args.lint_self:
-        package_root = Path(__file__).resolve().parents[1]
-        return run_lint([str(package_root)], args)
-    if args.lint:
-        return run_lint(args.lint, args)
-    return run_pipeline_check(args)
+    """Dispatch a parsed ``check`` invocation (shared with ``repro check``).
+
+    Exit contract across every mode: 0 clean, 1 findings, 2 the
+    analyzer itself crashed (distinguishable in CI from real findings).
+    """
+    try:
+        static_mode = (
+            args.lint_self
+            or args.lint
+            or getattr(args, "concurrency", False)
+            or getattr(args, "determinism", False)
+        )
+        if static_mode:
+            if args.lint:
+                return run_lint(args.lint, args)
+            # --self, or a pass flag alone: this package's own tree.
+            package_root = Path(__file__).resolve().parents[1]
+            return run_lint([str(package_root)], args)
+        return run_pipeline_check(args)
+    except Exception:  # repro-check: ignore[overbroad-except]
+        # Deliberate: any analyzer bug must map to the distinct crash
+        # exit code (2), never masquerade as clean (0) or findings (1).
+        traceback.print_exc(file=sys.stderr)
+        print(
+            "repro check: analyzer crashed (exit 2; this is an "
+            "analyzer bug, not a finding)",
+            file=sys.stderr,
+        )
+        return EXIT_CRASH
 
 
 def main(argv: Optional[List[str]] = None) -> int:

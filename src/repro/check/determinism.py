@@ -1,0 +1,459 @@
+"""Pass 4 — determinism static analysis (RNG discipline + key contract).
+
+The cache (:mod:`repro.cache`) promises that a key hit returns bits
+identical to recomputation; the engine promises bit-identical results
+across worker counts and backends.  Both promises decompose into local
+source-level rules that these checkers enforce statically:
+
+``rng-outside-helper``
+    Engine code draws randomness through anything other than the
+    :mod:`repro.engine.rng` SeedSequence-coordinate helpers
+    (``trial_rng``/``trial_seed_sequence``).  A bare
+    ``np.random.default_rng(seed)`` inside the engine reintroduces the
+    sequential coupling those helpers exist to remove: streams would
+    depend on scheduling order, breaking backend-independence.  Scoped
+    to files under an ``engine`` path component, excluding ``rng.py``
+    itself (the one sanctioned construction site).
+``unkeyed-field``
+    A dataclass named in the key-field registry
+    (:data:`repro.cache.keys.KEY_FIELD_REGISTRY`) grew a field that the
+    registry does not classify.  This is the stale-cache hazard in its
+    purest form: a new knob changes results, but keys computed before
+    the knob existed still hit.
+``stale-registry-entry``
+    The converse: the registry classifies a field the dataclass no
+    longer has.  Harmless at runtime, but it means the contract table
+    and the code have drifted — the next reader can no longer trust it.
+``invalid-disposition``
+    A registry entry carries a disposition outside
+    :data:`repro.cache.keys.KEY_FIELD_DISPOSITIONS`.
+``missing-code-salt``
+    A function whose name contains ``key`` feeds a hash object directly
+    (``hashlib.*``/``_hasher()``) without referencing ``CODE_SALT`` or
+    delegating to ``make_key``.  Keys without the code-version salt
+    survive numerics changes — precisely the invalidation bug the salt
+    exists to rule out.
+``unstable-iteration``
+    A key/digest/fingerprint-named function iterates ``.items()`` /
+    ``.keys()`` / ``.values()`` without ``sorted(...)``.  Dict order is
+    insertion order, so the digest depends on construction history, not
+    content.
+``mutable-spec-field``
+    A frozen ``*Spec`` dataclass declares a field with a mutable
+    container annotation (``List``/``Dict``/``Set``) or a
+    ``default_factory`` of one.  Specs are hashed into fingerprints and
+    pickled to workers; mutable fields make both unreliable.
+
+Suppression: ``# repro-check: ignore[rule-id]`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Severity
+
+_HASH_CTORS = {"sha256", "sha1", "sha512", "md5", "blake2b", "blake2s",
+               "new", "_hasher"}
+_DICT_VIEWS = {"items", "keys", "values"}
+_MUTABLE_ANNOTATIONS = {"List", "Dict", "Set", "list", "dict", "set"}
+_MUTABLE_FACTORIES = {"list", "dict", "set"}
+_KEYLIKE = ("key", "digest", "fingerprint")
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _finding(
+    rule: str, path: str, node: Optional[ast.AST], message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        message=message,
+        path=path,
+        line=getattr(node, "lineno", None) if node is not None else None,
+        reference="docs/caching.md",
+    )
+
+
+# ----------------------------------------------------------------------
+# rng-outside-helper
+# ----------------------------------------------------------------------
+
+
+def _is_engine_file(path: str) -> bool:
+    p = Path(path)
+    parts = {part.lower() for part in p.parts}
+    return ("engine" in parts or "engine" in p.stem.lower()) and (
+        p.name != "rng.py"
+    )
+
+
+def _check_rng(path: str, tree: ast.Module) -> List[Finding]:
+    if not _is_engine_file(path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        bad: Optional[str] = None
+        if len(chain) >= 2 and chain[-2] == "random" and chain[0] in (
+            "np", "numpy"
+        ):
+            if chain[-1] not in ("SeedSequence", "Generator"):
+                bad = ".".join(chain)
+        elif chain == ["default_rng"] or chain == ["RandomState"]:
+            bad = chain[0]
+        if bad is not None:
+            findings.append(
+                _finding(
+                    "rng-outside-helper",
+                    path,
+                    node,
+                    f"engine code calls {bad}() directly; draw streams "
+                    "through repro.engine.rng.trial_rng / "
+                    "trial_seed_sequence so every trial's stream is a "
+                    "pure function of its coordinates, not of "
+                    "scheduling order",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# unkeyed-field / stale-registry-entry / invalid-disposition
+# ----------------------------------------------------------------------
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> Tuple[bool, bool]:
+    """(is_dataclass, is_frozen) from the decorator list."""
+    is_dc = False
+    frozen = False
+    for deco in cls.decorator_list:
+        name = None
+        if isinstance(deco, ast.Call):
+            chain = _attr_chain(deco.func)
+            name = chain[-1] if chain else None
+            if name == "dataclass":
+                for kw in deco.keywords:
+                    if kw.arg == "frozen" and isinstance(
+                        kw.value, ast.Constant
+                    ):
+                        frozen = bool(kw.value.value)
+        else:
+            chain = _attr_chain(deco)
+            name = chain[-1] if chain else None
+        if name == "dataclass":
+            is_dc = True
+    return is_dc, frozen
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """Annotated class-level fields, excluding ClassVar declarations."""
+    fields: Dict[str, ast.AnnAssign] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        ann = stmt.annotation
+        head = ann.value if isinstance(ann, ast.Subscript) else ann
+        chain = _attr_chain(head)
+        if chain and chain[-1] == "ClassVar":
+            continue
+        fields[stmt.target.id] = stmt
+    return fields
+
+
+def _check_registry(
+    path: str,
+    tree: ast.Module,
+    registry: Mapping[str, Mapping[str, str]],
+    dispositions: Set[str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name not in registry:
+            continue
+        is_dc, _frozen = _is_dataclass_decorated(node)
+        if not is_dc:
+            continue
+        declared = registry[node.name]
+        fields = _dataclass_fields(node)
+        for field_name, stmt in fields.items():
+            if field_name not in declared:
+                findings.append(
+                    _finding(
+                        "unkeyed-field",
+                        path,
+                        stmt,
+                        f"{node.name}.{field_name} has no entry in "
+                        "KEY_FIELD_REGISTRY (repro/cache/keys.py); "
+                        "declare it keyed, excluded-by-contract, or "
+                        "non-numeric — an unclassified field is a "
+                        "stale-cache hazard",
+                    )
+                )
+        for field_name, disposition in declared.items():
+            if field_name not in fields:
+                findings.append(
+                    _finding(
+                        "stale-registry-entry",
+                        path,
+                        node,
+                        f"KEY_FIELD_REGISTRY classifies "
+                        f"{node.name}.{field_name} but the dataclass "
+                        "has no such field; remove the stale entry",
+                    )
+                )
+            if disposition not in dispositions:
+                findings.append(
+                    _finding(
+                        "invalid-disposition",
+                        path,
+                        node,
+                        f"KEY_FIELD_REGISTRY entry "
+                        f"{node.name}.{field_name} has unknown "
+                        f"disposition {disposition!r}",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# missing-code-salt / unstable-iteration
+# ----------------------------------------------------------------------
+
+
+def _references_name(fn: ast.AST, names: Set[str]) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in names:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in names:
+            return True
+    return False
+
+
+def _hashes_directly(fn: ast.AST) -> Optional[ast.AST]:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if not chain:
+            continue
+        if chain[-1] in _HASH_CTORS and (
+            len(chain) == 1 or chain[0] in ("hashlib",)
+        ):
+            return node
+    return None
+
+
+def _check_salt(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if "key" not in node.name.lower():
+            continue
+        hash_site = _hashes_directly(node)
+        if hash_site is None:
+            continue
+        if _references_name(node, {"CODE_SALT", "make_key"}):
+            continue
+        findings.append(
+            _finding(
+                "missing-code-salt",
+                path,
+                hash_site,
+                f"{node.name}() hashes key material without folding in "
+                "CODE_SALT (and does not delegate to make_key); keys "
+                "built here survive numerics changes and serve stale "
+                "bits",
+            )
+        )
+    return findings
+
+
+def _unsorted_views(fn: ast.AST) -> List[ast.AST]:
+    """Dict-view iterations not wrapped in ``sorted(...)``."""
+    sorted_args: Set[int] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    sorted_args.add(id(sub))
+    sites: List[ast.AST] = []
+
+    def view_call(expr: ast.expr) -> Optional[ast.Call]:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _DICT_VIEWS
+            and not expr.args
+        ):
+            return expr
+        return None
+
+    for node in ast.walk(fn):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            call = view_call(it)
+            if call is not None and id(call) not in sorted_args:
+                sites.append(call)
+    return sites
+
+
+def _check_iteration(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        lowered = node.name.lower()
+        if not any(token in lowered for token in _KEYLIKE):
+            continue
+        for site in _unsorted_views(node):
+            findings.append(
+                _finding(
+                    "unstable-iteration",
+                    path,
+                    site,
+                    f"{node.name}() iterates a dict view without "
+                    "sorted(); insertion order leaks into the "
+                    "key/digest, so equal inputs built in different "
+                    "orders hash differently",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# mutable-spec-field
+# ----------------------------------------------------------------------
+
+
+def _mutable_annotation(ann: ast.expr) -> Optional[str]:
+    head = ann.value if isinstance(ann, ast.Subscript) else ann
+    chain = _attr_chain(head)
+    if chain and chain[-1] in _MUTABLE_ANNOTATIONS:
+        return chain[-1]
+    return None
+
+
+def _mutable_factory(value: Optional[ast.expr]) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    chain = _attr_chain(value.func)
+    if not chain or chain[-1] != "field":
+        return None
+    for kw in value.keywords:
+        if kw.arg == "default_factory":
+            factory = _attr_chain(kw.value)
+            if factory and factory[-1] in _MUTABLE_FACTORIES:
+                return factory[-1]
+    return None
+
+
+def _check_spec_fields(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Spec"):
+            continue
+        is_dc, frozen = _is_dataclass_decorated(node)
+        if not (is_dc and frozen):
+            continue
+        for field_name, stmt in _dataclass_fields(node).items():
+            kind = _mutable_annotation(stmt.annotation)
+            kind = kind or _mutable_factory(stmt.value)
+            if kind is None:
+                continue
+            findings.append(
+                _finding(
+                    "mutable-spec-field",
+                    path,
+                    stmt,
+                    f"frozen spec {node.name}.{field_name} is a mutable "
+                    f"{kind}; specs are fingerprinted and pickled to "
+                    "workers — use a tuple (or Sequence with a tuple "
+                    "default)",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def analyze_determinism(
+    files: Sequence[Tuple[str, str]],
+    registry: Optional[Mapping[str, Mapping[str, str]]] = None,
+    dispositions: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run every determinism rule over a corpus of (path, source).
+
+    ``registry`` defaults to the live
+    :data:`repro.cache.keys.KEY_FIELD_REGISTRY`; tests inject reduced
+    tables to prove that deleting an entry is detected.  Per-line
+    suppressions are applied by the caller
+    (:func:`repro.check.registry.run_analyzers`).
+    """
+    if registry is None:
+        from ..cache.keys import KEY_FIELD_REGISTRY
+        registry = KEY_FIELD_REGISTRY
+    if dispositions is None:
+        from ..cache.keys import KEY_FIELD_DISPOSITIONS
+        dispositions = set(KEY_FIELD_DISPOSITIONS)
+    findings: List[Finding] = []
+    for path, source in files:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    severity=Severity.ERROR,
+                    message=str(exc.msg),
+                    path=path,
+                    line=exc.lineno,
+                )
+            )
+            continue
+        findings.extend(_check_rng(path, tree))
+        findings.extend(
+            _check_registry(path, tree, registry, set(dispositions))
+        )
+        findings.extend(_check_salt(path, tree))
+        findings.extend(_check_iteration(path, tree))
+        findings.extend(_check_spec_fields(path, tree))
+    return findings
+
+
+__all__ = ["analyze_determinism"]

@@ -12,8 +12,10 @@ warnings fail only under ``--strict``.
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -44,6 +46,34 @@ class Finding:
     #: Which part of the paper the violated precondition comes from
     #: ("Eq. 5", "Sec. II-A", ...); empty for code-hygiene rules.
     reference: str = ""
+
+    def digest(self, root: Optional[Path] = None) -> str:
+        """Stable 16-hex identity: SHA-256 over ``file:line:rule``.
+
+        The same defect reported through two import paths (``src/x.py``
+        vs. an absolute path to the same file) digests identically, and
+        messages stay out of the hash so a reworded diagnostic does not
+        churn committed baselines.  ``root`` relativizes the path when
+        the file lives under it; paths are normalized to POSIX form so
+        digests match across platforms.
+        """
+        where = ""
+        if self.path is not None:
+            resolved = Path(self.path)
+            try:
+                resolved = resolved.resolve()
+            except OSError:  # pragma: no cover - dangling symlink etc.
+                pass
+            if root is not None:
+                try:
+                    resolved = resolved.relative_to(Path(root).resolve())
+                except ValueError:
+                    pass
+            where = str(PurePosixPath(resolved))
+        elif self.layer is not None:
+            where = f"[{self.layer}]"
+        token = f"{where}:{self.line or 0}:{self.rule}"
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
 
     def location(self) -> str:
         """``path:line`` or ``[layer]`` or empty."""

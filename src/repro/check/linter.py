@@ -370,11 +370,22 @@ def lint_paths(
 ) -> Tuple[CheckReport, int]:
     """Lint every ``.py`` file under ``paths``.
 
-    Returns the report and the number of files examined.
+    Returns the report and the number of files examined.  Findings are
+    deduplicated by their stable ``file:line:rule`` digest: overlapping
+    input paths (a directory plus a file inside it, or the same file
+    via relative and absolute spellings) and same-line repeats of one
+    rule collapse to a single finding, so baseline digests cannot be
+    inflated by how the paths were spelled.
     """
     report = CheckReport()
     files = iter_python_files(paths)
+    seen: Set[str] = set()
     for file in files:
         source = file.read_text(encoding="utf-8")
-        report.findings.extend(lint_source(source, str(file)))
+        for finding in lint_source(source, str(file)):
+            digest = finding.digest()
+            if digest in seen:
+                continue
+            seen.add(digest)
+            report.findings.append(finding)
     return report, len(files)

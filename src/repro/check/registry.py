@@ -1,0 +1,190 @@
+"""Analyzer registry: named passes, shared suppression, baselines.
+
+One dispatch table maps pass names to corpus-level analyzer functions
+(``(path, source)`` pairs in, :class:`~repro.check.findings.Finding`
+list out).  :func:`run_analyzers` is the single entry point the CLI,
+the Makefile gate, and the tests all share; it applies the common
+``# repro-check: ignore[...]`` per-line suppressions, deduplicates
+findings by their stable :meth:`~repro.check.findings.Finding.digest`
+(so overlapping input paths or repeated corpus passes cannot inflate
+the report), and sorts deterministically.
+
+Baselines: a committed JSON file of finding digests
+(``check-baseline.json`` at the repository root) pins the accepted
+state.  ``--baseline`` filters known findings out (the gate then fails
+only on *new* ones) and fails on digests that no longer occur
+(stale-baseline hygiene, surfaced as a warning finding);
+``--write-baseline`` regenerates the file.  Digests hash
+``file:line:rule`` relative to the repo root, so the file is stable
+across checkouts and message rewording.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .concurrency import analyze_concurrency
+from .determinism import analyze_determinism
+from .findings import CheckReport, Finding, Severity
+from .linter import _suppressions, iter_python_files, lint_source
+
+#: Corpus analyzer: list of (path, source) -> findings.
+AnalyzerFn = Callable[[Sequence[Tuple[str, str]]], List[Finding]]
+
+
+def _lint_corpus(files: Sequence[Tuple[str, str]]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, source in files:
+        findings.extend(lint_source(source, path))
+    return findings
+
+
+#: Every named static-analysis pass, in canonical execution order.
+ANALYZERS: Dict[str, AnalyzerFn] = {
+    "lint": _lint_corpus,
+    "concurrency": analyze_concurrency,
+    "determinism": analyze_determinism,
+}
+
+
+def _dedupe(
+    findings: Sequence[Finding], root: Optional[Path]
+) -> List[Finding]:
+    seen: Dict[str, Finding] = {}
+    for finding in findings:
+        seen.setdefault(finding.digest(root), finding)
+    return sorted(
+        seen.values(),
+        key=lambda f: (f.path or "", f.line or 0, f.rule, f.message),
+    )
+
+
+def run_analyzers(
+    paths: Sequence[Union[str, Path]],
+    names: Sequence[str] = ("lint",),
+    root: Optional[Path] = None,
+) -> Tuple[CheckReport, int]:
+    """Run the named passes over every ``.py`` file under ``paths``.
+
+    Returns ``(report, files_examined)``.  Findings are suppressed per
+    line, deduplicated by digest, and deterministically ordered.
+    Unknown pass names raise ``KeyError`` (an analyzer *crash*, exit
+    code 2 at the CLI — not a finding).
+    """
+    analyzers = [(name, ANALYZERS[name]) for name in names]
+    files = iter_python_files(paths)
+    corpus: List[Tuple[str, str]] = []
+    suppress: Dict[str, Dict[int, Optional[set]]] = {}
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        corpus.append((str(file), source))
+        suppress[str(file)] = _suppressions(source)
+    findings: List[Finding] = []
+    for _name, analyzer in analyzers:
+        findings.extend(analyzer(corpus))
+    kept: List[Finding] = []
+    for finding in findings:
+        table = suppress.get(finding.path or "", {})
+        if finding.line in table:
+            rules = table[finding.line]
+            if rules is None or finding.rule in rules:
+                continue
+        kept.append(finding)
+    report = CheckReport()
+    report.findings.extend(_dedupe(kept, root))
+    return report, len(files)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def baseline_digests(
+    report: CheckReport, root: Optional[Path] = None
+) -> List[str]:
+    """Sorted unique digests of a report's WARNING+ findings."""
+    return sorted(
+        {
+            f.digest(root)
+            for f in report.at_least(Severity.WARNING)
+        }
+    )
+
+
+def write_baseline(
+    path: Union[str, Path],
+    report: CheckReport,
+    root: Optional[Path] = None,
+) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "digests": baseline_digests(report, root),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> List[str]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "digests" not in payload:
+        raise ValueError(f"{path}: not a check baseline file")
+    digests = payload["digests"]
+    if not isinstance(digests, list) or not all(
+        isinstance(d, str) for d in digests
+    ):
+        raise ValueError(f"{path}: malformed digest list")
+    return list(digests)
+
+
+def apply_baseline(
+    report: CheckReport,
+    digests: Sequence[str],
+    root: Optional[Path] = None,
+) -> CheckReport:
+    """Filter baselined findings out; flag digests that went stale.
+
+    Returns a new report containing (a) every finding whose digest is
+    *not* in the baseline, and (b) one ``stale-baseline`` WARNING per
+    baseline digest that no current finding produces — prune those so
+    the accepted-debt list only ever shrinks.
+    """
+    known = set(digests)
+    current = {f.digest(root) for f in report}
+    filtered = CheckReport()
+    filtered.findings.extend(
+        f for f in report if f.digest(root) not in known
+    )
+    for digest in sorted(known - current):
+        filtered.add(
+            "stale-baseline",
+            Severity.WARNING,
+            f"baseline digest {digest} matches no current finding; "
+            "remove it (or re-run with --write-baseline)",
+        )
+    return filtered
+
+
+__all__ = [
+    "ANALYZERS",
+    "AnalyzerFn",
+    "apply_baseline",
+    "baseline_digests",
+    "load_baseline",
+    "run_analyzers",
+    "write_baseline",
+]

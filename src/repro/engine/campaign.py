@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..config import ParallelSettings
 from ..errors import ProfilingError, ReproError, RetryExhaustedError, TransientError
 from ..nn.graph import ActivationCache, Network
 from ..resilience.guards import Diagnostic, check_finite_array, enforce
+from ..sanitize import fp_guard
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.session import Telemetry
 from ..telemetry.spans import NULL_TRACER, Tracer
@@ -125,7 +126,10 @@ def run_layer_campaign(
         (j, r) for j in range(num_deltas) for r in range(num_repeats)
     ]
     dispatches = 0
-    with tracer.span(
+    # Under REPRO_SANITIZE=1 the whole injection campaign runs with FP
+    # overflow/invalid/divide trapped; errstate never changes results,
+    # so clean runs stay bit-identical with the guard on or off.
+    with fp_guard(), tracer.span(
         "engine.layer",
         parent_id=parent_id,
         layer=name,
@@ -226,7 +230,7 @@ class InjectionEngine:
         parallel: Optional[ParallelSettings] = None,
         telemetry: Optional[Telemetry] = None,
         cache: Optional[ResultCache] = None,
-    ):
+    ) -> None:
         self.network = network
         self.parallel = parallel or ParallelSettings()
         self.telemetry = Telemetry.create(telemetry)
@@ -326,7 +330,10 @@ class InjectionEngine:
 
     # ------------------------------------------------------------------
     def _reference_caches(
-        self, images: np.ndarray, batch_size: int, forward_fn
+        self,
+        images: np.ndarray,
+        batch_size: int,
+        forward_fn: Optional[Callable[..., Any]],
     ) -> List[ActivationCache]:
         """Clean per-batch activation caches, persisted when caching.
 
@@ -380,7 +387,10 @@ class InjectionEngine:
         return fractions
 
     def _run_serial_task(
-        self, caches, task: Dict[str, object], progress: bool
+        self,
+        caches: Sequence[ActivationCache],
+        task: Dict[str, Any],
+        progress: bool,
     ) -> LayerCells:
         # Same thread as the replay span, so the thread-local span
         # stack parents the layer span without an explicit parent_id.
@@ -396,7 +406,11 @@ class InjectionEngine:
         return result
 
     # ------------------------------------------------------------------
-    def _collect(self, tasks, submit) -> List[LayerCells]:
+    def _collect(
+        self,
+        tasks: Sequence[Dict[str, Any]],
+        submit: Callable[[Dict[str, Any]], Any],
+    ) -> List[Any]:
         """Gather results in task order, with transient retries.
 
         ``submit(task)`` returns a future.  All tasks launch up front;
@@ -410,7 +424,7 @@ class InjectionEngine:
         depth = metrics.gauge("repro_worker_queue_depth")
         futures = [submit(task) for task in tasks]
         depth.set(len(futures))
-        results: List[LayerCells] = []
+        results: List[Any] = []
         for task, future in zip(tasks, futures):
             name = task["name"]
             failures: List[str] = []
@@ -457,7 +471,10 @@ class InjectionEngine:
         return max(1, min(self.parallel.jobs, available))
 
     def _run_thread_pool(
-        self, caches, tasks, parent_id: Optional[str] = None
+        self,
+        caches: Sequence[ActivationCache],
+        tasks: Sequence[Dict[str, Any]],
+        parent_id: Optional[str] = None,
     ) -> List[LayerCells]:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -466,7 +483,7 @@ class InjectionEngine:
             thread_name_prefix="repro-engine",
         ) as pool:
 
-            def submit(task):
+            def submit(task: Dict[str, Any]) -> Any:
                 # Pool threads start with an empty span stack, so the
                 # replay span's id is threaded through explicitly.
                 return pool.submit(
@@ -482,7 +499,10 @@ class InjectionEngine:
             return self._collect(tasks, submit)
 
     def _run_process_pool(
-        self, caches, tasks, parent_id: Optional[str] = None
+        self,
+        caches: Sequence[ActivationCache],
+        tasks: Sequence[Dict[str, Any]],
+        parent_id: Optional[str] = None,
     ) -> List[LayerCells]:
         from concurrent.futures import ProcessPoolExecutor
         from multiprocessing import get_context
@@ -511,7 +531,7 @@ class InjectionEngine:
                 ),
             ) as pool:
 
-                def submit(task):
+                def submit(task: Dict[str, Any]) -> Any:
                     return pool.submit(
                         _process_worker_run,
                         pickle.dumps(task),

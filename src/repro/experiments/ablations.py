@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..analysis import (
+    BudgetVerification,
     ErrorProfiler,
     Scheme1Evaluator,
     Scheme2Evaluator,
@@ -407,7 +408,7 @@ def run_budget_audit(
     accuracy_drop: float = 0.05,
     num_images: int = 48,
     context: Optional[ExperimentContext] = None,
-):
+) -> BudgetVerification:
     """Audit an optimized allocation's error budget on true rounding.
 
     Returns a :class:`repro.analysis.BudgetVerification`: per-layer

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..optimize import input_bandwidth_objective, mac_energy_objective
@@ -186,7 +186,7 @@ ContextFactory = Callable[[ExperimentConfig], ExperimentContext]
 OptimizeFn = Callable[[object, str, float], object]
 
 
-def _default_optimize(optimizer, objective: str, drop: float):
+def _default_optimize(optimizer: Any, objective: str, drop: float) -> Any:
     return optimizer.optimize(objective, accuracy_drop=drop)
 
 

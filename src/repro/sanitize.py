@@ -1,0 +1,60 @@
+"""Runtime sanitizer mode (``REPRO_SANITIZE=1``).
+
+The static analyzers in :mod:`repro.check` prove determinism contracts
+without running anything; this module is their runtime counterpart — a
+set of cheap tripwires that turn silent contract violations into
+immediate hard failures when the environment variable
+``REPRO_SANITIZE`` is set to a non-empty value other than ``"0"``:
+
+* **Cache-key recomputation** (:func:`repro.cache.keys.make_key`):
+  every key is computed twice, the second time from the JSON
+  round-trip of the canonical payload.  A payload whose encoding is
+  not a fixed point (unstable iteration order, non-canonical float
+  text, a ``repr`` that differs between passes) raises instead of
+  silently producing a key that could drift between runs.
+* **Store write verification** (:class:`repro.cache.store.ResultCache`):
+  every ``put_json``/``put_arrays`` immediately re-opens the entry it
+  just wrote and re-verifies the checksum, so a torn or miscomputed
+  write can never be discovered later as a "corruption miss".
+* **FP-error trapping** (:func:`fp_guard`): engine injection kernels
+  run under ``np.errstate(over="raise", invalid="raise",
+  divide="raise")``, turning overflow/NaN production inside a replay
+  into a ``FloatingPointError`` at the faulting trial instead of a
+  structured non-finite diagnostic several reductions later.
+  Underflow stays untrapped — denormal activations are routine.
+
+The sanitizer observes; it never changes results: a clean run is
+bit-identical with the mode on or off (asserted by
+``tests/check/test_sanitize.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from typing import ContextManager
+
+#: Environment variable that switches sanitizer mode on.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests runtime tripwires."""
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+
+def fp_guard() -> ContextManager[object]:
+    """Errstate context for engine kernels under the sanitizer.
+
+    Traps overflow, invalid operations, and divide-by-zero as
+    ``FloatingPointError``; a no-op context manager when the sanitizer
+    is off, so the hot path stays branch-free beyond one env lookup.
+    """
+    if not sanitize_enabled():
+        return nullcontext()
+    import numpy as np
+
+    return np.errstate(over="raise", invalid="raise", divide="raise")
+
+
+__all__ = ["SANITIZE_ENV", "fp_guard", "sanitize_enabled"]

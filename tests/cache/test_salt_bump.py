@@ -1,0 +1,95 @@
+"""CODE_SALT bump semantics: total miss, no corruption.
+
+Bumping :data:`repro.cache.keys.CODE_SALT` is the sanctioned way to
+invalidate every cached result after a numerics change.  Its contract
+has two halves: *every* pre-bump entry must miss under the new salt
+(no stale bits can survive), and the old store must remain physically
+intact — ``repro cache verify`` still passes, because invalidation is
+by key divergence, not by mutating or corrupting entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultCache, keys, make_key
+from repro.cache.maintenance import verify
+
+
+@pytest.fixture
+def populated(tmp_path):
+    cache = ResultCache(tmp_path / "store")
+    parts_list = [
+        {"kind": "fit", "layer": f"conv{i}", "digest": f"d{i}", "x": i * 0.5}
+        for i in range(6)
+    ]
+    entries = []
+    for i, parts in enumerate(parts_list):
+        key = make_key(parts)
+        if i % 2 == 0:
+            cache.put_json("fits", key, {"lam": i * 1.5, "theta": -i})
+        else:
+            cache.put_arrays("fits", key, {"cells": np.full((3, 3), i)})
+        entries.append((parts, key, i % 2 == 0))
+    return cache, entries
+
+
+def test_salt_bump_misses_every_entry(populated, monkeypatch):
+    cache, entries = populated
+    # Sanity: pre-bump, every entry hits under its recomputed key.
+    for parts, key, is_json in entries:
+        assert make_key(parts) == key
+        got = (
+            cache.get_json("fits", key)
+            if is_json
+            else cache.get_arrays("fits", key)
+        )
+        assert got is not None
+
+    monkeypatch.setattr(keys, "CODE_SALT", "repro-cache-v2-test-bump")
+    for parts, old_key, is_json in entries:
+        new_key = make_key(parts)
+        assert new_key != old_key, "bumped salt must change every key"
+        got = (
+            cache.get_json("fits", new_key)
+            if is_json
+            else cache.get_arrays("fits", new_key)
+        )
+        assert got is None, "post-bump lookups must all miss"
+
+
+def test_old_store_still_verifies_after_bump(populated, monkeypatch):
+    cache, entries = populated
+    monkeypatch.setattr(keys, "CODE_SALT", "repro-cache-v2-test-bump")
+    report = verify(cache.directory)
+    assert report.checked == len(entries)
+    assert report.ok == len(entries)
+    assert not report.corrupt
+    # And the old entries are still readable by their original keys:
+    # invalidation is purely a key-space divergence.
+    for parts, old_key, is_json in entries:
+        got = (
+            cache.get_json("fits", old_key)
+            if is_json
+            else cache.get_arrays("fits", old_key)
+        )
+        assert got is not None
+
+
+def test_bump_changes_no_bits_on_disk(populated, monkeypatch):
+    cache, entries = populated
+    before = {
+        p: p.read_bytes()
+        for p in sorted(cache.directory.rglob("*"))
+        if p.is_file()
+    }
+    monkeypatch.setattr(keys, "CODE_SALT", "repro-cache-v2-test-bump")
+    for parts, _old, _is_json in entries:
+        cache.get_json("fits", make_key(parts))
+    after = {
+        p: p.read_bytes()
+        for p in sorted(cache.directory.rglob("*"))
+        if p.is_file()
+    }
+    assert before == after

@@ -1,0 +1,63 @@
+"""Fixture: the sanctioned patterns — must produce zero findings.
+
+Covers the exemptions each rule carves out: a process-pool
+*initializer* writing per-process module state, a submitted worker
+that only returns results, a lock-owning registry that takes its lock
+for every mutation, a digest built over sorted iteration, and a frozen
+spec made of immutable fields.
+"""
+
+import hashlib
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+_WORKER_STATE = {}
+
+CODE_SALT = "fixture-salt-v1"
+
+
+def _worker_init(name):
+    # Per-process setup before any task runs: the sanctioned place to
+    # populate module state.
+    _WORKER_STATE["name"] = name
+
+
+def worker_run(value):
+    return value * 2
+
+
+def run(values):
+    with ProcessPoolExecutor(initializer=_worker_init, initargs=("x",)) as pool:
+        futures = [pool.submit(worker_run, v) for v in values]
+    return [f.result() for f in futures]
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def observe(self, name):
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._counts)
+
+
+def table_key(table):
+    h = hashlib.sha256()
+    h.update(CODE_SALT.encode("utf-8"))
+    for name in sorted(table.keys()):  # sorted: order-independent
+        h.update(f"{name}={table[name]}".encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CleanSpec:
+    models: Sequence[str] = ("lenet",)
+    objective: str = "input"
+    limit: Optional[int] = None

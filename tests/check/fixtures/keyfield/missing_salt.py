@@ -1,0 +1,10 @@
+"""Fixture: a cache-key builder that skips the code-version salt."""
+
+import hashlib
+import json
+
+
+def widget_cache_key(parts):
+    canonical = json.dumps(parts, sort_keys=True)
+    h = hashlib.sha256(canonical.encode("utf-8"))  # expect[missing-code-salt]
+    return h.hexdigest()

@@ -1,0 +1,11 @@
+"""Fixture: frozen spec with mutable container fields."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    name: str = "default"
+    layers: List[str] = field(default_factory=list)  # expect[mutable-spec-field]
+    overrides: Dict[str, float] = field(default_factory=dict)  # expect[mutable-spec-field]

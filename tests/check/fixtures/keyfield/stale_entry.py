@@ -1,0 +1,10 @@
+"""Fixture: the registry still lists a field this spec dropped."""
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SweepSpec:  # expect[stale-registry-entry]
+    models: Sequence[str] = ("lenet",)
+    accuracy_drops: Sequence[float] = (0.01, 0.05)

@@ -1,0 +1,14 @@
+"""Fixture: a registered settings class grew an unclassified field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProfileSettings:
+    num_images: int = 16
+    num_delta_points: int = 6
+    delta_min: float = 1e-9
+    delta_max: float = 1e-1
+    num_repeats: int = 1
+    seed: int = 20190325
+    extra_knob: int = 0  # expect[unkeyed-field]

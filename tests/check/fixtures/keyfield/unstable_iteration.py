@@ -1,0 +1,10 @@
+"""Fixture: digest built from insertion-ordered dict iteration."""
+
+import hashlib
+
+
+def table_digest(table):
+    h = hashlib.sha256()
+    for name, value in table.items():  # expect[unstable-iteration]
+        h.update(f"{name}={value}".encode("utf-8"))
+    return h.hexdigest()

@@ -1,0 +1,9 @@
+"""Fixture: lambda submitted to a process pool (unpicklable)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(values):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda v: v * 2, v) for v in values]  # expect[unpicklable-task]
+    return [f.result() for f in futures]

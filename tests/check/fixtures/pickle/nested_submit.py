@@ -1,0 +1,12 @@
+"""Fixture: locally-defined function submitted to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(values, scale):
+    def task(v):
+        return v * scale
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, v) for v in values]  # expect[unpicklable-task]
+    return [f.result() for f in futures]

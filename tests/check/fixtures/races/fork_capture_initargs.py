@@ -1,0 +1,16 @@
+"""Fixture: an open file handle and an mmap leaked through initargs."""
+
+import mmap
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _init(handle, mapped):
+    pass
+
+
+def run(path, task, items):
+    handle = open(path, "rb")
+    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    pool = ProcessPoolExecutor(initializer=_init, initargs=(handle, mapped))  # expect[fork-unsafe-capture]
+    with pool:
+        return list(pool.map(task, items))

@@ -1,0 +1,16 @@
+"""Fixture: a threading.Lock captured into a process-pool submission."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(guard, value):
+    with guard:
+        return value * 2
+
+
+def run(values):
+    guard = threading.Lock()
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, guard, v) for v in values]  # expect[fork-unsafe-capture]
+    return [f.result() for f in futures]

@@ -1,0 +1,18 @@
+"""Fixture: pool-submitted function rebinds a global counter."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+COUNTER = 0
+EVENTS = []
+
+
+def bump(delta):
+    global COUNTER
+    COUNTER = COUNTER + delta  # expect[global-write-in-worker]
+    EVENTS.append(delta)  # expect[global-write-in-worker]
+    return COUNTER
+
+
+def run(deltas):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(bump, deltas))

@@ -1,0 +1,16 @@
+"""Fixture: pool-submitted function mutates a module-level dict."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+RESULTS = {}
+
+
+def record(name, value):
+    RESULTS[name] = value  # expect[global-write-in-worker]
+    return value
+
+
+def run(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(record, k, v) for k, v in items]
+    return [f.result() for f in futures]

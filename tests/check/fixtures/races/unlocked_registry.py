@@ -1,0 +1,21 @@
+"""Fixture: lock-owning class mutating shared attrs outside the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self._last = None
+
+    def observe(self, name):
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def observe_racy(self, name):
+        self._counts[name] = 1  # expect[unlocked-registry-write]
+        self._last = name  # expect[unlocked-registry-write]
+
+    def reset(self):
+        self._counts.clear()  # expect[unlocked-registry-write]

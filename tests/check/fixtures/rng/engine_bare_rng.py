@@ -1,0 +1,8 @@
+"""Fixture: engine-scoped module drawing RNG outside the helpers."""
+
+import numpy as np
+
+
+def run_trial(seed, size):
+    rng = np.random.default_rng(seed)  # expect[rng-outside-helper]
+    return rng.normal(size=size)

@@ -1,0 +1,9 @@
+"""Fixture: engine-scoped module using the legacy global RNG."""
+
+import numpy as np
+
+
+def perturb(x):
+    noise = np.random.normal(0.0, 1.0, x.shape)  # expect[rng-outside-helper]
+    np.random.shuffle(x)  # expect[rng-outside-helper]
+    return x + noise

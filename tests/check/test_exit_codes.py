@@ -1,0 +1,249 @@
+"""The 0/1/2 exit-code contract and baseline handling of the check CLI.
+
+0 = clean, 1 = findings present (or warnings under ``--strict``),
+2 = the analyzer itself crashed.  The distinction lets CI tell "the
+code has violations" apart from "the checker is broken" — both red,
+different on-call.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.check import registry as check_registry
+from repro.check.cli import EXIT_CRASH, main
+
+RACY = textwrap.dedent(
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    STATE = {}
+
+
+    def task(k):
+        STATE[k] = 1
+
+
+    def run(keys):
+        with ThreadPoolExecutor() as pool:
+            return [pool.submit(task, k) for k in keys]
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def double(x):
+        return 2 * x
+    """
+)
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.py"
+    path.write_text(RACY, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, racy_file, capsys):
+        code = main(["--lint", str(racy_file), "--concurrency"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "global-write-in-worker" in out
+
+    def test_clean_exit_zero(self, clean_file, capsys):
+        code = main(
+            ["--lint", str(clean_file), "--concurrency", "--determinism"]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+    def test_crash_exit_two(self, clean_file, capsys, monkeypatch):
+        def boom(files):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setitem(check_registry.ANALYZERS, "concurrency", boom)
+        code = main(["--lint", str(clean_file), "--concurrency"])
+        err = capsys.readouterr().err
+        assert code == EXIT_CRASH == 2
+        assert "analyzer crashed" in err
+        assert "analyzer bug" in err
+
+    def test_pipeline_mode_crash_exit_two(self, capsys, monkeypatch):
+        # The contract holds outside static mode too.
+        import argparse
+
+        import repro.check.cli as cli_mod
+
+        def boom(args):
+            raise RuntimeError("pipeline checker bug")
+
+        monkeypatch.setattr(cli_mod, "run_pipeline_check", boom)
+        code = cli_mod.run_check(
+            argparse.Namespace(
+                lint_self=False,
+                lint=None,
+                concurrency=False,
+                determinism=False,
+            )
+        )
+        capsys.readouterr()
+        assert code == 2
+
+    def test_analyzer_flags_alone_imply_self(self, capsys):
+        # `--concurrency --determinism` with no paths runs against the
+        # package's own tree, which must be clean (acceptance gate).
+        code = main(["--concurrency", "--determinism"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+
+class TestBaseline:
+    def test_write_and_apply_baseline(self, racy_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "--lint",
+                    str(racy_file),
+                    "--concurrency",
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        assert payload["digests"], "expected the racy finding's digest"
+
+        # With the baseline, the same findings are accepted debt.
+        code = main(
+            [
+                "--lint",
+                str(racy_file),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+    def test_new_finding_not_masked_by_baseline(
+        self, racy_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "--lint",
+                str(racy_file),
+                "--concurrency",
+                "--write-baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        # Introduce a second violation the baseline has never seen.
+        source = racy_file.read_text()
+        racy_file.write_text(
+            source.replace("STATE[k] = 1", "STATE[k] = 1\n    STATE.pop(k)")
+        )
+        code = main(
+            [
+                "--lint",
+                str(racy_file),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "global-write-in-worker" in out
+
+    def test_stale_baseline_digest_warns(
+        self, clean_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1, "digests": ["deadbeefdeadbeef"]})
+        )
+        code = main(
+            [
+                "--lint",
+                str(clean_file),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+                "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # strict: the stale-digest warning fails
+        assert "stale-baseline" in out
+
+    def test_malformed_baseline_is_a_crash(self, clean_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[1, 2, 3]")
+        code = main(
+            [
+                "--lint",
+                str(clean_file),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 2
+
+    def test_committed_baseline_is_clean(self, capsys):
+        """The repo's committed baseline carries zero accepted findings:
+        the tree itself satisfies every contract."""
+        from pathlib import Path
+
+        from repro.check.registry import load_baseline
+
+        repo_root = Path(__file__).resolve().parents[2]
+        assert load_baseline(repo_root / "check-baseline.json") == []
+
+
+class TestLintDedupe:
+    def test_overlapping_paths_report_once(self, tmp_path, capsys):
+        """Satellite: dir + file + absolute spellings collapse to one
+        finding per defect, keeping baselines stable."""
+        from repro.check.linter import lint_paths
+
+        path = tmp_path / "dupe.py"
+        path.write_text(
+            "import numpy as np\nx = np.random.uniform(0.0, 1.0)\n",
+            encoding="utf-8",
+        )
+        report, _ = lint_paths(
+            [tmp_path, path, str(path.resolve())]
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "unseeded-random"
+
+    def test_same_line_repeats_collapse(self, tmp_path):
+        from repro.check.linter import lint_paths
+
+        path = tmp_path / "twice.py"
+        # Two float-literal equality comparisons on one line: one
+        # digest, one finding.
+        path.write_text("bad = (a == 0.0) or (b == 0.0)\n", encoding="utf-8")
+        report, _ = lint_paths([path])
+        assert len(report.by_rule("float-equality")) == 1

@@ -1,0 +1,186 @@
+"""Fixture harness: every seeded violation is found, nothing else is.
+
+Each fixture file under ``tests/check/fixtures/`` marks its expected
+findings with trailing ``# expect[rule-id]`` comments.  The harness
+runs the pass(es) for the fixture's class over the file and asserts the
+*exact* set of ``(line, rule)`` pairs — a missed marker is a false
+negative, an unmarked finding is a false positive; both fail.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.check.concurrency import analyze_concurrency
+from repro.check.determinism import analyze_determinism
+from repro.check.registry import run_analyzers
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture subdirectory -> analyzer passes exercised against it
+PASSES = {
+    "races": ("concurrency",),
+    "pickle": ("concurrency",),
+    "rng": ("determinism",),
+    "keyfield": ("determinism",),
+    "clean": ("lint", "concurrency", "determinism"),
+}
+
+_EXPECT_RE = re.compile(r"expect\[([a-z0-9-]+)\]")
+
+
+def expected_markers(path: Path) -> set:
+    pairs = set()
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _EXPECT_RE.finditer(line):
+            pairs.add((lineno, match.group(1)))
+    return pairs
+
+
+def all_fixtures():
+    for subdir, passes in sorted(PASSES.items()):
+        for path in sorted((FIXTURES / subdir).glob("*.py")):
+            yield pytest.param(path, passes, id=f"{subdir}/{path.name}")
+
+
+@pytest.mark.parametrize("path,passes", list(all_fixtures()))
+def test_fixture_findings_exact(path, passes):
+    report, num_files = run_analyzers([path], passes)
+    assert num_files == 1
+    found = {(f.line, f.rule) for f in report}
+    expected = expected_markers(path)
+    missing = expected - found
+    unexpected = found - expected
+    assert not missing, f"false negatives (not detected): {sorted(missing)}"
+    assert not unexpected, (
+        f"false positives (unmarked findings): {sorted(unexpected)}"
+    )
+
+
+def test_fixture_inventory():
+    """≥12 violation fixtures spanning all four contract classes."""
+    marked = [
+        path
+        for subdir in PASSES
+        for path in (FIXTURES / subdir).glob("*.py")
+        if expected_markers(path)
+    ]
+    assert len(marked) >= 10
+    total_markers = sum(len(expected_markers(p)) for p in marked)
+    assert total_markers >= 12
+    for subdir in ("races", "pickle", "rng", "keyfield"):
+        assert any(
+            expected_markers(p) for p in (FIXTURES / subdir).glob("*.py")
+        ), f"no violation fixture in {subdir}/"
+
+
+def test_clean_fixture_exists():
+    clean = list((FIXTURES / "clean").glob("*.py"))
+    assert clean, "need at least one all-exemptions clean fixture"
+    for path in clean:
+        assert not expected_markers(path)
+
+
+def test_suppression_comment_silences_finding(tmp_path):
+    src = (
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def engine_draw(seed):\n"
+        "    rng = np.random.default_rng(seed)"
+        "  # repro-check: ignore[rng-outside-helper]\n"
+        "    return rng\n"
+    )
+    path = tmp_path / "engine_suppressed.py"
+    path.write_text(src, encoding="utf-8")
+    report, _ = run_analyzers([path], ("determinism",))
+    assert not report.findings
+    # Without the suppression the same source is flagged.
+    bare = src.replace("  # repro-check: ignore[rng-outside-helper]", "")
+    path.write_text(bare, encoding="utf-8")
+    report, _ = run_analyzers([path], ("determinism",))
+    assert [f.rule for f in report] == ["rng-outside-helper"]
+
+
+def test_registry_deletion_is_detected():
+    """Deleting a KEY_FIELD_REGISTRY entry makes the analyzer fail."""
+    config = Path("src/repro/config.py")
+    source = config.read_text(encoding="utf-8")
+    from repro.cache.keys import KEY_FIELD_DISPOSITIONS, KEY_FIELD_REGISTRY
+
+    # Intact registry: clean.
+    clean = analyze_determinism(
+        [(str(config), source)],
+        registry=KEY_FIELD_REGISTRY,
+        dispositions=set(KEY_FIELD_DISPOSITIONS),
+    )
+    assert [f for f in clean if f.rule == "unkeyed-field"] == []
+
+    # Drop ProfileSettings.seed from a copy: the field is now
+    # unclassified, which must be reported.
+    pruned = {
+        cls: dict(fields) for cls, fields in KEY_FIELD_REGISTRY.items()
+    }
+    del pruned["ProfileSettings"]["seed"]
+    findings = analyze_determinism(
+        [(str(config), source)],
+        registry=pruned,
+        dispositions=set(KEY_FIELD_DISPOSITIONS),
+    )
+    assert any(
+        f.rule == "unkeyed-field" and "ProfileSettings.seed" in f.message
+        for f in findings
+    )
+
+
+def test_registry_covers_every_settings_field():
+    """The live registry classifies every field of every registered
+    dataclass, with only legal dispositions (acceptance criterion)."""
+    import dataclasses
+
+    from repro.cache.keys import KEY_FIELD_DISPOSITIONS, KEY_FIELD_REGISTRY
+    from repro.config import (
+        ParallelSettings,
+        ProfileSettings,
+        SearchSettings,
+        TelemetrySettings,
+    )
+    from repro.experiments.ablate import AblationSpec
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.scheduler import SweepSpec
+
+    classes = {
+        "ProfileSettings": ProfileSettings,
+        "SearchSettings": SearchSettings,
+        "ParallelSettings": ParallelSettings,
+        "TelemetrySettings": TelemetrySettings,
+        "ExperimentConfig": ExperimentConfig,
+        "SweepSpec": SweepSpec,
+        "AblationSpec": AblationSpec,
+    }
+    for name, cls in classes.items():
+        declared = KEY_FIELD_REGISTRY[name]
+        actual = {f.name for f in dataclasses.fields(cls)}
+        assert set(declared) == actual, name
+        assert set(declared.values()) <= set(KEY_FIELD_DISPOSITIONS), name
+
+
+def test_concurrency_direct_api():
+    """analyze_concurrency is callable on raw (path, source) pairs."""
+    src = (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "STATE = {}\n"
+        "def task(k):\n"
+        "    STATE[k] = 1\n"
+        "def run(keys):\n"
+        "    with ThreadPoolExecutor() as pool:\n"
+        "        return [pool.submit(task, k) for k in keys]\n"
+    )
+    findings = analyze_concurrency([("mod.py", src)])
+    assert [f.rule for f in findings] == ["global-write-in-worker"]
+    assert findings[0].line == 4
