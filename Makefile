@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate ablate-smoke suite examples check check-concurrency clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate bench-quant ablate-smoke quant-smoke suite examples check check-concurrency clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,6 +27,16 @@ bench-cache:     ## persistent cache: cold vs warm vs sweep (writes BENCH_cache.
 
 bench-ablate:    ## ablation campaign: cells, cache sharing, importance (writes BENCH_ablate.json)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_ablate.py
+
+bench-quant:     ## integer runtime vs fp64 engine: wall-clock, traffic, bit-identity (writes BENCH_quant.json)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_quant.py
+
+quant-smoke:     ## tiny lenet run on the integer runtime; fails if measured drop exceeds budget (CI gate)
+	PYTHONPATH=src $(PYTHON) -m repro run-quantized --model lenet \
+		--train-count 96 --test-count 48 --profile-images 8 \
+		--profile-points 4 --drop 0.02
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_quant.py --smoke \
+		--output bench-quant-smoke.json
 
 ablate-smoke:    ## tiny lenet campaign with one injected chaos fault (CI gate)
 	PYTHONPATH=src $(PYTHON) -m repro ablate --model lenet --smoke \
@@ -57,7 +67,7 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/engine src/repro/experiments src/repro/nn src/repro/robustness src/repro/telemetry; \
+		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/engine src/repro/experiments src/repro/nn src/repro/quant/runtime src/repro/robustness src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi

@@ -133,6 +133,16 @@ KEY_FIELD_REGISTRY: Dict[str, Dict[str, str]] = {
         "scenarios": KEYED,
         "chaos_cells": EXCLUDED_BY_CONTRACT,
     },
+    # Quantized-execution runtime (packed-weight entries): weight_bits
+    # changes the packed bits; backend and pack_activations cannot —
+    # the runtime's bit-identity contract (docs/quantized-execution.md)
+    # guarantees identical integer accumulators for every backend and
+    # identical codes packed or not.
+    "RuntimeSpec": {
+        "weight_bits": KEYED,
+        "backend": EXCLUDED_BY_CONTRACT,
+        "pack_activations": EXCLUDED_BY_CONTRACT,
+    },
 }
 
 

@@ -5,6 +5,7 @@ from .bandwidth import (
     bandwidth_saving_percent,
     input_traffic_bits,
     layer_traffic_bits,
+    layer_traffic_bytes,
 )
 from .energy import (
     MacEnergyModel,
@@ -25,6 +26,7 @@ __all__ = [
     "energy_saving_percent",
     "input_traffic_bits",
     "layer_traffic_bits",
+    "layer_traffic_bytes",
     "per_layer_table",
     "system_energy",
     "uniform_weight_bits",

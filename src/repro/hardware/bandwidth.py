@@ -34,6 +34,23 @@ def layer_traffic_bits(
     }
 
 
+def layer_traffic_bytes(
+    stats: Mapping[str, LayerStats], allocation: BitwidthAllocation
+) -> Dict[str, float]:
+    """Per-layer activation-read traffic in *bytes* per image.
+
+    The analytic prediction the quantized runtime's measured traffic is
+    cross-checked against (``benchmarks/bench_quant.py``): the runtime
+    moves each analyzed layer's input through a bit-packed buffer, so
+    measured bytes should match this to within per-batch byte-boundary
+    padding.
+    """
+    return {
+        name: bits / 8.0
+        for name, bits in layer_traffic_bits(stats, allocation).items()
+    }
+
+
 def bandwidth_saving_percent(
     stats: Mapping[str, LayerStats],
     baseline: BitwidthAllocation,

@@ -205,12 +205,18 @@ class Network:
     # Execution
     # ------------------------------------------------------------------
     def forward(
-        self, x: np.ndarray, taps: Optional[Mapping[str, Tap]] = None
+        self,
+        x: np.ndarray,
+        taps: Optional[Mapping[str, Tap]] = None,
+        forward_fn: Optional[ForwardFn] = None,
     ) -> np.ndarray:
         """Run the full network, applying ``taps`` to tapped layers' inputs.
 
         Intermediate activations are freed as soon as no remaining layer
-        consumes them, so deep networks run in bounded memory.
+        consumes them, so deep networks run in bounded memory.  When
+        ``forward_fn`` is given, it replaces ``layer.forward`` for every
+        layer (the substitution hook the fast kernels and the quantized
+        runtime use; see :data:`ForwardFn`).
         """
         self._check_input(x)
         if taps:
@@ -223,7 +229,10 @@ class Network:
             arrays = [values[n] for n in layer.inputs]
             if taps and layer.name in taps:
                 arrays[0] = taps[layer.name](arrays[0])
-            out = layer.forward(arrays)
+            if forward_fn is None:
+                out = layer.forward(arrays)
+            else:
+                out = forward_fn(layer, arrays)
             if layer.name == output:
                 result = out
             values[layer.name] = out

@@ -20,6 +20,12 @@ from .fixed_point import (
     fraction_bits_for_delta,
     integer_bits_for_range,
 )
+from .runtime import (
+    PackedTensor,
+    QuantizedNetwork,
+    RuntimeSpec,
+    build_quantized_network,
+)
 from .serialization import (
     allocation_from_dict,
     allocation_to_dict,
@@ -33,8 +39,12 @@ __all__ = [
     "ClippedAllocation",
     "FixedPointFormat",
     "LayerAllocation",
+    "PackedTensor",
+    "QuantizedNetwork",
+    "RuntimeSpec",
     "allocation_from_dict",
     "allocation_to_dict",
+    "build_quantized_network",
     "channelwise_effective_bits",
     "channelwise_refinement",
     "channelwise_taps",

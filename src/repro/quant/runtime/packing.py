@@ -1,0 +1,155 @@
+"""Two's-complement bit-packing for fixed-point tensors.
+
+A value quantized to an ``I.F`` :class:`FixedPointFormat` is an integer
+*code* ``q = clip(round(x * 2**F), -2**(B-1), 2**(B-1)-1)`` with
+``B = I + F`` total bits; the represented value is ``q * 2**-F``.
+This module converts float tensors to codes and packs the codes into a
+dense little-endian bitstream of exactly ``B`` bits per element — the
+storage format whose byte count *is* the paper's bandwidth claim.
+
+Exactness notes (the runtime's bit-identity contract leans on these):
+
+* ``quantize_to_codes`` followed by ``codes_to_values`` reproduces
+  :meth:`FixedPointFormat.quantize` bit for bit: scaling by a power of
+  two is exact in float64 and the clip bounds are the same values.
+* ``pack_codes`` / ``unpack_codes`` round-trip every in-range code for
+  any width 1..32 (two's complement with sign extension on unpack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ...errors import QuantizationError
+from ..fixed_point import FixedPointFormat
+
+#: Widest packable code (int64 codes, uint64 bit gymnastics).
+MAX_PACK_BITS = 32
+
+
+def code_bounds(bits: int) -> Tuple[int, int]:
+    """(min, max) signed code representable in ``bits`` bits."""
+    if not 1 <= bits <= MAX_PACK_BITS:
+        raise QuantizationError(
+            f"packable width must be in [1, {MAX_PACK_BITS}]; got {bits}"
+        )
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def quantize_to_codes(x: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Integer codes of ``x`` in ``fmt`` (int64, saturated).
+
+    ``codes * fmt.step`` equals ``fmt.quantize(x)`` exactly: both round
+    ``x * 2**F`` to the nearest integer and saturate at the same
+    bounds, and the final power-of-two scaling is exact in float64.
+    """
+    lo, hi = code_bounds(fmt.total_bits)
+    scaled = np.ldexp(np.asarray(x, dtype=np.float64), fmt.fraction_bits)
+    return np.clip(np.round(scaled), lo, hi).astype(np.int64)
+
+
+def codes_to_values(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Represented float64 values of integer codes (exact scaling)."""
+    return np.ldexp(codes.astype(np.float64), -fmt.fraction_bits)
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack signed codes into a little-endian ``bits``-per-element stream.
+
+    Codes must already fit in ``bits`` bits (as produced by
+    :func:`quantize_to_codes`); out-of-range codes raise rather than
+    silently wrapping.
+    """
+    lo, hi = code_bounds(bits)
+    flat = np.ascontiguousarray(codes, dtype=np.int64).reshape(-1)
+    if flat.size and (int(flat.min()) < lo or int(flat.max()) > hi):
+        raise QuantizationError(
+            f"codes outside the {bits}-bit range [{lo}, {hi}] cannot be "
+            "packed losslessly"
+        )
+    unsigned = (flat & ((1 << bits) - 1)).astype(np.uint64)
+    lanes = np.arange(bits, dtype=np.uint64)
+    bit_matrix = ((unsigned[:, None] >> lanes) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.reshape(-1), bitorder="little")
+
+
+def unpack_codes(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Recover ``count`` signed codes from a packed stream (int64)."""
+    code_bounds(bits)  # validates the width
+    total = count * bits
+    if packed.size * 8 < total:
+        raise QuantizationError(
+            f"packed stream holds {packed.size * 8} bits; "
+            f"{total} required for {count} x {bits}-bit codes"
+        )
+    lanes = np.unpackbits(
+        np.ascontiguousarray(packed, dtype=np.uint8),
+        count=total,
+        bitorder="little",
+    ).reshape(count, bits)
+    weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+    unsigned = (lanes.astype(np.uint64) * weights).sum(
+        axis=1, dtype=np.uint64
+    ).astype(np.int64)
+    sign_bit = np.int64(1 << (bits - 1))
+    wrap = np.int64(1 << bits)  # bits <= 32, so this fits comfortably
+    return np.where(unsigned & sign_bit, unsigned - wrap, unsigned)
+
+
+@dataclass(frozen=True)
+class PackedTensor:
+    """A bit-packed fixed-point tensor (the on-wire/-disk weight form)."""
+
+    #: Little-endian packed payload (uint8).
+    data: np.ndarray
+    #: Bits per element.
+    bits: int
+    #: Logical (unpacked) shape.
+    shape: Tuple[int, ...]
+    #: Fraction bits of the format the codes were quantized with.
+    fraction_bits: int
+
+    @property
+    def count(self) -> int:
+        """Number of logical elements."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Packed payload size — the bytes that actually move."""
+        return int(self.data.nbytes)
+
+    @property
+    def packed_bits(self) -> int:
+        """Exact payload bits before byte-boundary padding."""
+        return self.count * self.bits
+
+    @classmethod
+    def from_codes(
+        cls, codes: np.ndarray, bits: int, fraction_bits: int
+    ) -> "PackedTensor":
+        return cls(
+            data=pack_codes(codes, bits),
+            bits=bits,
+            shape=tuple(codes.shape),
+            fraction_bits=fraction_bits,
+        )
+
+    def codes(self) -> np.ndarray:
+        """Unpack back to signed int64 codes in the logical shape."""
+        return unpack_codes(self.data, self.bits, self.count).reshape(
+            self.shape
+        )
+
+    def values(self) -> np.ndarray:
+        """Represented float64 values (exact power-of-two scaling)."""
+        return np.ldexp(self.codes().astype(np.float64), -self.fraction_bits)
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes a ``count``-element ``bits``-wide packed buffer occupies."""
+    code_bounds(bits)
+    return (count * bits + 7) // 8

@@ -1,0 +1,125 @@
+"""Content-addressed persistence for bit-packed weight blobs.
+
+Packed weights are pure functions of the network's parameters, the
+allocation's per-layer formats, and the runtime's ``weight_bits`` — so
+they are cached exactly like clean activations: a single
+:func:`~repro.cache.keys.make_key` key over those inputs, one mmap-able
+array entry holding every layer's packed payload.  ``backend`` and
+``pack_activations`` stay out of the key per the registry contract
+(:data:`~repro.cache.keys.KEY_FIELD_REGISTRY`): neither changes a
+stored bit.
+
+Each layer contributes two arrays to the entry: ``<layer>:data`` (the
+packed uint8 payload) and ``<layer>:meta`` (an int64 vector
+``[bits, fraction_bits, *shape]`` — the fields a
+:class:`~repro.quant.runtime.packing.PackedTensor` needs beyond its
+payload, stored as an array because the store's read path returns
+arrays only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ...cache.keys import make_key, network_digest
+from ...cache.store import ResultCache
+from ...nn.graph import Network
+from ..allocation import BitwidthAllocation
+from .network import QuantizedNetwork
+from .packing import PackedTensor
+from .spec import RuntimeSpec
+
+#: Store namespace for packed-weight entries.
+PACKED_WEIGHTS_NAMESPACE = "packed-weights"
+
+
+def packed_weights_key(
+    network: Network, allocation: BitwidthAllocation, spec: RuntimeSpec
+) -> str:
+    """Cache key for a network's packed weights under one allocation."""
+    return make_key(
+        {
+            "kind": "packed-weights",
+            "network": network_digest(network),
+            "allocation": {
+                a.name: [a.integer_bits, a.fraction_bits]
+                for a in allocation
+            },
+            "weight_bits": spec.weight_bits,
+        }
+    )
+
+
+def store_packed_weights(
+    cache: ResultCache, key: str, packed: Mapping[str, PackedTensor]
+) -> None:
+    """Persist per-layer packed weight blobs under ``key``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, tensor in packed.items():
+        arrays[f"{name}:data"] = tensor.data
+        arrays[f"{name}:meta"] = np.array(
+            [tensor.bits, tensor.fraction_bits, *tensor.shape],
+            dtype=np.int64,
+        )
+    cache.put_arrays(PACKED_WEIGHTS_NAMESPACE, key, arrays)
+
+
+def load_packed_weights(
+    cache: ResultCache, key: str, names: Sequence[str]
+) -> Optional[Dict[str, PackedTensor]]:
+    """Restore packed weights for ``names``, or None on any miss.
+
+    A hit must cover *every* requested layer; anything else (including
+    a stale entry shape) is treated as a miss so the caller re-packs.
+    """
+    entry = cache.get_arrays(PACKED_WEIGHTS_NAMESPACE, key)
+    if entry is None:
+        return None
+    packed: Dict[str, PackedTensor] = {}
+    for name in names:
+        data = entry.get(f"{name}:data")
+        meta = entry.get(f"{name}:meta")
+        if data is None or meta is None or meta.ndim != 1 or meta.size < 2:
+            return None
+        packed[name] = PackedTensor(
+            data=data,
+            bits=int(meta[0]),
+            shape=tuple(int(s) for s in meta[2:]),
+            fraction_bits=int(meta[1]),
+        )
+    return packed
+
+
+def build_quantized_network(
+    network: Network,
+    allocation: BitwidthAllocation,
+    spec: Optional[RuntimeSpec] = None,
+    cache: Optional[ResultCache] = None,
+) -> QuantizedNetwork:
+    """Compile a :class:`QuantizedNetwork`, round-tripping the cache.
+
+    With a cache, packed weight blobs are restored when present and
+    stored after the first compile — the same lifecycle as clean
+    activations in the pipeline.
+    """
+    spec = spec or RuntimeSpec()
+    restored: Optional[Dict[str, PackedTensor]] = None
+    key = ""
+    if cache is not None:
+        key = packed_weights_key(network, allocation, spec)
+        restored = load_packed_weights(cache, key, allocation.names)
+    quantized = QuantizedNetwork(
+        network, allocation, spec, packed_weights=restored
+    )
+    if cache is not None and restored is None:
+        store_packed_weights(
+            cache,
+            key,
+            {
+                name: plan.packed_weight
+                for name, plan in quantized.plans.items()
+            },
+        )
+    return quantized

@@ -1,0 +1,11 @@
+"""Fixture: the quantized runtime's spec grew an unclassified field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    weight_bits: int = 16
+    backend: str = "fast"
+    pack_activations: bool = True
+    scratch_dir: str = ""  # expect[unkeyed-field]

@@ -1,0 +1,85 @@
+"""Integer GEMM backends: exactness, bit-identity, overflow gating."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.runtime import (
+    FLOAT64_EXACT_BOUND,
+    accumulation_bound,
+    check_accumulator,
+    integer_gemm,
+    numba_available,
+    requantize,
+)
+
+
+def random_codes(rng, shape, bits):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return rng.integers(lo, hi + 1, size=shape, dtype=np.int64)
+
+
+class TestAccumulationBound:
+    def test_formula(self):
+        # depth * 2**(Ba-1) * 2**(Bw-1)
+        assert accumulation_bound(10, 8, 16) == 10 * 128 * 32768
+
+    def test_rejects_empty_dot_product(self):
+        with pytest.raises(QuantizationError):
+            accumulation_bound(0, 8, 8)
+
+    def test_check_rejects_overflow(self):
+        with pytest.raises(QuantizationError):
+            check_accumulator(1 << 62, "reference")
+        with pytest.raises(QuantizationError):
+            check_accumulator(1 << 31, "numba")
+        check_accumulator((1 << 31) - 1, "numba")
+
+    def test_check_rejects_unknown_backend(self):
+        with pytest.raises(QuantizationError):
+            check_accumulator(1, "cuda")
+
+
+class TestIntegerGemm:
+    def test_fast_equals_reference_exactly(self):
+        rng = np.random.default_rng(11)
+        a = random_codes(rng, (13, 57), 12)
+        b = random_codes(rng, (57, 9), 16)
+        bound = accumulation_bound(57, 12, 16)
+        ref = integer_gemm(a, b, "reference", bound)
+        fast = integer_gemm(a, b, "fast", bound)
+        np.testing.assert_array_equal(ref, fast)
+        assert ref.dtype == fast.dtype == np.int64
+        # And both equal the slow pure-python truth on a corner.
+        assert ref[0, 0] == int(sum(int(x) * int(y) for x, y in zip(a[0], b[:, 0])))
+
+    def test_fast_falls_back_outside_float64_envelope(self):
+        """A bound >= 2**53 must not route through float64 BLAS."""
+        rng = np.random.default_rng(13)
+        a = random_codes(rng, (4, 8), 16)
+        b = random_codes(rng, (8, 4), 16)
+        huge_bound = FLOAT64_EXACT_BOUND + 1
+        ref = integer_gemm(a, b, "reference", huge_bound)
+        fast = integer_gemm(a, b, "fast", huge_bound)
+        np.testing.assert_array_equal(ref, fast)
+
+    def test_numba_backend_gated_when_missing(self):
+        a = np.ones((2, 2), dtype=np.int64)
+        if numba_available():
+            out = integer_gemm(a, a, "numba", 100)
+            np.testing.assert_array_equal(out, integer_gemm(a, a, "reference", 100))
+        else:
+            with pytest.raises(QuantizationError, match="numba"):
+                integer_gemm(a, a, "numba", 100)
+
+
+class TestRequantize:
+    def test_exact_power_of_two_scaling(self):
+        acc = np.array([[3, -5], [1024, 0]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            requantize(acc, 2), np.array([[0.75, -1.25], [256.0, 0.0]])
+        )
+
+    def test_negative_shift_scales_up(self):
+        acc = np.array([3], dtype=np.int64)
+        assert requantize(acc, -2)[0] == 12.0

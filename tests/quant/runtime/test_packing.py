@@ -1,0 +1,110 @@
+"""Bit-packing round-trips: codes, values, and the byte accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import FixedPointFormat
+from repro.quant.runtime import (
+    MAX_PACK_BITS,
+    PackedTensor,
+    code_bounds,
+    codes_to_values,
+    pack_codes,
+    packed_nbytes,
+    quantize_to_codes,
+    unpack_codes,
+)
+
+
+class TestCodeBounds:
+    @pytest.mark.parametrize(
+        "bits,lo,hi",
+        [(1, -1, 0), (2, -2, 1), (8, -128, 127), (16, -32768, 32767),
+         (32, -(1 << 31), (1 << 31) - 1)],
+    )
+    def test_two_complement_ranges(self, bits, lo, hi):
+        assert code_bounds(bits) == (lo, hi)
+
+    @pytest.mark.parametrize("bits", [0, -1, 33, 64])
+    def test_rejects_unpackable_widths(self, bits):
+        with pytest.raises(QuantizationError):
+            code_bounds(bits)
+
+
+class TestQuantizeToCodes:
+    def test_matches_fmt_quantize_bit_for_bit(self):
+        """codes * step must equal FixedPointFormat.quantize exactly."""
+        rng = np.random.default_rng(7)
+        for integer_bits, fraction_bits in [(4, 4), (2, 9), (8, -3), (1, 6)]:
+            fmt = FixedPointFormat(integer_bits, fraction_bits)
+            x = rng.normal(scale=2.0 ** integer_bits, size=512)
+            codes = quantize_to_codes(x, fmt)
+            np.testing.assert_array_equal(
+                codes_to_values(codes, fmt), fmt.quantize(x)
+            )
+
+    def test_codes_saturate_at_word_bounds(self):
+        fmt = FixedPointFormat(3, 2)
+        lo, hi = code_bounds(fmt.total_bits)
+        codes = quantize_to_codes(np.array([1e9, -1e9]), fmt)
+        assert codes.tolist() == [hi, lo]
+
+
+class TestPackUnpack:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bits=st.integers(1, MAX_PACK_BITS),
+        count=st.integers(0, 200),
+        seed=st.integers(0, 10_000),
+    )
+    def test_round_trip_any_width(self, bits, count, seed):
+        """PROPERTY: pack -> unpack is the identity for in-range codes."""
+        lo, hi = code_bounds(bits)
+        codes = np.random.default_rng(seed).integers(
+            lo, hi + 1, size=count, dtype=np.int64
+        )
+        packed = pack_codes(codes, bits)
+        assert packed.nbytes == packed_nbytes(count, bits)
+        np.testing.assert_array_equal(
+            unpack_codes(packed, bits, count), codes
+        )
+
+    def test_extreme_codes_round_trip(self):
+        for bits in (1, 2, 7, 8, 9, 16, 31, 32):
+            lo, hi = code_bounds(bits)
+            codes = np.array([lo, hi, 0, -1 if bits > 1 else lo])
+            np.testing.assert_array_equal(
+                unpack_codes(pack_codes(codes, bits), bits, codes.size),
+                codes,
+            )
+
+    def test_out_of_range_codes_raise(self):
+        with pytest.raises(QuantizationError):
+            pack_codes(np.array([128]), 8)
+        with pytest.raises(QuantizationError):
+            pack_codes(np.array([-129]), 8)
+
+    def test_truncated_stream_raises(self):
+        packed = pack_codes(np.arange(-4, 4), 4)
+        with pytest.raises(QuantizationError):
+            unpack_codes(packed, 4, 100)
+
+
+class TestPackedTensor:
+    def test_from_codes_round_trip_preserves_shape_and_values(self):
+        fmt = FixedPointFormat(4, 6)
+        x = np.random.default_rng(3).normal(size=(5, 3, 4, 4))
+        codes = quantize_to_codes(x, fmt)
+        tensor = PackedTensor.from_codes(codes, fmt.total_bits, fmt.fraction_bits)
+        np.testing.assert_array_equal(tensor.codes(), codes)
+        np.testing.assert_array_equal(tensor.values(), fmt.quantize(x))
+        assert tensor.shape == codes.shape
+        assert tensor.packed_bits == codes.size * fmt.total_bits
+
+    def test_nbytes_is_the_packed_footprint(self):
+        codes = np.zeros(100, dtype=np.int64)
+        tensor = PackedTensor.from_codes(codes, 5, 2)
+        assert tensor.nbytes == (100 * 5 + 7) // 8  # 63 bytes, not 800

@@ -1,0 +1,111 @@
+"""Packed-weight persistence: keys, round-trips, corruption-as-miss."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultCache
+from repro.nn.statistics import measure_ranges, ordered_stats
+from repro.quant import BitwidthAllocation
+from repro.quant.runtime import (
+    PACKED_WEIGHTS_NAMESPACE,
+    RuntimeSpec,
+    build_quantized_network,
+    load_packed_weights,
+    packed_weights_key,
+    store_packed_weights,
+)
+
+from .test_network import tiny_grouped_network
+
+
+@pytest.fixture()
+def setup(tmp_path):
+    net = tiny_grouped_network(seed=9)
+    images = np.random.default_rng(1).normal(scale=2.0, size=(6, 4, 8, 8))
+    stats = measure_ranges(net, images)
+    allocation = BitwidthAllocation.uniform(ordered_stats(net, stats), 9)
+    cache = ResultCache(tmp_path / "cache")
+    return net, images, allocation, cache
+
+
+class TestRoundTrip:
+    def test_second_build_hits_and_is_bit_identical(self, setup):
+        net, images, allocation, cache = setup
+        cold = build_quantized_network(net, allocation, cache=cache)
+        assert cache.counters.writes == 1
+        warm = build_quantized_network(net, allocation, cache=cache)
+        assert cache.counters.hits >= 1
+        np.testing.assert_array_equal(cold.forward(images), warm.forward(images))
+        for name in allocation.names:
+            np.testing.assert_array_equal(
+                cold.plans[name].weight_codes, warm.plans[name].weight_codes
+            )
+
+    def test_store_load_explicit(self, setup):
+        net, _, allocation, cache = setup
+        spec = RuntimeSpec()
+        q = build_quantized_network(net, allocation, spec)
+        key = packed_weights_key(net, allocation, spec)
+        store_packed_weights(
+            cache, key, {n: p.packed_weight for n, p in q.plans.items()}
+        )
+        restored = load_packed_weights(cache, key, allocation.names)
+        assert restored is not None
+        for name in allocation.names:
+            original = q.plans[name].packed_weight
+            np.testing.assert_array_equal(restored[name].codes(), original.codes())
+            assert restored[name].bits == original.bits
+            assert restored[name].fraction_bits == original.fraction_bits
+
+    def test_missing_layer_is_a_miss(self, setup):
+        net, _, allocation, cache = setup
+        spec = RuntimeSpec()
+        q = build_quantized_network(net, allocation, spec)
+        key = packed_weights_key(net, allocation, spec)
+        partial = {n: p.packed_weight for n, p in list(q.plans.items())[:1]}
+        store_packed_weights(cache, key, partial)
+        assert load_packed_weights(cache, key, allocation.names) is None
+
+
+class TestKeying:
+    def test_key_depends_on_weight_bits_not_backend(self, setup):
+        net, _, allocation, _ = setup
+        base = packed_weights_key(net, allocation, RuntimeSpec())
+        assert packed_weights_key(
+            net, allocation, RuntimeSpec(backend="reference")
+        ) == base
+        assert packed_weights_key(
+            net, allocation, RuntimeSpec(pack_activations=False)
+        ) == base
+        assert packed_weights_key(
+            net, allocation, RuntimeSpec(weight_bits=8)
+        ) != base
+
+    def test_key_depends_on_allocation_and_weights(self, setup):
+        net, _, allocation, _ = setup
+        spec = RuntimeSpec()
+        base = packed_weights_key(net, allocation, spec)
+        from repro.quant.allocation import LayerAllocation
+
+        first = allocation.names[0]
+        changed = allocation.with_layer(
+            LayerAllocation(first, allocation[first].integer_bits, 2)
+        )
+        assert packed_weights_key(net, changed, spec) != base
+        other_net = tiny_grouped_network(seed=10)
+        assert packed_weights_key(other_net, allocation, spec) != base
+
+    def test_corrupt_entry_is_a_miss(self, setup):
+        net, images, allocation, cache = setup
+        spec = RuntimeSpec()
+        build_quantized_network(net, allocation, spec, cache=cache)
+        key = packed_weights_key(net, allocation, spec)
+        path = cache.entry_path(PACKED_WEIGHTS_NAMESPACE, key, ".npb")
+        path.write_bytes(path.read_bytes()[:40])  # truncate
+        assert load_packed_weights(cache, key, allocation.names) is None
+        # ... and the builder recovers by re-packing + re-storing.
+        rebuilt = build_quantized_network(net, allocation, spec, cache=cache)
+        reference = build_quantized_network(net, allocation, spec)
+        np.testing.assert_array_equal(
+            rebuilt.forward(images), reference.forward(images)
+        )

@@ -167,3 +167,49 @@ class TestFormatFor:
         x = np.linspace(-10, 10, 999)
         err = np.abs(fmt.rounding_error(x))
         assert err.max() <= 0.05 + 1e-12
+
+
+class TestQuantizeEdgeCases:
+    """Edge cases the integer runtime leans on (ISSUE 8 satellite)."""
+
+    def test_negative_fraction_round_trip(self):
+        """Delta > 1 drops integer bits: every multiple of the (large)
+        step inside the range survives a quantize round-trip exactly."""
+        fmt = FixedPointFormat(8, -3)  # step 8, range [-128, 120]
+        assert fmt.delta == 4.0
+        exact = np.arange(fmt.min_value, fmt.max_value + 1, fmt.step)
+        np.testing.assert_array_equal(fmt.quantize(exact), exact)
+        # ... and the implicit shift means off-step values snap to the
+        # nearest step, with idempotence.
+        q = fmt.quantize(exact + 2.9)
+        np.testing.assert_array_equal(fmt.quantize(q), q)
+        assert set(np.unique(q % fmt.step)) == {0.0}
+
+    def test_negative_fraction_matches_integer_codes(self):
+        """quantize == codes * step for F < 0 (the runtime's identity)."""
+        from repro.quant.runtime import codes_to_values, quantize_to_codes
+
+        fmt = FixedPointFormat(6, -2)
+        x = np.random.default_rng(1).normal(scale=10.0, size=256)
+        codes = quantize_to_codes(x, fmt)
+        np.testing.assert_array_equal(codes_to_values(codes, fmt), fmt.quantize(x))
+
+    def test_saturation_clamps_exactly_at_bounds(self):
+        fmt = FixedPointFormat(4, 2)  # range [-8, 8 - 0.25]
+        eps = 1e-9
+        x = np.array(
+            [fmt.min_value, fmt.min_value - eps, -1e12,
+             fmt.max_value, fmt.max_value + eps, 1e12, np.inf, -np.inf]
+        )
+        q = fmt.quantize(x)
+        np.testing.assert_array_equal(
+            q,
+            [fmt.min_value, fmt.min_value, fmt.min_value,
+             fmt.max_value, fmt.max_value, fmt.max_value,
+             fmt.max_value, fmt.min_value],
+        )
+
+    @pytest.mark.parametrize("integer_bits,fraction_bits", [(1, -1), (3, -3), (5, -6)])
+    def test_zero_or_negative_width_rejected(self, integer_bits, fraction_bits):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(integer_bits, fraction_bits)

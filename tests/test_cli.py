@@ -195,3 +195,54 @@ class TestSlowCommands:
         assert main(["cost", "--drop", "0.05"] + FAST) == 0
         out = capsys.readouterr().out
         assert "ratio" in out
+
+
+class TestRunQuantized:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run-quantized"])
+        assert args.allocation == ""
+        assert args.weight_bits == 16
+        assert args.backend == "fast"
+        assert args.no_pack is False
+        assert args.drop == 0.01
+
+    def test_backend_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-quantized", "--backend", "cuda"])
+
+    def test_executes_saved_allocation(self, capsys, tmp_path):
+        path = tmp_path / "alloc.json"
+        assert (
+            main(["optimize", "--drop", "0.05", "--output", str(path)] + FAST)
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["run-quantized", "--allocation", str(path), "--drop", "0.05"]
+            + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy budget met" in out
+        assert "measured" in out
+
+    def test_reference_backend_unpacked_matches_budget(self, capsys, tmp_path):
+        path = tmp_path / "alloc.json"
+        main(["optimize", "--drop", "0.05", "--output", str(path)] + FAST)
+        capsys.readouterr()
+        code = main(
+            [
+                "run-quantized",
+                "--allocation",
+                str(path),
+                "--drop",
+                "0.05",
+                "--backend",
+                "reference",
+                "--no-pack",
+            ]
+            + FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy budget met" in out
