@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate bench-quant ablate-smoke quant-smoke suite examples check check-concurrency clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate bench-quant ablate-smoke quant-smoke monitor-smoke suite examples check check-concurrency clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,6 +53,20 @@ ablate-smoke:    ## tiny lenet campaign with one injected chaos fault (CI gate)
 	assert r['manifest'].get('config_hash'), 'manifest missing'; \
 	print('ablate smoke OK: %d cells, 1 injected failure isolated' % len(rows))"
 
+monitor-smoke:   ## tiny sweep with --events-dir, then parse + self-scrape the bus (CI gate)
+	rm -rf monitor-smoke-events
+	PYTHONPATH=src $(PYTHON) -m repro sweep --model lenet \
+		--train-count 96 --test-count 48 --profile-images 8 \
+		--profile-points 4 --drops 0.05 --objectives input \
+		--events-dir monitor-smoke-events
+	PYTHONPATH=src $(PYTHON) -m repro monitor monitor-smoke-events --once \
+		| tee monitor-smoke.txt
+	@grep -q "finished" monitor-smoke.txt
+	PYTHONPATH=src $(PYTHON) -m repro monitor monitor-smoke-events \
+		--metrics-port 0 --self-scrape | tee monitor-scrape.txt
+	@grep -q "repro_monitor_run_finished 1" monitor-scrape.txt
+	@echo "monitor smoke OK: status parsed + /metrics scraped"
+
 suite:           ## regenerate every table/figure as JSON artifacts
 	$(PYTHON) -m repro suite --output results/
 
@@ -67,7 +81,7 @@ check:           ## static analysis: self-lint (always) + ruff/mypy (if installe
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/cache src/repro/check src/repro/engine src/repro/experiments src/repro/nn src/repro/quant/runtime src/repro/robustness src/repro/telemetry; \
+		$(PYTHON) -m mypy src/repro/bench src/repro/cache src/repro/check src/repro/engine src/repro/experiments src/repro/nn src/repro/quant/runtime src/repro/robustness src/repro/telemetry; \
 	else \
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
@@ -78,4 +92,5 @@ check-concurrency:  ## concurrency + determinism analyzers against the committed
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results results
+	rm -rf monitor-smoke-events monitor-smoke.txt monitor-scrape.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Benchmark regression ledger: ``repro bench record / report``.
+
+The repo's performance claims live in ``BENCH_*.json`` payloads
+(profiler scaling, cache warm-up, ablation campaigns, the quantized
+runtime).  Each payload is a point measurement; the ledger
+(:mod:`repro.bench.ledger`) turns the trajectory into a guarded time
+series — entries keyed by manifest provenance (git SHA, config hash)
+with wall-clock and traffic regressions flagged against configurable
+thresholds.  CI runs ``record`` + ``report`` as a non-blocking step.
+"""
+
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    BenchLedger,
+    LedgerEntry,
+    RegressionFinding,
+    detect_regressions,
+    extract_metrics,
+    metric_direction,
+    metric_family,
+    render_report,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "BenchLedger",
+    "LedgerEntry",
+    "RegressionFinding",
+    "detect_regressions",
+    "extract_metrics",
+    "metric_direction",
+    "metric_family",
+    "render_report",
+]

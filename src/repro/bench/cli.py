@@ -1,0 +1,126 @@
+"""``repro bench {record,report}`` — the benchmark regression ledger."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+from .ledger import (
+    DEFAULT_THRESHOLDS,
+    BenchLedger,
+    detect_regressions,
+    render_report,
+)
+
+DEFAULT_LEDGER = "bench-ledger.json"
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "action",
+        choices=["record", "report"],
+        help=(
+            "record: ingest BENCH_*.json payloads into the ledger; "
+            "report: compare each series' latest entry against its "
+            "predecessor and flag regressions"
+        ),
+    )
+    parser.add_argument(
+        "payloads",
+        nargs="*",
+        metavar="BENCH.json",
+        help="benchmark payload files to record (record action only)",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=DEFAULT_LEDGER,
+        metavar="FILE",
+        help=f"ledger history file (default {DEFAULT_LEDGER})",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=DEFAULT_THRESHOLDS["wall"],
+        metavar="RATIO",
+        help=(
+            "tolerated relative wall-clock worsening "
+            f"(default {DEFAULT_THRESHOLDS['wall']:g})"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-threshold",
+        type=float,
+        default=DEFAULT_THRESHOLDS["traffic"],
+        metavar="RATIO",
+        help=(
+            "tolerated relative traffic/bytes worsening "
+            f"(default {DEFAULT_THRESHOLDS['traffic']:g})"
+        ),
+    )
+    parser.add_argument(
+        "--throughput-threshold",
+        type=float,
+        default=DEFAULT_THRESHOLDS["throughput"],
+        metavar="RATIO",
+        help=(
+            "tolerated relative speedup/QPS worsening "
+            f"(default {DEFAULT_THRESHOLDS['throughput']:g})"
+        ),
+    )
+    parser.add_argument(
+        "--min-wall-seconds",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="ignore wall metrics where both sides are below this",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "report: exit 1 when regressions are flagged (the default "
+            "is non-blocking: report and exit 0)"
+        ),
+    )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    ledger = BenchLedger(args.ledger)
+    if args.action == "record":
+        if not args.payloads:
+            print("bench record: no payload files given")
+            return 1
+        for name in args.payloads:
+            path = Path(name)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"bench record: cannot read {path}: {exc}")
+                return 1
+            entry = ledger.record(payload, source=path.name)
+            print(
+                f"recorded {entry.benchmark} "
+                f"({len(entry.metrics)} metrics, "
+                f"git {(entry.git_sha or 'n/a')[:10]}, "
+                f"config {entry.config_hash[:10] or 'n/a'})"
+            )
+        ledger.save()
+        print(f"ledger: {len(ledger.entries)} entries in {ledger.path}")
+        return 0
+    thresholds: Dict[str, float] = {
+        "wall": args.wall_threshold,
+        "traffic": args.traffic_threshold,
+        "throughput": args.throughput_threshold,
+    }
+    findings = detect_regressions(
+        ledger,
+        thresholds=thresholds,
+        min_wall_seconds=args.min_wall_seconds,
+    )
+    for line in render_report(ledger, findings):
+        print(line)
+    if findings and args.strict:
+        return 1
+    return 0

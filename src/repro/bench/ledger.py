@@ -1,0 +1,389 @@
+"""The benchmark regression ledger.
+
+``BENCH_*.json`` payloads are self-describing: the benchmark drivers
+embed a run manifest (git SHA, config hash — see
+:mod:`repro.telemetry.manifest`) next to nested result objects whose
+numeric leaves carry performance-relevant names (``seconds``,
+``*_bytes``, ``speedup``, ...).  The ledger exploits exactly that:
+
+* :func:`extract_metrics` flattens a payload into dotted-path →
+  float metrics, keeping only leaves whose path names a performance
+  quantity (wall-clock, traffic, throughput) — so new benchmarks join
+  the ledger without per-benchmark schemas.
+* :class:`BenchLedger` appends :class:`LedgerEntry` records (one per
+  recorded payload) to a JSON history file, keyed by
+  ``(benchmark, config_hash)`` so only like-for-like configurations
+  are ever compared.
+* :func:`detect_regressions` compares each key's newest entry with its
+  predecessor and flags metrics that moved in the *bad* direction
+  (slower, more bytes, less speedup) beyond a per-family threshold.
+
+The comparison key deliberately includes the config hash: a benchmark
+re-run with different sizes is a new series, not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Bumped whenever the ledger file layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Default relative-change thresholds per metric family.  ``wall``
+#: guards wall-clock/latency metrics, ``traffic`` guards bytes-moved
+#: metrics, ``throughput`` guards higher-is-better rates.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "wall": 0.25,
+    "traffic": 0.10,
+    "throughput": 0.25,
+}
+
+#: Path components that mark a numeric leaf as a tracked metric,
+#: mapped to (family, direction).  Direction says which way is *bad*.
+_METRIC_HINTS: Tuple[Tuple[str, str, str], ...] = (
+    ("seconds", "wall", "higher_is_worse"),
+    ("elapsed", "wall", "higher_is_worse"),
+    ("latency", "wall", "higher_is_worse"),
+    ("bytes", "traffic", "higher_is_worse"),
+    ("traffic", "traffic", "higher_is_worse"),
+    ("speedup", "throughput", "lower_is_worse"),
+    ("qps", "throughput", "lower_is_worse"),
+    ("throughput", "throughput", "lower_is_worse"),
+)
+
+#: Path components that disqualify a leaf even when a hint matches
+#: (identity/config numbers, not measurements).
+_EXCLUDED_COMPONENTS = ("manifest", "config", "threshold", "tolerance", "min_")
+
+
+def _classify(path: str) -> Optional[Tuple[str, str]]:
+    """(family, direction) for a dotted metric path, or None."""
+    lowered = path.lower()
+    for component in _EXCLUDED_COMPONENTS:
+        if component in lowered:
+            return None
+    for hint, family, direction in _METRIC_HINTS:
+        if hint in lowered:
+            return family, direction
+    return None
+
+
+def metric_family(path: str) -> Optional[str]:
+    """The threshold family of a metric path (wall/traffic/throughput)."""
+    classified = _classify(path)
+    return None if classified is None else classified[0]
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """Which way is bad for this metric (``higher_is_worse`` or not)."""
+    classified = _classify(path)
+    return None if classified is None else classified[1]
+
+
+def extract_metrics(
+    payload: Mapping[str, Any], prefix: str = ""
+) -> Dict[str, float]:
+    """Flatten a benchmark payload into tracked dotted-path metrics.
+
+    Lists index into the path (``models.0.seconds.quantized``) so
+    multi-model payloads keep every series distinct.  Booleans are
+    never metrics; non-finite values are dropped.
+    """
+    metrics: Dict[str, float] = {}
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, Mapping):
+            for key in node:
+                walk(node[key], f"{path}.{key}" if path else str(key))
+            return
+        if isinstance(node, (list, tuple)):
+            for index, item in enumerate(node):
+                walk(item, f"{path}.{index}" if path else str(index))
+            return
+        if isinstance(node, bool) or not isinstance(node, (int, float)):
+            return
+        value = float(node)
+        if value != value or value in (float("inf"), float("-inf")):
+            return
+        if _classify(path) is not None:
+            metrics[path] = value
+
+    walk(payload, prefix)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class LedgerEntry:
+    """One recorded benchmark payload, reduced to provenance + metrics."""
+
+    benchmark: str
+    config_hash: str
+    git_sha: Optional[str]
+    created_at: str
+    recorded_at: str
+    source: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "config_hash": self.config_hash,
+            "git_sha": self.git_sha,
+            "created_at": self.created_at,
+            "recorded_at": self.recorded_at,
+            "source": self.source,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LedgerEntry":
+        return cls(
+            benchmark=str(payload.get("benchmark", "unknown")),
+            config_hash=str(payload.get("config_hash", "")),
+            git_sha=(
+                None
+                if payload.get("git_sha") is None
+                else str(payload["git_sha"])
+            ),
+            created_at=str(payload.get("created_at", "")),
+            recorded_at=str(payload.get("recorded_at", "")),
+            source=str(payload.get("source", "")),
+            metrics={
+                str(k): float(v)
+                for k, v in dict(payload.get("metrics", {})).items()
+            },
+        )
+
+    @property
+    def series_key(self) -> Tuple[str, str]:
+        """Entries compare only within (benchmark, config_hash)."""
+        return (self.benchmark, self.config_hash)
+
+
+def entry_from_payload(
+    payload: Mapping[str, Any],
+    source: str = "",
+    recorded_at: Optional[str] = None,
+) -> LedgerEntry:
+    """Reduce one ``BENCH_*.json`` payload to a ledger entry.
+
+    Provenance comes from the embedded manifest when present; payloads
+    without one still record (keyed by an empty config hash) so older
+    benchmark files remain ingestible.
+    """
+    manifest = payload.get("manifest")
+    manifest = manifest if isinstance(manifest, Mapping) else {}
+    benchmark = str(
+        payload.get("benchmark")
+        or manifest.get("model")
+        or (Path(source).stem if source else "unknown")
+    )
+    return LedgerEntry(
+        benchmark=benchmark,
+        config_hash=str(manifest.get("config_hash", "")),
+        git_sha=(
+            None
+            if manifest.get("git_sha") is None
+            else str(manifest.get("git_sha"))
+        ),
+        created_at=str(manifest.get("created_at", "")),
+        recorded_at=(
+            recorded_at
+            or datetime.now(timezone.utc).isoformat(timespec="seconds")
+        ),
+        source=str(source),
+        metrics=extract_metrics(payload),
+    )
+
+
+class BenchLedger:
+    """The on-disk benchmark history: a JSON file of ledger entries."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.entries: List[LedgerEntry] = []
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"ledger {self.path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"ledger {self.path} is not a JSON object")
+        schema = payload.get("schema_version")
+        if schema != LEDGER_SCHEMA_VERSION:
+            raise ValueError(
+                f"ledger {self.path} has schema {schema!r}; "
+                f"this build reads {LEDGER_SCHEMA_VERSION}"
+            )
+        self.entries = [
+            LedgerEntry.from_dict(entry)
+            for entry in payload.get("entries", [])
+            if isinstance(entry, Mapping)
+        ]
+
+    def save(self) -> Path:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        # Write-then-rename: a crashed record never truncates history.
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        tmp.replace(self.path)
+        return self.path
+
+    def record(
+        self,
+        payload: Mapping[str, Any],
+        source: str = "",
+        recorded_at: Optional[str] = None,
+    ) -> LedgerEntry:
+        """Append one benchmark payload (call :meth:`save` to persist)."""
+        entry = entry_from_payload(
+            payload, source=source, recorded_at=recorded_at
+        )
+        self.entries.append(entry)
+        return entry
+
+    def series(self) -> Dict[Tuple[str, str], List[LedgerEntry]]:
+        """Entries grouped by comparison key, in recorded order."""
+        grouped: Dict[Tuple[str, str], List[LedgerEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.series_key, []).append(entry)
+        return grouped
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class RegressionFinding:
+    """One metric that moved the wrong way past its threshold."""
+
+    benchmark: str
+    config_hash: str
+    metric: str
+    family: str
+    baseline: float
+    current: float
+    #: Relative change in the *bad* direction (always positive here).
+    regression: float
+    threshold: float
+    baseline_sha: Optional[str]
+    current_sha: Optional[str]
+
+    def describe(self) -> str:
+        sha = (self.current_sha or "n/a")[:10]
+        base_sha = (self.baseline_sha or "n/a")[:10]
+        return (
+            f"{self.benchmark}: {self.metric} regressed "
+            f"{self.regression:+.1%} (threshold {self.threshold:.0%}): "
+            f"{self.baseline:.6g} @ {base_sha} -> "
+            f"{self.current:.6g} @ {sha}"
+        )
+
+
+def _regression_amount(
+    baseline: float, current: float, direction: str
+) -> Optional[float]:
+    """Relative worsening (positive = regressed), None if unmeasurable."""
+    if baseline <= 0:
+        return None
+    change = (current - baseline) / baseline
+    return change if direction == "higher_is_worse" else -change
+
+
+def detect_regressions(
+    ledger: BenchLedger,
+    thresholds: Optional[Mapping[str, float]] = None,
+    min_wall_seconds: float = 0.05,
+) -> List[RegressionFinding]:
+    """Compare each series' newest entry against its predecessor.
+
+    ``thresholds`` maps metric family (``wall``/``traffic``/
+    ``throughput``) to the maximum tolerated relative worsening.
+    Wall-clock metrics where both measurements sit under
+    ``min_wall_seconds`` are skipped — micro-timings are all noise.
+    """
+    limits = dict(DEFAULT_THRESHOLDS)
+    limits.update(thresholds or {})
+    findings: List[RegressionFinding] = []
+    for (benchmark, config_hash), entries in sorted(
+        ledger.series().items()
+    ):
+        if len(entries) < 2:
+            continue
+        previous, latest = entries[-2], entries[-1]
+        for metric in sorted(latest.metrics):
+            if metric not in previous.metrics:
+                continue
+            classified = _classify(metric)
+            if classified is None:
+                continue
+            family, direction = classified
+            baseline = previous.metrics[metric]
+            current = latest.metrics[metric]
+            if family == "wall" and (
+                abs(baseline) < min_wall_seconds
+                and abs(current) < min_wall_seconds
+            ):
+                continue
+            amount = _regression_amount(baseline, current, direction)
+            threshold = limits.get(family, limits["wall"])
+            if amount is None or amount <= threshold:
+                continue
+            findings.append(
+                RegressionFinding(
+                    benchmark=benchmark,
+                    config_hash=config_hash,
+                    metric=metric,
+                    family=family,
+                    baseline=baseline,
+                    current=current,
+                    regression=amount,
+                    threshold=threshold,
+                    baseline_sha=previous.git_sha,
+                    current_sha=latest.git_sha,
+                )
+            )
+    findings.sort(key=lambda f: -f.regression)
+    return findings
+
+
+def render_report(
+    ledger: BenchLedger, findings: List[RegressionFinding]
+) -> List[str]:
+    """Human report lines: series overview, then flagged regressions."""
+    lines: List[str] = []
+    grouped = ledger.series()
+    lines.append(
+        f"ledger: {len(ledger.entries)} entries across "
+        f"{len(grouped)} series"
+    )
+    for (benchmark, config_hash), entries in sorted(grouped.items()):
+        latest = entries[-1]
+        sha = (latest.git_sha or "n/a")[:10]
+        config = config_hash[:10] if config_hash else "no-config"
+        lines.append(
+            f"  {benchmark:<24} config {config:<10} "
+            f"{len(entries):>3} entries  latest {sha} "
+            f"({len(latest.metrics)} metrics)"
+        )
+    if findings:
+        lines.append(f"{len(findings)} regression(s) flagged:")
+        for finding in findings:
+            lines.append("  " + finding.describe())
+    else:
+        lines.append("no regressions flagged")
+    return lines

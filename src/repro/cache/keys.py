@@ -99,6 +99,11 @@ KEY_FIELD_REGISTRY: Dict[str, Dict[str, str]] = {
     "TelemetrySettings": {
         "enabled": NON_NUMERIC,
         "trace_path": NON_NUMERIC,
+        # Lifecycle events and resource samples are emitted at stage
+        # boundaries only — numerics are bit-identical on or off
+        # (docs/observability.md), so neither belongs in cache keys.
+        "events_dir": NON_NUMERIC,
+        "sample_resources": NON_NUMERIC,
     },
     "ExperimentConfig": {
         "model": KEYED,
@@ -117,6 +122,7 @@ KEY_FIELD_REGISTRY: Dict[str, Dict[str, str]] = {
         "parallel_backend": EXCLUDED_BY_CONTRACT,
         "telemetry": NON_NUMERIC,
         "trace_out": NON_NUMERIC,
+        "events_dir": NON_NUMERIC,
         "cache_dir": NON_NUMERIC,
         "no_cache": NON_NUMERIC,
     },

@@ -20,6 +20,10 @@ point for the substrate replica.  Subcommands:
 ``sweep``     incremental grid sweep with cross-cell work sharing
 ``ablate``    ablation & scenario-robustness campaign with
               fault-isolated cells and measured component importance
+``monitor``   live view of an in-progress run's event bus (progress,
+              ETA, stragglers, cache hit-rate; optional /metrics port)
+``bench``     benchmark regression ledger: record BENCH_*.json
+              payloads, flag wall-clock/traffic regressions
 ``cache``     persistent result-cache stats / GC / integrity verify
 
 Every subcommand accepts ``--cache-dir DIR`` (persist expensive results
@@ -41,6 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .bench.cli import add_bench_arguments, run_bench
 from .cache.cli import add_cache_arguments, run_cache
 from .check.cli import add_check_arguments, run_check
 from .experiments import (
@@ -128,6 +133,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--events-dir",
+        default="",
+        metavar="DIR",
+        help=(
+            "append live lifecycle events (cell/stage queued, running, "
+            "cached-hit, done, failed) to DIR/events.jsonl while the "
+            "run executes; `repro monitor DIR` tails them"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default="",
         metavar="DIR",
@@ -160,6 +175,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         parallel_backend=args.parallel_backend,
         telemetry=args.telemetry,
         trace_out=args.trace_out,
+        events_dir=args.events_dir,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
     )
@@ -503,7 +519,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Summarize or validate a JSONL trace file (``--trace-out``)."""
-    from .telemetry import summarize_path, validate_path
+    from .telemetry import read_events, render_summary, validate_path
 
     if args.action == "validate":
         problems = validate_path(args.trace)
@@ -513,7 +529,92 @@ def cmd_trace(args: argparse.Namespace) -> int:
             return 1
         print(f"{args.trace}: all events valid")
         return 0
-    print(summarize_path(args.trace, max_depth=args.max_depth or None))
+    # Summarize must degrade gracefully: a missing, empty, or mid-write
+    # truncated trace gets a clear message and exit 1, not a traceback.
+    try:
+        events = read_events(args.trace, skip_partial_tail=True)
+    except OSError as exc:
+        print(f"trace summarize: cannot read {args.trace}: {exc}")
+        return 1
+    except ValueError as exc:
+        print(f"trace summarize: {args.trace} is not a valid trace: {exc}")
+        return 1
+    if not events:
+        print(
+            f"trace summarize: {args.trace} contains no complete events "
+            "(empty or still being written)"
+        )
+        return 1
+    print(render_summary(events, max_depth=args.max_depth or None))
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Tail a run's event bus: progress, ETA, stragglers, /metrics."""
+    import threading
+    import time
+
+    from .telemetry.events import discover_event_files
+    from .telemetry.live import (
+        MetricsEndpoint,
+        RunMonitor,
+        render_status,
+        update_metrics,
+    )
+
+    if args.self_scrape and args.metrics_port is None:
+        print("monitor: --self-scrape requires --metrics-port")
+        return 1
+    files = discover_event_files(args.run_dir)
+    if not files:
+        print(
+            f"monitor: no event files (events*.jsonl) under "
+            f"{args.run_dir}; run with --events-dir to emit them"
+        )
+        return 1
+    monitor = RunMonitor(args.run_dir)
+    lock = threading.Lock()
+
+    def render() -> str:
+        # Scrapes arrive on endpoint threads while the main loop polls.
+        with lock:
+            monitor.poll()
+            return update_metrics(monitor.state).render_prometheus()
+
+    endpoint = None
+    if args.metrics_port is not None:
+        endpoint = MetricsEndpoint(render, port=args.metrics_port).start()
+        print(
+            f"serving metrics on http://{endpoint.host}:{endpoint.port}"
+            "/metrics"
+        )
+    try:
+        if args.self_scrape:
+            import urllib.request
+
+            assert endpoint is not None
+            url = f"http://{endpoint.host}:{endpoint.port}/metrics"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                body = response.read().decode("utf-8")
+            print(body, end="")
+            return 0 if "repro_monitor_cells_total" in body else 1
+        while True:
+            with lock:
+                monitor.poll()
+                status = render_status(
+                    monitor.state,
+                    straggler_factor=args.straggler_factor,
+                )
+            print(status)
+            if args.once or monitor.state.finished:
+                break
+            print()
+            time.sleep(args.interval)
+    finally:
+        if endpoint is not None:
+            if args.serve_seconds > 0:  # pragma: no cover - interactive
+                time.sleep(args.serve_seconds)
+            endpoint.stop()
     return 0
 
 
@@ -657,6 +758,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="limit the rendered span tree depth (0 = unlimited)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "monitor",
+        help="live view of an in-progress run's event bus",
+        description="Tail the events*.jsonl files a run writes with "
+        "--events-dir and render progress, ETA, straggler cells, cache "
+        "hit rate, and failures.  --metrics-port serves the same state "
+        "as a Prometheus text exposition at /metrics.  Safe to run "
+        "while the emitting process is mid-write.  See "
+        "docs/observability.md.",
+    )
+    p.add_argument(
+        "run_dir",
+        help="directory containing events*.jsonl (an --events-dir), "
+        "or one event file",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single status block and exit (CI / scripting)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval for the live view (default 2s)",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics on this port (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the view "
+        "exits (default 0)",
+    )
+    p.add_argument(
+        "--self-scrape",
+        action="store_true",
+        help="scrape this monitor's own /metrics once, print the "
+        "payload, and exit (CI smoke; requires --metrics-port)",
+    )
+    p.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="flag running cells slower than X times the mean cell "
+        "time (default 3)",
+    )
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark regression ledger: record / report",
+        description="Maintain a history of BENCH_*.json payloads keyed "
+        "by manifest provenance (git SHA, config hash) and flag "
+        "wall-clock / traffic regressions between the two most recent "
+        "entries of each series.  'report' is non-blocking by default; "
+        "--strict exits 1 on findings.  See docs/observability.md.",
+    )
+    add_bench_arguments(p)
+    p.set_defaults(func=run_bench)
 
     p = sub.add_parser("cost", help="analytic vs search cost (Sec. VI-A)")
     _add_common(p)

@@ -150,6 +150,14 @@ class TelemetrySettings:
     #: Write the JSONL trace here when the run finishes ("" = no file;
     #: a non-empty path implies ``enabled``).
     trace_path: str = ""
+    #: Directory for the append-only lifecycle event bus ("" = no
+    #: events).  Unlike ``trace_path`` this is streamed *during* the
+    #: run, so ``repro monitor`` can tail it; it does not imply
+    #: ``enabled``.
+    events_dir: str = ""
+    #: Sample process resources (RSS / CPU / GC) at stage boundaries
+    #: when telemetry is active.  Off the numeric hot path either way.
+    sample_resources: bool = True
 
     @property
     def active(self) -> bool:

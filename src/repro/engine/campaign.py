@@ -26,8 +26,9 @@ Fitted lambda/theta are therefore **bit-identical** for any ``jobs``,
 from __future__ import annotations
 
 import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,11 +40,37 @@ from ..resilience.guards import Diagnostic, check_finite_array, enforce
 from ..sanitize import fp_guard
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.session import Telemetry
-from ..telemetry.spans import NULL_TRACER, Tracer
+from ..telemetry.spans import NULL_TRACER, Span, Tracer
 from .alloc import tune_allocator
 from .kernels import KernelScratch, fast_forward, make_forward_fn
 from .rng import trial_rng
 from .timing import StageTimings
+
+
+@contextmanager
+def _observed_stage(
+    telemetry: Telemetry,
+    timings: StageTimings,
+    name: str,
+    **attributes: object,
+) -> Iterator[Optional[Span]]:
+    """One engine stage: timing span + bus lifecycle + resource samples.
+
+    Emits ``engine.<name>`` running/done (or failed) on the session's
+    event bus and brackets the stage with resource samples; both are
+    no-ops when the bus/profiler are the null instances.
+    """
+    bus = telemetry.event_bus
+    stage_name = f"engine.{name}"
+    bus.stage("running", stage_name)
+    try:
+        with timings.stage(name, **attributes) as span:
+            with telemetry.resources.measure(stage_name, span=span):
+                yield span
+    except BaseException as exc:
+        bus.stage("failed", stage_name, error_class=type(exc).__name__)
+        raise
+    bus.stage("done", stage_name)
 
 
 def enforce_finite_trial(
@@ -266,9 +293,9 @@ class InjectionEngine:
             layer.name: index
             for index, layer in enumerate(self.network.layers)
         }
-        with timings.stage("reference"):
+        with _observed_stage(telemetry, timings, "reference"):
             caches = self._reference_caches(images, batch_size, forward_fn)
-        with timings.stage("plan"):
+        with _observed_stage(telemetry, timings, "plan"):
             for name in names:
                 self.network.replay_plan(name)
             replay_fractions = self._replay_fractions(names)
@@ -284,7 +311,9 @@ class InjectionEngine:
             )
             for name in names
         ]
-        with timings.stage(
+        with _observed_stage(
+            telemetry,
+            timings,
             "replay",
             jobs=settings.jobs,
             backend=settings.backend,
@@ -300,7 +329,7 @@ class InjectionEngine:
                 results = self._run_process_pool(caches, tasks, replay_id)
             else:
                 results = self._run_thread_pool(caches, tasks, replay_id)
-        with timings.stage("reduce"):
+        with _observed_stage(telemetry, timings, "reduce"):
             sq_sums: Dict[str, np.ndarray] = {}
             counts: Dict[str, np.ndarray] = {}
             for task, layer_cells in zip(tasks, results):
@@ -421,17 +450,24 @@ class InjectionEngine:
         """
         retries = self.parallel.transient_retries
         metrics = self.telemetry.metrics
+        bus = self.telemetry.event_bus
         depth = metrics.gauge("repro_worker_queue_depth")
         futures = [submit(task) for task in tasks]
+        for task in tasks:
+            bus.stage("queued", f"engine.layer/{task['name']}")
         depth.set(len(futures))
         results: List[Any] = []
         for task, future in zip(tasks, futures):
             name = task["name"]
+            stage_name = f"engine.layer/{name}"
             failures: List[str] = []
             while True:
                 try:
                     results.append(future.result())
                     depth.dec()
+                    bus.stage(
+                        "done", stage_name, retries=len(failures)
+                    )
                     break
                 except TransientError as exc:
                     metrics.counter("repro_engine_retries_total").inc()
@@ -439,6 +475,12 @@ class InjectionEngine:
                         f"attempt {len(failures) + 1}: {exc}"
                     )
                     if len(failures) > retries:
+                        bus.stage(
+                            "failed",
+                            stage_name,
+                            retries=len(failures),
+                            error_class="RetryExhaustedError",
+                        )
                         raise RetryExhaustedError(
                             f"injection campaign for layer {name!r} failed "
                             f"{len(failures)} times; last error: "
@@ -446,9 +488,21 @@ class InjectionEngine:
                             attempts=failures,
                         ) from exc
                     future = submit(task)
-                except ReproError:
+                except ReproError as exc:
+                    bus.stage(
+                        "failed",
+                        stage_name,
+                        retries=len(failures),
+                        error_class=type(exc).__name__,
+                    )
                     raise
                 except BaseException as exc:
+                    bus.stage(
+                        "failed",
+                        stage_name,
+                        retries=len(failures),
+                        error_class=type(exc).__name__,
+                    )
                     raise ProfilingError(
                         f"injection worker for layer {name!r} crashed: "
                         f"{exc!r}"

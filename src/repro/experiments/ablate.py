@@ -121,9 +121,15 @@ def campaign_fingerprint(
     Chaos injection and the state directory are deliberately excluded:
     a campaign crashed *by* chaos must resume cleanly without it, and
     the resume directory names where state lives, not what is measured.
+    Observability knobs (telemetry, traces, the event bus) are excluded
+    for the same reason — they never touch what is measured, and a
+    resume must not be refused because monitoring was toggled.
     """
     plain = asdict(config)
     plain.pop("state_dir", None)
+    plain.pop("telemetry", None)
+    plain.pop("trace_out", None)
+    plain.pop("events_dir", None)
     cells = build_campaign_cells(
         AblationSpec(
             models=tuple(spec.models),
@@ -195,10 +201,14 @@ def run_ablation_campaign(
         state.bind(campaign_fingerprint(spec, config))
         prior = state.load_rows()
     telemetry = Telemetry.create(config.telemetry_settings())
+    bus = telemetry.event_bus
     keep_going = not config.strict
     rows: List[CampaignRow] = []
     executed: List[str] = []
     start = time.perf_counter()
+    bus.run_started(total_cells=len(cells), kind="ablate")
+    for cell in cells:
+        bus.cell("queued", cell.cell_id, kind=cell.kind)
     with telemetry.tracer.span(
         "ablate.campaign",
         cells=len(cells),
@@ -210,14 +220,19 @@ def run_ablation_campaign(
             if earlier is not None and earlier.status == "ok":
                 earlier.resumed = True
                 rows.append(earlier)
+                bus.cell("cached-hit", cell.cell_id, resumed=True)
+                bus.cell("done", cell.cell_id, resumed=True)
                 if progress:  # pragma: no cover - console nicety
                     print(f"  {cell.cell_id}: resumed")
                 continue
+            bus.cell("running", cell.cell_id)
             with telemetry.tracer.span(
                 "ablate.cell",
                 cell_id=cell.cell_id,
                 kind=cell.kind,
                 chaos=cell.chaos,
+            ) as cell_span, telemetry.resources.measure(
+                "ablate.cell", span=cell_span
             ):
                 row = execute_cell(
                     cell,
@@ -232,11 +247,32 @@ def run_ablation_campaign(
                 state.save_row(row)
             rows.append(row)
             executed.append(cell.cell_id)
+            if row.status == "ok":
+                bus.cell(
+                    "done",
+                    cell.cell_id,
+                    elapsed_seconds=row.elapsed_seconds,
+                )
+            else:
+                bus.cell(
+                    "failed",
+                    cell.cell_id,
+                    elapsed_seconds=row.elapsed_seconds,
+                    error_class=(
+                        row.failure.error_class
+                        if row.failure is not None
+                        else ""
+                    ),
+                )
             if progress:  # pragma: no cover - console nicety
                 print(
                     f"  {cell.cell_id}: {row.status} "
                     f"({row.elapsed_seconds:.2f}s)"
                 )
+    bus.run_finished(
+        cells_done=sum(1 for row in rows if row.status == "ok"),
+        cells_failed=sum(1 for row in rows if row.status != "ok"),
+    )
     elapsed = time.perf_counter() - start
     report = build_report(
         rows,

@@ -57,6 +57,9 @@ class ExperimentConfig:
     #: Write the JSONL trace here when set (``--trace-out``; implies
     #: telemetry collection).
     trace_out: str = ""
+    #: Directory for live lifecycle events (``--events-dir``); ""
+    #: disables the event bus.  ``repro monitor`` tails this.
+    events_dir: str = ""
     #: Persistent result-cache directory (``--cache-dir``).  "" means
     #: "use $REPRO_CACHE_DIR if set, else no persistent cache".
     cache_dir: str = ""
@@ -86,7 +89,9 @@ class ExperimentConfig:
 
     def telemetry_settings(self) -> TelemetrySettings:
         return TelemetrySettings(
-            enabled=self.telemetry, trace_path=self.trace_out
+            enabled=self.telemetry,
+            trace_path=self.trace_out,
+            events_dir=self.events_dir,
         )
 
     def resolved_cache_dir(self) -> Optional[str]:

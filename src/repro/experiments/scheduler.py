@@ -29,6 +29,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 from ..errors import ReproError
 from ..optimize import input_bandwidth_objective, mac_energy_objective
 from ..robustness.faults import FailureRecord, classify_failure
+from ..telemetry.events import open_event_bus
+from ..telemetry.resources import sample_resources
 from .common import ExperimentConfig, ExperimentContext, make_context
 
 
@@ -190,6 +192,27 @@ def _default_optimize(optimizer: Any, objective: str, drop: float) -> Any:
     return optimizer.optimize(objective, accuracy_drop=drop)
 
 
+def sweep_cell_id(model: str, drop: float, objective: str) -> str:
+    """The canonical event-bus name of one grid cell."""
+    return f"{model}/drop={drop:g}/{objective}"
+
+
+def _cache_counts(optimizer: Any) -> Dict[str, int]:
+    cache = getattr(optimizer, "cache", None)
+    if cache is None:
+        return {}
+    return dict(cache.counters.as_dict())
+
+
+def _restored_total(optimizer: Any) -> int:
+    telemetry = getattr(optimizer, "telemetry", None)
+    if telemetry is None:
+        return 0
+    return int(
+        telemetry.metrics.counter("repro_outcome_restored_total").value
+    )
+
+
 def run_sweep(
     spec: Optional[SweepSpec] = None,
     config: Optional[ExperimentConfig] = None,
@@ -222,74 +245,121 @@ def run_sweep(
     optimize = optimize_fn or _default_optimize
     report = SweepReport(cache_dir=config.resolved_cache_dir())
     totals: Dict[str, int] = {}
+    bus = open_event_bus(config.events_dir)
     start = time.perf_counter()
-    for model in spec.models:
-        model_start = time.perf_counter()
-        try:
-            context = make(replace(config, model=model))
-            optimizer = context.optimizer
-            stats = optimizer.stats()
-            rho_in = input_bandwidth_objective(stats).rho
-            rho_mac = mac_energy_objective(stats).rho
-        except Exception as exc:
-            if not keep_going:
-                raise
-            elapsed = time.perf_counter() - model_start
-            failure = classify_failure(exc, stage_hint="context")
-            for cell_model, drop, objective in spec.cells():
-                if cell_model != model:
-                    continue
-                report.failures.append(
-                    SweepCellFailure(
-                        model=model,
-                        accuracy_drop=drop,
-                        objective=objective,
-                        failure=failure,
-                        elapsed_seconds=elapsed,
-                    )
-                )
-                elapsed = 0.0  # charge the build once, to the first cell
-            continue
-        for cell_model, drop, objective in spec.cells():
-            if cell_model != model:
-                continue
-            cell_start = time.perf_counter()
+    bus.run_started(total_cells=spec.num_cells, kind="sweep")
+    for model, drop, objective in spec.cells():
+        bus.cell("queued", sweep_cell_id(model, drop, objective))
+    try:
+        for model in spec.models:
+            model_start = time.perf_counter()
             try:
-                outcome = optimize(optimizer, objective, drop)
+                context = make(replace(config, model=model))
+                optimizer = context.optimizer
+                stats = optimizer.stats()
+                rho_in = input_bandwidth_objective(stats).rho
+                rho_mac = mac_energy_objective(stats).rho
             except Exception as exc:
                 if not keep_going:
                     raise
-                report.failures.append(
-                    SweepCellFailure(
-                        model=model,
-                        accuracy_drop=drop,
-                        objective=objective,
-                        failure=classify_failure(exc),
-                        elapsed_seconds=time.perf_counter() - cell_start,
+                elapsed = time.perf_counter() - model_start
+                failure = classify_failure(exc, stage_hint="context")
+                for cell_model, drop, objective in spec.cells():
+                    if cell_model != model:
+                        continue
+                    report.failures.append(
+                        SweepCellFailure(
+                            model=model,
+                            accuracy_drop=drop,
+                            objective=objective,
+                            failure=failure,
+                            elapsed_seconds=elapsed,
+                        )
                     )
-                )
+                    bus.cell(
+                        "failed",
+                        sweep_cell_id(model, drop, objective),
+                        stage="context",
+                        error_class=failure.error_class,
+                    )
+                    elapsed = 0.0  # charge the build once, to the first cell
                 continue
-            allocation = outcome.result.allocation
-            cell = SweepCellResult(
-                model=model,
-                accuracy_drop=drop,
-                objective=objective,
-                sigma=outcome.result.sigma,
-                effective_input_bits=allocation.effective_bitwidth(rho_in),
-                effective_mac_bits=allocation.effective_bitwidth(rho_mac),
-                baseline_accuracy=outcome.baseline_accuracy,
-                validated_accuracy=outcome.validated_accuracy,
-                target_accuracy=outcome.sigma_result.target_accuracy,
-                bitwidths=outcome.bitwidths,
-                degraded=outcome.degraded,
-                elapsed_seconds=time.perf_counter() - cell_start,
-            )
-            report.cells.append(cell)
-            if progress:  # pragma: no cover - console nicety
-                print("  " + report.lines()[len(report.cells) - 1])
-        if optimizer.cache is not None:
-            for key, value in optimizer.cache.counters.as_dict().items():
-                totals[key] = totals.get(key, 0) + value
+            for cell_model, drop, objective in spec.cells():
+                if cell_model != model:
+                    continue
+                cell_id = sweep_cell_id(model, drop, objective)
+                cache_before = _cache_counts(optimizer)
+                restored_before = _restored_total(optimizer)
+                bus.cell("running", cell_id)
+                cell_start = time.perf_counter()
+                try:
+                    outcome = optimize(optimizer, objective, drop)
+                except Exception as exc:
+                    if not keep_going:
+                        raise
+                    failure = classify_failure(exc)
+                    report.failures.append(
+                        SweepCellFailure(
+                            model=model,
+                            accuracy_drop=drop,
+                            objective=objective,
+                            failure=failure,
+                            elapsed_seconds=time.perf_counter() - cell_start,
+                        )
+                    )
+                    bus.cell(
+                        "failed",
+                        cell_id,
+                        stage=failure.stage,
+                        error_class=failure.error_class,
+                    )
+                    continue
+                cell_elapsed = time.perf_counter() - cell_start
+                cache_after = _cache_counts(optimizer)
+                cache_hits = cache_after.get("hits", 0) - cache_before.get(
+                    "hits", 0
+                )
+                cache_misses = cache_after.get(
+                    "misses", 0
+                ) - cache_before.get("misses", 0)
+                if _restored_total(optimizer) > restored_before:
+                    bus.cell("cached-hit", cell_id)
+                allocation = outcome.result.allocation
+                cell = SweepCellResult(
+                    model=model,
+                    accuracy_drop=drop,
+                    objective=objective,
+                    sigma=outcome.result.sigma,
+                    effective_input_bits=allocation.effective_bitwidth(rho_in),
+                    effective_mac_bits=allocation.effective_bitwidth(rho_mac),
+                    baseline_accuracy=outcome.baseline_accuracy,
+                    validated_accuracy=outcome.validated_accuracy,
+                    target_accuracy=outcome.sigma_result.target_accuracy,
+                    bitwidths=outcome.bitwidths,
+                    degraded=outcome.degraded,
+                    elapsed_seconds=cell_elapsed,
+                )
+                report.cells.append(cell)
+                if bus.enabled:
+                    bus.cell(
+                        "done",
+                        cell_id,
+                        elapsed_seconds=cell_elapsed,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
+                        degraded=bool(outcome.degraded),
+                        peak_rss_bytes=sample_resources().peak_rss_bytes,
+                    )
+                if progress:  # pragma: no cover - console nicety
+                    print("  " + report.lines()[len(report.cells) - 1])
+            if optimizer.cache is not None:
+                for key, value in optimizer.cache.counters.as_dict().items():
+                    totals[key] = totals.get(key, 0) + value
+    finally:
+        bus.run_finished(
+            cells_done=len(report.cells), cells_failed=len(report.failures)
+        )
+        bus.close()
     report.elapsed_seconds = time.perf_counter() - start
     report.cache_counters = totals
     return report

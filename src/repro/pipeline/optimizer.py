@@ -450,7 +450,9 @@ class PrecisionOptimizer:
             objective=objective_label,
             accuracy_drop=float(accuracy_drop),
             scheme=self.scheme,
-        ) as pipeline_span:
+        ) as pipeline_span, self.telemetry.resources.measure(
+            "pipeline.optimize", span=pipeline_span
+        ):
             sigma_result = self.sigma_for_drop(accuracy_drop)
             profiles = self.profiles_for_drop(accuracy_drop)
             sigma = sigma_result.sigma

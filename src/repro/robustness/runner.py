@@ -292,6 +292,11 @@ def execute_cell(
     from ..experiments.scheduler import SweepSpec, run_sweep
 
     config = cell_config(cell, base_config)
+    # The campaign owns this cell's lifecycle on the event bus; the
+    # nested one-cell sweep must not announce a run of its own (it
+    # would double-count cells in `repro monitor`).  Engine stage
+    # events still flow through the shared telemetry session.
+    config = replace(config, events_dir="")
     spec = SweepSpec(
         models=(cell.model,),
         accuracy_drops=(cell.accuracy_drop,),

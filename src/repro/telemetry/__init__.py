@@ -13,10 +13,39 @@ environments without the numeric stack.  Entry points:
 - :mod:`~repro.telemetry.sinks` — JSONL event sink + schema
   validation; :mod:`~repro.telemetry.summarize` — span-tree reports.
 - :func:`build_manifest` — config hash, git SHA, seeds, versions.
+- :class:`EventBus` / :func:`open_event_bus` — live append-only
+  lifecycle events tailed by ``repro monitor``
+  (:mod:`~repro.telemetry.live`).
+- :class:`ResourceProfiler` — stage-boundary RSS/CPU/GC sampling
+  attached to spans and manifests.
 """
 
 from ..config import TelemetrySettings
 from .clock import ClockFn, FakeClock, monotonic_clock, wall_time
+from .events import (
+    CELL_STATES,
+    EVENTS_FILE,
+    EVENTS_SCHEMA_VERSION,
+    NULL_EVENT_BUS,
+    RUN_STATES,
+    EventBus,
+    EventTail,
+    NullEventBus,
+    discover_event_files,
+    new_run_id,
+    open_event_bus,
+    read_bus_events,
+    validate_bus_event,
+    validate_bus_path,
+)
+from .live import (
+    CellView,
+    MetricsEndpoint,
+    MonitorState,
+    RunMonitor,
+    render_status,
+    update_metrics,
+)
 from .manifest import (
     RunManifest,
     build_manifest,
@@ -30,6 +59,12 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .resources import (
+    NULL_RESOURCE_PROFILER,
+    ResourceProfiler,
+    ResourceSample,
+    sample_resources,
 )
 from .session import Telemetry
 from .sinks import (
@@ -94,4 +129,28 @@ __all__ = [
     "self_time",
     "split_events",
     "summarize_path",
+    "EVENTS_SCHEMA_VERSION",
+    "EVENTS_FILE",
+    "CELL_STATES",
+    "RUN_STATES",
+    "EventBus",
+    "NullEventBus",
+    "NULL_EVENT_BUS",
+    "EventTail",
+    "new_run_id",
+    "open_event_bus",
+    "read_bus_events",
+    "discover_event_files",
+    "validate_bus_event",
+    "validate_bus_path",
+    "ResourceProfiler",
+    "ResourceSample",
+    "NULL_RESOURCE_PROFILER",
+    "sample_resources",
+    "CellView",
+    "MonitorState",
+    "RunMonitor",
+    "MetricsEndpoint",
+    "render_status",
+    "update_metrics",
 ]

@@ -1,0 +1,354 @@
+"""Append-only JSONL event bus for *live* run observability.
+
+Traces (:mod:`repro.telemetry.sinks`) are written once, at the end of a
+run — useful post-hoc, useless while a multi-hour sweep is still going.
+The event bus is the live counterpart: long-running surfaces (the sweep
+scheduler, the ablation runner, the engine worker pools) append one
+small JSON object per lifecycle transition as it happens, and
+``repro monitor`` tails the file(s) to render progress, ETA, straggler
+cells, and cache hit-rates mid-run.
+
+Event kinds and lifecycle states:
+
+``run``
+    ``started`` / ``finished`` — one pair per emitting run, carrying
+    the total cell count and summary attributes.
+``cell``
+    ``queued`` → ``running`` → (``cached-hit``) → ``done`` | ``failed``
+    — one grid/campaign cell; attributes carry cache hit/miss deltas,
+    elapsed seconds, and peak memory.
+``stage``
+    Same states for engine-internal stages (per-layer injection tasks,
+    reference/replay phases), plus transient-retry accounting.
+
+Write-side guarantees:
+
+* **Atomic line writes.**  The file is opened ``O_APPEND`` and every
+  event is a single ``os.write`` of one newline-terminated line, so
+  concurrent emitters — worker pools, several optimizers of one sweep,
+  even separate processes — interleave at line granularity, never
+  mid-line.  A reader can only ever observe a partial *final* line
+  (mid-write), which :func:`read_bus_events` skips by default.
+* **Schema-versioned and validated.**  Every record carries
+  ``schema``; :func:`validate_bus_event` checks decoded events the same
+  way trace events are checked.
+* **Off the numeric hot path.**  Events are emitted at cell/stage
+  boundaries only; numerical results are bit-identical with the bus on
+  or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .clock import ClockFn, wall_time
+from .sinks import _plain
+
+#: Bumped whenever the bus-event layout changes incompatibly.
+EVENTS_SCHEMA_VERSION = 1
+
+#: Default event-file name inside a run directory.
+EVENTS_FILE = "events.jsonl"
+
+#: Cell/stage lifecycle states, in nominal order.
+CELL_STATES = ("queued", "running", "cached-hit", "done", "failed")
+
+#: Run lifecycle states.
+RUN_STATES = ("started", "finished")
+
+_EVENT_KINDS = ("run", "cell", "stage")
+
+PathLike = Union[str, Path]
+
+
+def new_run_id() -> str:
+    """A short unique id naming one emitting run."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventBus:
+    """Appends lifecycle events to one JSONL file, one atomic line each.
+
+    Thread-safe; multiple instances (including in other processes) may
+    append to the same file concurrently — ``O_APPEND`` plus
+    single-``write`` lines keep every record intact.  ``(run_id, seq)``
+    uniquely identifies an event across all emitters.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        run_id: Optional[str] = None,
+        clock: Optional[ClockFn] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or new_run_id()
+        self._clock: ClockFn = clock or wall_time
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def emit(
+        self, kind: str, event: str, name: str = "", /, **attrs: Any
+    ) -> Dict[str, Any]:
+        """Append one event record; returns the record as written.
+
+        The first three parameters are positional-only so attribute
+        names like ``kind`` stay usable in ``**attrs``.
+        """
+        if kind not in _EVENT_KINDS:
+            raise ValueError(
+                f"event kind must be one of {_EVENT_KINDS}, got {kind!r}"
+            )
+        states = RUN_STATES if kind == "run" else CELL_STATES
+        if event not in states:
+            raise ValueError(
+                f"{kind} event must be one of {states}, got {event!r}"
+            )
+        record: Dict[str, Any] = {
+            "schema": EVENTS_SCHEMA_VERSION,
+            "type": kind,
+            "event": event,
+            "name": str(name),
+            "run_id": self.run_id,
+            "ts": float(self._clock()),
+            "attrs": {str(k): _plain(v) for k, v in attrs.items()},
+        }
+        with self._lock:
+            if self._fd is None:
+                raise ValueError(f"event bus {self.path} is closed")
+            record["seq"] = next(self._seq)
+            line = json.dumps(record, sort_keys=True) + "\n"
+            os.write(self._fd, line.encode("utf-8"))
+            self.emitted += 1
+        return record
+
+    # Convenience emitters ---------------------------------------------
+    def run_started(self, total_cells: int = 0, **attrs: Any) -> None:
+        self.emit("run", "started", total_cells=int(total_cells), **attrs)
+
+    def run_finished(self, **attrs: Any) -> None:
+        self.emit("run", "finished", **attrs)
+
+    def cell(self, event: str, cell_id: str, /, **attrs: Any) -> None:
+        self.emit("cell", event, cell_id, **attrs)
+
+    def stage(self, event: str, stage: str, /, **attrs: Any) -> None:
+        self.emit("stage", event, stage, **attrs)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullEventBus(EventBus):
+    """The disabled bus: accepts every emit, writes nothing.
+
+    Instrumented code calls the bus unconditionally; a run without an
+    events directory simply routes through this inert instance.
+    """
+
+    def __init__(self) -> None:  # deliberately no super().__init__
+        self.path = Path(os.devnull)
+        self.run_id = "null"
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(
+        self, kind: str, event: str, name: str = "", /, **attrs: Any
+    ) -> Dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared inert bus; call sites stay branch-free.
+NULL_EVENT_BUS = NullEventBus()
+
+
+def open_event_bus(
+    directory: Union[None, str, Path],
+    filename: str = EVENTS_FILE,
+    run_id: Optional[str] = None,
+    clock: Optional[ClockFn] = None,
+) -> EventBus:
+    """An :class:`EventBus` under ``directory``, or the null bus.
+
+    ``None``/"" disables emission (returns :data:`NULL_EVENT_BUS`); a
+    path creates the directory and appends to ``<directory>/<filename>``.
+    """
+    if not directory:
+        return NULL_EVENT_BUS
+    return EventBus(Path(directory) / filename, run_id=run_id, clock=clock)
+
+
+# ----------------------------------------------------------------------
+# Read side: whole-file decode, incremental tailing, validation.
+# ----------------------------------------------------------------------
+def read_bus_events(
+    path: PathLike, skip_partial_tail: bool = True
+) -> List[Dict[str, Any]]:
+    """Decode every complete event line of a bus file.
+
+    A final line without a trailing newline is a write in progress;
+    with ``skip_partial_tail`` (the default — the live-monitoring
+    contract) it is silently ignored, otherwise it raises
+    :class:`ValueError` like any other corrupt line.
+    """
+    text = Path(path).read_bytes().decode("utf-8", errors="replace")
+    events: List[Dict[str, Any]] = []
+    lines = text.split("\n")
+    tail = lines[-1]
+    for lineno, line in enumerate(lines[:-1], start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+    if tail.strip():
+        try:
+            events.append(json.loads(tail))
+        except json.JSONDecodeError as exc:
+            if not skip_partial_tail:
+                raise ValueError(
+                    f"{path}:{len(lines)}: truncated trailing line "
+                    f"(file still being written?): {exc}"
+                ) from exc
+    return events
+
+
+class EventTail:
+    """Incremental reader over one growing bus file.
+
+    Each :meth:`poll` returns the events appended since the last poll,
+    never re-reading old bytes.  Only byte ranges ending in a newline
+    are consumed, so a partial trailing line stays pending until its
+    writer finishes it.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.offset = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return []
+        complete, self.offset = chunk[: cut + 1], self.offset + cut + 1
+        events: List[Dict[str, Any]] = []
+        for raw in complete.split(b"\n"):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn or corrupt interior line: skip it rather than
+                # kill the monitor — live views must survive partial
+                # files.
+                continue
+        return events
+
+
+def discover_event_files(run_dir: PathLike) -> List[Path]:
+    """The bus files of a run directory (or a single file path).
+
+    A directory matches ``events*.jsonl`` (distributed runs may shard
+    one file per worker); a file path is returned as-is.
+    """
+    root = Path(run_dir)
+    if root.is_file():
+        return [root]
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("events*.jsonl"))
+
+
+def validate_bus_event(event: Any) -> List[str]:
+    """Schema-check one decoded bus event; returns problems."""
+    errors: List[str] = []
+    if not isinstance(event, Mapping):
+        return ["event is not a JSON object"]
+    if event.get("schema") != EVENTS_SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {EVENTS_SCHEMA_VERSION}, "
+            f"got {event.get('schema')!r}"
+        )
+    kind = event.get("type")
+    if kind not in _EVENT_KINDS:
+        errors.append(f"type must be one of {_EVENT_KINDS}, got {kind!r}")
+        return errors
+    states = RUN_STATES if kind == "run" else CELL_STATES
+    if event.get("event") not in states:
+        errors.append(
+            f"event must be one of {states}, got {event.get('event')!r}"
+        )
+    if not isinstance(event.get("name"), str):
+        errors.append("'name' must be a string")
+    if kind in ("cell", "stage") and not event.get("name"):
+        errors.append(f"{kind} events need a non-empty 'name'")
+    run_id = event.get("run_id")
+    if not isinstance(run_id, str) or not run_id:
+        errors.append("'run_id' must be a non-empty string")
+    seq = event.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        errors.append("'seq' must be a positive integer")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        errors.append("'ts' must be a number")
+    if not isinstance(event.get("attrs"), Mapping):
+        errors.append("'attrs' must be an object")
+    return errors
+
+
+def validate_bus_path(path: PathLike) -> List[str]:
+    """Read and validate a bus file end to end (partial tail allowed)."""
+    try:
+        events = read_bus_events(path, skip_partial_tail=True)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not events:
+        return [f"{path}: event bus contains no events"]
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        for error in validate_bus_event(event):
+            problems.append(f"event {index}: {error}")
+    return problems

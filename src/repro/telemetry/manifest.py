@@ -74,6 +74,10 @@ class RunManifest:
     versions: Dict[str, str] = field(default_factory=dict)
     created_at: str = ""
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Per-stage resource summary (peak RSS, CPU seconds, ...) folded
+    #: in at export time by :meth:`repro.telemetry.session.Telemetry.
+    #: export`.  Provenance only — never part of the config hash.
+    resources: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

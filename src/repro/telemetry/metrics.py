@@ -27,6 +27,60 @@ DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
 #: ``snapshot()`` payload: counters / gauges / histograms sub-dicts.
 Snapshot = Dict[str, Dict[str, Any]]
 
+#: Default ``# HELP`` text for the well-known metric names; the
+#: registry's :meth:`MetricsRegistry.set_help` overrides per instance.
+METRIC_HELP: Dict[str, str] = {
+    "repro_outcome_restored_total": (
+        "Optimization outcomes restored whole from the persistent cache."
+    ),
+    "repro_engine_retries_total": (
+        "Transient worker failures retried by the injection engine."
+    ),
+    "repro_worker_queue_depth": (
+        "Engine worker tasks submitted and not yet collected."
+    ),
+    "repro_layer_campaign_seconds": (
+        "Wall-clock seconds per per-layer injection campaign."
+    ),
+    "repro_monitor_cells_queued": "Cells observed queued by the monitor.",
+    "repro_monitor_cells_running": "Cells currently running.",
+    "repro_monitor_cells_done": "Cells finished successfully.",
+    "repro_monitor_cells_failed": "Cells that ended in failure.",
+    "repro_monitor_cells_cached": "Cells satisfied by a cache hit.",
+    "repro_monitor_cells_total": "Best-known total cell count.",
+    "repro_monitor_cache_hits": "Persistent-cache hits reported by cells.",
+    "repro_monitor_cache_misses": (
+        "Persistent-cache misses reported by cells."
+    ),
+    "repro_monitor_retries": "Transient retries reported by stages.",
+    "repro_monitor_events_seen": "Bus events folded into the monitor.",
+    "repro_monitor_run_finished": (
+        "1 when every observed run emitted 'finished'."
+    ),
+    "repro_monitor_progress_ratio": "Completed cells / known total.",
+    "repro_monitor_eta_seconds": (
+        "Naive remaining-work estimate from mean cell time."
+    ),
+}
+
+#: Prefix fallbacks for families with dynamic member names.
+_HELP_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("repro_kernel_", "Forward-kernel dispatches by code path."),
+    ("ablate_cells_", "Ablation campaign cells by final status."),
+    ("repro_monitor_", "Monitor projection of a tailed run's event bus."),
+)
+
+
+def metric_help(name: str) -> Optional[str]:
+    """Default help text for a metric name (None when unknown)."""
+    text = METRIC_HELP.get(name)
+    if text is not None:
+        return text
+    for prefix, fallback in _HELP_PREFIXES:
+        if name.startswith(prefix):
+            return fallback
+    return None
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -130,6 +184,18 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._help: Dict[str, str] = {}
+
+    def set_help(self, name: str, text: str) -> None:
+        """Attach ``# HELP`` text to a metric for Prometheus export."""
+        with self._lock:
+            self._help[name] = str(text)
+
+    def help_text(self, name: str) -> Optional[str]:
+        """Instance help if set, else the well-known default."""
+        with self._lock:
+            text = self._help.get(name)
+        return text if text is not None else metric_help(name)
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -183,44 +249,92 @@ class MetricsRegistry:
         """Fold a worker snapshot into this registry (join-time merge).
 
         Counters and histograms add; gauges take the incoming value
-        (point-in-time semantics).  Histogram boundary mismatches are
-        an error — merging incompatible buckets would corrupt both.
+        (point-in-time semantics).  The merge is tolerant of foreign
+        snapshots: unknown top-level sections are ignored, metrics
+        whose values do not coerce to numbers are skipped, and an
+        *empty* histogram entry (no observations) is a no-op.  A real
+        boundary mismatch between two non-empty histograms is still an
+        error — merging incompatible buckets would corrupt both.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
-        for name, data in snapshot.get("histograms", {}).items():
-            boundaries = [float(b) for b in data["boundaries"]]
+        counters = snapshot.get("counters", {})
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                try:
+                    amount = int(value)
+                    if amount < 0:
+                        continue  # a counter cannot have decreased
+                except (TypeError, ValueError):
+                    continue  # non-numeric: skip, don't crash
+                self.counter(name).inc(amount)
+        gauges = snapshot.get("gauges", {})
+        if isinstance(gauges, Mapping):
+            for name, value in gauges.items():
+                try:
+                    incoming = float(value)
+                except (TypeError, ValueError):
+                    continue
+                self.gauge(name).set(incoming)
+        histograms = snapshot.get("histograms", {})
+        if not isinstance(histograms, Mapping):
+            return
+        for name, data in histograms.items():
+            if not isinstance(data, Mapping):
+                continue  # unknown shape: nothing mergeable
+            try:
+                boundaries = [float(b) for b in data.get("boundaries", [])]
+                counts = [int(c) for c in data.get("counts", [])]
+                total = float(data.get("sum", 0.0))
+                observations = int(data.get("count", 0))
+            except (TypeError, ValueError):
+                continue
+            empty = observations == 0 and not any(counts)
+            if empty and (not boundaries or not counts):
+                continue  # empty histogram: merging it is a no-op
+            if not boundaries:
+                continue  # counts without boundaries: unmergeable
             hist = self.histogram(name, boundaries)
             if list(hist.boundaries) != boundaries:
+                if empty:
+                    continue
                 raise ValueError(
                     f"histogram {name!r} bucket boundaries differ between "
                     "workers; refusing to merge"
                 )
-            counts = [int(c) for c in data["counts"]]
             if len(counts) != len(hist.boundaries) + 1:
+                if empty:
+                    continue
                 raise ValueError(
                     f"histogram {name!r} snapshot has {len(counts)} bucket "
                     f"counts; expected {len(hist.boundaries) + 1}"
                 )
-            hist.merge_counts(counts, float(data["sum"]), int(data["count"]))
+            hist.merge_counts(counts, total, observations)
 
     def render_prometheus(self, prefix: str = "") -> str:
-        """Prometheus text exposition (deterministic ordering)."""
+        """Prometheus text exposition (deterministic ordering).
+
+        Each metric gets a ``# HELP`` line (when help text is known)
+        and a ``# TYPE`` line, per the text-format convention.
+        """
         snap = self.snapshot()
         lines: List[str] = []
+
+        def _comments(name: str, full: str, kind: str) -> None:
+            text = self.help_text(name)
+            if text is not None:
+                lines.append(f"# HELP {full} {text}")
+            lines.append(f"# TYPE {full} {kind}")
+
         for name, value in snap["counters"].items():
             full = f"{prefix}{name}"
-            lines.append(f"# TYPE {full} counter")
+            _comments(name, full, "counter")
             lines.append(f"{full} {int(value)}")
         for name, value in snap["gauges"].items():
             full = f"{prefix}{name}"
-            lines.append(f"# TYPE {full} gauge")
+            _comments(name, full, "gauge")
             lines.append(f"{full} {_format_float(float(value))}")
         for name, data in snap["histograms"].items():
             full = f"{prefix}{name}"
-            lines.append(f"# TYPE {full} histogram")
+            _comments(name, full, "histogram")
             cumulative = 0
             for boundary, count in zip(data["boundaries"], data["counts"]):
                 cumulative += int(count)

@@ -1,0 +1,227 @@
+"""Per-span process-resource profiling: RSS, CPU time, threads, GC.
+
+The tracer answers *where the wall clock went*; this module answers
+*what the process paid for it* — resident memory, CPU seconds, thread
+count, and garbage-collector activity — sampled at **stage boundaries
+only** (a couple of ``/proc`` reads per stage), never inside numeric
+inner loops, so every optimizer/quantizer output stays bit-identical
+with profiling on or off.
+
+Samples attach in two places:
+
+* **Spans** — :meth:`ResourceProfiler.measure` brackets a stage and
+  writes the deltas onto the open span as ``res_*`` attributes, so
+  they land in the JSONL trace next to the timing they explain.
+* **Manifests** — the profiler accumulates a per-stage summary
+  (peak RSS, summed CPU) that :meth:`repro.telemetry.session.Telemetry.
+  export` folds into the run manifest's ``resources`` field, giving
+  every trace a "how much memory did each stage need" record.
+
+Stdlib-only: Linux reads ``/proc/self/status`` (VmRSS/VmHWM);
+elsewhere it falls back to ``resource.getrusage``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from .spans import Span
+
+_PROC_STATUS = "/proc/self/status"
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time reading of the process's resource state."""
+
+    #: Current resident set size in bytes (0 when unavailable).
+    rss_bytes: int
+    #: Peak resident set size in bytes since process start.
+    peak_rss_bytes: int
+    #: User-mode CPU seconds consumed by the process so far.
+    cpu_user_seconds: float
+    #: Kernel-mode CPU seconds consumed by the process so far.
+    cpu_system_seconds: float
+    #: Live Python threads.
+    num_threads: int
+    #: Cumulative GC collection runs (all generations).
+    gc_collections: int
+    #: Cumulative objects collected by the GC (all generations).
+    gc_collected: int
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cpu_user_seconds + self.cpu_system_seconds
+
+
+def _proc_memory_bytes() -> Optional[Dict[str, int]]:
+    """VmRSS/VmHWM from ``/proc`` (Linux), None elsewhere."""
+    try:
+        with open(_PROC_STATUS) as handle:
+            text = handle.read()
+    except OSError:
+        return None
+    values: Dict[str, int] = {}
+    for line in text.splitlines():
+        if line.startswith(("VmRSS:", "VmHWM:")):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1].isdigit():
+                values[parts[0].rstrip(":")] = int(parts[1]) * 1024
+    return values or None
+
+
+def _rusage_peak_bytes() -> int:
+    """Peak RSS via getrusage (kilobytes on Linux, bytes on macOS)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux; macOS reports bytes.  /proc normally
+    # wins on Linux, so this branch mostly serves the fallback path.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - macOS only
+        return int(peak)
+    return int(peak) * 1024
+
+
+def sample_resources() -> ResourceSample:
+    """Read the current process resource state (cheap: two file reads)."""
+    memory = _proc_memory_bytes()
+    if memory is not None:
+        rss = memory.get("VmRSS", 0)
+        peak = memory.get("VmHWM", rss)
+    else:  # pragma: no cover - non-Linux
+        peak = _rusage_peak_bytes()
+        rss = 0
+    times = os.times()
+    collections = 0
+    collected = 0
+    for generation in gc.get_stats():
+        collections += int(generation.get("collections", 0))
+        collected += int(generation.get("collected", 0))
+    return ResourceSample(
+        rss_bytes=int(rss),
+        peak_rss_bytes=int(peak),
+        cpu_user_seconds=float(times.user),
+        cpu_system_seconds=float(times.system),
+        num_threads=threading.active_count(),
+        gc_collections=collections,
+        gc_collected=collected,
+    )
+
+
+#: Any zero-argument callable returning a sample (tests inject fakes).
+Sampler = Callable[[], ResourceSample]
+
+
+class ResourceProfiler:
+    """Brackets stages with before/after samples and keeps a summary.
+
+    Disabled profilers (``enabled=False``) make :meth:`measure` a pure
+    pass-through — no sampling, no locking — so instrumented code calls
+    it unconditionally.
+    """
+
+    def __init__(
+        self, enabled: bool = True, sampler: Optional[Sampler] = None
+    ) -> None:
+        self.enabled = enabled
+        self._sampler: Sampler = sampler or sample_resources
+        self._lock = threading.Lock()
+        self._stages: Dict[str, Dict[str, Any]] = {}
+
+    @contextmanager
+    def measure(
+        self, stage: str, span: Optional[Span] = None
+    ) -> Iterator[None]:
+        """Sample around a stage; annotate ``span`` and the summary.
+
+        Re-entered stage names accumulate: CPU seconds and GC counts
+        sum, peak RSS takes the max — so per-cell measurements under
+        one name aggregate the way a manifest wants them.
+        """
+        if not self.enabled:
+            yield
+            return
+        before = self._sampler()
+        try:
+            yield
+        finally:
+            after = self._sampler()
+            record = {
+                "peak_rss_bytes": int(after.peak_rss_bytes),
+                "rss_delta_bytes": int(
+                    after.rss_bytes - before.rss_bytes
+                ),
+                "cpu_seconds": float(
+                    after.cpu_seconds - before.cpu_seconds
+                ),
+                "threads": int(after.num_threads),
+                "gc_collections": int(
+                    after.gc_collections - before.gc_collections
+                ),
+            }
+            with self._lock:
+                summary = self._stages.setdefault(
+                    stage,
+                    {
+                        "peak_rss_bytes": 0,
+                        "rss_delta_bytes": 0,
+                        "cpu_seconds": 0.0,
+                        "threads": 0,
+                        "gc_collections": 0,
+                        "measurements": 0,
+                    },
+                )
+                summary["peak_rss_bytes"] = max(
+                    int(summary["peak_rss_bytes"]),
+                    record["peak_rss_bytes"],
+                )
+                summary["rss_delta_bytes"] = (
+                    int(summary["rss_delta_bytes"])
+                    + record["rss_delta_bytes"]
+                )
+                summary["cpu_seconds"] = (
+                    float(summary["cpu_seconds"]) + record["cpu_seconds"]
+                )
+                summary["threads"] = max(
+                    int(summary["threads"]), record["threads"]
+                )
+                summary["gc_collections"] = (
+                    int(summary["gc_collections"])
+                    + record["gc_collections"]
+                )
+                summary["measurements"] = int(summary["measurements"]) + 1
+            if span is not None:
+                span.set(
+                    res_peak_rss_bytes=record["peak_rss_bytes"],
+                    res_rss_delta_bytes=record["rss_delta_bytes"],
+                    res_cpu_seconds=record["cpu_seconds"],
+                    res_threads=record["threads"],
+                    res_gc_collections=record["gc_collections"],
+                )
+
+    def stage(self, name: str) -> Optional[Dict[str, Any]]:
+        """The accumulated record for one stage (None if never measured)."""
+        with self._lock:
+            record = self._stages.get(name)
+            return dict(record) if record is not None else None
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-stage resource summary, stage names sorted (JSON-ready)."""
+        with self._lock:
+            return {
+                name: dict(record)
+                for name, record in sorted(self._stages.items())
+            }
+
+
+#: Shared disabled profiler for branch-free call sites.
+NULL_RESOURCE_PROFILER = ResourceProfiler(enabled=False)

@@ -18,8 +18,10 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..config import TelemetrySettings
 from .clock import ClockFn
+from .events import EventBus, open_event_bus
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
+from .resources import NULL_RESOURCE_PROFILER, ResourceProfiler
 from .sinks import (
     manifest_event,
     metrics_event,
@@ -47,6 +49,17 @@ class Telemetry:
         #: Always a live registry: callers increment unconditionally;
         #: a disabled session simply never exports the numbers.
         self.metrics = MetricsRegistry()
+        #: Live lifecycle bus (``repro monitor`` tails it); the null
+        #: bus when no events directory is configured.
+        self.event_bus: EventBus = open_event_bus(
+            self.settings.events_dir, clock=clock
+        )
+        #: Stage-boundary resource profiler; inert unless telemetry is
+        #: active and ``sample_resources`` is on.
+        if self.settings.active and self.settings.sample_resources:
+            self.resources: ResourceProfiler = ResourceProfiler()
+        else:
+            self.resources = NULL_RESOURCE_PROFILER
 
     # ------------------------------------------------------------------
     @property
@@ -75,6 +88,9 @@ class Telemetry:
         """The full export: manifest, merge-sorted spans, metrics."""
         out: List[Dict[str, Any]] = []
         if self.manifest is not None:
+            summary = self.resources.summary()
+            if summary and not self.manifest.resources:
+                self.manifest.resources = summary
             out.append(manifest_event(self.manifest.as_dict()))
         out.extend(spans_to_events(self.tracer.events()))
         out.append(metrics_event(self.metrics.snapshot()))
@@ -94,3 +110,7 @@ class Telemetry:
     def render_prometheus(self) -> str:
         """The metrics registry in Prometheus text format."""
         return self.metrics.render_prometheus()
+
+    def close(self) -> None:
+        """Release the event-bus file descriptor (idempotent)."""
+        self.event_bus.close()

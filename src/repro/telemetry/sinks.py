@@ -129,17 +129,27 @@ def write_events(path: PathLike, events: Sequence[Mapping[str, Any]]) -> Path:
     return Path(path)
 
 
-def read_events(path: PathLike) -> List[Dict[str, Any]]:
-    """Decode every event line of a trace file."""
+def read_events(
+    path: PathLike, skip_partial_tail: bool = False
+) -> List[Dict[str, Any]]:
+    """Decode every event line of a trace file.
+
+    A final line without a trailing newline is a write still in flight
+    (the process may have crashed or be mid-export); with
+    ``skip_partial_tail`` such a line is dropped instead of raising,
+    so tools can summarize a truncated trace's complete prefix.
+    """
     events: List[Dict[str, Any]] = []
     with open(Path(path)) as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
             if not line:
                 continue
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError as exc:
+                if skip_partial_tail and not raw.endswith("\n"):
+                    break
                 raise ValueError(
                     f"{path}:{lineno}: not valid JSON: {exc}"
                 ) from exc

@@ -149,6 +149,16 @@ def render_summary(
     return "\n".join(lines)
 
 
-def summarize_path(path: PathLike, max_depth: Optional[int] = None) -> str:
-    """Render the summary for a trace file."""
-    return render_summary(read_events(path), max_depth=max_depth)
+def summarize_path(
+    path: PathLike,
+    max_depth: Optional[int] = None,
+    skip_partial_tail: bool = False,
+) -> str:
+    """Render the summary for a trace file.
+
+    ``skip_partial_tail`` tolerates a truncated final line (trace
+    still being written / writer crashed) by summarizing the complete
+    prefix; see :func:`repro.telemetry.sinks.read_events`.
+    """
+    events = read_events(path, skip_partial_tail=skip_partial_tail)
+    return render_summary(events, max_depth=max_depth)

@@ -1,0 +1,287 @@
+"""Benchmark regression ledger: extraction, history, detection, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.ledger import (
+    DEFAULT_THRESHOLDS,
+    LEDGER_SCHEMA_VERSION,
+    BenchLedger,
+    detect_regressions,
+    entry_from_payload,
+    extract_metrics,
+    metric_direction,
+    metric_family,
+    render_report,
+)
+from repro.cli import main
+
+
+def _payload(benchmark="profiler", wall=1.0, bytes_moved=1000,
+             speedup=2.0, config_hash="cfg-a", git_sha="abc123"):
+    return {
+        "benchmark": benchmark,
+        "manifest": {
+            "config_hash": config_hash,
+            "git_sha": git_sha,
+            "created_at": "2026-08-07T00:00:00+00:00",
+        },
+        "results": {
+            "engine_seconds": wall,
+            "traffic": {"quantized_bytes": bytes_moved},
+            "speedup": speedup,
+            "num_layers": 8,  # not a tracked metric family
+        },
+    }
+
+
+class TestExtractMetrics:
+    def test_flattens_tracked_leaves_only(self):
+        metrics = extract_metrics(_payload())
+        assert metrics == {
+            "results.engine_seconds": 1.0,
+            "results.traffic.quantized_bytes": 1000.0,
+            "results.speedup": 2.0,
+        }
+
+    def test_lists_index_into_paths(self):
+        metrics = extract_metrics(
+            {"models": [{"seconds": 1.5}, {"seconds": 2.5}]}
+        )
+        assert metrics == {
+            "models.0.seconds": 1.5,
+            "models.1.seconds": 2.5,
+        }
+
+    def test_manifest_and_config_numbers_are_excluded(self):
+        metrics = extract_metrics(
+            {
+                "manifest": {"elapsed_seconds": 9.0},
+                "config": {"timeout_seconds": 30.0},
+                "wall_threshold": 0.25,
+                "run_seconds": 3.0,
+            }
+        )
+        assert metrics == {"run_seconds": 3.0}
+
+    def test_bools_and_non_finite_are_dropped(self):
+        metrics = extract_metrics(
+            {
+                "identical_bytes": True,
+                "nan_seconds": float("nan"),
+                "inf_seconds": float("inf"),
+            }
+        )
+        assert metrics == {}
+
+    def test_families_and_directions(self):
+        assert metric_family("a.engine_seconds") == "wall"
+        assert metric_family("a.bytes_moved") == "traffic"
+        assert metric_family("a.speedup") == "throughput"
+        assert metric_family("a.num_layers") is None
+        assert metric_direction("a.latency_p50") == "higher_is_worse"
+        assert metric_direction("a.qps") == "lower_is_worse"
+
+
+class TestLedgerPersistence:
+    def test_record_and_reload_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = BenchLedger(path)
+        entry = ledger.record(_payload(), source="BENCH_profiler.json")
+        ledger.save()
+        assert entry.series_key == ("profiler", "cfg-a")
+        assert entry.git_sha == "abc123"
+
+        reloaded = BenchLedger(path)
+        assert len(reloaded.entries) == 1
+        again = reloaded.entries[0]
+        assert again.as_dict() == entry.as_dict()
+        assert json.loads(path.read_text())["schema_version"] == (
+            LEDGER_SCHEMA_VERSION
+        )
+
+    def test_unknown_schema_refused(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            BenchLedger(path)
+
+    def test_corrupt_ledger_refused(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="unreadable"):
+            BenchLedger(path)
+
+    def test_payload_without_manifest_still_records(self, tmp_path):
+        entry = entry_from_payload(
+            {"total_seconds": 2.0}, source="BENCH_legacy.json"
+        )
+        assert entry.benchmark == "BENCH_legacy"
+        assert entry.config_hash == ""
+        assert entry.metrics == {"total_seconds": 2.0}
+
+    def test_series_split_by_config_hash(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(config_hash="cfg-a"))
+        ledger.record(_payload(config_hash="cfg-b"))
+        assert set(ledger.series()) == {
+            ("profiler", "cfg-a"),
+            ("profiler", "cfg-b"),
+        }
+
+
+class TestDetectRegressions:
+    def test_flags_synthetic_wall_regression(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=1.0), source="baseline")
+        # synthetic injected regression: 60% slower than baseline
+        ledger.record(_payload(wall=1.6, git_sha="def456"), source="new")
+        findings = detect_regressions(ledger)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.metric == "results.engine_seconds"
+        assert finding.family == "wall"
+        assert finding.regression == pytest.approx(0.6)
+        assert finding.baseline_sha == "abc123"
+        assert finding.current_sha == "def456"
+        assert "regressed" in finding.describe()
+
+    def test_within_threshold_is_quiet(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=1.0))
+        ledger.record(_payload(wall=1.2))  # +20% < 25% default
+        assert detect_regressions(ledger) == []
+
+    def test_improvements_never_flag(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=2.0, bytes_moved=2000, speedup=1.0))
+        ledger.record(_payload(wall=1.0, bytes_moved=1000, speedup=4.0))
+        assert detect_regressions(ledger) == []
+
+    def test_lower_speedup_is_a_regression(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(speedup=4.0))
+        ledger.record(_payload(speedup=2.0))
+        findings = detect_regressions(ledger)
+        assert [f.metric for f in findings] == ["results.speedup"]
+        assert findings[0].family == "throughput"
+        assert findings[0].regression == pytest.approx(0.5)
+
+    def test_traffic_uses_its_own_threshold(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(bytes_moved=1000))
+        ledger.record(_payload(bytes_moved=1150))  # +15% > 10% traffic
+        findings = detect_regressions(ledger)
+        assert [f.metric for f in findings] == [
+            "results.traffic.quantized_bytes"
+        ]
+        # but a loosened threshold silences it
+        assert detect_regressions(ledger, thresholds={"traffic": 0.5}) == []
+
+    def test_micro_timings_are_ignored(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=0.001))
+        ledger.record(_payload(wall=0.004))  # 4x slower but micro
+        assert detect_regressions(ledger, min_wall_seconds=0.05) == []
+        assert detect_regressions(ledger, min_wall_seconds=0.0005)
+
+    def test_different_configs_never_compare(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=1.0, config_hash="cfg-a"))
+        ledger.record(_payload(wall=9.0, config_hash="cfg-b"))
+        assert detect_regressions(ledger) == []
+
+    def test_worst_regression_sorts_first(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=1.0, bytes_moved=1000))
+        ledger.record(_payload(wall=1.5, bytes_moved=3000))
+        findings = detect_regressions(ledger)
+        assert [f.metric for f in findings] == [
+            "results.traffic.quantized_bytes",  # +200%
+            "results.engine_seconds",  # +50%
+        ]
+
+    def test_report_lists_series_and_findings(self, tmp_path):
+        ledger = BenchLedger(tmp_path / "ledger.json")
+        ledger.record(_payload(wall=1.0))
+        ledger.record(_payload(wall=2.0))
+        lines = render_report(ledger, detect_regressions(ledger))
+        text = "\n".join(lines)
+        assert "2 entries across 1 series" in text
+        assert "1 regression(s) flagged" in text
+        lines = render_report(BenchLedger(tmp_path / "x.json"), [])
+        assert "no regressions flagged" in "\n".join(lines)
+
+
+class TestBenchCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_record_then_report_flags_injected_regression(
+        self, tmp_path, capsys
+    ):
+        ledger = str(tmp_path / "ledger.json")
+        baseline = self._write(tmp_path, "BENCH_a.json", _payload(wall=1.0))
+        slower = self._write(
+            tmp_path, "BENCH_b.json", _payload(wall=1.9, git_sha="def456")
+        )
+        assert main(["bench", "record", baseline, "--ledger", ledger]) == 0
+        assert main(["bench", "record", slower, "--ledger", ledger]) == 0
+        capsys.readouterr()
+
+        # default report is non-blocking: prints the finding, exits 0
+        assert main(["bench", "report", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "1 regression(s) flagged" in out
+        assert "results.engine_seconds regressed +90.0%" in out
+
+        # --strict turns the same finding into a failing exit
+        assert (
+            main(["bench", "report", "--ledger", ledger, "--strict"]) == 1
+        )
+
+    def test_report_respects_threshold_flags(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.json")
+        for wall, name in ((1.0, "BENCH_a.json"), (1.9, "BENCH_b.json")):
+            path = self._write(tmp_path, name, _payload(wall=wall))
+            assert main(["bench", "record", path, "--ledger", ledger]) == 0
+        code = main(
+            [
+                "bench", "report", "--ledger", ledger,
+                "--wall-threshold", "2.0", "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions flagged" in out
+
+    def test_record_without_payloads_errors(self, tmp_path, capsys):
+        code = main(
+            ["bench", "record", "--ledger", str(tmp_path / "l.json")]
+        )
+        assert code == 1
+        assert "no payload files" in capsys.readouterr().out
+
+    def test_record_unreadable_payload_errors(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{broken")
+        code = main(
+            ["bench", "record", str(bad), "--ledger",
+             str(tmp_path / "l.json")]
+        )
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_default_thresholds_reach_the_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "report"])
+        assert args.wall_threshold == DEFAULT_THRESHOLDS["wall"]
+        assert args.traffic_threshold == DEFAULT_THRESHOLDS["traffic"]
+        assert args.throughput_threshold == (
+            DEFAULT_THRESHOLDS["throughput"]
+        )
+        assert args.strict is False

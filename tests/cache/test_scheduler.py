@@ -168,3 +168,115 @@ class TestRunSweep:
             cold_row.pop("elapsed_seconds")
             warm_row.pop("elapsed_seconds")
             assert cold_row == warm_row
+
+
+class TestSweepEvents:
+    """The scheduler's event-bus emission (and its zero numeric effect)."""
+
+    SPEC = SweepSpec(
+        models=("lenet",), accuracy_drops=(0.05,), objectives=("input",)
+    )
+    CELL = "lenet/drop=0.05/input"
+
+    def _events(self, run_dir):
+        from repro.telemetry.events import read_bus_events, validate_bus_path
+
+        path = run_dir / "events.jsonl"
+        assert validate_bus_path(path) == []
+        return read_bus_events(path)
+
+    def test_events_on_is_bit_identical_to_off(self, tmp_path):
+        clear_context_cache()
+        try:
+            plain = run_sweep(self.SPEC, TINY)
+            clear_context_cache()
+            emitting = run_sweep(
+                self.SPEC,
+                replace(TINY, events_dir=str(tmp_path / "run")),
+            )
+        finally:
+            clear_context_cache()
+        assert len(plain.cells) == len(emitting.cells) == 1
+        for off_cell, on_cell in zip(plain.cells, emitting.cells):
+            off_row = off_cell.as_dict()
+            on_row = on_cell.as_dict()
+            off_row.pop("elapsed_seconds")
+            on_row.pop("elapsed_seconds")
+            assert off_row == on_row
+
+        events = self._events(tmp_path / "run")
+        run_events = [e for e in events if e["type"] == "run"]
+        assert [e["event"] for e in run_events] == ["started", "finished"]
+        assert run_events[0]["attrs"]["total_cells"] == 1
+        assert run_events[0]["attrs"]["kind"] == "sweep"
+        assert run_events[-1]["attrs"]["cells_done"] == 1
+
+        cell_events = [e for e in events if e["type"] == "cell"]
+        assert [e["event"] for e in cell_events] == [
+            "queued", "running", "done",
+        ]
+        assert {e["name"] for e in cell_events} == {self.CELL}
+        done = cell_events[-1]["attrs"]
+        assert done["elapsed_seconds"] >= 0
+        assert done["peak_rss_bytes"] > 0
+
+        # The engine streams its stage lifecycle into the same file
+        # (per-layer task events additionally appear under pooled runs).
+        stages = {e["name"] for e in events if e["type"] == "stage"}
+        assert {"engine.reference", "engine.plan",
+                "engine.replay", "engine.reduce"} <= stages
+
+    def test_warm_rerun_emits_cached_hit(self, tmp_path):
+        clear_context_cache()
+        config = replace(
+            TINY,
+            cache_dir=str(tmp_path / "store"),
+            events_dir=str(tmp_path / "warm"),
+        )
+        try:
+            run_sweep(self.SPEC, replace(config, events_dir=""))
+            clear_context_cache()
+            run_sweep(self.SPEC, config)
+        finally:
+            clear_context_cache()
+        events = self._events(tmp_path / "warm")
+        states = [e["event"] for e in events if e["type"] == "cell"]
+        assert "cached-hit" in states
+        done = next(
+            e for e in events
+            if e["type"] == "cell" and e["event"] == "done"
+        )
+        assert done["attrs"]["cache_hits"] > 0
+        assert done["attrs"]["cache_misses"] == 0
+
+    def test_failed_cell_emits_failed_event(self, tmp_path):
+        def explode(optimizer, objective, drop):
+            raise ValueError("injected cell failure")
+
+        clear_context_cache()
+        try:
+            run_sweep(
+                self.SPEC,
+                replace(TINY, events_dir=str(tmp_path / "run")),
+                keep_going=True,
+                optimize_fn=explode,
+            )
+        finally:
+            clear_context_cache()
+        events = self._events(tmp_path / "run")
+        failed = [
+            e for e in events
+            if e["type"] == "cell" and e["event"] == "failed"
+        ]
+        assert len(failed) == 1
+        assert failed[0]["name"] == self.CELL
+        assert failed[0]["attrs"]["error_class"] == "ValueError"
+
+    def test_no_events_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        clear_context_cache()
+        try:
+            run_sweep(self.SPEC, TINY)
+        finally:
+            clear_context_cache()
+        assert list(tmp_path.rglob("events*.jsonl")) == []

@@ -114,6 +114,46 @@ class TestEngineMatchesLegacy:
         assert_reports_bitwise_equal(report, legacy_report)
 
 
+class TestWorkerPoolEvents:
+    def test_pooled_run_streams_layer_lifecycle(
+        self, lenet, profiling_images, legacy_report, tmp_path
+    ):
+        from repro.config import TelemetrySettings
+        from repro.telemetry import Telemetry
+        from repro.telemetry.events import read_bus_events, validate_bus_path
+
+        telemetry = Telemetry(
+            TelemetrySettings(enabled=True, events_dir=str(tmp_path))
+        )
+        profiler = ErrorProfiler(
+            lenet,
+            profiling_images,
+            SETTINGS,
+            batch_size=BATCH_SIZE,
+            parallel=ParallelSettings(jobs=2, backend="thread"),
+            telemetry=telemetry,
+        )
+        report = profiler.profile()
+        telemetry.close()
+        assert_reports_bitwise_equal(report, legacy_report)
+
+        path = tmp_path / "events.jsonl"
+        assert validate_bus_path(path) == []
+        events = read_bus_events(path)
+        layer_events = [
+            e for e in events
+            if e["type"] == "stage"
+            and e["name"].startswith("engine.layer/")
+        ]
+        queued = [e for e in layer_events if e["event"] == "queued"]
+        done = [e for e in layer_events if e["event"] == "done"]
+        layers = {e["name"] for e in queued}
+        assert len(queued) == len(done) == len(layers) > 0
+        assert all(e["attrs"]["retries"] == 0 for e in done)
+        phases = {e["name"] for e in events if e["type"] == "stage"}
+        assert "engine.replay" in phases
+
+
 class TestOrderingInvariance:
     """Reordering the layer traversal must not move a single bit.
 

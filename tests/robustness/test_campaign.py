@@ -107,6 +107,21 @@ class TestCellGrid:
         )
         assert base == with_chaos == other_state
 
+    def test_fingerprint_ignores_observability_knobs(self):
+        # Monitoring toggles never change what is measured, so they
+        # must not refuse a resume.
+        base = campaign_fingerprint(SPEC, TINY)
+        observed = campaign_fingerprint(
+            SPEC,
+            replace(
+                TINY,
+                telemetry=True,
+                trace_out="/tmp/trace.jsonl",
+                events_dir="/tmp/events",
+            ),
+        )
+        assert base == observed
+
     def test_fingerprint_tracks_the_grid_and_config(self):
         base = campaign_fingerprint(SPEC, TINY)
         assert base != campaign_fingerprint(
@@ -233,3 +248,67 @@ class TestScenarioAndFallbackCells:
         forced = by_variant["fallback:forced"]
         assert forced.status == "ok"
         assert forced.degraded is True
+
+
+class TestCampaignEvents:
+    """Ablation lifecycle on the event bus: chaos, then resume."""
+
+    def _events(self, run_dir):
+        from repro.telemetry.events import read_bus_events, validate_bus_path
+
+        path = run_dir / "events.jsonl"
+        assert validate_bus_path(path) == []
+        return read_bus_events(path)
+
+    def test_chaos_then_resume_stream_lifecycle(self, tmp_path):
+        state = str(tmp_path / "state")
+        spec = replace(SPEC, chaos_cells=(CHAOS_CELL,))
+        run_ablation_campaign(
+            spec,
+            config=replace(TINY, events_dir=str(tmp_path / "chaos")),
+            state_dir=state,
+        )
+        events = self._events(tmp_path / "chaos")
+        run_events = [e for e in events if e["type"] == "run"]
+        assert [e["event"] for e in run_events] == ["started", "finished"]
+        assert run_events[0]["attrs"]["kind"] == "ablate"
+        assert run_events[0]["attrs"]["total_cells"] == 2
+        assert run_events[-1]["attrs"] == {
+            "cells_done": 1, "cells_failed": 1,
+        }
+        by_cell = {}
+        for event in events:
+            if event["type"] == "cell":
+                by_cell.setdefault(event["name"], []).append(event)
+        assert [e["event"] for e in by_cell[CHAOS_CELL]] == [
+            "queued", "running", "failed",
+        ]
+        assert by_cell[CHAOS_CELL][-1]["attrs"]["error_class"] == (
+            "SimulatedCrash"
+        )
+        baseline = by_cell["component/baseline/lenet"]
+        assert [e["event"] for e in baseline] == [
+            "queued", "running", "done",
+        ]
+        assert baseline[-1]["attrs"]["elapsed_seconds"] >= 0
+
+        # Resume (chaos removed): the ok row restores as a cached hit,
+        # only the crashed cell runs again.
+        run_ablation_campaign(
+            SPEC,
+            config=replace(TINY, events_dir=str(tmp_path / "resume")),
+            state_dir=state,
+        )
+        resumed = self._events(tmp_path / "resume")
+        by_cell = {}
+        for event in resumed:
+            if event["type"] == "cell":
+                by_cell.setdefault(event["name"], []).append(event)
+        baseline = by_cell["component/baseline/lenet"]
+        assert [e["event"] for e in baseline] == [
+            "queued", "cached-hit", "done",
+        ]
+        assert baseline[1]["attrs"]["resumed"] is True
+        assert [e["event"] for e in by_cell[CHAOS_CELL]] == [
+            "queued", "running", "done",
+        ]

@@ -1,0 +1,237 @@
+"""Event bus: atomic appends, tailing, partial-line tolerance, schema."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import FakeClock
+from repro.telemetry.events import (
+    EVENTS_FILE,
+    EVENTS_SCHEMA_VERSION,
+    NULL_EVENT_BUS,
+    EventBus,
+    EventTail,
+    NullEventBus,
+    discover_event_files,
+    new_run_id,
+    open_event_bus,
+    read_bus_events,
+    validate_bus_event,
+    validate_bus_path,
+)
+
+
+class TestEventBus:
+    def test_emits_schema_versioned_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r1", clock=FakeClock(5.0)) as bus:
+            record = bus.emit("cell", "queued", "m/d/o", foo=1)
+        assert record["schema"] == EVENTS_SCHEMA_VERSION
+        assert record["type"] == "cell"
+        assert record["event"] == "queued"
+        assert record["name"] == "m/d/o"
+        assert record["run_id"] == "r1"
+        assert record["ts"] == 5.0
+        assert record["seq"] == 1
+        assert record["attrs"] == {"foo": 1}
+
+    def test_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r1") as bus:
+            bus.run_started(total_cells=3, kind="sweep")
+            bus.cell("queued", "a")
+            bus.cell("running", "a")
+            bus.cell("done", "a", elapsed_seconds=1.5)
+            bus.run_finished(cells_done=1)
+        events = read_bus_events(path)
+        assert [e["event"] for e in events] == [
+            "started", "queued", "running", "done", "finished",
+        ]
+        assert [e["seq"] for e in events] == [1, 2, 3, 4, 5]
+        assert events[0]["attrs"]["total_cells"] == 3
+        assert events[0]["attrs"]["kind"] == "sweep"
+
+    def test_reserved_attr_names_are_allowed(self, tmp_path):
+        # emit()'s own parameter names must stay usable as attributes.
+        with EventBus(tmp_path / "e.jsonl") as bus:
+            record = bus.emit(
+                "run", "started", "", kind="sweep", event="x", name="y"
+            )
+        assert record["attrs"] == {"kind": "sweep", "event": "x", "name": "y"}
+
+    def test_rejects_unknown_kind_and_state(self, tmp_path):
+        with EventBus(tmp_path / "e.jsonl") as bus:
+            with pytest.raises(ValueError, match="kind"):
+                bus.emit("galaxy", "queued", "x")
+            with pytest.raises(ValueError, match="must be one of"):
+                bus.emit("cell", "exploded", "x")
+            with pytest.raises(ValueError, match="must be one of"):
+                bus.emit("run", "queued", "")
+
+    def test_closed_bus_refuses_emit(self, tmp_path):
+        bus = EventBus(tmp_path / "e.jsonl")
+        bus.close()
+        bus.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            bus.emit("cell", "queued", "x")
+
+    def test_two_buses_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = EventBus(path, run_id="alpha")
+        second = EventBus(path, run_id="beta")
+        for index in range(20):
+            first.cell("queued", f"a{index}")
+            second.cell("queued", f"b{index}")
+        first.close()
+        second.close()
+        events = read_bus_events(path)
+        assert len(events) == 40
+        # every record parsed whole, and (run_id, seq) pairs are unique
+        keys = {(e["run_id"], e["seq"]) for e in events}
+        assert len(keys) == 40
+
+    def test_concurrent_threads_never_tear_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(path, run_id="threads")
+
+        def emit_many(tag):
+            for index in range(50):
+                bus.cell("queued", f"{tag}-{index}", payload="x" * 64)
+
+        threads = [
+            threading.Thread(target=emit_many, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        bus.close()
+        events = read_bus_events(path)
+        assert len(events) == 200
+        assert sorted(e["seq"] for e in events) == list(range(1, 201))
+
+
+class TestNullBus:
+    def test_null_bus_is_shared_and_inert(self, tmp_path):
+        assert open_event_bus("") is NULL_EVENT_BUS
+        assert open_event_bus(None) is NULL_EVENT_BUS
+        assert not NULL_EVENT_BUS.enabled
+        assert NULL_EVENT_BUS.emit("cell", "queued", "x") == {}
+        NULL_EVENT_BUS.run_started(total_cells=5)
+        NULL_EVENT_BUS.close()
+        assert NULL_EVENT_BUS.emitted == 0
+
+    def test_null_bus_subclasses_event_bus(self):
+        assert isinstance(NullEventBus(), EventBus)
+
+    def test_open_event_bus_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "run"
+        bus = open_event_bus(target)
+        try:
+            assert bus.enabled
+            bus.cell("queued", "x")
+        finally:
+            bus.close()
+        assert (target / EVENTS_FILE).exists()
+
+
+class TestReadAndTail:
+    def test_partial_tail_skipped_by_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r") as bus:
+            bus.cell("queued", "a")
+            bus.cell("queued", "b")
+        # simulate a write in flight: truncate mid-record
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        events = read_bus_events(path)
+        assert len(events) == 1
+        with pytest.raises(ValueError, match="truncated"):
+            read_bus_events(path, skip_partial_tail=False)
+
+    def test_tail_consumes_incrementally(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(path, run_id="r")
+        tail = EventTail(path)
+        assert tail.poll() == []
+        bus.cell("queued", "a")
+        first = tail.poll()
+        assert [e["name"] for e in first] == ["a"]
+        assert tail.poll() == []  # nothing new
+        bus.cell("running", "a")
+        bus.cell("done", "a")
+        second = tail.poll()
+        assert [e["event"] for e in second] == ["running", "done"]
+        bus.close()
+
+    def test_tail_waits_for_newline(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        line = json.dumps({"x": 1})
+        path.write_text(line)  # no trailing newline: still being written
+        tail = EventTail(path)
+        assert tail.poll() == []
+        path.write_text(line + "\n")
+        assert tail.poll() == [{"x": 1}]
+
+    def test_tail_missing_file_is_quiet(self, tmp_path):
+        assert EventTail(tmp_path / "absent.jsonl").poll() == []
+
+    def test_discover_prefers_event_shards(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text("")
+        (tmp_path / "events-w1.jsonl").write_text("")
+        (tmp_path / "trace.jsonl").write_text("")
+        found = [p.name for p in discover_event_files(tmp_path)]
+        assert found == ["events-w1.jsonl", "events.jsonl"]
+
+    def test_discover_accepts_single_file(self, tmp_path):
+        path = tmp_path / "anything.jsonl"
+        path.write_text("")
+        assert discover_event_files(path) == [path]
+        assert discover_event_files(tmp_path / "missing") == []
+
+
+class TestValidation:
+    def test_real_bus_file_validates_clean(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r") as bus:
+            bus.run_started(total_cells=1)
+            bus.cell("queued", "a")
+            bus.stage("running", "engine.replay")
+            bus.stage("done", "engine.replay", retries=0)
+            bus.cell("done", "a")
+            bus.run_finished()
+        assert validate_bus_path(path) == []
+
+    def test_validator_catches_defects(self):
+        good = {
+            "schema": EVENTS_SCHEMA_VERSION,
+            "type": "cell",
+            "event": "queued",
+            "name": "a",
+            "run_id": "r",
+            "seq": 1,
+            "ts": 0.0,
+            "attrs": {},
+        }
+        assert validate_bus_event(good) == []
+        assert validate_bus_event("nope")
+        assert validate_bus_event({**good, "schema": 99})
+        assert validate_bus_event({**good, "type": "galaxy"})
+        assert validate_bus_event({**good, "event": "exploded"})
+        assert validate_bus_event({**good, "name": ""})
+        assert validate_bus_event({**good, "seq": 0})
+        assert validate_bus_event({**good, "seq": True})
+        assert validate_bus_event({**good, "ts": "late"})
+        assert validate_bus_event({**good, "attrs": []})
+
+    def test_empty_file_is_a_problem(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        problems = validate_bus_path(path)
+        assert problems and "no events" in problems[0]
+
+    def test_run_ids_are_short_and_unique(self):
+        ids = {new_run_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(i) == 12 for i in ids)

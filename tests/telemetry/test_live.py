@@ -1,0 +1,296 @@
+"""Monitor state folding, status rendering, and the /metrics endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.events import EventBus
+from repro.telemetry.live import (
+    MetricsEndpoint,
+    MonitorState,
+    RunMonitor,
+    render_status,
+    update_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _event(kind, state, name="", /, ts=0.0, run_id="r", **attrs):
+    return {
+        "schema": 1,
+        "type": kind,
+        "event": state,
+        "name": name,
+        "run_id": run_id,
+        "seq": 1,
+        "ts": ts,
+        "attrs": attrs,
+    }
+
+
+def _folded(events):
+    state = MonitorState()
+    for event in events:
+        state.apply(event)
+    return state
+
+
+class TestMonitorState:
+    def test_cell_lifecycle_counts(self):
+        state = _folded(
+            [
+                _event("run", "started", ts=0.0, total_cells=4),
+                _event("cell", "queued", "a", ts=0.0),
+                _event("cell", "queued", "b", ts=0.0),
+                _event("cell", "queued", "c", ts=0.0),
+                _event("cell", "running", "a", ts=1.0),
+                _event("cell", "running", "b", ts=1.0),
+                _event("cell", "cached-hit", "a", ts=2.0),
+                _event("cell", "done", "a", ts=2.0, cache_hits=3,
+                       cache_misses=1),
+                _event("cell", "failed", "b", ts=3.0,
+                       error_class="ProfilingError"),
+            ]
+        )
+        counts = state.counts()
+        assert counts["queued"] == 1
+        assert counts["running"] == 0
+        assert counts["done"] == 1
+        assert counts["failed"] == 1
+        assert counts["cached-hit"] == 1
+        assert state.known_total == 4  # announced total wins
+        assert state.completed == 2
+        assert state.progress() == (2, 4)
+        assert state.cache_hits == 3
+        assert state.cache_misses == 1
+        assert state.cache_hit_rate() == pytest.approx(0.75)
+        assert not state.finished
+
+    def test_observed_cells_extend_announced_total(self):
+        state = _folded(
+            [
+                _event("run", "started", total_cells=1),
+                _event("cell", "queued", "a"),
+                _event("cell", "queued", "b"),
+            ]
+        )
+        assert state.known_total == 2
+
+    def test_finished_requires_every_run(self):
+        state = _folded(
+            [
+                _event("run", "started", run_id="r1"),
+                _event("run", "started", run_id="r2"),
+                _event("run", "finished", run_id="r1"),
+            ]
+        )
+        assert not state.finished
+        state.apply(_event("run", "finished", run_id="r2"))
+        assert state.finished
+        assert MonitorState().finished is False  # no runs seen yet
+
+    def test_eta_credits_running_cells(self):
+        state = _folded(
+            [
+                _event("run", "started", total_cells=3),
+                _event("cell", "running", "a", ts=0.0),
+                _event("cell", "done", "a", ts=10.0),
+                _event("cell", "running", "b", ts=10.0),
+            ]
+        )
+        assert state.mean_cell_seconds() == pytest.approx(10.0)
+        # at now=14: b has 6s left of the 10s mean, c (unseen) costs 10s
+        assert state.eta_seconds(now=14.0) == pytest.approx(16.0)
+        state.apply(_event("cell", "done", "b", ts=20.0))
+        state.apply(_event("cell", "done", "c", ts=30.0))
+        assert state.eta_seconds(now=30.0) == 0.0
+
+    def test_stragglers_rank_slowest_first(self):
+        state = _folded(
+            [
+                _event("cell", "running", "fast", ts=0.0),
+                _event("cell", "done", "fast", ts=2.0),
+                _event("cell", "running", "slow", ts=2.0),
+                _event("cell", "running", "slower", ts=0.0),
+            ]
+        )
+        slow = state.stragglers(now=12.0, factor=3.0)  # mean = 2s, bar = 6s
+        assert [cell for cell, _ in slow] == ["slower", "slow"]
+        assert slow[0][1] == pytest.approx(12.0)
+        assert state.stragglers(now=5.0, factor=3.0) == []
+
+    def test_stage_events_count_retries(self):
+        state = _folded(
+            [
+                _event("stage", "running", "engine.replay"),
+                _event("stage", "done", "engine.replay", retries=2),
+                _event("stage", "failed", "engine.layer/conv1", retries=1),
+            ]
+        )
+        assert state.retries == 3
+        assert state.stages["engine.replay"]["done"] == 1
+        assert state.stages["engine.layer/conv1"]["failed"] == 1
+
+    def test_malformed_events_are_counted_not_fatal(self):
+        state = MonitorState()
+        state.apply({"type": "cell"})  # no event state
+        state.apply(_event("cell", "running", ""))  # no name
+        state.apply(_event("galaxy", "running", "x"))
+        assert state.invalid_events == 3
+        assert state.cells == {}
+
+
+class TestRenderStatus:
+    def test_renders_progress_cache_and_failures(self):
+        state = _folded(
+            [
+                _event("run", "started", ts=0.0, total_cells=2,
+                       kind="sweep"),
+                _event("cell", "running", "lenet/drop=0.05/mac", ts=0.0),
+                _event("cell", "done", "lenet/drop=0.05/mac", ts=4.0,
+                       cache_hits=2, cache_misses=2),
+                _event("cell", "running", "lenet/drop=0.05/input", ts=4.0),
+                _event("cell", "failed", "lenet/drop=0.05/input", ts=5.0,
+                       error_class="ProfilingError"),
+                _event("run", "finished", ts=5.0),
+            ]
+        )
+        text = render_status(state, now=5.0)
+        assert "sweep:r" in text
+        assert "2/2 cells" in text
+        assert "finished" in text
+        assert "hit rate 50.0%" in text
+        assert "FAILED lenet/drop=0.05/input  (ProfilingError)" in text
+
+    def test_straggler_block_appears(self):
+        state = _folded(
+            [
+                _event("cell", "running", "quick", ts=0.0),
+                _event("cell", "done", "quick", ts=1.0),
+                _event("cell", "running", "stuck", ts=1.0),
+            ]
+        )
+        text = render_status(state, now=60.0, straggler_factor=3.0)
+        assert "stragglers" in text
+        assert "stuck" in text
+
+    def test_empty_state_renders(self):
+        text = render_status(MonitorState(), now=0.0)
+        assert "(none seen yet)" in text
+        assert "ETA n/a" in text
+
+
+class TestUpdateMetrics:
+    def test_projects_state_onto_gauges(self):
+        state = _folded(
+            [
+                _event("run", "started", total_cells=2),
+                _event("cell", "running", "a", ts=0.0),
+                _event("cell", "done", "a", ts=1.0, cache_hits=1),
+                _event("run", "finished"),
+            ]
+        )
+        registry = update_metrics(state)
+        snap = registry.snapshot()["gauges"]
+        assert snap["repro_monitor_cells_done"] == 1.0
+        assert snap["repro_monitor_cells_total"] == 2.0
+        assert snap["repro_monitor_cache_hits"] == 1.0
+        assert snap["repro_monitor_run_finished"] == 1.0
+        assert snap["repro_monitor_progress_ratio"] == 0.5
+        assert snap["repro_monitor_eta_seconds"] == pytest.approx(1.0)
+
+    def test_reuses_registry_and_renders_help(self):
+        registry = MetricsRegistry()
+        assert update_metrics(MonitorState(), registry) is registry
+        text = registry.render_prometheus()
+        assert "# HELP repro_monitor_cells_total" in text
+        assert "# TYPE repro_monitor_cells_total gauge" in text
+
+
+class TestRunMonitor:
+    def test_tails_a_growing_run_directory(self, tmp_path):
+        monitor = RunMonitor(tmp_path)
+        assert monitor.poll() == 0  # nothing yet: no crash
+        bus = EventBus(tmp_path / "events.jsonl", run_id="r")
+        bus.run_started(total_cells=2, kind="sweep")
+        bus.cell("queued", "a")
+        assert monitor.poll() == 2
+        bus.cell("running", "a")
+        bus.cell("done", "a")
+        bus.run_finished()
+        assert monitor.poll() == 3
+        assert monitor.poll() == 0  # idempotent on no growth
+        bus.close()
+        assert monitor.state.finished
+        assert monitor.num_files == 1
+
+    def test_merges_sharded_event_files(self, tmp_path):
+        with EventBus(tmp_path / "events-w1.jsonl", run_id="w1") as one:
+            one.cell("queued", "a")
+        with EventBus(tmp_path / "events-w2.jsonl", run_id="w2") as two:
+            two.cell("queued", "b")
+        monitor = RunMonitor(tmp_path)
+        assert monitor.poll() == 2
+        assert set(monitor.state.cells) == {"a", "b"}
+        assert monitor.num_files == 2
+
+
+class TestMetricsEndpoint:
+    def test_serves_live_prometheus_text(self):
+        state = _folded([_event("run", "started", total_cells=7)])
+
+        def render():
+            return update_metrics(state).render_prometheus()
+
+        with MetricsEndpoint(render, port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        assert "repro_monitor_cells_total 7" in body
+        assert "# TYPE repro_monitor_cells_total gauge" in body
+
+    def test_payload_tracks_state_between_scrapes(self):
+        state = MonitorState()
+
+        def render():
+            return update_metrics(state).render_prometheus()
+
+        with MetricsEndpoint(render, port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                first = response.read().decode("utf-8")
+            state.apply(_event("cell", "queued", "a"))
+            with urllib.request.urlopen(url, timeout=5) as response:
+                second = response.read().decode("utf-8")
+        assert "repro_monitor_events_seen 0" in first
+        assert "repro_monitor_events_seen 1" in second
+
+    def test_other_paths_get_404(self):
+        with MetricsEndpoint(lambda: "", port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/other"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_root_path_is_an_alias(self):
+        with MetricsEndpoint(lambda: "ok 1\n", port=0) as endpoint:
+            url = f"http://{endpoint.host}:{endpoint.port}/"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.read() == b"ok 1\n"
+
+
+class TestEventJsonShape:
+    def test_monitor_consumes_bus_records_verbatim(self, tmp_path):
+        # Guard against schema drift between writer and monitor.
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r") as bus:
+            bus.cell("queued", "a", cache_hits=1)
+        raw = json.loads(path.read_text().splitlines()[0])
+        state = MonitorState()
+        state.apply(raw)
+        assert state.cells["a"].state == "queued"
+        assert state.cache_hits == 1

@@ -90,3 +90,30 @@ class TestGitRevision:
 
     def test_outside_repo_returns_none(self, tmp_path):
         assert git_revision(cwd=str(tmp_path)) is None
+
+    def test_missing_git_binary_returns_none(self, monkeypatch):
+        import subprocess
+
+        def no_git(*args, **kwargs):
+            raise OSError("git not found")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        assert git_revision() is None
+
+    def test_git_failure_returns_none(self, monkeypatch):
+        import subprocess
+
+        def failing(*args, **kwargs):
+            raise subprocess.SubprocessError("timed out")
+
+        monkeypatch.setattr(subprocess, "run", failing)
+        assert git_revision() is None
+
+    def test_manifest_survives_without_git(self, monkeypatch, tmp_path):
+        # A run outside any repo still produces a manifest; the sha is
+        # simply absent from provenance.
+        manifest = build_manifest({"model": "lenet"})
+        monkeypatch.chdir(tmp_path)
+        without = build_manifest({"model": "lenet"})
+        assert without.git_sha is None
+        assert without.config_hash == manifest.config_hash

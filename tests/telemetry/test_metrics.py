@@ -122,6 +122,85 @@ class TestSnapshotAndMerge:
         parent.merge(self.build().snapshot())
         assert parent.snapshot() == self.build().snapshot()
 
+    def test_merge_skips_unknown_metric_values(self):
+        # Foreign snapshots (newer workers, hand-edited files) may carry
+        # values this build cannot merge; they must not crash the join.
+        parent = self.build()
+        parent.merge(
+            {
+                "counters": {"repro_memo_hits_total": 2, "weird": "yes"},
+                "gauges": {"depth": 3.0, "shape": [1, 2]},
+                "histograms": {
+                    "mystery": "not-a-mapping",
+                    "partial": {"sum": "NaNish"},
+                },
+                "futuristic_section": {"x": 1},
+            }
+        )
+        snap = parent.snapshot()
+        assert snap["counters"]["repro_memo_hits_total"] == 5
+        assert "weird" not in snap["counters"]
+        assert snap["gauges"]["depth"] == 3.0
+        assert "shape" not in snap["gauges"]
+        assert set(snap["histograms"]) == {"lat"}
+
+    def test_merge_non_mapping_sections_are_ignored(self):
+        parent = self.build()
+        parent.merge(
+            {"counters": [1, 2], "gauges": None, "histograms": "nope"}
+        )
+        assert parent.snapshot() == self.build().snapshot()
+
+    def test_merge_empty_histogram_is_a_noop(self):
+        parent = self.build()
+        # Empty histogram with *different* boundaries: nothing to fold
+        # in, so no boundary-mismatch error either.
+        parent.merge(
+            {
+                "histograms": {
+                    "lat": {
+                        "boundaries": [9.0],
+                        "counts": [0, 0],
+                        "sum": 0.0,
+                        "count": 0,
+                    },
+                    "bare": {},
+                }
+            }
+        )
+        snap = parent.snapshot()
+        assert snap["histograms"]["lat"]["counts"] == [0, 1, 0]
+        assert "bare" not in snap["histograms"]
+
+    def test_merge_still_rejects_nonempty_mismatch(self):
+        parent = self.build()
+        with pytest.raises(ValueError, match="boundaries differ"):
+            parent.merge(
+                {
+                    "histograms": {
+                        "lat": {
+                            "boundaries": [9.0],
+                            "counts": [1, 0],
+                            "sum": 1.0,
+                            "count": 1,
+                        }
+                    }
+                }
+            )
+        with pytest.raises(ValueError, match="bucket"):
+            parent.merge(
+                {
+                    "histograms": {
+                        "lat": {
+                            "boundaries": [0.1, 1.0],
+                            "counts": [1],
+                            "sum": 1.0,
+                            "count": 1,
+                        }
+                    }
+                }
+            )
+
 
 class TestPrometheus:
     def test_render_counter_gauge_histogram(self):
@@ -158,3 +237,48 @@ class TestPrometheus:
             registry.counter("x").inc(2)
             registry.histogram("h", buckets=[1.0]).observe(0.5)
         assert a.render_prometheus() == b.render_prometheus()
+
+    def test_help_lines_for_known_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_outcome_restored_total").inc()
+        registry.gauge("repro_worker_queue_depth").set(2)
+        lines = registry.render_prometheus().splitlines()
+        help_lines = [l for l in lines if l.startswith("# HELP")]
+        assert any(
+            l.startswith("# HELP repro_outcome_restored_total ")
+            for l in help_lines
+        )
+        # HELP precedes TYPE, per the exposition-format convention.
+        assert lines.index(
+            "# TYPE repro_worker_queue_depth gauge"
+        ) - 1 == lines.index(
+            [l for l in help_lines if "queue_depth" in l][0]
+        )
+
+    def test_prefix_families_get_fallback_help(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_kernel_conv_fast_total").inc()
+        text = registry.render_prometheus()
+        assert "# HELP repro_kernel_conv_fast_total " in text
+
+    def test_unknown_metric_has_no_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("made_up_total").inc()
+        lines = registry.render_prometheus().splitlines()
+        assert "# TYPE made_up_total counter" in lines
+        assert not any(l.startswith("# HELP made_up_total") for l in lines)
+
+    def test_set_help_overrides_default(self):
+        registry = MetricsRegistry()
+        registry.counter("made_up_total").inc()
+        registry.set_help("made_up_total", "A bespoke metric.")
+        assert (
+            "# HELP made_up_total A bespoke metric."
+            in registry.render_prometheus()
+        )
+        registry.set_help(
+            "repro_outcome_restored_total", "Overridden."
+        )
+        registry.counter("repro_outcome_restored_total").inc()
+        text = registry.render_prometheus()
+        assert "# HELP repro_outcome_restored_total Overridden." in text

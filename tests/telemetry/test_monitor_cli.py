@@ -1,0 +1,134 @@
+"""``repro monitor`` and the degraded paths of ``repro trace summarize``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.events import EventBus
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A finished two-cell run's event directory."""
+    with EventBus(tmp_path / "events.jsonl", run_id="r1") as bus:
+        bus.run_started(total_cells=2, kind="sweep")
+        for cell in ("lenet/drop=0.05/input", "lenet/drop=0.05/mac"):
+            bus.cell("queued", cell)
+        for cell in ("lenet/drop=0.05/input", "lenet/drop=0.05/mac"):
+            bus.cell("running", cell)
+            bus.cell(
+                "done", cell, elapsed_seconds=1.0,
+                cache_hits=2, cache_misses=1,
+            )
+        bus.run_finished(cells_done=2)
+    return tmp_path
+
+
+class TestMonitorCli:
+    def test_once_renders_finished_run(self, run_dir, capsys):
+        assert main(["monitor", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep:r1" in out
+        assert "2/2 cells" in out
+        assert "finished" in out
+        assert "4 hits / 2 misses" in out
+
+    def test_empty_directory_exits_with_message(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path), "--once"]) == 1
+        out = capsys.readouterr().out
+        assert "no event files" in out
+        assert "--events-dir" in out
+
+    def test_single_file_path_accepted(self, run_dir, capsys):
+        path = run_dir / "events.jsonl"
+        assert main(["monitor", str(path), "--once"]) == 0
+        assert "2/2 cells" in capsys.readouterr().out
+
+    def test_waits_until_runs_finish(self, tmp_path, capsys):
+        # Without --once, the loop exits as soon as the tailed runs are
+        # all finished — this file is already terminal, so one pass.
+        with EventBus(tmp_path / "events.jsonl", run_id="r") as bus:
+            bus.run_started(total_cells=0)
+            bus.run_finished()
+        assert main(["monitor", str(tmp_path), "--interval", "0.01"]) == 0
+
+    def test_self_scrape_serves_metrics(self, run_dir, capsys):
+        code = main(
+            [
+                "monitor", str(run_dir), "--once",
+                "--metrics-port", "0", "--self-scrape",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving metrics on http://" in out
+        assert "repro_monitor_cells_total 2" in out
+        assert "repro_monitor_run_finished 1" in out
+        assert "# TYPE repro_monitor_cells_done gauge" in out
+
+    def test_self_scrape_requires_port(self, run_dir, capsys):
+        assert main(["monitor", str(run_dir), "--self-scrape"]) == 1
+        assert "--metrics-port" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["monitor", "run"])
+        assert args.run_dir == "run"
+        assert args.once is False
+        assert args.interval == 2.0
+        assert args.metrics_port is None
+        assert args.straggler_factor == 3.0
+
+    def test_mid_write_tail_does_not_crash(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r") as bus:
+            bus.run_started(total_cells=1)
+            bus.cell("running", "a")
+        # torn final line, as a concurrent writer would leave it
+        with open(path, "ab") as handle:
+            handle.write(b'{"schema": 1, "type": "cell", "ev')
+        assert main(["monitor", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "running a" in out
+
+
+class TestTraceSummarizeDegraded:
+    def test_missing_file(self, tmp_path, capsys):
+        absent = tmp_path / "never-written.jsonl"
+        assert main(["trace", "summarize", str(absent)]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "summarize", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "contains no complete events" in out
+
+    def test_only_a_partial_line(self, tmp_path, capsys):
+        path = tmp_path / "midwrite.jsonl"
+        path.write_text('{"schema": 1, "type": "mani')
+        assert main(["trace", "summarize", str(path)]) == 1
+        assert "contains no complete events" in capsys.readouterr().out
+
+    def test_interior_corruption_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('garbage\n{"schema": 1}\n')
+        assert main(["trace", "summarize", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "is not a valid trace" in out
+
+    def test_truncated_tail_after_real_events_summarizes(
+        self, tmp_path, capsys
+    ):
+        # A trace being written right now: complete events so far plus a
+        # torn final line.  Summarize reports what is there.
+        path = tmp_path / "live.jsonl"
+        manifest = {
+            "schema": 1,
+            "type": "manifest",
+            "manifest": {"config_hash": "abc", "seed": 7},
+        }
+        path.write_text(json.dumps(manifest) + '\n{"schema": 1, "ty')
+        assert main(["trace", "summarize", str(path)]) == 0
+        assert "manifest: config" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""Resource profiler: sampling, per-stage accumulation, span attrs."""
+
+from typing import Iterator
+
+import pytest
+
+from repro.telemetry.resources import (
+    NULL_RESOURCE_PROFILER,
+    ResourceProfiler,
+    ResourceSample,
+    sample_resources,
+)
+from repro.telemetry.spans import Span
+
+
+def _sample(
+    rss: int = 0,
+    peak: int = 0,
+    user: float = 0.0,
+    system: float = 0.0,
+    threads: int = 1,
+    collections: int = 0,
+) -> ResourceSample:
+    return ResourceSample(
+        rss_bytes=rss,
+        peak_rss_bytes=peak,
+        cpu_user_seconds=user,
+        cpu_system_seconds=system,
+        num_threads=threads,
+        gc_collections=collections,
+        gc_collected=0,
+    )
+
+
+def _scripted(samples) -> "Iterator[ResourceSample]":
+    iterator = iter(samples)
+    return lambda: next(iterator)
+
+
+class TestSampleResources:
+    def test_reads_real_process_state(self):
+        sample = sample_resources()
+        assert sample.peak_rss_bytes >= sample.rss_bytes > 0
+        assert sample.cpu_seconds > 0.0
+        assert sample.num_threads >= 1
+        assert sample.gc_collections >= 0
+
+    def test_peak_is_monotonic(self):
+        first = sample_resources()
+        ballast = [bytes(4096) for _ in range(256)]
+        second = sample_resources()
+        assert second.peak_rss_bytes >= first.peak_rss_bytes
+        del ballast
+
+    def test_cpu_seconds_property_sums_modes(self):
+        sample = _sample(user=1.5, system=0.25)
+        assert sample.cpu_seconds == pytest.approx(1.75)
+
+
+class TestResourceProfiler:
+    def test_measure_records_deltas(self):
+        profiler = ResourceProfiler(
+            sampler=_scripted(
+                [
+                    _sample(rss=100, peak=100, user=1.0, threads=2),
+                    _sample(
+                        rss=160, peak=200, user=1.5, system=0.25,
+                        threads=4, collections=3,
+                    ),
+                ]
+            )
+        )
+        with profiler.measure("replay"):
+            pass
+        record = profiler.stage("replay")
+        assert record == {
+            "peak_rss_bytes": 200,
+            "rss_delta_bytes": 60,
+            "cpu_seconds": pytest.approx(0.75),
+            "threads": 4,
+            "gc_collections": 3,
+            "measurements": 1,
+        }
+
+    def test_reentered_stage_accumulates(self):
+        profiler = ResourceProfiler(
+            sampler=_scripted(
+                [
+                    _sample(rss=10, peak=50, user=1.0),
+                    _sample(rss=30, peak=80, user=2.0, threads=3),
+                    _sample(rss=30, peak=80, user=2.0),
+                    _sample(rss=40, peak=60, user=2.5, collections=1),
+                ]
+            )
+        )
+        for _ in range(2):
+            with profiler.measure("cell"):
+                pass
+        record = profiler.stage("cell")
+        assert record is not None
+        assert record["peak_rss_bytes"] == 80  # max, not last
+        assert record["rss_delta_bytes"] == 30  # 20 + 10
+        assert record["cpu_seconds"] == pytest.approx(1.5)  # 1.0 + 0.5
+        assert record["threads"] == 3
+        assert record["gc_collections"] == 1
+        assert record["measurements"] == 2
+
+    def test_annotates_span_with_res_attrs(self):
+        profiler = ResourceProfiler(
+            sampler=_scripted(
+                [
+                    _sample(rss=10, peak=10, user=1.0),
+                    _sample(rss=25, peak=40, user=1.2, threads=2),
+                ]
+            )
+        )
+        span = Span(name="stage", span_id="main-1")
+        with profiler.measure("stage", span=span):
+            pass
+        assert span.attributes["res_peak_rss_bytes"] == 40
+        assert span.attributes["res_rss_delta_bytes"] == 15
+        assert span.attributes["res_cpu_seconds"] == pytest.approx(0.2)
+        assert span.attributes["res_threads"] == 2
+        assert span.attributes["res_gc_collections"] == 0
+
+    def test_records_even_when_stage_raises(self):
+        profiler = ResourceProfiler(
+            sampler=_scripted([_sample(peak=5), _sample(peak=9)])
+        )
+        with pytest.raises(RuntimeError):
+            with profiler.measure("boom"):
+                raise RuntimeError("stage failed")
+        record = profiler.stage("boom")
+        assert record is not None
+        assert record["peak_rss_bytes"] == 9
+
+    def test_summary_is_sorted_and_detached(self):
+        profiler = ResourceProfiler(
+            sampler=_scripted([_sample()] * 4)
+        )
+        with profiler.measure("zeta"):
+            pass
+        with profiler.measure("alpha"):
+            pass
+        summary = profiler.summary()
+        assert list(summary) == ["alpha", "zeta"]
+        summary["alpha"]["measurements"] = 99
+        assert profiler.stage("alpha")["measurements"] == 1
+
+    def test_disabled_profiler_never_samples(self):
+        def exploding_sampler():
+            raise AssertionError("disabled profiler must not sample")
+
+        profiler = ResourceProfiler(enabled=False, sampler=exploding_sampler)
+        with profiler.measure("anything"):
+            pass
+        assert profiler.summary() == {}
+        assert profiler.stage("anything") is None
+
+    def test_null_profiler_is_disabled(self):
+        assert not NULL_RESOURCE_PROFILER.enabled
+        with NULL_RESOURCE_PROFILER.measure("x"):
+            pass
+        assert NULL_RESOURCE_PROFILER.summary() == {}

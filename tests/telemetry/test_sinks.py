@@ -110,6 +110,32 @@ class TestJsonlRoundTrip:
         with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
             read_events(path)
 
+    def test_skip_partial_tail_tolerates_midwrite(self, tmp_path):
+        # A trace captured while its writer was mid-line: the final
+        # line has no newline and does not parse.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2}\n{"trunc')
+        assert read_events(path, skip_partial_tail=True) == [
+            {"ok": 1},
+            {"ok": 2},
+        ]
+        with pytest.raises(ValueError, match=r"trace\.jsonl:3"):
+            read_events(path)
+
+    def test_skip_partial_tail_still_rejects_interior_junk(self, tmp_path):
+        # Only an unterminated *final* line is forgivable; corruption
+        # followed by a newline is real damage.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('not json\n{"ok": 1}\n')
+        with pytest.raises(ValueError, match=r"trace\.jsonl:1"):
+            read_events(path, skip_partial_tail=True)
+
+    def test_complete_final_line_reads_either_way(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_events(path, [{"schema": SCHEMA_VERSION, "type": "manifest",
+                             "manifest": {}}])
+        assert read_events(path, skip_partial_tail=True) == read_events(path)
+
 
 class TestValidation:
     def test_wrong_schema_version(self):

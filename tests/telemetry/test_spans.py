@@ -31,6 +31,26 @@ class TestFakeClock:
         with pytest.raises(ValueError):
             FakeClock().advance(-1.0)
 
+    def test_tick_and_advance_compose(self):
+        # advance() shifts the base; the per-call tick keeps applying
+        # on top of it, and each call returns the time *before* its
+        # own tick.
+        clock = FakeClock(start=1.0, tick=0.5)
+        assert clock() == 1.0  # now 1.5
+        clock.advance(2.0)  # now 3.5, no tick consumed
+        assert clock.now == 3.5
+        assert clock() == 3.5  # now 4.0
+        assert clock() == 4.0
+        clock.advance(0.0)  # zero advance is legal and a no-op
+        assert clock.now == 4.5
+
+    def test_now_never_advances(self):
+        clock = FakeClock(start=2.0, tick=1.0)
+        assert clock.now == 2.0
+        assert clock.now == 2.0
+        clock()
+        assert clock.now == 3.0
+
 
 class TestSpanTiming:
     def test_duration_from_injected_clock(self):
