@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate bench-quant ablate-smoke quant-smoke monitor-smoke suite examples check check-concurrency clean
+.PHONY: install test test-all bench bench-full bench-profiler bench-cache bench-ablate bench-quant bench-sweep-scale ablate-smoke quant-smoke monitor-smoke sweep-scale-smoke suite examples check check-concurrency clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -30,6 +30,9 @@ bench-ablate:    ## ablation campaign: cells, cache sharing, importance (writes 
 
 bench-quant:     ## integer runtime vs fp64 engine: wall-clock, traffic, bit-identity (writes BENCH_quant.json)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_quant.py
+
+bench-sweep-scale:  ## distributed sweep scaling: 1/2/4 workers, cold+warm store (writes BENCH_sweep_scale.json)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep_scale.py
 
 quant-smoke:     ## tiny lenet run on the integer runtime; fails if measured drop exceeds budget (CI gate)
 	PYTHONPATH=src $(PYTHON) -m repro run-quantized --model lenet \
@@ -67,6 +70,20 @@ monitor-smoke:   ## tiny sweep with --events-dir, then parse + self-scrape the b
 	@grep -q "repro_monitor_run_finished 1" monitor-scrape.txt
 	@echo "monitor smoke OK: status parsed + /metrics scraped"
 
+sweep-scale-smoke:  ## 2-worker distributed sweep; rows asserted bit-identical to serial (CI gate)
+	rm -rf sweep-scale-smoke-run
+	PYTHONPATH=src $(PYTHON) -m repro sweep --model lenet \
+		--train-count 96 --test-count 48 --profile-images 8 \
+		--profile-points 4 --drops 0.05 --objectives input \
+		--workers 2 --run-dir sweep-scale-smoke-run
+	@test -f sweep-scale-smoke-run/manifest.json || \
+		{ echo "run manifest missing"; exit 1; }
+	@test -f sweep-scale-smoke-run/cells/lenet__drop0.05__input.json || \
+		{ echo "published cell missing"; exit 1; }
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep_scale.py --smoke \
+		--output sweep-scale-smoke.json
+	@echo "sweep-scale smoke OK: 2-worker rows identical to serial"
+
 suite:           ## regenerate every table/figure as JSON artifacts
 	$(PYTHON) -m repro suite --output results/
 
@@ -93,4 +110,5 @@ check-concurrency:  ## concurrency + determinism analyzers against the committed
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results results
 	rm -rf monitor-smoke-events monitor-smoke.txt monitor-scrape.txt
+	rm -rf sweep-scale-smoke-run sweep-scale-smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

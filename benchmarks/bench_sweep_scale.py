@@ -1,0 +1,301 @@
+"""Distributed sweep scaling benchmark (ISSUE 10 acceptance evidence).
+
+Measures the work-stealing executor (``repro.experiments.distributed``)
+and writes ``BENCH_sweep_scale.json``:
+
+* **coordination scaling** — a multi-cell grid of synthetic
+  latency-bound cells (deterministic payloads that sleep; see
+  ``SweepPlan.synthetic_seconds``) executed at 1, 2, and 4 workers.
+  Claims, heartbeats, steals, and publication all go through the real
+  on-disk protocol; only the cell body is simulated, so the series
+  isolates the coordination layer and scales even on a single-core
+  host.  Cells/sec at 2 workers must be at least ``--min-speedup``
+  (default 1.7x) over 1 worker, and rows must be bit-identical across
+  all worker counts.
+
+* **real grid, cold and warm store** — a tiny real sweep executed at
+  each worker count twice against one shared content-addressed cache:
+  cold (fresh cache) and warm (populated cache), each in a fresh run
+  directory so every cell actually executes.  Workers are real
+  ``repro worker`` subprocesses (the production path).  Rows are
+  asserted bit-identical to the serial scheduler; throughput is
+  recorded without a scaling gate — real cells are CPU-bound, so
+  cross-worker speedup is bounded by ``cpu_count`` (recorded in the
+  payload for honest comparison across hosts).
+
+The script exits non-zero on any identity mismatch or a synthetic
+2-worker speedup below the floor.  ``make bench-sweep-scale`` runs the
+full configuration; CI runs ``--smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cache.leases import LeaseSettings  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    DistributedSettings,
+    ExperimentConfig,
+    SweepSpec,
+    run_sweep,
+    run_sweep_distributed,
+)
+from repro.telemetry import build_manifest  # noqa: E402
+
+SEED = 20190325
+
+#: Fast lease timing: the benchmark has no crashed workers to wait out.
+LEASE = LeaseSettings(ttl_seconds=30.0, poll_seconds=0.02)
+
+
+def identity_rows(report) -> List[Dict[str, object]]:
+    """Rows stripped to the cross-worker-count identity contract."""
+    return [cell.identity_dict() for cell in report.cells]
+
+
+def bench_synthetic(
+    spec: SweepSpec,
+    config: ExperimentConfig,
+    worker_counts: List[int],
+    synthetic_seconds: float,
+    min_speedup: float,
+) -> Dict[str, object]:
+    """Latency-bound synthetic grid across worker counts."""
+    series: Dict[str, Dict[str, float]] = {}
+    rows: Dict[int, List[Dict[str, object]]] = {}
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-bench-scale-"
+        ) as run_dir:
+            start = time.perf_counter()
+            report = run_sweep_distributed(
+                spec,
+                config,
+                distribution=DistributedSettings(
+                    workers=workers, spawn="thread"
+                ),
+                lease=LEASE,
+                run_dir=run_dir,
+                synthetic_seconds=synthetic_seconds,
+            )
+            elapsed = time.perf_counter() - start
+        cells_per_sec = spec.num_cells / elapsed
+        series[str(workers)] = {
+            "seconds": elapsed,
+            "cells_per_sec": cells_per_sec,
+        }
+        rows[workers] = identity_rows(report)
+        print(
+            f"  synthetic {workers}w: {spec.num_cells} cells in "
+            f"{elapsed:.3f}s ({cells_per_sec:.2f} cells/sec)"
+        )
+    base = worker_counts[0]
+    identical = all(rows[w] == rows[base] for w in worker_counts)
+    speedup_2w = (
+        series["2"]["cells_per_sec"] / series[str(base)]["cells_per_sec"]
+        if "2" in series
+        else 0.0
+    )
+    print(
+        f"  2-worker speedup {speedup_2w:.2f}x (floor {min_speedup:.1f}x),"
+        f" rows {'BIT-IDENTICAL' if identical else 'MISMATCH'}"
+    )
+    return {
+        "num_cells": spec.num_cells,
+        "synthetic_seconds": synthetic_seconds,
+        "workers": series,
+        "speedup_2w": speedup_2w,
+        "min_speedup": min_speedup,
+        "bit_identical": identical,
+        "passed": identical and speedup_2w >= min_speedup,
+    }
+
+
+def bench_real(
+    spec: SweepSpec,
+    config: ExperimentConfig,
+    worker_counts: List[int],
+) -> Dict[str, object]:
+    """Real cells, cold and warm store, subprocess workers."""
+    serial = run_sweep(spec, config)
+    serial_rows = identity_rows(serial)
+    serial_cells_per_sec = spec.num_cells / serial.elapsed_seconds
+    print(
+        f"  serial: {spec.num_cells} cells in "
+        f"{serial.elapsed_seconds:.3f}s "
+        f"({serial_cells_per_sec:.2f} cells/sec)"
+    )
+    series: Dict[str, Dict[str, object]] = {}
+    identical = True
+    for workers in worker_counts:
+        entry: Dict[str, object] = {}
+        with tempfile.TemporaryDirectory(
+            prefix="repro-bench-scale-cache-"
+        ) as cache_dir:
+            cached = replace(config, cache_dir=cache_dir)
+            for phase in ("cold", "warm"):
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-bench-scale-run-"
+                ) as run_dir:
+                    start = time.perf_counter()
+                    report = run_sweep_distributed(
+                        spec,
+                        cached,
+                        distribution=DistributedSettings(workers=workers),
+                        lease=LEASE,
+                        run_dir=run_dir,
+                    )
+                    elapsed = time.perf_counter() - start
+                cells_per_sec = spec.num_cells / elapsed
+                entry[phase] = {
+                    "seconds": elapsed,
+                    "cells_per_sec": cells_per_sec,
+                }
+                if identity_rows(report) != serial_rows:
+                    identical = False
+                print(
+                    f"  real {workers}w/{phase}: {elapsed:.3f}s "
+                    f"({cells_per_sec:.2f} cells/sec)"
+                )
+        series[str(workers)] = entry
+    print(
+        "  real rows vs serial: "
+        + ("BIT-IDENTICAL" if identical else "MISMATCH")
+    )
+    return {
+        "num_cells": spec.num_cells,
+        "serial_seconds": serial.elapsed_seconds,
+        "serial_cells_per_sec": serial_cells_per_sec,
+        "workers": series,
+        "bit_identical": identical,
+        "passed": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts to measure",
+    )
+    parser.add_argument(
+        "--synthetic-seconds",
+        type=float,
+        default=0.25,
+        help="per-cell latency of the synthetic coordination grid",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.7,
+        help="fail below this 2-worker synthetic cells/sec ratio",
+    )
+    parser.add_argument(
+        "--skip-real",
+        action="store_true",
+        help="synthetic coordination series only",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI configuration (1,2 workers, short cells)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sweep_scale.json"),
+        help="result JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.workers = "1,2"
+        args.synthetic_seconds = 0.15
+
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    if 2 not in worker_counts:
+        print("bench_sweep_scale: --workers must include 2", file=sys.stderr)
+        return 2
+
+    synthetic_spec = SweepSpec(
+        models=("lenet", "alexnet"),
+        accuracy_drops=(0.01, 0.05),
+        objectives=("input", "mac"),
+    )
+    real_spec = SweepSpec(
+        models=("lenet",),
+        accuracy_drops=(0.01, 0.05),
+        objectives=("input",),
+    )
+    config = ExperimentConfig(
+        model="lenet",
+        num_classes=8,
+        train_count=96,
+        test_count=48,
+        profile_images=8,
+        profile_points=4,
+        search_trials=1,
+        seed=SEED,
+    )
+
+    print("== coordination scaling (synthetic latency-bound cells) ==")
+    synthetic = bench_synthetic(
+        synthetic_spec,
+        config,
+        worker_counts,
+        args.synthetic_seconds,
+        args.min_speedup,
+    )
+    real: Dict[str, object] = {}
+    if not args.skip_real:
+        print("== real grid, cold and warm store (subprocess workers) ==")
+        real = bench_real(real_spec, config, worker_counts)
+
+    manifest = build_manifest(
+        config={
+            "benchmark": "sweep_scale",
+            "workers": args.workers,
+            "synthetic_seconds": args.synthetic_seconds,
+            "min_speedup": args.min_speedup,
+            "smoke": args.smoke,
+        },
+        seed=SEED,
+    )
+    payload = {
+        "benchmark": "sweep_scale",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "manifest": manifest.as_dict(),
+        "synthetic": synthetic,
+        "real": real,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if not synthetic["bit_identical"]:
+        failures.append("synthetic rows differ across worker counts")
+    if synthetic["speedup_2w"] < args.min_speedup:
+        failures.append(
+            f"2-worker speedup {synthetic['speedup_2w']:.2f}x below "
+            f"{args.min_speedup:.1f}x floor"
+        )
+    if real and not real["bit_identical"]:
+        failures.append("distributed real rows differ from serial")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

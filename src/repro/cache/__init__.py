@@ -13,6 +13,9 @@ recomputes what an earlier run already proved:
   store (:class:`ResultCache`) with hit/miss/byte telemetry.
 * :mod:`repro.cache.maintenance` — stats / size-budgeted LRU GC /
   integrity verification (the ``repro cache`` CLI).
+* :mod:`repro.cache.leases` — atomic lease files with TTL + heartbeat,
+  the claim protocol distributed sweep workers coordinate through
+  (``docs/distributed.md``).
 
 A corrupt or missing entry is always a miss (the damaged file is
 dropped and the value recomputed); cached results are bit-identical to
@@ -33,6 +36,16 @@ from .keys import (
     make_key,
     network_digest,
     profiles_digest,
+)
+from .leases import (
+    Lease,
+    LeaseHeartbeat,
+    LeaseSettings,
+    acquire_lease,
+    lease_age_seconds,
+    lease_is_expired,
+    read_lease,
+    steal_expired_lease,
 )
 from .maintenance import (
     DEFAULT_MAX_BYTES,
@@ -81,16 +94,24 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_MAX_BYTES",
     "GCReport",
+    "Lease",
+    "LeaseHeartbeat",
+    "LeaseSettings",
     "ResultCache",
     "VerifyReport",
+    "acquire_lease",
     "array_digest",
     "cache_stats",
     "dataset_digest",
     "gc",
+    "lease_age_seconds",
+    "lease_is_expired",
     "make_key",
     "network_digest",
     "open_cache",
     "profiles_digest",
+    "read_lease",
     "resolve_cache_dir",
+    "steal_expired_lease",
     "verify",
 ]

@@ -139,6 +139,22 @@ KEY_FIELD_REGISTRY: Dict[str, Dict[str, str]] = {
         "scenarios": KEYED,
         "chaos_cells": EXCLUDED_BY_CONTRACT,
     },
+    # Distributed-sweep coordination (docs/distributed.md): lease
+    # timing decides *when* a cell runs and on which worker; worker
+    # count and spawn mechanism decide *where*.  None of them can reach
+    # a numeric code path — the executor's bit-identity contract — so
+    # nothing here is keyed, and the plan fingerprint folds only the
+    # KEYED fields of SweepSpec/ExperimentConfig above.
+    "LeaseSettings": {
+        "ttl_seconds": NON_NUMERIC,
+        "heartbeat_seconds": NON_NUMERIC,
+        "poll_seconds": NON_NUMERIC,
+    },
+    "DistributedSettings": {
+        "workers": EXCLUDED_BY_CONTRACT,
+        "spawn": EXCLUDED_BY_CONTRACT,
+        "max_cells": NON_NUMERIC,
+    },
     # Quantized-execution runtime (packed-weight entries): weight_bits
     # changes the packed bits; backend and pack_activations cannot —
     # the runtime's bit-identity contract (docs/quantized-execution.md)

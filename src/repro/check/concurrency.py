@@ -37,6 +37,20 @@ time, over source text, with no execution:
     A ``lambda`` or a locally-defined (nested) function submitted to a
     ``ProcessPoolExecutor``.  Both fail to pickle at dispatch time in
     production but are easy to miss under a thread-backend test run.
+``lease-write-outside-helper``
+    A filesystem mutation (create/rename/unlink/utime/truncating open)
+    whose target names a lease file, outside
+    :mod:`repro.cache.leases`.  The distributed-sweep claim protocol
+    is exactly four atomic syscalls with exactly one implementation
+    each (``docs/distributed.md``); an ad-hoc lease write elsewhere —
+    a worker "helpfully" touching its lease, a cleanup pass unlinking
+    one non-atomically — reintroduces the claim races the helpers
+    exist to make impossible.
+
+``fork-unsafe-capture``/``unpicklable-task``/``global-write-in-worker``
+also cover ``multiprocessing.Process(target=..., args=...)`` and
+``threading.Thread(target=...)`` construction — the distributed sweep's
+worker fan-out path — not just executor submissions.
 
 Suppression: ``# repro-check: ignore[rule-id]`` on the offending line,
 same as the Pass-2 linter.
@@ -66,6 +80,32 @@ _FORK_UNSAFE_CTORS = {
     "mmap",
     "open",
     "SharedMemory",
+}
+
+#: The one module allowed to mutate lease files (path suffix).
+_LEASE_HELPER_SUFFIX = "cache/leases.py"
+
+#: Call names that mutate the filesystem at their path argument.
+_FS_MUTATORS = {
+    "unlink",
+    "remove",
+    "rename",
+    "replace",
+    "utime",
+    "touch",
+    "write_text",
+    "write_bytes",
+    "mkstemp",
+}
+
+#: ``os.open`` flag names that imply creation or writing.
+_WRITE_OPEN_FLAGS = {
+    "O_CREAT",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_APPEND",
+    "O_TRUNC",
+    "O_EXCL",
 }
 
 #: Methods that mutate a dict/list/set receiver in place.
@@ -100,6 +140,43 @@ def _call_ctor(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Call):
         return _tail_name(node.func)
     return None
+
+
+def _mentions_lease(nodes: Sequence[ast.AST]) -> bool:
+    """Does any node reference a lease (name, attribute, or literal)?"""
+    for node in nodes:
+        if isinstance(node, ast.Name) and "lease" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "lease" in node.attr.lower():
+            return True
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and "lease" in node.value.lower()
+        ):
+            return True
+    return False
+
+
+def _is_write_open(call: ast.Call) -> bool:
+    """``open``/``os.open`` with a creating/writing mode or flags."""
+    for node in ast.walk(call):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mode = node.value
+            if (
+                0 < len(mode) <= 3
+                and set(mode) <= set("rwaxbt+")
+                and set(mode) & set("wax+")
+            ):
+                return True
+        name = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name in _WRITE_OPEN_FLAGS:
+            return True
+    return False
 
 
 def _module_mutable_globals(tree: ast.Module) -> Set[str]:
@@ -281,6 +358,8 @@ class _FileFacts:
         self, call: ast.Call, pools: Dict[str, str], tainted: Set[str]
     ) -> None:
         func = call.func
+        self._check_lease_write(call)
+        self._inspect_worker_ctor(call, tainted)
         # pool.submit(fn, ...) / pool.map(fn, ...)
         if isinstance(func, ast.Attribute) and func.attr in (
             "submit", "map"
@@ -309,6 +388,90 @@ class _FileFacts:
                         list(ast.walk(kw.value)), call, tainted,
                         where="initargs",
                     )
+
+    def _check_lease_write(self, call: ast.Call) -> None:
+        """Flag lease-file mutations outside :mod:`repro.cache.leases`.
+
+        A filesystem-mutating call (unlink/rename/utime/touch/creating
+        open/...) whose receiver or arguments reference a lease is the
+        claim protocol re-implemented ad hoc — only the helper module's
+        four atomic operations are race-free by construction.
+        """
+        if self.path.replace("\\", "/").endswith(_LEASE_HELPER_SUFFIX):
+            return
+        name = _tail_name(call.func)
+        if name is None:
+            return
+        mutates = name in _FS_MUTATORS or (
+            name == "open" and _is_write_open(call)
+        )
+        if not mutates:
+            return
+        scope: List[ast.AST] = []
+        if isinstance(call.func, ast.Attribute):
+            scope.extend(ast.walk(call.func.value))
+        for arg in call.args:
+            scope.extend(ast.walk(arg))
+        for kw in call.keywords:
+            scope.extend(ast.walk(kw.value))
+        if _mentions_lease(scope):
+            self._emit(
+                "lease-write-outside-helper",
+                call,
+                f"{name!r} mutates a lease file outside "
+                "repro.cache.leases; the claim protocol "
+                "(acquire/renew/steal/release) has exactly one atomic "
+                "implementation each — use those helpers",
+            )
+
+    def _inspect_worker_ctor(
+        self, call: ast.Call, tainted: Set[str]
+    ) -> None:
+        """``multiprocessing.Process``/``threading.Thread`` fan-out.
+
+        The distributed sweep's workers are spawned this way, not via
+        executor ``submit``; targets and args get the same discipline —
+        ``target=`` is a submission for ``global-write-in-worker``, and
+        for processes a lambda/nested target cannot pickle and
+        lock/mmap/file ``args=`` do not survive the fork boundary.
+        """
+        ctor = _call_ctor(call)
+        if ctor not in ("Process", "Thread"):
+            return
+        kind = "process" if ctor == "Process" else "thread"
+        target: Optional[ast.expr] = None
+        payloads: List[ast.AST] = []
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target = kw.value
+            elif kw.arg in ("args", "kwargs", "initargs"):
+                payloads.extend(ast.walk(kw.value))
+        if target is None:
+            return
+        self.submissions.append((_tail_name(target), kind, call))
+        if kind != "process":
+            return
+        if isinstance(target, ast.Lambda):
+            self._emit(
+                "unpicklable-task",
+                call,
+                "lambda used as a multiprocessing.Process target; "
+                "lambdas cannot be pickled to worker processes",
+            )
+        elif (
+            isinstance(target, ast.Name)
+            and target.id in self.nested_functions
+        ):
+            self._emit(
+                "unpicklable-task",
+                call,
+                f"locally-defined function {target.id!r} used as a "
+                "multiprocessing.Process target; nested functions "
+                "cannot be pickled — hoist it to module level",
+            )
+        self._check_taint_args(
+            payloads, call, tainted, where="Process args"
+        )
 
     def _check_process_submission(
         self,

@@ -18,6 +18,9 @@ point for the substrate replica.  Subcommands:
 ``fig4``      NiN per-layer energy anatomy (Fig. 4)
 ``cost``      analytic vs search cost comparison (Sec. VI-A)
 ``sweep``     incremental grid sweep with cross-cell work sharing
+              (``--workers N`` fans it out to work-stealing processes)
+``worker``    attach one work-stealing worker to a distributed sweep
+              run directory (any host sharing the filesystem)
 ``ablate``    ablation & scenario-robustness campaign with
               fault-isolated cells and measured component importance
 ``monitor``   live view of an in-progress run's event bus (progress,
@@ -372,12 +375,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         accuracy_drops=tuple(float(d) for d in args.drops.split(",")),
         objectives=tuple(args.objectives.split(",")),
     )
-    report = run_sweep(
-        spec,
-        config=_config(args),
-        progress=False,
-        keep_going=args.keep_going,
-    )
+    if args.workers > 1 or args.run_dir:
+        from .cache.leases import LeaseSettings
+        from .experiments.distributed import (
+            DistributedSettings,
+            run_sweep_distributed,
+        )
+
+        report = run_sweep_distributed(
+            spec,
+            config=_config(args),
+            distribution=DistributedSettings(workers=args.workers),
+            lease=LeaseSettings(ttl_seconds=args.lease_ttl),
+            run_dir=args.run_dir or None,
+        )
+    else:
+        report = run_sweep(
+            spec,
+            config=_config(args),
+            progress=False,
+            keep_going=args.keep_going,
+        )
     for line in report.lines():
         print(line)
     if args.output:
@@ -399,6 +417,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
         print(f"sweep results written to {path}")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .cache.leases import LeaseSettings
+    from .experiments.distributed import run_worker
+
+    report = run_worker(
+        args.run_dir,
+        worker_id=args.worker_id or None,
+        settings=LeaseSettings(
+            ttl_seconds=args.lease_ttl,
+            heartbeat_seconds=args.heartbeat,
+            poll_seconds=args.poll,
+        ),
+        max_cells=args.max_cells,
+        progress=True,
+    )
+    print(
+        f"worker {report.worker_id}: {report.cells_published} cells "
+        f"published ({report.leases_stolen} leases stolen) in "
+        f"{report.elapsed_seconds:.2f}s"
+    )
     return 0
 
 
@@ -860,7 +901,86 @@ def build_parser() -> argparse.ArgumentParser:
             "the remaining cells instead of aborting the grid"
         ),
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan the grid out to N local work-stealing worker "
+            "processes coordinating through lease files (rows are "
+            "bit-identical for any N; see docs/distributed.md)"
+        ),
+    )
+    p.add_argument(
+        "--run-dir",
+        default="",
+        metavar="DIR",
+        help=(
+            "distributed run directory (plan, leases, published cells, "
+            "per-worker event shards); reusing a DIR resumes it cell-"
+            "granularly, and `repro worker DIR` attaches more workers "
+            "— including from other hosts sharing the filesystem"
+        ),
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "seconds without a heartbeat before a worker's cell lease "
+            "expires and the cell is re-dispatched"
+        ),
+    )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="attach a work-stealing worker to a distributed sweep",
+        description="Attach one worker to an existing distributed run "
+        "directory (created by `repro sweep --workers N --run-dir "
+        "DIR`): scan the plan's pending cells, claim one at a time via "
+        "an atomic lease file, execute it through the scheduler cell "
+        "path, publish the row atomically, and exit when every cell "
+        "has a published result.  Run any number of these, on any "
+        "host sharing the directory.  See docs/distributed.md.",
+    )
+    p.add_argument("run_dir", help="distributed run directory")
+    p.add_argument(
+        "--worker-id",
+        default="",
+        help="stable worker name (default: generated from pid)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease TTL (must match across workers of one run)",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="heartbeat period (default: TTL / 4)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle rescan period while other workers hold all leases",
+    )
+    p.add_argument(
+        "--max-cells",
+        type=int,
+        default=0,
+        metavar="N",
+        help="claim at most N cells, then exit (0 = unlimited)",
+    )
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "ablate",

@@ -29,6 +29,17 @@ from .common import (
     make_context,
 )
 from .cost import CostComparison, run_cost_comparison
+from .distributed import (
+    DistributedSettings,
+    SweepPlan,
+    WorkerReport,
+    collect_report,
+    load_plan,
+    plan_fingerprint,
+    publish_plan,
+    run_sweep_distributed,
+    run_worker,
+)
 from .export import export_csv, export_json, load_json
 from .scheduler import (
     SweepCellFailure,
@@ -58,6 +69,7 @@ __all__ = [
     "ChannelwiseResult",
     "ClippingResult",
     "CostComparison",
+    "DistributedSettings",
     "DropSweepPoint",
     "DropSweepResult",
     "ErrorShape",
@@ -75,19 +87,25 @@ __all__ = [
     "StabilityResult",
     "SweepCellFailure",
     "SweepCellResult",
+    "SweepPlan",
     "SweepReport",
     "SweepSpec",
     "Table2Result",
     "Table3Row",
+    "WorkerReport",
     "XiAblationResult",
     "average_savings",
     "build_campaign_cells",
     "campaign_fingerprint",
     "clear_context_cache",
+    "collect_report",
     "export_csv",
     "export_json",
     "load_json",
+    "load_plan",
     "make_context",
+    "plan_fingerprint",
+    "publish_plan",
     "run_ablation_campaign",
     "run_additivity_check",
     "run_budget_audit",
@@ -104,8 +122,10 @@ __all__ = [
     "run_scheme_agreement",
     "run_suite",
     "run_sweep",
+    "run_sweep_distributed",
     "run_table2",
     "run_table3",
     "run_table3_row",
+    "run_worker",
     "run_xi_ablation",
 ]

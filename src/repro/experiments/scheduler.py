@@ -102,6 +102,18 @@ class SweepCellResult:
             "elapsed_seconds": self.elapsed_seconds,
         }
 
+    def identity_dict(self) -> Dict[str, object]:
+        """The row minus wall-clock timing: the bit-identity surface.
+
+        Two cells computed from the same inputs must agree on exactly
+        this dict — across serial vs distributed execution, any worker
+        count, and any crash/re-dispatch history.  Only
+        ``elapsed_seconds`` legitimately differs between runs.
+        """
+        row = self.as_dict()
+        del row["elapsed_seconds"]
+        return row
+
 
 @dataclass
 class SweepCellFailure:

@@ -265,6 +265,13 @@ class EventTail:
     def poll(self) -> List[Dict[str, Any]]:
         try:
             with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() < self.offset:
+                    # The file shrank underneath us (truncated or
+                    # replaced — e.g. a run directory reused for a
+                    # fresh run).  Restart from the top rather than
+                    # reading from a stale offset past EOF forever.
+                    self.offset = 0
                 handle.seek(self.offset)
                 chunk = handle.read()
         except OSError:

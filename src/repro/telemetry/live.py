@@ -88,15 +88,38 @@ class MonitorState:
         self.events_seen = 0
         self.last_ts: Optional[float] = None
         self.invalid_events = 0
+        #: Events dropped because their (run_id, seq) identity was
+        #: already folded in — re-reads after a tail reset, or the same
+        #: shard reached through two discovered paths.
+        self.duplicate_events = 0
+        self._seen_ids: set = set()
 
     # ------------------------------------------------------------------
     def apply(self, event: Mapping[str, Any]) -> None:
-        """Fold one decoded bus event into the state."""
+        """Fold one decoded bus event into the state.
+
+        Idempotent per event: ``(run_id, seq)`` uniquely identifies a
+        bus record across every emitter of a (possibly multi-writer)
+        run, so replayed deliveries — a tail that reset after file
+        truncation, one shard discovered twice — fold in exactly once.
+        """
         kind = event.get("type")
         state = event.get("event")
         if not isinstance(kind, str) or not isinstance(state, str):
             self.invalid_events += 1
             return
+        seq = event.get("seq")
+        event_run_id = event.get("run_id")
+        if (
+            isinstance(event_run_id, str)
+            and isinstance(seq, int)
+            and not isinstance(seq, bool)
+        ):
+            identity = (event_run_id, seq)
+            if identity in self._seen_ids:
+                self.duplicate_events += 1
+                return
+            self._seen_ids.add(identity)
         ts = event.get("ts")
         ts = float(ts) if isinstance(ts, (int, float)) else None
         attrs = event.get("attrs")
@@ -157,6 +180,28 @@ class MonitorState:
     def known_total(self) -> int:
         """Best-known total cell count (announced, else observed)."""
         return max(self.total_cells, len(self.cells))
+
+    @property
+    def workers(self) -> Dict[str, str]:
+        """run_id -> lifecycle state of every attached sweep worker.
+
+        Distributed-sweep workers announce themselves with
+        ``run_started(kind="worker", total_cells=0)`` on their own
+        event shard; only the coordinator announces the real total, so
+        worker attach/detach never perturbs the progress denominator.
+        """
+        return {
+            run_id: state
+            for run_id, state in self.runs.items()
+            if self.run_attrs.get(run_id, {}).get("kind") == "worker"
+        }
+
+    @property
+    def active_workers(self) -> int:
+        """Workers that attached and have not yet finished."""
+        return sum(
+            1 for state in self.workers.values() if state == "started"
+        )
 
     @property
     def completed(self) -> int:
@@ -276,13 +321,33 @@ def render_status(
     counts = state.counts()
     done, total = state.progress()
     lines: List[str] = []
+    workers = state.workers
     run_bits = []
     for run_id, run_state in sorted(state.runs.items()):
+        if run_id in workers:
+            continue  # summarized on their own line below
         kind = state.run_attrs.get(run_id, {}).get("kind", "run")
         run_bits.append(f"{kind}:{run_id[:8]} {run_state}")
     lines.append(
         "runs: " + (", ".join(run_bits) if run_bits else "(none seen yet)")
     )
+    if workers:
+        names = sorted(
+            str(state.run_attrs.get(run_id, {}).get("worker", run_id[:8]))
+            for run_id, run_state in workers.items()
+            if run_state == "started"
+        )
+        active_text = (
+            f" ({', '.join(names[:8])}"
+            + ("..." if len(names) > 8 else "")
+            + ")"
+            if names
+            else ""
+        )
+        lines.append(
+            f"workers: {len(workers)} attached, "
+            f"{state.active_workers} active{active_text}"
+        )
     ratio = done / total if total else 0.0
     filled = int(round(ratio * width))
     bar = "#" * filled + "-" * (width - filled)
@@ -358,6 +423,15 @@ def update_metrics(
     registry.gauge("repro_monitor_cache_misses").set(state.cache_misses)
     registry.gauge("repro_monitor_retries").set(state.retries)
     registry.gauge("repro_monitor_events_seen").set(state.events_seen)
+    registry.gauge("repro_monitor_duplicate_events").set(
+        state.duplicate_events
+    )
+    registry.gauge("repro_monitor_workers_attached").set(
+        len(state.workers)
+    )
+    registry.gauge("repro_monitor_workers_active").set(
+        state.active_workers
+    )
     registry.gauge("repro_monitor_run_finished").set(
         1.0 if state.finished else 0.0
     )

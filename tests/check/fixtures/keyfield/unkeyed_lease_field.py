@@ -1,0 +1,11 @@
+"""Fixture: the lease protocol's settings grew an unclassified field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LeaseSettings:
+    ttl_seconds: float = 60.0
+    heartbeat_seconds: float = 0.0
+    poll_seconds: float = 0.5
+    claim_salt: str = ""  # expect[unkeyed-field]

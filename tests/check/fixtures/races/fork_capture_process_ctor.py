@@ -1,0 +1,27 @@
+"""Fixture: worker fan-out via multiprocessing.Process, not a pool.
+
+The distributed sweep spawns workers this way; the same contracts
+apply — a lock in ``args=`` does not survive the fork/pickle boundary,
+and a lambda target cannot be pickled at all.
+"""
+
+import threading
+from multiprocessing import Process
+
+
+def worker_loop(run_dir, guard):
+    with guard:
+        return run_dir
+
+
+def spawn(run_dir):
+    guard = threading.Lock()
+    proc = Process(target=worker_loop, args=(run_dir, guard))  # expect[fork-unsafe-capture]
+    proc.start()
+    return proc
+
+
+def spawn_lambda(run_dir):
+    proc = Process(target=lambda: run_dir)  # expect[unpicklable-task]
+    proc.start()
+    return proc

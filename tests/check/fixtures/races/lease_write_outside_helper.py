@@ -1,0 +1,34 @@
+"""Fixture: the lease claim protocol re-implemented outside the helper.
+
+Each of these is a real failure mode the analyzer must catch: a worker
+touching its own lease (heartbeat without the helper), a cleanup pass
+unlinking leases non-atomically, a claim via plain truncating open
+(no O_EXCL — two workers both "win"), and a steal via rename that
+skips the expiry re-check.
+"""
+
+import os
+from pathlib import Path
+
+
+def heartbeat_by_hand(lease_path):
+    os.utime(lease_path)  # expect[lease-write-outside-helper]
+
+
+def sweep_cleanup(run_dir):
+    for stale_lease in Path(run_dir).glob("*.lease"):
+        stale_lease.unlink()  # expect[lease-write-outside-helper]
+
+
+def claim_without_excl(cell_lease):
+    with open(cell_lease, "w") as handle:  # expect[lease-write-outside-helper]
+        handle.write("mine")
+
+
+def steal_without_expiry_check(lease_file, tomb):
+    os.rename(lease_file, tomb)  # expect[lease-write-outside-helper]
+
+
+def read_is_fine(lease_path):
+    # Read-side access never mutates the claim; not flagged.
+    return Path(lease_path).read_text(encoding="utf-8")

@@ -144,6 +144,7 @@ def test_registry_covers_every_settings_field():
     import dataclasses
 
     from repro.cache.keys import KEY_FIELD_DISPOSITIONS, KEY_FIELD_REGISTRY
+    from repro.cache.leases import LeaseSettings
     from repro.config import (
         ParallelSettings,
         ProfileSettings,
@@ -152,6 +153,7 @@ def test_registry_covers_every_settings_field():
     )
     from repro.experiments.ablate import AblationSpec
     from repro.experiments.common import ExperimentConfig
+    from repro.experiments.distributed import DistributedSettings
     from repro.experiments.scheduler import SweepSpec
 
     classes = {
@@ -162,6 +164,8 @@ def test_registry_covers_every_settings_field():
         "ExperimentConfig": ExperimentConfig,
         "SweepSpec": SweepSpec,
         "AblationSpec": AblationSpec,
+        "LeaseSettings": LeaseSettings,
+        "DistributedSettings": DistributedSettings,
     }
     for name, cls in classes.items():
         declared = KEY_FIELD_REGISTRY[name]

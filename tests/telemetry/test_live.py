@@ -1,5 +1,6 @@
 """Monitor state folding, status rendering, and the /metrics endpoint."""
 
+import itertools
 import json
 import urllib.error
 import urllib.request
@@ -17,14 +18,20 @@ from repro.telemetry.live import (
 from repro.telemetry.metrics import MetricsRegistry
 
 
-def _event(kind, state, name="", /, ts=0.0, run_id="r", **attrs):
+_SEQ = itertools.count(1)
+
+
+def _event(kind, state, name="", /, ts=0.0, run_id="r", seq=None, **attrs):
+    # (run_id, seq) is the bus's event identity; real emitters never
+    # reuse a seq, and MonitorState deduplicates on it, so the helper
+    # allocates unique seqs unless a test pins one deliberately.
     return {
         "schema": 1,
         "type": kind,
         "event": state,
         "name": name,
         "run_id": run_id,
-        "seq": 1,
+        "seq": next(_SEQ) if seq is None else seq,
         "ts": ts,
         "attrs": attrs,
     }
@@ -294,3 +301,149 @@ class TestEventJsonShape:
         state.apply(raw)
         assert state.cells["a"].state == "queued"
         assert state.cache_hits == 1
+
+
+class TestMultiWriterRuns:
+    """Hardening for distributed sweeps: sharded multi-writer event files."""
+
+    def test_duplicate_event_identity_folds_once(self):
+        state = MonitorState()
+        event = _event("cell", "done", "a", cache_hits=2)
+        state.apply(event)
+        state.apply(event)
+        assert state.events_seen == 1
+        assert state.duplicate_events == 1
+        assert state.cache_hits == 2  # not double-counted
+
+    def test_same_seq_different_run_ids_are_distinct(self):
+        state = _folded(
+            [
+                _event("cell", "done", "a", run_id="w0", seq=5),
+                _event("cell", "done", "b", run_id="w1", seq=5),
+            ]
+        )
+        assert state.events_seen == 2
+        assert state.duplicate_events == 0
+
+    def test_only_coordinator_announces_total(self):
+        """Worker attach/detach must not inflate the denominator."""
+        state = _folded(
+            [
+                _event("run", "started", run_id="coord", total_cells=6,
+                       kind="sweep-distributed"),
+                _event("run", "started", run_id="w0", total_cells=0,
+                       kind="worker", worker="w0"),
+                _event("run", "started", run_id="w1", total_cells=0,
+                       kind="worker", worker="w1"),
+            ]
+        )
+        assert state.total_cells == 6
+        assert state.workers == {"w0": "started", "w1": "started"}
+        assert state.active_workers == 2
+
+    def test_worker_finish_tracked(self):
+        state = _folded(
+            [
+                _event("run", "started", run_id="w0", kind="worker"),
+                _event("run", "finished", run_id="w0"),
+            ]
+        )
+        assert state.workers == {"w0": "finished"}
+        assert state.active_workers == 0
+
+    def test_interleaved_shards_reach_consistent_state(self):
+        """Events of one cell split across two shards, out of order."""
+        state = _folded(
+            [
+                _event("cell", "queued", "a", run_id="coord", ts=0.0),
+                _event("cell", "done", "a", run_id="w1", ts=3.0),
+                # w0's stale "running" arrives after w1's steal finished
+                # the cell: terminal state must not regress.
+                _event("cell", "running", "a", run_id="w0", ts=1.0),
+            ]
+        )
+        assert state.cells["a"].state == "done"
+        assert state.completed == 1
+
+    def test_render_shows_worker_summary(self):
+        state = _folded(
+            [
+                _event("run", "started", run_id="coord", total_cells=2,
+                       kind="sweep-distributed"),
+                _event("run", "started", run_id="w0", kind="worker",
+                       worker="w0"),
+                _event("run", "started", run_id="w1", kind="worker",
+                       worker="w1"),
+                _event("run", "finished", run_id="w1"),
+            ]
+        )
+        text = render_status(state, now=10.0)
+        assert "workers: 2 attached, 1 active (w0)" in text
+        # Worker runs are summarized, not listed per-run.
+        assert "worker:" not in text
+
+    def test_metrics_export_worker_gauges(self):
+        state = _folded(
+            [
+                _event("run", "started", run_id="w0", kind="worker"),
+                _event("cell", "done", "a", run_id="w0"),
+            ]
+        )
+        state.apply(_event("cell", "done", "a", run_id="w0", seq=1))
+        state.apply(_event("cell", "done", "a", run_id="w0", seq=1))
+        registry = update_metrics(state)
+        assert registry.gauge("repro_monitor_workers_attached").value == 1
+        assert registry.gauge("repro_monitor_workers_active").value == 1
+        assert registry.gauge("repro_monitor_duplicate_events").value == 1
+
+    def test_shard_appearing_mid_tail(self, tmp_path):
+        """A worker attaching after the monitor started is picked up."""
+        monitor = RunMonitor(tmp_path)
+        with EventBus(tmp_path / "events-coordinator.jsonl",
+                      run_id="coord") as bus:
+            bus.run_started(total_cells=2, kind="sweep-distributed")
+        monitor.poll()
+        assert monitor.num_files == 1
+        with EventBus(tmp_path / "events-w7.jsonl", run_id="w7") as bus:
+            bus.run_started(total_cells=0, kind="worker", worker="w7")
+            bus.cell("done", "a")
+        monitor.poll()
+        assert monitor.num_files == 2
+        assert monitor.state.workers == {"w7": "started"}
+        assert monitor.state.completed == 1
+
+    def test_tail_resets_after_truncation(self, tmp_path):
+        """A shard replaced by a shorter file re-reads from the top."""
+        from repro.telemetry.events import EventTail
+
+        path = tmp_path / "events.jsonl"
+        with EventBus(path, run_id="r1") as bus:
+            for index in range(20):
+                bus.cell("queued", f"cell-{index}")
+        tail = EventTail(path)
+        assert len(tail.poll()) == 20
+        with EventBus(tmp_path / "fresh.jsonl", run_id="r2") as bus:
+            bus.cell("queued", "after-reset")
+        (tmp_path / "fresh.jsonl").replace(path)
+        events = tail.poll()
+        assert [e["name"] for e in events] == ["after-reset"]
+
+    def test_monitor_survives_shard_truncation_without_double_count(
+        self, tmp_path
+    ):
+        path = tmp_path / "events-w0.jsonl"
+        with EventBus(path, run_id="w0") as bus:
+            bus.cell("done", "a", cache_hits=1)
+        monitor = RunMonitor(tmp_path)
+        monitor.poll()
+        # The shard shrinks (partial rewrite/rsync), then the same
+        # content lands again: the tail restarts from byte 0 and the
+        # (run_id, seq) dedupe keeps the state unchanged.
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+        monitor.poll()  # reset to offset 0; partial line pending
+        path.write_bytes(content)
+        monitor.poll()  # re-reads the full line -> duplicate identity
+        assert monitor.state.events_seen == 1
+        assert monitor.state.duplicate_events == 1
+        assert monitor.state.cache_hits == 1
